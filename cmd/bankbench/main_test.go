@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunFastExperiments(t *testing.T) {
+	// f1, f3 and e4 are pure analyses — instant.
+	if err := run([]string{"-run", "f1,f3,e4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-eps", "abc", "-run", "f1"}); err == nil {
+		t.Error("bad ε accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

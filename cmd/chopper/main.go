@@ -1,0 +1,243 @@
+// Command chopper is the off-line chopping analyzer: it reads a declared
+// job stream (JSON) or one of the paper's built-in examples, finds the
+// SR-chopping and the ESR-chopping, and reports the chopping graph
+// analysis — SC-cycles, C-cycles, restricted pieces, edge weights,
+// inter-sibling fuzziness — optionally as Graphviz DOT.
+//
+// Usage:
+//
+//	chopper -example figure1|figure3|hazard [-dot] [-cycles N]
+//	chopper -input stream.json [-dot] [-cycles N]
+//
+// JSON input format:
+//
+//	{"programs": [
+//	  {"name": "xfer", "count": 10, "import": 500, "export": 500,
+//	   "ops": [
+//	     {"op": "add",  "key": "X", "delta": -100},
+//	     {"op": "add",  "key": "X", "delta": -100, "abortIfBelow": 100},
+//	     {"op": "read", "key": "Y"},
+//	     {"op": "set",  "key": "Z", "value": 5}
+//	   ]}
+//	]}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"asynctp/internal/chop"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chopper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chopper", flag.ContinueOnError)
+	example := fs.String("example", "", "built-in example: figure1, figure3, hazard")
+	input := fs.String("input", "", "JSON job stream file")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT of the chopping graph")
+	cycles := fs.Int("cycles", 0, "list up to N SC-cycle witnesses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *example != "":
+		return runExample(*example, *dot, *cycles)
+	case *input != "":
+		return runInput(*input, *dot, *cycles)
+	default:
+		return errors.New("need -example or -input (see -h)")
+	}
+}
+
+// runExample analyzes a built-in paper example.
+func runExample(name string, dot bool, cycles int) error {
+	var set *chop.Set
+	switch name {
+	case "figure1":
+		set = chop.Figure1Example()
+	case "figure3":
+		set = chop.Figure3Example()
+	case "hazard":
+		set = chop.HazardExample()
+	default:
+		return fmt.Errorf("unknown example %q", name)
+	}
+	a := chop.Analyze(set)
+	fmt.Print(a.String())
+	printDetails(a)
+	printCycles(a, cycles)
+	if dot {
+		fmt.Println()
+		fmt.Print(a.DOT())
+	}
+	return nil
+}
+
+// printCycles lists SC-cycle witnesses.
+func printCycles(a *chop.Analysis, max int) {
+	ws := a.SCWitnesses(max)
+	if len(ws) == 0 {
+		return
+	}
+	fmt.Println("SC-cycles:")
+	for _, w := range ws {
+		fmt.Printf("  %s\n", a.WitnessString(w))
+	}
+}
+
+// jsonOp is one operation in the JSON input.
+type jsonOp struct {
+	Op           string        `json:"op"`
+	Key          string        `json:"key"`
+	Delta        metric.Value  `json:"delta"`
+	Value        metric.Value  `json:"value"`
+	Bound        *metric.Value `json:"bound"`
+	AbortIfBelow *metric.Value `json:"abortIfBelow"`
+}
+
+// jsonProgram is one declared program in the JSON input.
+type jsonProgram struct {
+	Name   string        `json:"name"`
+	Count  int           `json:"count"`
+	Import *metric.Value `json:"import"`
+	Export *metric.Value `json:"export"`
+	Ops    []jsonOp      `json:"ops"`
+}
+
+// jsonStream is the JSON input root.
+type jsonStream struct {
+	Programs []jsonProgram `json:"programs"`
+}
+
+// buildStream converts the JSON declaration to a chop.Stream.
+func buildStream(js jsonStream) (chop.Stream, error) {
+	var stream chop.Stream
+	for pi, jp := range js.Programs {
+		var ops []txn.Op
+		for oi, jo := range jp.Ops {
+			var op txn.Op
+			switch jo.Op {
+			case "read":
+				op = txn.ReadOp(storage.Key(jo.Key))
+			case "add":
+				op = txn.AddOp(storage.Key(jo.Key), jo.Delta)
+			case "set":
+				op = txn.SetOp(storage.Key(jo.Key), jo.Value)
+			default:
+				return nil, fmt.Errorf("program %d op %d: unknown op %q", pi, oi, jo.Op)
+			}
+			if jo.Bound != nil {
+				op.Bound = metric.LimitOf(metric.Fuzz(*jo.Bound))
+			}
+			if jo.AbortIfBelow != nil {
+				floor := *jo.AbortIfBelow
+				op = txn.WithAbortIf(op, func(v metric.Value) bool { return v < floor })
+			}
+			ops = append(ops, op)
+		}
+		p, err := txn.NewProgram(jp.Name, ops...)
+		if err != nil {
+			return nil, err
+		}
+		spec := metric.Unbounded
+		if jp.Import != nil {
+			spec.Import = metric.LimitOf(metric.Fuzz(*jp.Import))
+		}
+		if jp.Export != nil {
+			spec.Export = metric.LimitOf(metric.Fuzz(*jp.Export))
+		}
+		count := jp.Count
+		if count < 1 {
+			count = 1
+		}
+		stream = append(stream, chop.StreamItem{Program: p.WithSpec(spec), Count: count})
+	}
+	if len(stream) == 0 {
+		return nil, errors.New("no programs declared")
+	}
+	return stream, nil
+}
+
+// runInput analyzes a JSON job stream.
+func runInput(path string, dot bool, cycles int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var js jsonStream
+	if err := json.Unmarshal(raw, &js); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	stream, err := buildStream(js)
+	if err != nil {
+		return err
+	}
+
+	sr, err := chop.FindSRStream(stream)
+	if err != nil {
+		return fmt.Errorf("SR-chopping: %w", err)
+	}
+	esr, err := chop.FindESRStream(stream)
+	if err != nil {
+		return fmt.Errorf("ESR-chopping: %w", err)
+	}
+	fmt.Println("declared stream:")
+	for _, item := range stream {
+		fmt.Printf("  %-12s count=%-4d ε=%s\n", item.Program.Name, item.Count, item.Program.Spec)
+	}
+	fmt.Println("\nchopping comparison (pieces per transaction):")
+	fmt.Printf("  %-12s %-6s %-6s %s\n", "transaction", "SR", "ESR", "Z^is (ESR)")
+	for ti, item := range stream {
+		fmt.Printf("  %-12s %-6d %-6d %s\n", item.Program.Name,
+			sr.Choppings[ti].NumPieces(), esr.Choppings[ti].NumPieces(),
+			esr.InterSibling[ti])
+	}
+	fmt.Println("\nESR-chopping analysis:")
+	fmt.Print(esr.Analysis.String())
+	printDetails(esr.Analysis)
+	printCycles(esr.Analysis, cycles)
+	if dot {
+		fmt.Println()
+		fmt.Print(esr.Analysis.DOT())
+	}
+	return nil
+}
+
+// printDetails lists restricted pieces and weighted edges.
+func printDetails(a *chop.Analysis) {
+	fmt.Println("pieces:")
+	for v := 0; v < a.Set.NumPieces(); v++ {
+		restricted := ""
+		if a.Restricted[v] {
+			restricted = " [restricted: on a C-cycle]"
+		}
+		fmt.Printf("  %s%s\n", a.Set.Piece(v).Program.Name, restricted)
+	}
+	fmt.Println("edges:")
+	for _, e := range a.Edges {
+		inSC := ""
+		if e.InSCCycle {
+			inSC = " [on SC-cycle]"
+		}
+		uu := ""
+		if e.UpdateUpdate && e.InSCCycle {
+			uu = " [UPDATE-UPDATE HAZARD]"
+		}
+		fmt.Printf("  %s %s—%s w=%s%s%s\n",
+			e.Kind, a.Set.Piece(e.U).Program.Name, a.Set.Piece(e.V).Program.Name,
+			e.Weight, inSC, uu)
+	}
+}

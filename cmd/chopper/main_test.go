@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunExamples(t *testing.T) {
+	for _, name := range []string{"figure1", "figure3", "hazard"} {
+		if err := run([]string{"-example", name}); err != nil {
+			t.Errorf("example %s: %v", name, err)
+		}
+	}
+	if err := run([]string{"-example", "nope"}); err == nil {
+		t.Error("unknown example accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-example", "figure3", "-dot", "-cycles", "3"}); err != nil {
+		t.Errorf("dot output: %v", err)
+	}
+}
+
+func TestRunJSONInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.json")
+	const input = `{"programs": [
+	  {"name": "xfer", "count": 10, "import": 5000, "export": 5000,
+	   "ops": [
+	     {"op": "add", "key": "X", "delta": -100, "abortIfBelow": 100},
+	     {"op": "add", "key": "Y", "delta": 100}
+	   ]},
+	  {"name": "audit", "count": 5, "import": 5000, "export": 0,
+	   "ops": [
+	     {"op": "read", "key": "X"},
+	     {"op": "read", "key": "Y"}
+	   ]}
+	]}`
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path}); err != nil {
+		t.Fatalf("json input: %v", err)
+	}
+	if err := run([]string{"-input", path, "-dot"}); err != nil {
+		t.Fatalf("json input with dot: %v", err)
+	}
+	if err := run([]string{"-input", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunJSONValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-json":   `{`,
+		"no-progs":   `{"programs": []}`,
+		"bad-op":     `{"programs": [{"name": "t", "ops": [{"op": "frob", "key": "x"}]}]}`,
+		"no-name":    `{"programs": [{"name": "", "ops": [{"op": "read", "key": "x"}]}]}`,
+		"empty-prog": `{"programs": [{"name": "t", "ops": []}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-input", path}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSetOpWithBound(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	const input = `{"programs": [
+	  {"name": "seteдр", "count": 2,
+	   "ops": [{"op": "set", "key": "X", "value": 5, "bound": 50}]}
+	]}`
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path}); err != nil {
+		t.Fatalf("set with bound: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-latencies", "abc", "-run", "e3"}); err == nil {
+		t.Error("bad latency accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunE3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	if err := run([]string{"-run", "e3"}); err != nil {
+		t.Fatal(err)
+	}
+}

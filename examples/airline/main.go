@@ -1,0 +1,115 @@
+// Airline: the reservation workload motivating rollback-safety. A
+// reservation checks availability and may roll back ("sold out"), so
+// any chopping must keep the check in the first piece; the booking
+// counter update can then commit asynchronously. The example oversells
+// a small flight on purpose: exactly Seats reservations commit, the
+// rest roll back, and the seats+booked invariant holds throughout —
+// while a load-factor query runs under ESR with a small ε.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"asynctp"
+)
+
+const (
+	seats    = 25
+	attempts = 40
+	epsilon  = 10 // the query tolerates being ±10 bookings stale
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	store := asynctp.NewStoreFrom(map[asynctp.Key]asynctp.Value{
+		"seats":  seats,
+		"booked": 0,
+	})
+
+	// A reservation decrements seats unless sold out, then increments
+	// the booking counter. The rollback statement is in the FIRST op, so
+	// the finest rollback-safe chopping may split the counter update off.
+	reserve := asynctp.MustProgram("reserve",
+		asynctp.WithAbortIf(
+			asynctp.AddOp("seats", -1),
+			func(v asynctp.Value) bool { return v <= 0 },
+		),
+		asynctp.AddOp("booked", 1),
+	).WithSpec(asynctp.SpecOf(epsilon))
+
+	loadFactor := asynctp.MustProgram("loadfactor",
+		asynctp.ReadOp("seats"),
+		asynctp.ReadOp("booked"),
+	).WithSpec(asynctp.Spec{Import: asynctp.LimitOf(epsilon), Export: asynctp.LimitOf(0)})
+
+	runner, err := asynctp.NewRunner(asynctp.Config{
+		Method:   asynctp.Method1SRChopDC,
+		Store:    store,
+		Programs: []*asynctp.Program{reserve, loadFactor},
+		Counts:   []int{attempts, 6},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("chopping:")
+	for ti := 0; ti < runner.Set().NumTxns(); ti++ {
+		c := runner.Set().Chopping(ti)
+		fmt.Printf("  %-10s → %d piece(s)\n", runner.Set().Original(ti).Name, c.NumPieces())
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed, soldOut := 0, 0
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := runner.Submit(ctx, 0)
+			if err != nil {
+				log.Printf("reserve: %v", err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if res.RolledBack {
+				soldOut++
+			} else if res.Committed {
+				committed++
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := runner.Submit(ctx, 1)
+			if err != nil {
+				log.Printf("query: %v", err)
+				return
+			}
+			fmt.Printf("  load factor sample: seats+booked = %d (true value %d, ε = %d)\n",
+				res.SumReads(), seats, epsilon)
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nreservations committed: %d, sold out: %d (capacity %d)\n",
+		committed, soldOut, seats)
+	fmt.Printf("final: seats=%d booked=%d (invariant seats+booked=%d holds: %v)\n",
+		store.Get("seats"), store.Get("booked"), seats,
+		store.Get("seats")+store.Get("booked") == seats)
+	if committed != seats {
+		return fmt.Errorf("oversold or undersold: %d commits for %d seats", committed, seats)
+	}
+	return nil
+}

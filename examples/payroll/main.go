@@ -1,0 +1,99 @@
+// Payroll: the paper's third motivating domain — "a payroll system may
+// limit the salary raise for each employee per year". Raises are
+// bounded writes, so their conflicts with the payroll-total report have
+// finite C-edge weights, and the report can run under ESR while raises
+// post concurrently. The example compares classic serializable
+// execution against Method 1: same final state, but the ESR run admits
+// report/raise interleavings instead of blocking them.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"asynctp"
+)
+
+const (
+	employees  = 8
+	raise      = 5000 // $50.00 per raise, the declared bound
+	raisesEach = 5
+	reports    = 4
+	epsilon    = 100000 // the report tolerates $1,000.00 of staleness
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// build declares the payroll stream.
+func build() (map[asynctp.Key]asynctp.Value, []*asynctp.Program, []int) {
+	initial := make(map[asynctp.Key]asynctp.Value)
+	var programs []*asynctp.Program
+	var counts []int
+	spec := asynctp.SpecOf(epsilon)
+	var reportOps []asynctp.Op
+	for e := 0; e < employees; e++ {
+		key := asynctp.Key(fmt.Sprintf("salary:%d", e))
+		initial[key] = 500000 // $5,000.00
+		programs = append(programs, asynctp.MustProgram(
+			fmt.Sprintf("raise:%d", e),
+			asynctp.AddOp(key, raise),
+		).WithSpec(spec))
+		counts = append(counts, raisesEach)
+		reportOps = append(reportOps, asynctp.ReadOp(key))
+	}
+	programs = append(programs, asynctp.MustProgram("report", reportOps...).WithSpec(spec))
+	counts = append(counts, reports)
+	return initial, programs, counts
+}
+
+// drive runs the full stream and returns (fuzzy grants, blocked count).
+func drive(method asynctp.Method) (uint64, uint64, asynctp.Value, error) {
+	initial, programs, counts := build()
+	store := asynctp.NewStoreFrom(initial)
+	runner, err := asynctp.NewRunner(asynctp.Config{
+		Method:   method,
+		Store:    store,
+		Programs: programs,
+		Counts:   counts,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for ti, count := range counts {
+		for i := 0; i < count; i++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				if _, err := runner.Submit(ctx, ti); err != nil {
+					log.Printf("submit: %v", err)
+				}
+			}(ti)
+		}
+	}
+	wg.Wait()
+	stats := runner.LockStats()
+	return stats.FuzzyGrants, stats.Blocks, store.SumAll(), nil
+}
+
+func run() error {
+	wantTotal := asynctp.Value(employees*500000 + employees*raisesEach*raise)
+	for _, method := range []asynctp.Method{asynctp.BaselineSRCC, asynctp.Method1SRChopDC} {
+		grants, blocks, total, err := drive(method)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s fuzzy-grants=%-4d blocks=%-4d final-payroll=%d (want %d: %v)\n",
+			method, grants, blocks, total, wantTotal, total == wantTotal)
+	}
+	fmt.Println("\nboth methods post every raise exactly once; the ESR run lets")
+	fmt.Println("reports read through raise conflicts within ε instead of blocking.")
+	return nil
+}

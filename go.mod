@@ -1,0 +1,3 @@
+module asynctp
+
+go 1.22

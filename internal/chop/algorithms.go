@@ -1,0 +1,277 @@
+package chop
+
+import (
+	"fmt"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+// FindSR computes the finest SR-chopping of the programs (Shasha et
+// al.): start from the finest rollback-safe chopping and repeatedly merge
+// sibling pieces that are connected in the C-edge-only subgraph, until no
+// SC-cycle remains.
+func FindSR(programs []*txn.Program) (*Set, *Analysis, error) {
+	chopped := make([]*Chopped, len(programs))
+	for i, p := range programs {
+		chopped[i] = Finest(p)
+	}
+	return refineSR(chopped)
+}
+
+// refineSR runs the merge-to-fixpoint loop for SR-choppings: while some
+// S edge lies on an SC-cycle (shares a biconnected block with a C edge),
+// merge its two sibling pieces. Each merge removes at least one piece, so
+// the loop terminates; in the worst case every transaction collapses back
+// to a single piece, which is trivially SC-cycle free.
+func refineSR(chopped []*Chopped) (*Set, *Analysis, error) {
+	maxRounds := 1
+	for _, c := range chopped {
+		maxRounds += len(c.Original.Ops)
+	}
+	for rounds := 0; ; rounds++ {
+		s, err := NewSet(chopped...)
+		if err != nil {
+			return nil, nil, err
+		}
+		a := Analyze(s)
+		if !a.HasSCCycle {
+			return s, a, nil
+		}
+		if rounds > maxRounds {
+			return nil, nil, fmt.Errorf("chop: SR refinement did not converge")
+		}
+		merged := false
+		for _, e := range a.Edges {
+			if e.Kind == SEdge && e.InSCCycle {
+				if mergeSEdge(s, chopped, e) {
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			// HasSCCycle without an S edge on it is impossible; the guard
+			// keeps a bug from looping forever.
+			return nil, nil, fmt.Errorf("chop: SC-cycle without mergeable siblings")
+		}
+	}
+}
+
+// FindESR computes an ESR-chopping (Definition 1): the finest
+// rollback-safe chopping, refined until (a) no SC-cycle contains a C edge
+// between two update pieces, and (b) every transaction's inter-sibling
+// fuzziness Z^is_t fits its ε-spec. Because C-edge weights may keep some
+// SC-cycles, the result is generally finer than the SR-chopping —
+// transactions with generous ε-specs stay chopped where SR would merge.
+func FindESR(programs []*txn.Program) (*Set, *Analysis, error) {
+	chopped := make([]*Chopped, len(programs))
+	for i, p := range programs {
+		chopped[i] = Finest(p)
+	}
+	maxRounds := 1
+	for _, p := range programs {
+		maxRounds += len(p.Ops)
+	}
+	for rounds := 0; ; rounds++ {
+		s, err := NewSet(chopped...)
+		if err != nil {
+			return nil, nil, err
+		}
+		a := Analyze(s)
+		violations := a.CheckESR()
+		if len(violations) == 0 {
+			return s, a, nil
+		}
+		if rounds > maxRounds {
+			return nil, nil, fmt.Errorf("chop: ESR refinement did not converge (violations: %v)", violations)
+		}
+		if !mergeForViolation(s, a, chopped, violations[0]) {
+			return nil, nil, fmt.Errorf("chop: cannot resolve violation %+v", violations[0])
+		}
+	}
+}
+
+// mergeForViolation merges one sibling pair chosen to fix v, updating
+// chopped in place. It reports whether a merge happened.
+func mergeForViolation(s *Set, a *Analysis, chopped []*Chopped, v ESRViolation) bool {
+	switch v.Kind {
+	case "update-update":
+		// The offending C edge lies in a biconnected block that must also
+		// contain an S edge (that is what put it on an SC-cycle). Merging
+		// that S edge's endpoints removes this cycle family.
+		blockOf := a.Graph.BlockOfEdge(nil)
+		target := blockOf[v.Edge]
+		for _, e := range a.Edges {
+			if e.Kind == SEdge && blockOf[e.ID] == target {
+				return mergeSEdge(s, chopped, e)
+			}
+		}
+		return false
+	case "inter-sibling":
+		// Merge the heaviest S edge of the violating transaction:
+		// infinite weight first, then the largest finite weight.
+		best := -1
+		for _, e := range a.Edges {
+			if e.Kind != SEdge || s.Piece(e.U).Txn != v.Txn {
+				continue
+			}
+			if best == -1 || a.Edges[best].Weight.Cmp(e.Weight) < 0 {
+				best = e.ID
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		return mergeSEdge(s, chopped, a.Edges[best])
+	default:
+		return false
+	}
+}
+
+// mergeSEdge merges the sibling pieces joined by S edge e.
+func mergeSEdge(s *Set, chopped []*Chopped, e Edge) bool {
+	pu, pv := s.Piece(e.U), s.Piece(e.V)
+	if pu.Txn != pv.Txn {
+		return false
+	}
+	chopped[pu.Txn] = chopped[pu.Txn].merge(pu.Index, pv.Index)
+	return true
+}
+
+// Assignment holds one ε-spec per piece vertex: the Limit_p each piece
+// runs under.
+type Assignment []metric.Spec
+
+// StaticDistribution implements Section 2.2.1 on analysis a with the
+// transactions' own ε-specs: each transaction's limit is split evenly
+// over its restricted pieces; unrestricted pieces get ∞ so divergence
+// control never blocks them (their accounted fuzziness is fictitious —
+// they cannot close a conflict cycle).
+func StaticDistribution(a *Analysis) Assignment {
+	specs := make([]metric.Spec, a.Set.NumTxns())
+	for ti := range specs {
+		specs[ti] = a.Set.Original(ti).Spec
+	}
+	return StaticDistributionWithSpecs(a, specs)
+}
+
+// StaticDistributionWithSpecs is StaticDistribution with per-transaction
+// ε-specs overridden — Method 3 passes Limit^DC_t = Limit_t − Z^is_t.
+func StaticDistributionWithSpecs(a *Analysis, specs []metric.Spec) Assignment {
+	assign := make(Assignment, a.Set.NumPieces())
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		vs := a.Set.TxnPieces(ti)
+		restricted := 0
+		for _, v := range vs {
+			if a.Restricted[v] {
+				restricted++
+			}
+		}
+		for _, v := range vs {
+			if !a.Restricted[v] {
+				assign[v] = metric.Unbounded
+				continue
+			}
+			assign[v] = metric.Spec{
+				Import: specs[ti].Import.Div(restricted),
+				Export: specs[ti].Export.Div(restricted),
+			}
+		}
+	}
+	return assign
+}
+
+// ProportionalDistribution generalizes the static distribution beyond the
+// paper's "for simplicity, equal weights" assumption: each restricted
+// piece receives a share of the transaction's ε proportional to its
+// conflict exposure — the total weight of its incident C edges that lie
+// on C-cycles. Pieces in heavier conflict neighborhoods accumulate
+// fuzziness faster, so they get more budget; unrestricted pieces still
+// get ∞. Pieces with infinite exposure fall back to an even split.
+func ProportionalDistribution(a *Analysis) Assignment {
+	assign := make(Assignment, a.Set.NumPieces())
+	// Exposure per vertex: incident C edges on C-cycles.
+	cOnly := func(id int) bool { return a.Edges[id].Kind == CEdge }
+	onCCycle := a.Graph.EdgesOnCycle(cOnly)
+	exposure := make([]metric.Limit, a.Set.NumPieces())
+	for v := range exposure {
+		exposure[v] = metric.Zero
+	}
+	for id, e := range a.Edges {
+		if e.Kind != CEdge || !onCCycle[id] {
+			continue
+		}
+		exposure[e.U] = exposure[e.U].AddLimit(e.Weight)
+		exposure[e.V] = exposure[e.V].AddLimit(e.Weight)
+	}
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		vs := a.Set.TxnPieces(ti)
+		spec := a.Set.Original(ti).Spec
+		var restricted []int
+		total := metric.Fuzz(0)
+		even := false
+		for _, v := range vs {
+			if !a.Restricted[v] {
+				assign[v] = metric.Unbounded
+				continue
+			}
+			restricted = append(restricted, v)
+			if exposure[v].IsInfinite() {
+				even = true
+			} else {
+				total = total.Add(exposure[v].Bound())
+			}
+		}
+		if len(restricted) == 0 {
+			continue
+		}
+		if even || total == 0 {
+			for _, v := range restricted {
+				assign[v] = metric.Spec{
+					Import: spec.Import.Div(len(restricted)),
+					Export: spec.Export.Div(len(restricted)),
+				}
+			}
+			continue
+		}
+		for _, v := range restricted {
+			share := exposure[v].Bound()
+			assign[v] = metric.Spec{
+				Import: scaleLimit(spec.Import, share, total),
+				Export: scaleLimit(spec.Export, share, total),
+			}
+		}
+	}
+	return assign
+}
+
+// scaleLimit returns limit × share / total, preserving ∞.
+func scaleLimit(limit metric.Limit, share, total metric.Fuzz) metric.Limit {
+	if limit.IsInfinite() {
+		return limit
+	}
+	if total == 0 {
+		return metric.Zero
+	}
+	return metric.LimitOf(metric.Fuzz(int64(limit.Bound()) * int64(share) / int64(total)))
+}
+
+// NaiveDistribution splits each transaction's ε-spec evenly over ALL its
+// pieces, ignoring the restricted/unrestricted distinction. It exists as
+// the ablation baseline the paper argues against: unrestricted pieces
+// burn quota on fictitious conflicts.
+func NaiveDistribution(a *Analysis) Assignment {
+	assign := make(Assignment, a.Set.NumPieces())
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		vs := a.Set.TxnPieces(ti)
+		spec := a.Set.Original(ti).Spec
+		for _, v := range vs {
+			assign[v] = metric.Spec{
+				Import: spec.Import.Div(len(vs)),
+				Export: spec.Export.Div(len(vs)),
+			}
+		}
+	}
+	return assign
+}

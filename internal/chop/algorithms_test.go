@@ -1,0 +1,237 @@
+package chop
+
+import (
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+func TestFindSRMergesTransferUnderAudit(t *testing.T) {
+	// Transfer + full audit: chopping the transfer creates an SC-cycle,
+	// so the finest SR-chopping is the whole transfer.
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100))
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y"))
+	s, a, err := FindSR([]*txn.Program{xfer, audit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSCCycle {
+		t.Fatal("FindSR left an SC-cycle")
+	}
+	if got := s.Chopping(0).NumPieces(); got != 1 {
+		t.Errorf("xfer pieces = %d, want 1 (merged)", got)
+	}
+	// The audit cannot stay chopped either: with the transfer whole, its
+	// two read pieces still close an SC-cycle through the transfer.
+	if got := s.Chopping(1).NumPieces(); got != 1 {
+		t.Errorf("audit pieces = %d, want 1", got)
+	}
+}
+
+func TestFindSRKeepsIndependentPieces(t *testing.T) {
+	// Partners touch only one account each: the transfer stays chopped.
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100))
+	onlyX := txn.MustProgram("onlyX", txn.ReadOp("X"))
+	onlyY := txn.MustProgram("onlyY", txn.ReadOp("Y"))
+	s, a, err := FindSR([]*txn.Program{xfer, onlyX, onlyY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSCCycle {
+		t.Fatal("unexpected SC-cycle")
+	}
+	if got := s.Chopping(0).NumPieces(); got != 2 {
+		t.Errorf("xfer pieces = %d, want 2 (chop preserved)", got)
+	}
+}
+
+func TestFindSRRollbackSafety(t *testing.T) {
+	w := txn.MustProgram("withdraw",
+		txn.WithAbortIf(txn.AddOp("X", -100), func(v metric.Value) bool { return v < 100 }),
+		txn.AddOp("fee", 1),
+		txn.AddOp("log", 1),
+	)
+	s, a, err := FindSR([]*txn.Program{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSCCycle {
+		t.Fatal("single txn cannot have SC-cycle")
+	}
+	// 3 pieces (rollback is in op 0); all cuts after the rollback.
+	if got := s.Chopping(0).NumPieces(); got != 3 {
+		t.Errorf("pieces = %d, want 3", got)
+	}
+	if err := s.Chopping(0).Validate(); err != nil {
+		t.Errorf("result not rollback-safe: %v", err)
+	}
+}
+
+func TestFindESRFinerThanSR(t *testing.T) {
+	// With a generous ε-spec, ESR-chopping keeps the transfer chopped
+	// where SR-chopping must merge it (E1's central claim).
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.SpecOf(500))
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(500), Export: metric.Zero})
+	programs := []*txn.Program{xfer, audit}
+
+	sSR, _, err := FindSR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sESR, aESR, err := FindESR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sSR.Chopping(0).NumPieces(); got != 1 {
+		t.Fatalf("SR xfer pieces = %d, want 1", got)
+	}
+	if got := sESR.Chopping(0).NumPieces(); got != 2 {
+		t.Errorf("ESR xfer pieces = %d, want 2 (finer than SR)", got)
+	}
+	if !aESR.IsESR() {
+		t.Errorf("FindESR result invalid: %v", aESR.CheckESR())
+	}
+}
+
+func TestFindESRMergesWhenBudgetTight(t *testing.T) {
+	// Z^is would be 200; with Limit = 150 the chopping must merge back.
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.SpecOf(150))
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(500), Export: metric.Zero})
+	s, a, err := FindESR([]*txn.Program{xfer, audit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Chopping(0).NumPieces(); got != 1 {
+		t.Errorf("tight-budget ESR xfer pieces = %d, want 1", got)
+	}
+	if !a.IsESR() {
+		t.Errorf("result invalid: %v", a.CheckESR())
+	}
+}
+
+func TestFindESRRejectsUpdateUpdateCycles(t *testing.T) {
+	// Transfer + interest poster (both update): the update-update hazard
+	// forces a merge no matter how generous the ε-specs are.
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.Unbounded)
+	interest := func(v metric.Value) metric.Value { return v + v/10 }
+	poster := txn.MustProgram("interest",
+		txn.TransformOp("X", interest, metric.LimitOf(500)),
+		txn.TransformOp("Y", interest, metric.LimitOf(500)),
+	).WithSpec(metric.Unbounded)
+	s, a, err := FindESR([]*txn.Program{xfer, poster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.UpdateUpdateViolations) != 0 {
+		t.Errorf("violations remain: %v", a.CheckESR())
+	}
+	// At least one of the two transactions had to merge fully.
+	p0, p1 := s.Chopping(0).NumPieces(), s.Chopping(1).NumPieces()
+	if p0 == 2 && p1 == 2 {
+		t.Errorf("both stayed chopped (%d, %d); hazard unresolved", p0, p1)
+	}
+}
+
+func TestFindESRUpwardCompatibleWithStrictSpecs(t *testing.T) {
+	// With ε = 0 everywhere, ESR-chopping must coincide with SR-chopping
+	// (the paper's upward compatibility).
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100))
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y"))
+	programs := []*txn.Program{xfer, audit}
+	sSR, _, err := FindSR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sESR, _, err := FindESR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < sSR.NumTxns(); ti++ {
+		if sSR.Chopping(ti).NumPieces() != sESR.Chopping(ti).NumPieces() {
+			t.Errorf("txn %d: SR %d pieces vs ESR %d pieces", ti,
+				sSR.Chopping(ti).NumPieces(), sESR.Chopping(ti).NumPieces())
+		}
+	}
+}
+
+func TestFindSRBankBatchMixedOutcome(t *testing.T) {
+	// xferAB's partners touch one account each, so it stays chopped;
+	// auditCD spans both of xferCD's accounts, so xferCD (and a chopped
+	// auditCD) must merge back.
+	programs := []*txn.Program{
+		txn.MustProgram("xferAB", txn.AddOp("A", -10), txn.AddOp("B", 10)),
+		txn.MustProgram("xferCD", txn.AddOp("C", -10), txn.AddOp("D", 10)),
+		txn.MustProgram("auditA", txn.ReadOp("A")),
+		txn.MustProgram("auditB", txn.ReadOp("B")),
+		txn.MustProgram("auditCD", txn.ReadOp("C"), txn.ReadOp("D")),
+	}
+	s, a, err := FindSR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSCCycle {
+		t.Fatal("SC-cycle left after FindSR")
+	}
+	want := []int{2, 1, 1, 1, 1}
+	for ti, w := range want {
+		if got := s.Chopping(ti).NumPieces(); got != w {
+			t.Errorf("txn %s pieces = %d, want %d", s.Original(ti).Name, got, w)
+		}
+	}
+}
+
+func TestFindSRFullyEntangledMergesEverything(t *testing.T) {
+	// Four chained transfers plus two wide audits: the audits bridge
+	// every transfer's accounts, so the finest SR-chopping is all-whole.
+	accounts := []string{"A", "B", "C", "D", "E", "F"}
+	var programs []*txn.Program
+	for i := 0; i < 4; i++ {
+		from, to := accounts[i], accounts[i+2]
+		programs = append(programs, txn.MustProgram(
+			"xfer"+from+to,
+			txn.AddOp(storage.Key(from), -10), txn.AddOp(storage.Key(to), 10)))
+	}
+	programs = append(programs,
+		txn.MustProgram("auditLeft", txn.ReadOp("A"), txn.ReadOp("B"), txn.ReadOp("C")),
+		txn.MustProgram("auditRight", txn.ReadOp("D"), txn.ReadOp("E"), txn.ReadOp("F")))
+	s, a, err := FindSR(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSCCycle {
+		t.Fatal("SC-cycle left after FindSR")
+	}
+	for ti := 0; ti < s.NumTxns(); ti++ {
+		if got := s.Chopping(ti).NumPieces(); got != 1 {
+			t.Errorf("txn %s pieces = %d, want 1", s.Original(ti).Name, got)
+		}
+	}
+}
+
+func TestStaticDistributionDividesExactly(t *testing.T) {
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.SpecOf(500))
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(500), Export: metric.Zero})
+	t1c, err := FromCuts(xfer, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSet(t1c, Whole(audit))
+	a := Analyze(s)
+	assign := StaticDistribution(a)
+	// Both xfer pieces are on the SC-cycle; here each is restricted only
+	// if it is on a C-cycle. The SC-cycle here is not a C-cycle, so both
+	// pieces are unrestricted and get ∞.
+	if !assign[0].Export.IsInfinite() || !assign[1].Export.IsInfinite() {
+		t.Errorf("pieces on SC-but-not-C cycles should be unrestricted: %v, %v",
+			assign[0], assign[1])
+	}
+}

@@ -1,0 +1,529 @@
+package chop
+
+import (
+	"fmt"
+	"strings"
+
+	"asynctp/internal/graph"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// EdgeKind distinguishes the two chopping-graph edge types.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// SEdge connects two sibling pieces of one transaction.
+	SEdge EdgeKind = iota + 1
+	// CEdge connects two conflicting pieces of different transactions.
+	CEdge
+)
+
+// String renders the kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case SEdge:
+		return "S"
+	case CEdge:
+		return "C"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge is one chopping-graph edge with its analysis attributes.
+type Edge struct {
+	// ID is the graph edge ID.
+	ID int
+	// Kind is S or C.
+	Kind EdgeKind
+	// U, V are the endpoint vertices.
+	U, V int
+	// Keys are the conflicting keys (C edges only), sorted.
+	Keys []storage.Key
+	// Weight is W_C for C edges (the potential fuzziness of the
+	// conflict, from declared write bounds) and W_S for S edges
+	// (Equation 4, filled in by the analysis).
+	Weight metric.Limit
+	// InSCCycle reports whether the edge lies on some simple cycle
+	// containing both an S and a C edge.
+	InSCCycle bool
+	// UpdateUpdate marks C edges whose endpoints are both update pieces.
+	UpdateUpdate bool
+}
+
+// Analysis is the full chopping-graph analysis of a Set.
+type Analysis struct {
+	// Set is the analyzed chopping.
+	Set *Set
+	// Graph is the chopping graph; vertices are Set piece indices.
+	Graph *graph.Graph
+	// Edges describe every graph edge, indexed by edge ID.
+	Edges []Edge
+	// HasSCCycle reports whether any SC-cycle exists.
+	HasSCCycle bool
+	// SCWitness is one SC-cycle as a vertex sequence (first == last)
+	// when HasSCCycle.
+	SCWitness []int
+	// Restricted marks pieces associated with C-cycles (Section 2.2):
+	// only they can take part in a runtime conflict cycle.
+	Restricted []bool
+	// InterSibling is Z^is_t per transaction: the worst-case fuzziness
+	// the chopping itself can introduce (sum of its S-edge weights).
+	InterSibling []metric.Limit
+	// UpdateUpdateViolations lists C edges between two update pieces
+	// that lie on an SC-cycle — the Definition 1 condition (2) hazard
+	// that corrupts the database permanently.
+	UpdateUpdateViolations []int
+}
+
+// Analyze builds the chopping graph of s and runs every check.
+func Analyze(s *Set) *Analysis {
+	a := &Analysis{Set: s, Graph: graph.New(s.NumPieces())}
+	addEdge := func(e Edge) {
+		id, err := a.Graph.AddEdge(e.U, e.V)
+		if err != nil {
+			// Vertices come from the Set itself; failure is a programming
+			// error, not an input error.
+			panic(fmt.Sprintf("chop: internal edge (%d,%d): %v", e.U, e.V, err))
+		}
+		e.ID = id
+		a.Edges = append(a.Edges, e)
+	}
+
+	// S edges: a clique among each transaction's pieces.
+	for ti := 0; ti < s.NumTxns(); ti++ {
+		vs := s.TxnPieces(ti)
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				addEdge(Edge{Kind: SEdge, U: vs[i], V: vs[j]})
+			}
+		}
+	}
+	// C edges: one per conflicting piece pair from different transactions.
+	pieces := s.Pieces()
+	for u := 0; u < len(pieces); u++ {
+		for v := u + 1; v < len(pieces); v++ {
+			pu, pv := pieces[u], pieces[v]
+			if pu.Txn == pv.Txn {
+				continue
+			}
+			keys, weight := conflictKeysAndWeight(pu.Program.Ops, pv.Program.Ops)
+			if len(keys) == 0 {
+				continue
+			}
+			addEdge(Edge{
+				Kind: CEdge, U: u, V: v, Keys: keys, Weight: weight,
+				UpdateUpdate: pu.UpdatePiece && pv.UpdatePiece,
+			})
+		}
+	}
+
+	cOnly := func(id int) bool { return a.Edges[id].Kind == CEdge }
+
+	// Edge ∈ some SC-cycle ⇔ its biconnected block (full graph) contains
+	// both kinds: any two edges of one block lie on a common simple
+	// cycle, so an S and a C edge sharing a block yields an SC-cycle, and
+	// conversely an SC-cycle's edges all share a block.
+	blockOf := a.Graph.BlockOfEdge(nil)
+	blockHasS := map[int]bool{}
+	blockHasC := map[int]bool{}
+	blockSize := map[int]int{}
+	for id, b := range blockOf {
+		if b < 0 {
+			continue
+		}
+		blockSize[b]++
+		if a.Edges[id].Kind == SEdge {
+			blockHasS[b] = true
+		} else {
+			blockHasC[b] = true
+		}
+	}
+	for id := range a.Edges {
+		b := blockOf[id]
+		// A block of one edge is a bridge: on no cycle at all.
+		a.Edges[id].InSCCycle = b >= 0 && blockSize[b] > 1 && blockHasS[b] && blockHasC[b]
+		if a.Edges[id].InSCCycle && a.Edges[id].UpdateUpdate {
+			a.UpdateUpdateViolations = append(a.UpdateUpdateViolations, id)
+		}
+		if a.Edges[id].InSCCycle {
+			a.HasSCCycle = true
+		}
+	}
+	if a.HasSCCycle {
+		a.SCWitness = a.findSCWitness(blockOf)
+	}
+
+	// Restricted pieces: vertices on a C-cycle (C-only subgraph).
+	a.Restricted = a.Graph.VerticesOnCycle(cOnly)
+
+	// S-edge weights (Equation 4): W_S(s) = Σ W_C(c) over C edges that
+	// touch either endpoint of s and lie on an SC-cycle. Then Z^is_t.
+	a.InterSibling = make([]metric.Limit, s.NumTxns())
+	for ti := range a.InterSibling {
+		a.InterSibling[ti] = metric.Zero
+	}
+	// Incident C-edges-in-SC-cycle per vertex.
+	incident := make([][]int, s.NumPieces())
+	for id, e := range a.Edges {
+		if e.Kind == CEdge && e.InSCCycle {
+			incident[e.U] = append(incident[e.U], id)
+			incident[e.V] = append(incident[e.V], id)
+		}
+	}
+	for id := range a.Edges {
+		e := &a.Edges[id]
+		if e.Kind != SEdge {
+			continue
+		}
+		w := metric.Zero
+		seen := map[int]bool{}
+		for _, cid := range incident[e.U] {
+			if !seen[cid] {
+				seen[cid] = true
+				w = w.AddLimit(a.Edges[cid].Weight)
+			}
+		}
+		for _, cid := range incident[e.V] {
+			if !seen[cid] {
+				seen[cid] = true
+				w = w.AddLimit(a.Edges[cid].Weight)
+			}
+		}
+		e.Weight = w
+		ti := pieces[e.U].Txn
+		a.InterSibling[ti] = a.InterSibling[ti].AddLimit(w)
+	}
+	return a
+}
+
+// findSCWitness builds one SC-cycle illustration from the first S edge
+// on an SC-cycle. See witnessForSEdge.
+func (a *Analysis) findSCWitness(blockOf []int) []int {
+	for id, e := range a.Edges {
+		if e.Kind != SEdge || !e.InSCCycle {
+			continue
+		}
+		if w := a.witnessForSEdge(e, id, blockOf); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// witnessForSEdge closes S edge e with a path between its endpoints that
+// avoids the S edge itself, stays inside its block, and uses at least one
+// C edge. The result is a closed walk (first == last vertex); block
+// theory guarantees a simple cycle exists, and the walk found this way is
+// simple in all but pathological multigraph cases.
+func (a *Analysis) witnessForSEdge(e Edge, id int, blockOf []int) []int {
+	block := blockOf[id]
+	path := a.pathWithCEdge(e.U, e.V, func(other int) bool {
+		return other != id && blockOf[other] == block
+	})
+	if path == nil {
+		return nil
+	}
+	witness := []int{e.V} // walk back from V to U, then close via s
+	at := e.V
+	for _, eid := range path {
+		u, v := a.Graph.Endpoints(eid)
+		if u == at {
+			at = v
+		} else {
+			at = u
+		}
+		witness = append(witness, at)
+	}
+	witness = append(witness, e.V)
+	return witness
+}
+
+// SCWitnesses returns up to max SC-cycle illustrations, one per S edge
+// that lies on an SC-cycle — the enumeration the chopper CLI prints so
+// users can see every sibling pair that needs merging (or budgeting).
+func (a *Analysis) SCWitnesses(max int) [][]int {
+	if max <= 0 || !a.HasSCCycle {
+		return nil
+	}
+	blockOf := a.Graph.BlockOfEdge(nil)
+	var out [][]int
+	for id, e := range a.Edges {
+		if len(out) >= max {
+			break
+		}
+		if e.Kind != SEdge || !e.InSCCycle {
+			continue
+		}
+		if w := a.witnessForSEdge(e, id, blockOf); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WitnessString renders a witness walk with piece names.
+func (a *Analysis) WitnessString(witness []int) string {
+	names := make([]string, len(witness))
+	for i, v := range witness {
+		names[i] = a.Set.Piece(v).Program.Name
+	}
+	return strings.Join(names, " → ")
+}
+
+// pathWithCEdge finds edge IDs of a shortest u→v path through the
+// filtered subgraph that uses at least one C edge, via BFS over
+// (vertex, sawC) states. Returns nil if none exists.
+func (a *Analysis) pathWithCEdge(u, v int, filter graph.EdgeFilter) []int {
+	n := a.Graph.NumVertices()
+	type state struct {
+		vert int
+		sawC bool
+	}
+	prevEdge := make(map[state]int, 2*n)
+	prevState := make(map[state]state, 2*n)
+	start := state{vert: v} // walk from v so the path reads v→u
+	queue := []state{start}
+	seen := map[state]bool{start: true}
+	var goal *state
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		for id := 0; id < a.Graph.NumEdges(); id++ {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			eu, ev := a.Graph.Endpoints(id)
+			var to int
+			switch cur.vert {
+			case eu:
+				to = ev
+			case ev:
+				to = eu
+			default:
+				continue
+			}
+			next := state{vert: to, sawC: cur.sawC || a.Edges[id].Kind == CEdge}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			prevEdge[next] = id
+			prevState[next] = cur
+			if next.vert == u && next.sawC {
+				goal = &next
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil
+	}
+	var path []int
+	for at := *goal; at != start; at = prevState[at] {
+		path = append(path, prevEdge[at])
+	}
+	// Path currently lists edges u→…→v; reverse to v→…→u walk order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// conflictKeysAndWeight returns the keys on which the op lists conflict
+// and the C-edge weight W_C: for each conflicting key, the declared bound
+// of the writing side's writes (both sides when both write). Unbounded
+// writes make the weight ∞. The conflict model matches txn.OpsConflict:
+// read-read pairs and pairs of commuting writes do not conflict.
+func conflictKeysAndWeight(a, b []txn.Op) ([]storage.Key, metric.Limit) {
+	type access struct {
+		read     bool
+		commW    bool // commutative writes only
+		noncommW bool // at least one non-commutative write
+	}
+	collect := func(ops []txn.Op) map[storage.Key]access {
+		m := make(map[storage.Key]access)
+		for _, op := range ops {
+			acc := m[op.Key]
+			switch {
+			case op.Kind != txn.OpWrite:
+				acc.read = true
+			case op.Commutative:
+				acc.commW = true
+			default:
+				acc.noncommW = true
+			}
+			m[op.Key] = acc
+		}
+		return m
+	}
+	writes := func(acc access) bool { return acc.commW || acc.noncommW }
+	am, bm := collect(a), collect(b)
+	var keys []storage.Key
+	weight := metric.Zero
+	for _, k := range sortedKeys(am) {
+		bacc, ok := bm[k]
+		if !ok {
+			continue
+		}
+		aacc := am[k]
+		conflict := (aacc.read && writes(bacc)) || (bacc.read && writes(aacc)) ||
+			(aacc.noncommW && writes(bacc)) || (bacc.noncommW && writes(aacc))
+		if !conflict {
+			continue // read-read, or commuting increments only
+		}
+		keys = append(keys, k)
+		if writes(aacc) {
+			weight = weight.AddLimit(pieceWriteBound(a, k))
+		}
+		if writes(bacc) {
+			weight = weight.AddLimit(pieceWriteBound(b, k))
+		}
+	}
+	return keys, weight
+}
+
+// IsSR reports whether the chopping is an SR-chopping (Theorem 1):
+// rollback-safe (guaranteed by construction) and SC-cycle free.
+func (a *Analysis) IsSR() bool { return !a.HasSCCycle }
+
+// ESRViolation describes why a chopping fails the ESR-chopping test.
+type ESRViolation struct {
+	// Kind is "update-update" or "inter-sibling".
+	Kind string
+	// Txn is the transaction concerned (inter-sibling violations).
+	Txn int
+	// Edge is the offending C edge (update-update violations).
+	Edge int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// CheckESR evaluates Definition 1: the chopping is an ESR-chopping iff it
+// is rollback-safe (by construction), has no update-update C edge on an
+// SC-cycle, and every transaction's inter-sibling fuzziness is within its
+// ε-spec (export limit for update ETs, import limit for query ETs).
+func (a *Analysis) CheckESR() []ESRViolation {
+	var violations []ESRViolation
+	for _, id := range a.UpdateUpdateViolations {
+		e := a.Edges[id]
+		violations = append(violations, ESRViolation{
+			Kind: "update-update",
+			Edge: id,
+			Detail: fmt.Sprintf("C edge %s—%s (keys %v) joins two update pieces on an SC-cycle",
+				a.Set.Piece(e.U).Program.Name, a.Set.Piece(e.V).Program.Name, e.Keys),
+		})
+	}
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		limit := a.epsilonLimit(ti)
+		zis := a.InterSibling[ti]
+		if zis.Cmp(limit) > 0 {
+			violations = append(violations, ESRViolation{
+				Kind: "inter-sibling",
+				Txn:  ti,
+				Detail: fmt.Sprintf("Z^is(%s) = %s exceeds Limit = %s",
+					a.Set.Original(ti).Name, zis, limit),
+			})
+		}
+	}
+	return violations
+}
+
+// IsESR reports whether the chopping is an ESR-chopping.
+func (a *Analysis) IsESR() bool { return len(a.CheckESR()) == 0 }
+
+// epsilonLimit returns the Limit_t that Condition 5 compares Z^is_t
+// against: the side of the ε-spec the chopped transaction's fuzziness
+// counts toward.
+func (a *Analysis) epsilonLimit(ti int) metric.Limit {
+	p := a.Set.Original(ti)
+	if p.Class() == txn.Update {
+		return p.Spec.Export
+	}
+	return p.Spec.Import
+}
+
+// DCLimit returns Limit^DC_t = Limit_t − Z^is_t (Equation 6): the part of
+// transaction ti's ε-spec left for divergence control after reserving the
+// inter-sibling fuzziness the chopping itself may cause. The reservation
+// applies to both the import and export side.
+func (a *Analysis) DCLimit(ti int) metric.Spec {
+	spec := a.Set.Original(ti).Spec
+	zis := a.InterSibling[ti]
+	if zis.IsInfinite() {
+		return metric.Spec{Import: metric.Zero, Export: metric.Zero}
+	}
+	return metric.Spec{
+		Import: spec.Import.Sub(zis.Bound()),
+		Export: spec.Export.Sub(zis.Bound()),
+	}
+}
+
+// SEdgeBetween returns the S edge joining vertices u and v, if any.
+func (a *Analysis) SEdgeBetween(u, v int) (Edge, bool) {
+	for _, e := range a.Edges {
+		if e.Kind == SEdge && ((e.U == u && e.V == v) || (e.U == v && e.V == u)) {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// String summarizes the analysis for reports.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chopping: %d txns, %d pieces, %d edges\n",
+		a.Set.NumTxns(), a.Set.NumPieces(), len(a.Edges))
+	fmt.Fprintf(&b, "SC-cycle: %v", a.HasSCCycle)
+	if a.HasSCCycle {
+		names := make([]string, len(a.SCWitness))
+		for i, v := range a.SCWitness {
+			names[i] = a.Set.Piece(v).Program.Name
+		}
+		fmt.Fprintf(&b, " (witness: %s)", strings.Join(names, " → "))
+	}
+	b.WriteString("\n")
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		fmt.Fprintf(&b, "Z^is(%s) = %s\n", a.Set.Original(ti).Name, a.InterSibling[ti])
+	}
+	fmt.Fprintf(&b, "SR-chopping: %v, ESR-chopping: %v\n", a.IsSR(), a.IsESR())
+	return b.String()
+}
+
+// DOT renders the chopping graph in Graphviz format: pieces grouped per
+// transaction, S edges dashed, C edges solid and labeled with their keys
+// and weights, restricted pieces shaded.
+func (a *Analysis) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph chopping {\n  node [shape=box];\n")
+	for ti := 0; ti < a.Set.NumTxns(); ti++ {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", ti, a.Set.Original(ti).Name)
+		for _, v := range a.Set.TxnPieces(ti) {
+			style := ""
+			if a.Restricted[v] {
+				style = ", style=filled, fillcolor=lightgray"
+			}
+			fmt.Fprintf(&b, "    v%d [label=%q%s];\n", v, a.Set.Piece(v).Program.Name, style)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range a.Edges {
+		switch e.Kind {
+		case SEdge:
+			fmt.Fprintf(&b, "  v%d -- v%d [style=dashed, label=\"S\"];\n", e.U, e.V)
+		case CEdge:
+			keyParts := make([]string, len(e.Keys))
+			for i, k := range e.Keys {
+				keyParts[i] = string(k)
+			}
+			fmt.Fprintf(&b, "  v%d -- v%d [label=\"C:%s w=%s\"];\n",
+				e.U, e.V, strings.Join(keyParts, ","), e.Weight)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

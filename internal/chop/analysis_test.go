@@ -1,0 +1,501 @@
+package chop
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// figure1Set reproduces the paper's Figure 1: transaction t chopped into
+// five pieces p1..p5 (writing a, b, c, d, e respectively) amid seven other
+// transactions t1..t7 plus two extra single-edge partners t8, t9. Three
+// C-cycles touch p1, p3, and p5; p2 and p4 are unrestricted; there is no
+// SC-cycle.
+func figure1Set(t *testing.T) *Set {
+	t.Helper()
+	limit51 := metric.Spec{Import: metric.LimitOf(51), Export: metric.LimitOf(51)}
+	tMain := txn.MustProgram("t",
+		txn.AddOp("a", 1), txn.AddOp("b", 1), txn.AddOp("c", 1),
+		txn.AddOp("d", 1), txn.AddOp("e", 1),
+	).WithSpec(limit51)
+	tc, err := FromCuts(tMain, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangle C-cycle {p1, t1, t2} via keys a, m.
+	t1 := txn.MustProgram("t1", txn.ReadOp("a"), txn.AddOp("m", 1))
+	t2 := txn.MustProgram("t2", txn.ReadOp("m"), txn.ReadOp("a"))
+	// 4-cycle {p3, t3, t4, t5} via keys c, n, o.
+	t3 := txn.MustProgram("t3", txn.ReadOp("c"), txn.AddOp("n", 1))
+	t4 := txn.MustProgram("t4", txn.ReadOp("n"), txn.AddOp("o", 1))
+	t5 := txn.MustProgram("t5", txn.ReadOp("o"), txn.ReadOp("c"))
+	// Triangle {p5, t6, t7} via keys e, q.
+	t6 := txn.MustProgram("t6", txn.ReadOp("e"), txn.AddOp("q", 1))
+	t7 := txn.MustProgram("t7", txn.ReadOp("q"), txn.ReadOp("e"))
+	// Acyclic C edges onto p2 and p4.
+	t8 := txn.MustProgram("t8", txn.ReadOp("b"))
+	t9 := txn.MustProgram("t9", txn.ReadOp("d"))
+
+	return MustSet(tc,
+		Whole(t1), Whole(t2), Whole(t3), Whole(t4), Whole(t5),
+		Whole(t6), Whole(t7), Whole(t8), Whole(t9))
+}
+
+func TestFigure1NoSCCycle(t *testing.T) {
+	a := Analyze(figure1Set(t))
+	if a.HasSCCycle {
+		t.Fatalf("Figure 1 chopping reported SC-cycle: %v", a.SCWitness)
+	}
+	if !a.IsSR() {
+		t.Error("Figure 1 chopping should be an SR-chopping")
+	}
+}
+
+func TestFigure1RestrictedPieces(t *testing.T) {
+	s := figure1Set(t)
+	a := Analyze(s)
+	// p1 (vertex 0), p3 (2), p5 (4) restricted; p2 (1), p4 (3) not.
+	wantRestricted := map[int]bool{0: true, 1: false, 2: true, 3: false, 4: true}
+	for v, want := range wantRestricted {
+		if a.Restricted[v] != want {
+			t.Errorf("Restricted[%s] = %v, want %v",
+				s.Piece(v).Program.Name, a.Restricted[v], want)
+		}
+	}
+}
+
+func TestFigure1StaticDistribution(t *testing.T) {
+	s := figure1Set(t)
+	a := Analyze(s)
+	assign := StaticDistribution(a)
+	// Limit 51 over 3 restricted pieces → 17 each; unrestricted get ∞.
+	for _, v := range []int{0, 2, 4} {
+		if assign[v].Import.Cmp(metric.LimitOf(17)) != 0 || assign[v].Export.Cmp(metric.LimitOf(17)) != 0 {
+			t.Errorf("restricted %s spec = %s, want 17/17",
+				s.Piece(v).Program.Name, assign[v])
+		}
+	}
+	for _, v := range []int{1, 3} {
+		if !assign[v].Import.IsInfinite() || !assign[v].Export.IsInfinite() {
+			t.Errorf("unrestricted %s spec = %s, want inf/inf",
+				s.Piece(v).Program.Name, assign[v])
+		}
+	}
+	// The other transactions keep their own (whole) assignment: each is
+	// one piece; restricted ones split by 1.
+	for v := 5; v < s.NumPieces(); v++ {
+		if a.Restricted[v] {
+			want := s.Original(s.Piece(v).Txn).Spec
+			if assign[v].Import.Cmp(want.Import) != 0 {
+				t.Errorf("whole txn %s import = %s, want %s",
+					s.Piece(v).Program.Name, assign[v].Import, want.Import)
+			}
+		}
+	}
+}
+
+func TestFigure1NaiveDistributionAblation(t *testing.T) {
+	s := figure1Set(t)
+	a := Analyze(s)
+	assign := NaiveDistribution(a)
+	// 51 over all 5 pieces → 10 each, including unrestricted ones.
+	for v := 0; v < 5; v++ {
+		if assign[v].Import.Cmp(metric.LimitOf(10)) != 0 {
+			t.Errorf("naive %s import = %s, want 10", s.Piece(v).Program.Name, assign[v].Import)
+		}
+	}
+}
+
+// figure3Set reproduces Figure 3: t1 chopped into p1 (R[X], W[X] bound 2)
+// and p2 (W[Q] bound 8); t2 reads X, Y; t3 writes Y (bound 1) and Z
+// (bound 4); t4 reads Q, Z. One SC-cycle p1—t2—t3—t4—p2 closed by the S
+// edge; W_S = W_c1 + W_c4 = 2 + 8 = 10.
+func figure3Set(t *testing.T) *Set {
+	t.Helper()
+	t1 := txn.MustProgram("t1",
+		txn.ReadOp("X"), txn.AddOp("X", 2),
+		txn.AddOp("Q", 8),
+	).WithSpec(metric.Spec{Import: metric.LimitOf(100), Export: metric.LimitOf(100)})
+	t1c, err := FromCuts(t1, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := txn.MustProgram("t2", txn.ReadOp("X"), txn.ReadOp("Y"))
+	t3 := txn.MustProgram("t3", txn.AddOp("Y", 1), txn.AddOp("Z", 4))
+	t4 := txn.MustProgram("t4", txn.ReadOp("Q"), txn.ReadOp("Z"))
+	return MustSet(t1c, Whole(t2), Whole(t3), Whole(t4))
+}
+
+func TestFigure3SEdgeWeight(t *testing.T) {
+	s := figure3Set(t)
+	a := Analyze(s)
+	if !a.HasSCCycle {
+		t.Fatal("Figure 3 must contain an SC-cycle")
+	}
+	se, ok := a.SEdgeBetween(s.Vertex(0, 0), s.Vertex(0, 1))
+	if !ok {
+		t.Fatal("S edge p1—p2 missing")
+	}
+	// Equation 4: CE(s) = {c1=(p1,t2) w=2, c4=(t4,p2) w=8}; c2, c3 lie on
+	// the SC-cycle but touch neither sibling.
+	if se.Weight.Cmp(metric.LimitOf(10)) != 0 {
+		t.Errorf("W_S = %s, want 10 (= 2 + 8)", se.Weight)
+	}
+	if a.InterSibling[0].Cmp(metric.LimitOf(10)) != 0 {
+		t.Errorf("Z^is(t1) = %s, want 10", a.InterSibling[0])
+	}
+}
+
+func TestFigure3CEdgeWeights(t *testing.T) {
+	s := figure3Set(t)
+	a := Analyze(s)
+	wantWeights := map[string]int64{
+		"t1/p1|t2": 2, "t2|t3": 1, "t3|t4": 4, "t1/p2|t4": 8,
+	}
+	found := 0
+	for _, e := range a.Edges {
+		if e.Kind != CEdge {
+			continue
+		}
+		name := s.Piece(e.U).Program.Name + "|" + s.Piece(e.V).Program.Name
+		w, ok := wantWeights[name]
+		if !ok {
+			t.Errorf("unexpected C edge %s", name)
+			continue
+		}
+		found++
+		if e.Weight.Cmp(metric.LimitOf(metric.Fuzz(w))) != 0 {
+			t.Errorf("W_C(%s) = %s, want %d", name, e.Weight, w)
+		}
+		if !e.InSCCycle {
+			t.Errorf("C edge %s not marked in SC-cycle", name)
+		}
+	}
+	if found != len(wantWeights) {
+		t.Errorf("found %d of %d expected C edges", found, len(wantWeights))
+	}
+}
+
+func TestFigure3IsESRChoppingWithBudget(t *testing.T) {
+	a := Analyze(figure3Set(t))
+	if a.IsSR() {
+		t.Error("Figure 3 has an SC-cycle; not SR")
+	}
+	if !a.IsESR() {
+		t.Errorf("Figure 3 should be a valid ESR-chopping (Z^is=10 ≤ 100): %v", a.CheckESR())
+	}
+}
+
+func TestFigure3DCLimit(t *testing.T) {
+	s := figure3Set(t)
+	a := Analyze(s)
+	// Equation 6: Limit^DC = 100 − 10 = 90 on both sides.
+	dc := a.DCLimit(0)
+	if dc.Import.Cmp(metric.LimitOf(90)) != 0 || dc.Export.Cmp(metric.LimitOf(90)) != 0 {
+		t.Errorf("DCLimit = %s, want 90/90", dc)
+	}
+	// Whole transactions reserve nothing.
+	dc3 := a.DCLimit(2)
+	if dc3.Export.Cmp(s.Original(2).Spec.Export) != 0 {
+		t.Errorf("whole txn DCLimit = %s", dc3)
+	}
+}
+
+func TestFigure3TightBudgetViolation(t *testing.T) {
+	// Same chopping with Limit_t1 = 9 < Z^is = 10: not an ESR-chopping.
+	s := figure3Set(t)
+	tight := s.Original(0).WithSpec(metric.SpecOf(9))
+	c, err := FromCuts(tight, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := s.ReplaceChopping(0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(s2)
+	violations := a.CheckESR()
+	if len(violations) != 1 || violations[0].Kind != "inter-sibling" || violations[0].Txn != 0 {
+		t.Errorf("violations = %+v", violations)
+	}
+	if a.IsESR() {
+		t.Error("tight-budget chopping accepted as ESR")
+	}
+}
+
+// hazardSet reproduces the Section 3 update-update hazard: t1 transfers
+// 100 from X to Y, chopped; t2 adds 10% interest to X and Y (update ET).
+func hazardSet(t *testing.T) *Set {
+	t.Helper()
+	t1 := txn.MustProgram("t1", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.SpecOf(1000))
+	t1c, err := FromCuts(t1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest := func(v metric.Value) metric.Value { return v + v/10 }
+	t2 := txn.MustProgram("t2",
+		txn.TransformOp("X", interest, metric.LimitOf(200)),
+		txn.TransformOp("Y", interest, metric.LimitOf(200)),
+	).WithSpec(metric.SpecOf(1000))
+	return MustSet(t1c, Whole(t2))
+}
+
+func TestUpdateUpdateHazardRejected(t *testing.T) {
+	a := Analyze(hazardSet(t))
+	if !a.HasSCCycle {
+		t.Fatal("hazard example must have an SC-cycle")
+	}
+	if len(a.UpdateUpdateViolations) == 0 {
+		t.Fatal("update-update SC-cycle not detected")
+	}
+	violations := a.CheckESR()
+	hasUU := false
+	for _, v := range violations {
+		if v.Kind == "update-update" {
+			hasUU = true
+		}
+	}
+	if !hasUU {
+		t.Errorf("CheckESR violations = %+v, want update-update", violations)
+	}
+	if a.IsESR() {
+		t.Error("hazardous chopping accepted as ESR")
+	}
+}
+
+func TestQueryReaderSCCycleIsNotUpdateUpdate(t *testing.T) {
+	// Transfer chopped + read-only audit: SC-cycle exists but both C
+	// edges pair an update piece with a query — allowed under ESR when
+	// the budget covers Z^is.
+	t1 := txn.MustProgram("t1", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.SpecOf(1000))
+	t1c, err := FromCuts(t1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(1000), Export: metric.Zero})
+	a := Analyze(MustSet(t1c, Whole(audit)))
+	if !a.HasSCCycle {
+		t.Fatal("expected SC-cycle")
+	}
+	if len(a.UpdateUpdateViolations) != 0 {
+		t.Error("query-update edges misclassified as update-update")
+	}
+	if !a.IsESR() {
+		t.Errorf("valid ESR chopping rejected: %v", a.CheckESR())
+	}
+	// Z^is(t1) = 100 (X write) + 100 (Y write) = 200.
+	if a.InterSibling[0].Cmp(metric.LimitOf(200)) != 0 {
+		t.Errorf("Z^is(t1) = %s, want 200", a.InterSibling[0])
+	}
+}
+
+func TestAnalysisStringAndDOT(t *testing.T) {
+	a := Analyze(figure3Set(t))
+	s := a.String()
+	for _, want := range []string{"SC-cycle: true", "Z^is(t1) = 10", "ESR-chopping: true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	dot := a.DOT()
+	for _, want := range []string{"graph chopping", "style=dashed", "w=8", "cluster_0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT() missing %q", want)
+		}
+	}
+}
+
+func TestSCWitnessIsClosedWalk(t *testing.T) {
+	a := Analyze(figure3Set(t))
+	w := a.SCWitness
+	if len(w) < 4 || w[0] != w[len(w)-1] {
+		t.Fatalf("witness = %v", w)
+	}
+	// Witness must start and end at a piece of the chopped transaction.
+	if a.Set.Piece(w[0]).Txn != 0 {
+		t.Errorf("witness starts at txn %d, want 0", a.Set.Piece(w[0]).Txn)
+	}
+}
+
+func TestUnboundedWriteMakesInfiniteWeights(t *testing.T) {
+	t1 := txn.MustProgram("t1", txn.SetOp("X", 0), txn.AddOp("Y", 1)).
+		WithSpec(metric.Unbounded)
+	t1c, err := FromCuts(t1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y"))
+	a := Analyze(MustSet(t1c, Whole(audit)))
+	foundInf := false
+	for _, e := range a.Edges {
+		if e.Kind == CEdge && e.Keys[0] == "X" && e.Weight.IsInfinite() {
+			foundInf = true
+		}
+	}
+	if !foundInf {
+		t.Error("SetOp conflict weight should be infinite")
+	}
+	if !a.InterSibling[0].IsInfinite() {
+		t.Errorf("Z^is = %s, want inf", a.InterSibling[0])
+	}
+	// With an unbounded spec the ESR check still passes (∞ ≤ ∞).
+	if !a.IsESR() {
+		t.Errorf("unbounded spec should tolerate infinite Z^is: %v", a.CheckESR())
+	}
+	// DCLimit collapses to zero: everything is reserved.
+	dcl := a.DCLimit(0)
+	if dcl.Import.Cmp(metric.Zero) != 0 {
+		t.Errorf("DCLimit with infinite Z^is = %s, want 0", dcl)
+	}
+}
+
+func TestSCWitnessesEnumeration(t *testing.T) {
+	// Chopped transfer + chopped audit: two S edges, both on the same
+	// SC-cycle family → two witnesses.
+	xfer := txn.MustProgram("xfer", txn.AddOp("X", -100), txn.AddOp("Y", 100)).
+		WithSpec(metric.Unbounded)
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Unbounded)
+	xc, err := FromCuts(xfer, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := FromCuts(audit, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(MustSet(xc, ac))
+	ws := a.SCWitnesses(10)
+	if len(ws) != 2 {
+		t.Fatalf("witnesses = %d, want 2 (one per S edge)", len(ws))
+	}
+	for _, w := range ws {
+		if len(w) < 4 || w[0] != w[len(w)-1] {
+			t.Errorf("witness not a closed walk: %v", w)
+		}
+		if s := a.WitnessString(w); !strings.Contains(s, "→") {
+			t.Errorf("WitnessString = %q", s)
+		}
+	}
+	// Limit respected.
+	if got := a.SCWitnesses(1); len(got) != 1 {
+		t.Errorf("SCWitnesses(1) = %d", len(got))
+	}
+	if got := a.SCWitnesses(0); got != nil {
+		t.Errorf("SCWitnesses(0) = %v", got)
+	}
+	// No witnesses on SC-cycle-free choppings.
+	free := Analyze(Figure1Example())
+	if got := free.SCWitnesses(5); got != nil {
+		t.Errorf("witnesses on SR-chopping: %v", got)
+	}
+}
+
+// bruteForceHasSCCycle enumerates simple cycles of the chopping graph and
+// reports whether any contains both edge kinds (small sets only).
+func bruteForceHasSCCycle(a *Analysis) bool {
+	g := a.Graph
+	found := false
+	var walk func(start, at int, usedV map[int]bool, usedE []bool, path []int)
+	walk = func(start, at int, usedV map[int]bool, usedE []bool, path []int) {
+		if found {
+			return
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if usedE[e] {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			var to int
+			switch at {
+			case u:
+				to = v
+			case v:
+				to = u
+			default:
+				continue
+			}
+			if to == start && len(path) >= 1 {
+				hasS, hasC := a.Edges[e].Kind == SEdge, a.Edges[e].Kind == CEdge
+				for _, pe := range path {
+					if a.Edges[pe].Kind == SEdge {
+						hasS = true
+					} else {
+						hasC = true
+					}
+				}
+				if hasS && hasC {
+					found = true
+					return
+				}
+				continue
+			}
+			if usedV[to] {
+				continue
+			}
+			usedV[to] = true
+			usedE[e] = true
+			walk(start, to, usedV, usedE, append(path, e))
+			usedV[to] = false
+			usedE[e] = false
+		}
+	}
+	for start := 0; start < g.NumVertices() && !found; start++ {
+		walk(start, start, map[int]bool{start: true}, make([]bool, g.NumEdges()), nil)
+	}
+	return found
+}
+
+func TestHasSCCycleMatchesBruteForce(t *testing.T) {
+	// Random tiny job streams: the block-based SC-cycle test must agree
+	// with exhaustive simple-cycle enumeration.
+	keys := []storage.Key{"a", "b", "c"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProgs := rng.Intn(3) + 2
+		var chopped []*Chopped
+		for pi := 0; pi < nProgs; pi++ {
+			nOps := rng.Intn(3) + 1
+			var ops []txn.Op
+			for oi := 0; oi < nOps; oi++ {
+				key := keys[rng.Intn(len(keys))]
+				if rng.Intn(2) == 0 {
+					ops = append(ops, txn.ReadOp(key))
+				} else {
+					ops = append(ops, txn.TransformOp(key,
+						func(v metric.Value) metric.Value { return v + 1 },
+						metric.LimitOf(1)))
+				}
+			}
+			p := txn.MustProgram(fmt.Sprintf("p%d", pi), ops...)
+			if rng.Intn(2) == 0 {
+				chopped = append(chopped, Finest(p))
+			} else {
+				chopped = append(chopped, Whole(p))
+			}
+		}
+		set, err := NewSet(chopped...)
+		if err != nil {
+			return false
+		}
+		a := Analyze(set)
+		want := bruteForceHasSCCycle(a)
+		if a.HasSCCycle != want {
+			t.Logf("seed %d: fast=%v brute=%v", seed, a.HasSCCycle, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package chop
+
+import (
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+// unevenExposureSet builds a transaction with two restricted pieces in
+// C-cycles of very different weight: p1 (writes a, bound 10) sits in a
+// heavy triangle, p2 (writes b, bound 1) in a light one.
+func unevenExposureSet(t *testing.T) *Set {
+	t.Helper()
+	main := txn.MustProgram("t",
+		txn.AddOp("a", 10), txn.AddOp("b", 1),
+	).WithSpec(metric.SpecOf(22))
+	mc, err := FromCuts(main, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy triangle on a: p1—t1 (10), t1—t2 (m), t2—p1 (10).
+	t1 := txn.MustProgram("t1", txn.ReadOp("a"), txn.AddOp("m", 1))
+	t2 := txn.MustProgram("t2", txn.ReadOp("m"), txn.ReadOp("a"))
+	// Light triangle on b: p2—t3 (1), t3—t4 (n), t4—p2 (1).
+	t3 := txn.MustProgram("t3", txn.ReadOp("b"), txn.AddOp("n", 1))
+	t4 := txn.MustProgram("t4", txn.ReadOp("n"), txn.ReadOp("b"))
+	return MustSet(mc, Whole(t1), Whole(t2), Whole(t3), Whole(t4))
+}
+
+func TestProportionalDistributionFollowsExposure(t *testing.T) {
+	s := unevenExposureSet(t)
+	a := Analyze(s)
+	if a.HasSCCycle {
+		t.Fatalf("fixture has SC-cycle: %v", a.SCWitness)
+	}
+	if !a.Restricted[0] || !a.Restricted[1] {
+		t.Fatalf("both pieces should be restricted: %v", a.Restricted[:2])
+	}
+	prop := ProportionalDistribution(a)
+	static := StaticDistribution(a)
+	// Static: 22/2 = 11 each. Proportional: exposures 20 vs 2 → 20 and 2.
+	if static[0].Export.Cmp(metric.LimitOf(11)) != 0 {
+		t.Errorf("static p1 = %s, want 11", static[0].Export)
+	}
+	if prop[0].Export.Cmp(metric.LimitOf(20)) != 0 {
+		t.Errorf("proportional p1 = %s, want 20", prop[0].Export)
+	}
+	if prop[1].Export.Cmp(metric.LimitOf(2)) != 0 {
+		t.Errorf("proportional p2 = %s, want 2", prop[1].Export)
+	}
+	// Conservation: proportional shares sum to ≤ the original limit.
+	sum := prop[0].Export.Bound() + prop[1].Export.Bound()
+	if sum > 22 {
+		t.Errorf("proportional shares sum to %d > 22", sum)
+	}
+}
+
+func TestProportionalDistributionEqualExposureMatchesStatic(t *testing.T) {
+	a := Analyze(Figure1Example())
+	prop := ProportionalDistribution(a)
+	static := StaticDistribution(a)
+	for v := range prop {
+		if prop[v].Export.Cmp(static[v].Export) != 0 {
+			t.Errorf("piece %d: proportional %s vs static %s (equal exposures should agree)",
+				v, prop[v].Export, static[v].Export)
+		}
+	}
+}
+
+func TestProportionalDistributionInfiniteExposureFallsBack(t *testing.T) {
+	// A restricted piece with an unbounded (SetOp) conflict weight makes
+	// exposures infinite: fall back to the even split.
+	main := txn.MustProgram("t",
+		txn.SetOp("a", 5), txn.AddOp("b", 1),
+	).WithSpec(metric.SpecOf(10))
+	mc, err := FromCuts(main, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := txn.MustProgram("t1", txn.ReadOp("a"), txn.AddOp("m", 1))
+	t2 := txn.MustProgram("t2", txn.ReadOp("m"), txn.ReadOp("a"))
+	t3 := txn.MustProgram("t3", txn.ReadOp("b"), txn.AddOp("n", 1))
+	t4 := txn.MustProgram("t4", txn.ReadOp("n"), txn.ReadOp("b"))
+	a := Analyze(MustSet(mc, Whole(t1), Whole(t2), Whole(t3), Whole(t4)))
+	prop := ProportionalDistribution(a)
+	if prop[0].Export.Cmp(metric.LimitOf(5)) != 0 || prop[1].Export.Cmp(metric.LimitOf(5)) != 0 {
+		t.Errorf("fallback split = %s / %s, want 5 / 5", prop[0].Export, prop[1].Export)
+	}
+}
+
+func TestProportionalDistributionUnrestrictedInfinite(t *testing.T) {
+	a := Analyze(Figure1Example())
+	prop := ProportionalDistribution(a)
+	for _, v := range a.Set.TxnPieces(0) {
+		if !a.Restricted[v] && !prop[v].Export.IsInfinite() {
+			t.Errorf("unrestricted piece %d got %s, want inf", v, prop[v].Export)
+		}
+	}
+}

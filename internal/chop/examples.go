@@ -1,0 +1,82 @@
+package chop
+
+import (
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+// Figure1Example reproduces the paper's Figure 1: transaction t chopped
+// into five pieces p1..p5 (writing keys a..e) amid partner transactions
+// t1..t9. Three C-cycles touch p1, p3 and p5 (restricted); p2 and p4
+// hang off acyclic C edges (unrestricted); there is no SC-cycle, so the
+// chopping is an SR-chopping. Limit_t is 51, so the paper's static
+// distribution assigns 17 to each restricted piece and ∞ to the rest.
+func Figure1Example() *Set {
+	limit51 := metric.Spec{Import: metric.LimitOf(51), Export: metric.LimitOf(51)}
+	tMain := txn.MustProgram("t",
+		txn.AddOp("a", 1), txn.AddOp("b", 1), txn.AddOp("c", 1),
+		txn.AddOp("d", 1), txn.AddOp("e", 1),
+	).WithSpec(limit51)
+	tc, err := FromCuts(tMain, []int{1, 2, 3, 4})
+	if err != nil {
+		panic(err) // fixed example; cannot fail
+	}
+	// Triangle C-cycle {p1, t1, t2} via keys a, m.
+	t1 := txn.MustProgram("t1", txn.ReadOp("a"), txn.AddOp("m", 1))
+	t2 := txn.MustProgram("t2", txn.ReadOp("m"), txn.ReadOp("a"))
+	// 4-cycle {p3, t3, t4, t5} via keys c, n, o.
+	t3 := txn.MustProgram("t3", txn.ReadOp("c"), txn.AddOp("n", 1))
+	t4 := txn.MustProgram("t4", txn.ReadOp("n"), txn.AddOp("o", 1))
+	t5 := txn.MustProgram("t5", txn.ReadOp("o"), txn.ReadOp("c"))
+	// Triangle {p5, t6, t7} via keys e, q.
+	t6 := txn.MustProgram("t6", txn.ReadOp("e"), txn.AddOp("q", 1))
+	t7 := txn.MustProgram("t7", txn.ReadOp("q"), txn.ReadOp("e"))
+	// Acyclic C edges onto p2 and p4.
+	t8 := txn.MustProgram("t8", txn.ReadOp("b"))
+	t9 := txn.MustProgram("t9", txn.ReadOp("d"))
+	return MustSet(tc,
+		Whole(t1), Whole(t2), Whole(t3), Whole(t4), Whole(t5),
+		Whole(t6), Whole(t7), Whole(t8), Whole(t9))
+}
+
+// Figure3Example reproduces the paper's Figure 3: t1 chopped into p1
+// (R[X], W[X] with bound 2) and p2 (W[Q] with bound 8); t2 reads X and
+// Y; t3 writes Y (bound 1) and Z (bound 4); t4 reads Q and Z. One
+// SC-cycle p1—t2—t3—t4—p2 is closed by the S edge; Equation 4 gives
+// W_S = W_c1 + W_c4 = 2 + 8 = 10, so Z^is(t1) = 10 and the Method 3
+// divergence-control budget is Limit − 10 (Equation 6).
+func Figure3Example() *Set {
+	t1 := txn.MustProgram("t1",
+		txn.ReadOp("X"), txn.AddOp("X", 2),
+		txn.AddOp("Q", 8),
+	).WithSpec(metric.Spec{Import: metric.LimitOf(100), Export: metric.LimitOf(100)})
+	t1c, err := FromCuts(t1, []int{2})
+	if err != nil {
+		panic(err) // fixed example; cannot fail
+	}
+	t2 := txn.MustProgram("t2", txn.ReadOp("X"), txn.ReadOp("Y"))
+	t3 := txn.MustProgram("t3", txn.AddOp("Y", 1), txn.AddOp("Z", 4))
+	t4 := txn.MustProgram("t4", txn.ReadOp("Q"), txn.ReadOp("Z"))
+	return MustSet(t1c, Whole(t2), Whole(t3), Whole(t4))
+}
+
+// HazardExample reproduces the Section 3 update-update hazard: t1
+// transfers 100 from X to Y, chopped into two pieces; t2 posts 10%
+// interest to X and Y (an update ET). The chopping graph has an SC-cycle
+// whose C edges join two update pieces — executing it can destroy money
+// permanently, so Definition 1 rejects it.
+func HazardExample() *Set {
+	t1 := txn.MustProgram("t1",
+		txn.AddOp("X", -100), txn.AddOp("Y", 100),
+	).WithSpec(metric.SpecOf(1000))
+	t1c, err := FromCuts(t1, []int{1})
+	if err != nil {
+		panic(err) // fixed example; cannot fail
+	}
+	interest := func(v metric.Value) metric.Value { return v + v/10 }
+	t2 := txn.MustProgram("t2",
+		txn.TransformOp("X", interest, metric.LimitOf(200)),
+		txn.TransformOp("Y", interest, metric.LimitOf(200)),
+	).WithSpec(metric.SpecOf(1000))
+	return MustSet(t1c, Whole(t2))
+}

@@ -1,0 +1,483 @@
+package chop
+
+import (
+	"errors"
+	"fmt"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+// StreamItem declares one transaction program and how many instances of
+// it the job stream contains.
+type StreamItem struct {
+	// Program is the transaction type.
+	Program *txn.Program
+	// Count is the number of instances in the analysis interval (≥ 1).
+	Count int
+}
+
+// Stream is the declared job stream: the paper's key assumption is that
+// chopping knows *all* the transactions that will run during some time
+// interval — instances, not just types. Inter-sibling fuzziness scales
+// with how many conflicting instances can commit between two sibling
+// pieces, so the counts are part of the correctness condition, not a
+// tuning knob.
+type Stream []StreamItem
+
+// StreamOf builds a Stream with count 1 per program.
+func StreamOf(programs []*txn.Program) Stream {
+	s := make(Stream, len(programs))
+	for i, p := range programs {
+		s[i] = StreamItem{Program: p, Count: 1}
+	}
+	return s
+}
+
+// expansionCap bounds how many copies of one program the analysis graph
+// materializes. All copies of a program are interchangeable (the
+// expansion is symmetric under permuting them), so cycle- and
+// block-structure questions are answered identically by a bounded number
+// of copies; weights are then scaled analytically by the true counts.
+const expansionCap = 3
+
+// StreamAnalysis is the multiplicity-aware chopping analysis.
+type StreamAnalysis struct {
+	// Stream is the declared job stream.
+	Stream Stream
+	// Choppings is the uniform chopping applied to every instance of each
+	// program, indexed like Stream.
+	Choppings []*Chopped
+	// Expanded is the capped instance expansion the graph analysis ran
+	// over (instances are named "name#k" when Count > 1).
+	Expanded *Set
+	// Analysis is the chopping-graph analysis of Expanded.
+	Analysis *Analysis
+	// InterSibling is Z^is per program type, scaled to the full declared
+	// counts: for each S edge of one representative instance, each
+	// incident in-SC-cycle C-edge pattern is multiplied by the partner
+	// type's instance count (count−1 for the instance's own type).
+	InterSibling []metric.Limit
+	// rep maps (type, piece) to the representative instance's vertex.
+	rep [][]int
+	// typeOf maps an Expanded transaction index to its Stream index.
+	typeOf []int
+	// instOf maps an Expanded transaction index to its copy number.
+	instOf []int
+}
+
+// AnalyzeStream analyzes the given uniform choppings against the stream.
+func AnalyzeStream(stream Stream, choppings []*Chopped) (*StreamAnalysis, error) {
+	if len(stream) == 0 {
+		return nil, errors.New("chop: empty stream")
+	}
+	if len(choppings) != len(stream) {
+		return nil, fmt.Errorf("chop: %d choppings for %d stream items", len(choppings), len(stream))
+	}
+	sa := &StreamAnalysis{Stream: stream, Choppings: choppings}
+	var expanded []*Chopped
+	for ti, item := range stream {
+		if item.Program == nil {
+			return nil, fmt.Errorf("chop: stream item %d has nil program", ti)
+		}
+		if item.Count < 1 {
+			return nil, fmt.Errorf("chop: stream item %d (%s) has count %d",
+				ti, item.Program.Name, item.Count)
+		}
+		if choppings[ti].Original != item.Program {
+			return nil, fmt.Errorf("chop: chopping %d is not of program %q", ti, item.Program.Name)
+		}
+		copies := item.Count
+		if copies > expansionCap {
+			copies = expansionCap
+		}
+		for k := 0; k < copies; k++ {
+			prog := item.Program
+			if item.Count > 1 {
+				clone := *item.Program
+				clone.Name = fmt.Sprintf("%s#%d", item.Program.Name, k)
+				prog = &clone
+			}
+			expanded = append(expanded, &Chopped{Original: prog, Cuts: choppings[ti].Cuts})
+			sa.typeOf = append(sa.typeOf, ti)
+			sa.instOf = append(sa.instOf, k)
+		}
+	}
+	set, err := NewSet(expanded...)
+	if err != nil {
+		return nil, err
+	}
+	sa.Expanded = set
+	sa.Analysis = Analyze(set)
+
+	// Representative vertices: instance #0 of each type.
+	sa.rep = make([][]int, len(stream))
+	for xi := range expanded {
+		if sa.instOf[xi] != 0 {
+			continue
+		}
+		sa.rep[sa.typeOf[xi]] = set.TxnPieces(xi)
+	}
+	sa.computeScaledInterSibling()
+	return sa, nil
+}
+
+// computeScaledInterSibling fills InterSibling with count-scaled weights.
+func (sa *StreamAnalysis) computeScaledInterSibling() {
+	a := sa.Analysis
+	// Incident in-SC-cycle C edges per vertex of the expansion.
+	incident := make([][]int, sa.Expanded.NumPieces())
+	for id, e := range a.Edges {
+		if e.Kind == CEdge && e.InSCCycle {
+			incident[e.U] = append(incident[e.U], id)
+			incident[e.V] = append(incident[e.V], id)
+		}
+	}
+	sa.InterSibling = make([]metric.Limit, len(sa.Stream))
+	for ti := range sa.Stream {
+		total := metric.Zero
+		for _, e := range a.Edges {
+			if e.Kind != SEdge {
+				continue
+			}
+			// Only S edges of the representative instance.
+			xi := sa.Expanded.Piece(e.U).Txn
+			if sa.typeOf[xi] != ti || sa.instOf[xi] != 0 {
+				continue
+			}
+			total = total.AddLimit(sa.scaledSEdgeWeight(e, incident, ti))
+		}
+		sa.InterSibling[ti] = total
+	}
+}
+
+// scaledSEdgeWeight computes Equation 4 for S edge e of a representative
+// instance of type ti, scaling each C-edge pattern by the true instance
+// count of its partner type. Patterns are deduplicated by (sibling-side
+// vertex, partner type, partner piece): the capped expansion holds up to
+// expansionCap copies of each, but the declared stream holds Count.
+func (sa *StreamAnalysis) scaledSEdgeWeight(e Edge, incident [][]int, ti int) metric.Limit {
+	type pattern struct {
+		side         int // which sibling vertex the edge touches
+		partnerType  int
+		partnerPiece int
+	}
+	seen := make(map[pattern]bool)
+	total := metric.Zero
+	for _, side := range []int{e.U, e.V} {
+		for _, cid := range incident[side] {
+			ce := sa.Analysis.Edges[cid]
+			other := ce.U
+			if other == side {
+				other = ce.V
+			}
+			op := sa.Expanded.Piece(other)
+			pt := sa.typeOf[op.Txn]
+			pat := pattern{side: side, partnerType: pt, partnerPiece: op.Index}
+			if seen[pat] {
+				continue
+			}
+			seen[pat] = true
+			mult := sa.Stream[pt].Count
+			if pt == ti {
+				mult-- // an instance does not conflict with itself
+			}
+			if mult <= 0 {
+				continue
+			}
+			w := ce.Weight
+			for i := 1; i < mult; i++ {
+				w = w.AddLimit(ce.Weight)
+			}
+			total = total.AddLimit(w)
+		}
+	}
+	return total
+}
+
+// IsSR reports whether the uniform chopping is SR-correct for the stream.
+func (sa *StreamAnalysis) IsSR() bool { return !sa.Analysis.HasSCCycle }
+
+// CheckESR evaluates Definition 1 against the stream: no update-update C
+// edge on an SC-cycle, and each type's count-scaled Z^is within its
+// ε-spec.
+func (sa *StreamAnalysis) CheckESR() []ESRViolation {
+	var violations []ESRViolation
+	for _, id := range sa.Analysis.UpdateUpdateViolations {
+		e := sa.Analysis.Edges[id]
+		violations = append(violations, ESRViolation{
+			Kind: "update-update",
+			Edge: id,
+			Detail: fmt.Sprintf("C edge %s—%s (keys %v) joins two update pieces on an SC-cycle",
+				sa.Expanded.Piece(e.U).Program.Name, sa.Expanded.Piece(e.V).Program.Name, e.Keys),
+		})
+	}
+	for ti, item := range sa.Stream {
+		limit := streamEpsilonLimit(item.Program)
+		if sa.InterSibling[ti].Cmp(limit) > 0 {
+			violations = append(violations, ESRViolation{
+				Kind: "inter-sibling",
+				Txn:  ti,
+				Detail: fmt.Sprintf("Z^is(%s) = %s exceeds Limit = %s (count %d)",
+					item.Program.Name, sa.InterSibling[ti], limit, item.Count),
+			})
+		}
+	}
+	return violations
+}
+
+// IsESR reports whether the chopping is an ESR-chopping for the stream.
+func (sa *StreamAnalysis) IsESR() bool { return len(sa.CheckESR()) == 0 }
+
+// streamEpsilonLimit is the ε-spec side Z^is counts against.
+func streamEpsilonLimit(p *txn.Program) metric.Limit {
+	if p.Class() == txn.Update {
+		return p.Spec.Export
+	}
+	return p.Spec.Import
+}
+
+// DCLimit returns Limit^DC for type ti (Equation 6) under the scaled
+// inter-sibling reserve.
+func (sa *StreamAnalysis) DCLimit(ti int) metric.Spec {
+	spec := sa.Stream[ti].Program.Spec
+	zis := sa.InterSibling[ti]
+	if zis.IsInfinite() {
+		return metric.Spec{Import: metric.Zero, Export: metric.Zero}
+	}
+	return metric.Spec{
+		Import: spec.Import.Sub(zis.Bound()),
+		Export: spec.Export.Sub(zis.Bound()),
+	}
+}
+
+// Restricted reports whether piece pi of type ti is associated with a
+// C-cycle.
+func (sa *StreamAnalysis) Restricted(ti, pi int) bool {
+	return sa.Analysis.Restricted[sa.rep[ti][pi]]
+}
+
+// PieceSpecs computes the static per-piece ε-spec assignment for type ti
+// given its transaction-level spec (Section 2.2.1): the spec divides over
+// restricted pieces; unrestricted pieces get ∞.
+func (sa *StreamAnalysis) PieceSpecs(ti int, spec metric.Spec) []metric.Spec {
+	n := sa.Choppings[ti].NumPieces()
+	restricted := 0
+	for pi := 0; pi < n; pi++ {
+		if sa.Restricted(ti, pi) {
+			restricted++
+		}
+	}
+	out := make([]metric.Spec, n)
+	for pi := 0; pi < n; pi++ {
+		if !sa.Restricted(ti, pi) {
+			out[pi] = metric.Unbounded
+			continue
+		}
+		out[pi] = metric.Spec{
+			Import: spec.Import.Div(restricted),
+			Export: spec.Export.Div(restricted),
+		}
+	}
+	return out
+}
+
+// ProportionalPieceSpecs splits the spec over type ti's restricted
+// pieces proportionally to each piece's conflict exposure — the total
+// weight of its incident on-C-cycle C edges in the expanded graph. With
+// equal exposures it reduces to PieceSpecs. Exposures come from the
+// capped expansion, so with very skewed instance counts the proportions
+// are approximate (the verdicts never are).
+func (sa *StreamAnalysis) ProportionalPieceSpecs(ti int, spec metric.Spec) []metric.Spec {
+	a := sa.Analysis
+	cOnly := func(id int) bool { return a.Edges[id].Kind == CEdge }
+	onCCycle := a.Graph.EdgesOnCycle(cOnly)
+	exposure := make(map[int]metric.Limit)
+	for id, e := range a.Edges {
+		if e.Kind != CEdge || !onCCycle[id] {
+			continue
+		}
+		for _, v := range []int{e.U, e.V} {
+			cur, ok := exposure[v]
+			if !ok {
+				cur = metric.Zero
+			}
+			exposure[v] = cur.AddLimit(e.Weight)
+		}
+	}
+	n := sa.Choppings[ti].NumPieces()
+	out := make([]metric.Spec, n)
+	var restricted []int
+	total := metric.Fuzz(0)
+	even := false
+	for pi := 0; pi < n; pi++ {
+		if !sa.Restricted(ti, pi) {
+			out[pi] = metric.Unbounded
+			continue
+		}
+		restricted = append(restricted, pi)
+		exp, ok := exposure[sa.rep[ti][pi]]
+		if !ok {
+			exp = metric.Zero
+		}
+		if exp.IsInfinite() {
+			even = true
+		} else {
+			total = total.Add(exp.Bound())
+		}
+	}
+	if len(restricted) == 0 {
+		return out
+	}
+	if even || total == 0 {
+		for _, pi := range restricted {
+			out[pi] = metric.Spec{
+				Import: spec.Import.Div(len(restricted)),
+				Export: spec.Export.Div(len(restricted)),
+			}
+		}
+		return out
+	}
+	for _, pi := range restricted {
+		share := metric.Fuzz(0)
+		if exp, ok := exposure[sa.rep[ti][pi]]; ok {
+			share = exp.Bound()
+		}
+		out[pi] = metric.Spec{
+			Import: scaleLimit(spec.Import, share, total),
+			Export: scaleLimit(spec.Export, share, total),
+		}
+	}
+	return out
+}
+
+// NaivePieceSpecs divides the spec over ALL pieces (the ablation).
+func (sa *StreamAnalysis) NaivePieceSpecs(ti int, spec metric.Spec) []metric.Spec {
+	n := sa.Choppings[ti].NumPieces()
+	out := make([]metric.Spec, n)
+	for pi := 0; pi < n; pi++ {
+		out[pi] = metric.Spec{Import: spec.Import.Div(n), Export: spec.Export.Div(n)}
+	}
+	return out
+}
+
+// FindSRStream computes a finest-effort SR-chopping for the stream by
+// merging, per program type, sibling pairs whose S edge lies on an
+// SC-cycle of the expanded graph, to fixpoint.
+func FindSRStream(stream Stream) (*StreamAnalysis, error) {
+	choppings := make([]*Chopped, len(stream))
+	for i, item := range stream {
+		choppings[i] = Finest(item.Program)
+	}
+	maxRounds := streamMaxRounds(stream)
+	for rounds := 0; ; rounds++ {
+		sa, err := AnalyzeStream(stream, choppings)
+		if err != nil {
+			return nil, err
+		}
+		if !sa.Analysis.HasSCCycle {
+			return sa, nil
+		}
+		if rounds > maxRounds {
+			return nil, errors.New("chop: SR stream refinement did not converge")
+		}
+		if !sa.mergeFirstSCEdge(choppings) {
+			return nil, errors.New("chop: SC-cycle without mergeable siblings")
+		}
+	}
+}
+
+// FindESRStream computes an ESR-chopping for the stream (Definition 1
+// with count-scaled inter-sibling fuzziness).
+func FindESRStream(stream Stream) (*StreamAnalysis, error) {
+	choppings := make([]*Chopped, len(stream))
+	for i, item := range stream {
+		choppings[i] = Finest(item.Program)
+	}
+	maxRounds := streamMaxRounds(stream)
+	for rounds := 0; ; rounds++ {
+		sa, err := AnalyzeStream(stream, choppings)
+		if err != nil {
+			return nil, err
+		}
+		violations := sa.CheckESR()
+		if len(violations) == 0 {
+			return sa, nil
+		}
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("chop: ESR stream refinement did not converge (%v)", violations)
+		}
+		if !sa.mergeForStreamViolation(choppings, violations[0]) {
+			return nil, fmt.Errorf("chop: cannot resolve violation %+v", violations[0])
+		}
+	}
+}
+
+// streamMaxRounds bounds refinement rounds: every merge removes a piece.
+func streamMaxRounds(stream Stream) int {
+	n := 1
+	for _, item := range stream {
+		n += len(item.Program.Ops)
+	}
+	return n
+}
+
+// mergeFirstSCEdge merges the sibling pair (uniformly across the type) of
+// the first S edge found on an SC-cycle.
+func (sa *StreamAnalysis) mergeFirstSCEdge(choppings []*Chopped) bool {
+	for _, e := range sa.Analysis.Edges {
+		if e.Kind == SEdge && e.InSCCycle {
+			return sa.mergeTypeSEdge(choppings, e)
+		}
+	}
+	return false
+}
+
+// mergeTypeSEdge merges the piece range of S edge e in its program type's
+// uniform chopping.
+func (sa *StreamAnalysis) mergeTypeSEdge(choppings []*Chopped, e Edge) bool {
+	pu, pv := sa.Expanded.Piece(e.U), sa.Expanded.Piece(e.V)
+	if pu.Txn != pv.Txn {
+		return false
+	}
+	ti := sa.typeOf[pu.Txn]
+	choppings[ti] = choppings[ti].merge(pu.Index, pv.Index)
+	return true
+}
+
+// mergeForStreamViolation resolves one ESR violation by a uniform merge.
+func (sa *StreamAnalysis) mergeForStreamViolation(choppings []*Chopped, v ESRViolation) bool {
+	switch v.Kind {
+	case "update-update":
+		blockOf := sa.Analysis.Graph.BlockOfEdge(nil)
+		target := blockOf[v.Edge]
+		for _, e := range sa.Analysis.Edges {
+			if e.Kind == SEdge && blockOf[e.ID] == target {
+				return sa.mergeTypeSEdge(choppings, e)
+			}
+		}
+		return false
+	case "inter-sibling":
+		// Merge the heaviest S edge of the violating type's
+		// representative instance.
+		best := -1
+		for _, e := range sa.Analysis.Edges {
+			if e.Kind != SEdge {
+				continue
+			}
+			xi := sa.Expanded.Piece(e.U).Txn
+			if sa.typeOf[xi] != v.Txn || sa.instOf[xi] != 0 {
+				continue
+			}
+			if best == -1 || sa.Analysis.Edges[best].Weight.Cmp(e.Weight) < 0 {
+				best = e.ID
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		return sa.mergeTypeSEdge(choppings, sa.Analysis.Edges[best])
+	default:
+		return false
+	}
+}

@@ -1,0 +1,309 @@
+package chop
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+func bankStream(xferCount, auditCount int, eps metric.Fuzz) Stream {
+	xfer := txn.MustProgram("xfer",
+		txn.AddOp("X", -100), txn.AddOp("Y", 100),
+	).WithSpec(metric.SpecOf(eps))
+	audit := txn.MustProgram("audit",
+		txn.ReadOp("X"), txn.ReadOp("Y"),
+	).WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+	return Stream{
+		{Program: xfer, Count: xferCount},
+		{Program: audit, Count: auditCount},
+	}
+}
+
+func TestStreamOfDefaultsToCountOne(t *testing.T) {
+	p := txn.MustProgram("t", txn.ReadOp("x"))
+	s := StreamOf([]*txn.Program{p})
+	if len(s) != 1 || s[0].Count != 1 || s[0].Program != p {
+		t.Errorf("StreamOf = %+v", s)
+	}
+}
+
+func TestAnalyzeStreamValidation(t *testing.T) {
+	if _, err := AnalyzeStream(nil, nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	p := txn.MustProgram("t", txn.ReadOp("x"))
+	stream := Stream{{Program: p, Count: 1}}
+	if _, err := AnalyzeStream(stream, nil); err == nil {
+		t.Error("mismatched choppings accepted")
+	}
+	if _, err := AnalyzeStream(Stream{{Program: p, Count: 0}}, []*Chopped{Whole(p)}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := AnalyzeStream(Stream{{Program: nil, Count: 1}}, []*Chopped{Whole(p)}); err == nil {
+		t.Error("nil program accepted")
+	}
+	other := txn.MustProgram("other", txn.ReadOp("y"))
+	if _, err := AnalyzeStream(stream, []*Chopped{Whole(other)}); err == nil {
+		t.Error("chopping of wrong program accepted")
+	}
+}
+
+func TestInterSiblingScalesWithCounts(t *testing.T) {
+	// With the transfer chopped, Z^is(xfer) = auditCount × 200 and
+	// Z^is(audit) = xferCount × 200 (each sibling gap admits every
+	// conflicting instance once, both C edges incident).
+	for _, tc := range []struct {
+		xfers, audits int
+	}{{1, 1}, {5, 2}, {20, 5}} {
+		stream := bankStream(tc.xfers, tc.audits, 1<<40)
+		choppings := []*Chopped{Finest(stream[0].Program), Finest(stream[1].Program)}
+		sa, err := AnalyzeStream(stream, choppings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantXfer := metric.Fuzz(tc.audits) * 200
+		wantAudit := metric.Fuzz(tc.xfers) * 200
+		if sa.InterSibling[0].Cmp(metric.LimitOf(wantXfer)) != 0 {
+			t.Errorf("%d/%d: Z^is(xfer) = %s, want %d", tc.xfers, tc.audits, sa.InterSibling[0], wantXfer)
+		}
+		if sa.InterSibling[1].Cmp(metric.LimitOf(wantAudit)) != 0 {
+			t.Errorf("%d/%d: Z^is(audit) = %s, want %d", tc.xfers, tc.audits, sa.InterSibling[1], wantAudit)
+		}
+	}
+}
+
+func TestCommutingTransferInstancesDoNotConflict(t *testing.T) {
+	// Multiple chopped transfer instances must not create update-update
+	// violations: their AddOps commute.
+	stream := bankStream(10, 1, 1<<40)
+	choppings := []*Chopped{Finest(stream[0].Program), Whole(stream[1].Program)}
+	sa, err := AnalyzeStream(stream, choppings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sa.CheckESR() {
+		if v.Kind == "update-update" {
+			t.Errorf("commuting transfers flagged: %s", v.Detail)
+		}
+	}
+}
+
+func TestNonCommutingInstancesDoConflict(t *testing.T) {
+	// SetOp-based updates of the same program DO conflict across
+	// instances: with 2+ instances the chopping must merge.
+	upd := txn.MustProgram("upd",
+		txn.SetOp("X", 1), txn.SetOp("Y", 2),
+	).WithSpec(metric.Unbounded)
+	audit := txn.MustProgram("audit", txn.ReadOp("X"), txn.ReadOp("Y")).
+		WithSpec(metric.Unbounded)
+	stream := Stream{{Program: upd, Count: 2}, {Program: audit, Count: 1}}
+	sa, err := FindESRStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Choppings[0].NumPieces(); got != 1 {
+		t.Errorf("non-commuting update stayed chopped: %d pieces", got)
+	}
+}
+
+func TestFindESRStreamRespectsBudgetScaling(t *testing.T) {
+	// ε = 1000: with 5 audits the transfer needs export ≥ 5×200 = 1000 to
+	// stay chopped (boundary holds); with 6 audits it must merge.
+	ok, err := FindESRStream(bankStream(1, 5, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ok.Choppings[0].NumPieces(); got != 2 {
+		t.Errorf("at-budget transfer pieces = %d, want 2", got)
+	}
+	tight, err := FindESRStream(bankStream(1, 6, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tight.Choppings[0].NumPieces(); got != 1 {
+		t.Errorf("over-budget transfer pieces = %d, want 1", got)
+	}
+}
+
+func TestPieceSpecsStaticSplit(t *testing.T) {
+	// Figure-1 style: restricted pieces split the spec; unrestricted get ∞.
+	set := Figure1Example()
+	stream := make(Stream, set.NumTxns())
+	choppings := make([]*Chopped, set.NumTxns())
+	for ti := 0; ti < set.NumTxns(); ti++ {
+		stream[ti] = StreamItem{Program: set.Original(ti), Count: 1}
+		choppings[ti] = set.Chopping(ti)
+	}
+	sa, err := AnalyzeStream(stream, choppings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sa.PieceSpecs(0, set.Original(0).Spec)
+	if len(specs) != 5 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for pi, spec := range specs {
+		restricted := sa.Restricted(0, pi)
+		if restricted && spec.Export.Cmp(metric.LimitOf(17)) != 0 {
+			t.Errorf("restricted piece %d spec = %s, want 17", pi, spec.Export)
+		}
+		if !restricted && !spec.Export.IsInfinite() {
+			t.Errorf("unrestricted piece %d spec = %s, want inf", pi, spec.Export)
+		}
+	}
+	naive := sa.NaivePieceSpecs(0, set.Original(0).Spec)
+	for pi, spec := range naive {
+		if spec.Export.Cmp(metric.LimitOf(10)) != 0 {
+			t.Errorf("naive piece %d = %s, want 10", pi, spec.Export)
+		}
+	}
+}
+
+func TestDCLimitScaledByCounts(t *testing.T) {
+	stream := bankStream(10, 5, 100000)
+	sa, err := FindESRStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer chopped: Z^is(xfer) = 5×200 = 1000 → DC budget 99000.
+	if got := sa.DCLimit(0).Export; got.Cmp(metric.LimitOf(99000)) != 0 {
+		t.Errorf("DCLimit(xfer).Export = %s, want 99000", got)
+	}
+}
+
+// randomStream builds a random declared stream over a small key space.
+func randomStream(rng *rand.Rand) Stream {
+	nPrograms := rng.Intn(4) + 2
+	keys := []storage.Key{"a", "b", "c", "d", "e"}
+	var stream Stream
+	for pi := 0; pi < nPrograms; pi++ {
+		nOps := rng.Intn(4) + 1
+		var ops []txn.Op
+		for oi := 0; oi < nOps; oi++ {
+			key := keys[rng.Intn(len(keys))]
+			switch rng.Intn(4) {
+			case 0:
+				ops = append(ops, txn.ReadOp(key))
+			case 1, 2:
+				ops = append(ops, txn.AddOp(key, metric.Value(rng.Intn(200)-100)))
+			default:
+				op := txn.TransformOp(key,
+					func(v metric.Value) metric.Value { return v / 2 },
+					metric.LimitOf(metric.Fuzz(rng.Intn(500))))
+				ops = append(ops, op)
+			}
+		}
+		// Sprinkle rollback statements.
+		if rng.Intn(3) == 0 {
+			idx := rng.Intn(len(ops))
+			ops[idx] = txn.WithAbortIf(ops[idx], func(v metric.Value) bool { return v < -1000000 })
+		}
+		spec := metric.SpecOf(metric.Fuzz(rng.Intn(2000)))
+		if rng.Intn(4) == 0 {
+			spec = metric.Unbounded
+		}
+		p := txn.MustProgram(fmt.Sprintf("p%d", pi), ops...).WithSpec(spec)
+		stream = append(stream, StreamItem{Program: p, Count: rng.Intn(5) + 1})
+	}
+	return stream
+}
+
+func TestFindSRStreamPropertyNoSCCycle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := randomStream(rng)
+		sa, err := FindSRStream(stream)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Result must be SC-cycle free and rollback-safe.
+		if sa.Analysis.HasSCCycle {
+			return false
+		}
+		for _, c := range sa.Choppings {
+			if err := c.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindESRStreamPropertyDefinition1(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := randomStream(rng)
+		sa, err := FindESRStream(stream)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Result must satisfy Definition 1 and rollback-safety.
+		if len(sa.CheckESR()) != 0 {
+			return false
+		}
+		for _, c := range sa.Choppings {
+			if err := c.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestESRNeverCoarserThanSRProperty(t *testing.T) {
+	// The ESR-chopping is always at least as fine as the SR-chopping
+	// (SC-cycle-free choppings trivially satisfy Definition 1 when
+	// budgets allow, and merging stops earlier).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := randomStream(rng)
+		sr, err1 := FindSRStream(stream)
+		esr, err2 := FindESRStream(stream)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // both fail or both succeed
+		}
+		totalSR, totalESR := 0, 0
+		for i := range stream {
+			totalSR += sr.Choppings[i].NumPieces()
+			totalESR += esr.Choppings[i].NumPieces()
+		}
+		return totalESR >= totalSR
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionCapDoesNotChangeVerdicts(t *testing.T) {
+	// Counts beyond the cap must not change SC-cycle structure: compare
+	// count=3 (the cap) with count=10 for cycle-related booleans.
+	mk := func(count int) *StreamAnalysis {
+		stream := bankStream(count, count, 1<<40)
+		choppings := []*Chopped{Finest(stream[0].Program), Finest(stream[1].Program)}
+		sa, err := AnalyzeStream(stream, choppings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sa
+	}
+	a3, a10 := mk(3), mk(10)
+	if a3.Analysis.HasSCCycle != a10.Analysis.HasSCCycle {
+		t.Error("cap changed SC-cycle verdict")
+	}
+	if a3.Restricted(0, 0) != a10.Restricted(0, 0) {
+		t.Error("cap changed restrictedness")
+	}
+}

@@ -1,0 +1,368 @@
+// Package commit implements the two-phase commit protocol over the
+// simulated network — the synchronous baseline that Section 4 argues
+// recoverable-queue chopping can replace.
+//
+// The protocol is the textbook blocking 2PC: the coordinator sends
+// PREPARE to every participant and waits for unanimous YES votes, then
+// sends the decision and waits for acknowledgments — two full message
+// rounds (four one-way messages per participant) on the critical path.
+// Participants that voted YES are *blocked*: they hold their locks in
+// the prepared state until the decision arrives, so a coordinator crash
+// between the rounds leaves them stuck — the availability hazard the
+// paper contrasts with asynchronous piece commits.
+package commit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"asynctp/internal/simnet"
+)
+
+// Message kinds on the wire.
+const (
+	// KindPrepare asks a participant to prepare a subtransaction.
+	KindPrepare = "2pc.prepare"
+	// KindVote carries a participant's YES/NO vote.
+	KindVote = "2pc.vote"
+	// KindDecision carries the coordinator's commit/abort decision.
+	KindDecision = "2pc.decision"
+	// KindAck acknowledges a decision.
+	KindAck = "2pc.ack"
+)
+
+// Errors returned by Execute and used to classify votes.
+var (
+	// ErrAborted is returned when a participant voted NO for a business
+	// reason (a rollback statement fired): the abort is final.
+	ErrAborted = errors.New("commit: transaction aborted")
+	// ErrSystemAbort is returned when a participant voted NO for a
+	// system reason (lock-wait timeout on a distributed deadlock,
+	// divergence refusal): the coordinator may retry with a fresh txid.
+	ErrSystemAbort = errors.New("commit: system abort, retryable")
+	// ErrBusinessVote is the sentinel a Prepare hook wraps to mark its
+	// NO vote as a business rollback rather than a system failure.
+	ErrBusinessVote = errors.New("commit: business rollback vote")
+)
+
+// prepareMsg is the PREPARE payload.
+type prepareMsg struct {
+	TxID    string
+	Payload any
+}
+
+// voteMsg is the VOTE payload.
+type voteMsg struct {
+	TxID     string
+	Site     simnet.SiteID
+	Yes      bool
+	Business bool // NO vote caused by a business rollback
+	Result   any
+}
+
+// decisionMsg is the DECISION payload.
+type decisionMsg struct {
+	TxID   string
+	Commit bool
+}
+
+// ackMsg is the ACK payload.
+type ackMsg struct {
+	TxID string
+	Site simnet.SiteID
+}
+
+// Hooks are the participant-side callbacks into the local transaction
+// engine.
+type Hooks struct {
+	// Prepare executes/validates the local subtransaction described by
+	// payload and leaves it holding its locks. A nil error is a YES
+	// vote; the result value rides back to the coordinator on the vote
+	// (e.g. the values a read-only subtransaction observed).
+	Prepare func(ctx context.Context, txid string, payload any) (any, error)
+	// Commit finalizes a prepared subtransaction.
+	Commit func(txid string)
+	// Abort rolls back a prepared subtransaction.
+	Abort func(txid string)
+}
+
+// coordState tracks one coordinated transaction.
+type coordState struct {
+	participants map[simnet.SiteID]bool
+	votes        map[simnet.SiteID]bool
+	results      map[simnet.SiteID]any
+	acks         map[simnet.SiteID]bool
+	votedNo      bool
+	businessNo   bool
+	votesDone    chan struct{}
+	acksDone     chan struct{}
+}
+
+// Node is one site's 2PC endpoint: it can coordinate transactions and
+// participate in others'.
+type Node struct {
+	site  simnet.SiteID
+	net   *simnet.Network
+	hooks Hooks
+
+	mu       sync.Mutex
+	coords   map[string]*coordState
+	prepared map[string]bool // participant-side prepared (blocked) txns
+	// preparing tracks in-flight Prepare hooks so that a concurrently
+	// delivered decision waits for them (Handle may run concurrently).
+	preparing map[string]chan struct{}
+	// decided records decisions that arrived before their prepare
+	// (possible under network reordering): the late prepare applies the
+	// decision immediately instead of blocking forever.
+	decided map[string]bool
+}
+
+// NewNode builds a 2PC endpoint for site.
+func NewNode(site simnet.SiteID, net *simnet.Network, hooks Hooks) *Node {
+	return &Node{
+		site:      site,
+		net:       net,
+		hooks:     hooks,
+		coords:    make(map[string]*coordState),
+		prepared:  make(map[string]bool),
+		preparing: make(map[string]chan struct{}),
+		decided:   make(map[string]bool),
+	}
+}
+
+// PreparedCount returns the number of participant-side transactions
+// prepared and awaiting a decision — the blocked window the paper warns
+// about.
+func (n *Node) PreparedCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.prepared)
+}
+
+// Execute coordinates a distributed transaction with the given
+// per-participant payloads. On commit it returns the participants'
+// prepare results. It returns ErrAborted if any participant voted NO, or
+// ctx.Err() if the protocol could not finish in time (e.g. a participant
+// crashed — 2PC blocks).
+func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.SiteID]any) (map[simnet.SiteID]any, error) {
+	if len(payloads) == 0 {
+		return nil, errors.New("commit: no participants")
+	}
+	st := &coordState{
+		participants: make(map[simnet.SiteID]bool, len(payloads)),
+		votes:        make(map[simnet.SiteID]bool, len(payloads)),
+		results:      make(map[simnet.SiteID]any, len(payloads)),
+		acks:         make(map[simnet.SiteID]bool, len(payloads)),
+		votesDone:    make(chan struct{}),
+		acksDone:     make(chan struct{}),
+	}
+	for site := range payloads {
+		st.participants[site] = true
+	}
+	n.mu.Lock()
+	if _, dup := n.coords[txid]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("commit: duplicate txid %q", txid)
+	}
+	n.coords[txid] = st
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.coords, txid)
+		n.mu.Unlock()
+	}()
+
+	// Phase 1: PREPARE round.
+	for site, payload := range payloads {
+		err := n.net.Send(simnet.Message{
+			From: n.site, To: site, Kind: KindPrepare,
+			Payload: prepareMsg{TxID: txid, Payload: payload},
+		})
+		if err != nil {
+			// Unreachable participant: broadcast abort to whoever got a
+			// PREPARE and surface the failure — the protocol could not
+			// run, which is different from a NO vote.
+			n.decide(txid, st, false)
+			return nil, fmt.Errorf("commit: prepare %s unreachable: %w", site, err)
+		}
+	}
+	select {
+	case <-st.votesDone:
+	case <-ctx.Done():
+		n.decide(txid, st, false)
+		return nil, ctx.Err()
+	}
+
+	doCommit := !st.votedNo
+	// Phase 2: DECISION round.
+	n.decide(txid, st, doCommit)
+	select {
+	case <-st.acksDone:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if !doCommit {
+		n.mu.Lock()
+		business := st.businessNo
+		n.mu.Unlock()
+		if business {
+			return nil, ErrAborted
+		}
+		return nil, ErrSystemAbort
+	}
+	n.mu.Lock()
+	results := make(map[simnet.SiteID]any, len(st.results))
+	for site, res := range st.results {
+		results[site] = res
+	}
+	n.mu.Unlock()
+	return results, nil
+}
+
+// decide broadcasts the decision to all participants.
+func (n *Node) decide(txid string, st *coordState, commit bool) {
+	for site := range st.participants {
+		_ = n.net.Send(simnet.Message{
+			From: n.site, To: site, Kind: KindDecision,
+			Payload: decisionMsg{TxID: txid, Commit: commit},
+		})
+	}
+}
+
+// Handle processes a 2PC network message; the site dispatch loop routes
+// Kind == 2pc.* here.
+func (n *Node) Handle(ctx context.Context, msg simnet.Message) {
+	switch msg.Kind {
+	case KindPrepare:
+		pm, ok := msg.Payload.(prepareMsg)
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		if _, dup := n.preparing[pm.TxID]; dup || n.prepared[pm.TxID] {
+			n.mu.Unlock()
+			return // duplicate prepare
+		}
+		done := make(chan struct{})
+		n.preparing[pm.TxID] = done
+		n.mu.Unlock()
+
+		var (
+			err    error
+			result any
+		)
+		if n.hooks.Prepare != nil {
+			result, err = n.hooks.Prepare(ctx, pm.TxID, pm.Payload)
+		}
+		n.mu.Lock()
+		delete(n.preparing, pm.TxID)
+		earlyDecision, hasEarly := n.decided[pm.TxID]
+		delete(n.decided, pm.TxID)
+		if err == nil && !hasEarly {
+			n.prepared[pm.TxID] = true
+		}
+		n.mu.Unlock()
+		close(done)
+		if hasEarly && err == nil {
+			// The decision raced ahead of the prepare: apply it now so
+			// the subtransaction does not hold its locks forever.
+			if earlyDecision {
+				if n.hooks.Commit != nil {
+					n.hooks.Commit(pm.TxID)
+				}
+			} else if n.hooks.Abort != nil {
+				n.hooks.Abort(pm.TxID)
+			}
+			return
+		}
+		_ = n.net.Send(simnet.Message{
+			From: n.site, To: msg.From, Kind: KindVote,
+			Payload: voteMsg{
+				TxID: pm.TxID, Site: n.site, Yes: err == nil,
+				Business: errors.Is(err, ErrBusinessVote), Result: result,
+			},
+		})
+	case KindVote:
+		vm, ok := msg.Payload.(voteMsg)
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		st := n.coords[vm.TxID]
+		if st == nil || !st.participants[vm.Site] {
+			n.mu.Unlock()
+			return
+		}
+		if _, seen := st.votes[vm.Site]; !seen {
+			st.votes[vm.Site] = vm.Yes
+			st.results[vm.Site] = vm.Result
+			if !vm.Yes {
+				st.votedNo = true
+				if vm.Business {
+					st.businessNo = true
+				}
+			}
+			if len(st.votes) == len(st.participants) {
+				close(st.votesDone)
+			}
+		}
+		n.mu.Unlock()
+	case KindDecision:
+		dm, ok := msg.Payload.(decisionMsg)
+		if !ok {
+			return
+		}
+		// Wait out an in-flight prepare for the same transaction.
+		n.mu.Lock()
+		inFlight := n.preparing[dm.TxID]
+		n.mu.Unlock()
+		if inFlight != nil {
+			select {
+			case <-inFlight:
+			case <-ctx.Done():
+				return
+			}
+		}
+		n.mu.Lock()
+		wasPrepared := n.prepared[dm.TxID]
+		delete(n.prepared, dm.TxID)
+		if !wasPrepared && inFlight == nil {
+			// Decision before its prepare: remember it for the prepare.
+			n.decided[dm.TxID] = dm.Commit
+		}
+		n.mu.Unlock()
+		if wasPrepared {
+			if dm.Commit {
+				if n.hooks.Commit != nil {
+					n.hooks.Commit(dm.TxID)
+				}
+			} else if n.hooks.Abort != nil {
+				n.hooks.Abort(dm.TxID)
+			}
+		}
+		_ = n.net.Send(simnet.Message{
+			From: n.site, To: msg.From, Kind: KindAck,
+			Payload: ackMsg{TxID: dm.TxID, Site: n.site},
+		})
+	case KindAck:
+		am, ok := msg.Payload.(ackMsg)
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		st := n.coords[am.TxID]
+		if st == nil || !st.participants[am.Site] {
+			n.mu.Unlock()
+			return
+		}
+		if !st.acks[am.Site] {
+			st.acks[am.Site] = true
+			if len(st.acks) == len(st.participants) {
+				close(st.acksDone)
+			}
+		}
+		n.mu.Unlock()
+	}
+}

@@ -1,0 +1,318 @@
+package commit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/simnet"
+)
+
+// harness wires a coordinator and participants over a network.
+type harness struct {
+	net    *simnet.Network
+	nodes  map[simnet.SiteID]*Node
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// record tracks participant callback invocations.
+type record struct {
+	mu       sync.Mutex
+	prepared []string
+	commits  []string
+	aborts   []string
+	voteNo   bool
+	systemNo bool
+}
+
+func newHarness(t *testing.T, sites []simnet.SiteID, recs map[simnet.SiteID]*record, opts ...simnet.Option) *harness {
+	t.Helper()
+	h := &harness{net: simnet.New(opts...), nodes: make(map[simnet.SiteID]*Node)}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	for _, id := range sites {
+		rec := recs[id]
+		hooks := Hooks{}
+		if rec != nil {
+			hooks = Hooks{
+				Prepare: func(ctx context.Context, txid string, payload any) (any, error) {
+					rec.mu.Lock()
+					defer rec.mu.Unlock()
+					rec.prepared = append(rec.prepared, txid)
+					if rec.voteNo {
+						return nil, fmt.Errorf("no funds: %w", ErrBusinessVote)
+					}
+					if rec.systemNo {
+						return nil, errors.New("lock timeout")
+					}
+					return payload, nil
+				},
+				Commit: func(txid string) {
+					rec.mu.Lock()
+					defer rec.mu.Unlock()
+					rec.commits = append(rec.commits, txid)
+				},
+				Abort: func(txid string) {
+					rec.mu.Lock()
+					defer rec.mu.Unlock()
+					rec.aborts = append(rec.aborts, txid)
+				},
+			}
+		}
+		node := NewNode(id, h.net, hooks)
+		h.nodes[id] = node
+		inbox, err := h.net.AddSite(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.wg.Add(1)
+		go func(n *Node, inbox <-chan simnet.Message) {
+			defer h.wg.Done()
+			for {
+				select {
+				case msg := <-inbox:
+					n.Handle(ctx, msg)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(node, inbox)
+	}
+	t.Cleanup(func() {
+		cancel()
+		h.wg.Wait()
+		h.net.Close()
+	})
+	return h
+}
+
+func TestUnanimousYesCommits(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {}, "C": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B", "C"}, recs)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": "pb", "C": "pc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["B"] != "pb" || results["C"] != "pc" {
+		t.Errorf("results = %v", results)
+	}
+	for id, rec := range recs {
+		rec.mu.Lock()
+		if len(rec.commits) != 1 || len(rec.aborts) != 0 {
+			t.Errorf("%s: commits=%v aborts=%v", id, rec.commits, rec.aborts)
+		}
+		rec.mu.Unlock()
+	}
+	// All prepared states resolved.
+	if h.nodes["B"].PreparedCount() != 0 || h.nodes["C"].PreparedCount() != 0 {
+		t.Error("participants left prepared")
+	}
+}
+
+func TestOneNoVoteAborts(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {}, "C": {voteNo: true}}
+	h := newHarness(t, []simnet.SiteID{"A", "B", "C"}, recs)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1, "C": 2})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	// B prepared then aborted; C voted no (never prepared) so no abort
+	// callback for it.
+	recs["B"].mu.Lock()
+	if len(recs["B"].aborts) != 1 || len(recs["B"].commits) != 0 {
+		t.Errorf("B: %+v", recs["B"])
+	}
+	recs["B"].mu.Unlock()
+	recs["C"].mu.Lock()
+	if len(recs["C"].commits) != 0 {
+		t.Errorf("C committed after voting no")
+	}
+	recs["C"].mu.Unlock()
+}
+
+func TestSystemNoVoteIsRetryable(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {systemNo: true}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1})
+	if !errors.Is(err, ErrSystemAbort) {
+		t.Fatalf("err = %v, want ErrSystemAbort", err)
+	}
+	if errors.Is(err, ErrAborted) {
+		t.Fatal("system abort classified as business abort")
+	}
+}
+
+func TestCrashedParticipantBlocksCoordinator(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	h.net.SetDown("B", true)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1})
+	if err == nil {
+		t.Fatal("commit succeeded with crashed participant")
+	}
+}
+
+func TestParticipantBlockedWithoutDecision(t *testing.T) {
+	// Deliver PREPARE directly (no coordinator listening): the
+	// participant stays prepared — the blocking window.
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	if err := h.net.Send(simnet.Message{
+		From: "ghost-coord", To: "B", Kind: KindPrepare,
+		Payload: prepareMsg{TxID: "stuck", Payload: nil},
+	}); err != nil {
+		// "ghost-coord" is not a registered site.
+		t.Skipf("cannot send from unregistered site: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for h.nodes["B"].PreparedCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("participant never prepared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := h.nodes["B"].PreparedCount(); got != 1 {
+		t.Errorf("prepared count = %d, want still 1 (blocked)", got)
+	}
+}
+
+func TestDuplicateTxIDRejected(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	// Occupy the txid with a transaction that cannot finish (B down).
+	h.net.SetDown("B", true)
+	bg, bgCancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = h.nodes["A"].Execute(bg, "dup", map[simnet.SiteID]any{"B": 1})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := h.nodes["A"].Execute(ctx, "dup", map[simnet.SiteID]any{"B": 1}); err == nil {
+		t.Error("duplicate txid accepted")
+	}
+	bgCancel()
+	<-done
+}
+
+func TestEmptyParticipants(t *testing.T) {
+	h := newHarness(t, []simnet.SiteID{"A"}, nil)
+	ctx := context.Background()
+	if _, err := h.nodes["A"].Execute(ctx, "t", nil); err == nil {
+		t.Error("empty participant set accepted")
+	}
+}
+
+func TestMessageCountTwoRounds(t *testing.T) {
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 4 one-way messages for one participant: prepare, vote,
+	// decision, ack.
+	if got := h.net.Stats().Sent; got != 4 {
+		t.Errorf("messages = %d, want 4", got)
+	}
+}
+
+func TestLatencyIsTwoRoundTrips(t *testing.T) {
+	const oneWay = 25 * time.Millisecond
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs, simnet.WithLatency(oneWay))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*oneWay {
+		t.Errorf("2PC finished in %v, want >= %v (4 hops)", elapsed, 4*oneWay)
+	}
+}
+
+func TestDecisionBeforePrepareIsHonored(t *testing.T) {
+	// Goroutine-level reordering can deliver a (abort) decision before
+	// its prepare. The node must remember it and apply it when the late
+	// prepare completes, instead of leaving the subtransaction prepared
+	// forever.
+	rec := &record{}
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.AddSite("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddSite("B"); err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode("B", net, Hooks{
+		Prepare: func(ctx context.Context, txid string, payload any) (any, error) {
+			rec.mu.Lock()
+			defer rec.mu.Unlock()
+			rec.prepared = append(rec.prepared, txid)
+			return nil, nil
+		},
+		Commit: func(txid string) {
+			rec.mu.Lock()
+			defer rec.mu.Unlock()
+			rec.commits = append(rec.commits, txid)
+		},
+		Abort: func(txid string) {
+			rec.mu.Lock()
+			defer rec.mu.Unlock()
+			rec.aborts = append(rec.aborts, txid)
+		},
+	})
+	ctx := context.Background()
+	// Decision first, prepare second — delivered synchronously.
+	node.Handle(ctx, simnet.Message{From: "A", To: "B", Kind: KindDecision,
+		Payload: decisionMsg{TxID: "t9", Commit: false}})
+	node.Handle(ctx, simnet.Message{From: "A", To: "B", Kind: KindPrepare,
+		Payload: prepareMsg{TxID: "t9", Payload: nil}})
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.aborts) != 1 {
+		t.Errorf("aborts = %v, want the early abort applied", rec.aborts)
+	}
+	if node.PreparedCount() != 0 {
+		t.Error("subtransaction left prepared after early decision")
+	}
+}
+
+func TestDuplicatePrepareIgnoredWhilePrepared(t *testing.T) {
+	// A duplicate prepare arriving while the first is still prepared
+	// (no decision yet) must not re-run the hook.
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	ctx := context.Background()
+	msg := simnet.Message{From: "A", To: "B", Kind: KindPrepare,
+		Payload: prepareMsg{TxID: "tdup", Payload: 1}}
+	h.nodes["B"].Handle(ctx, msg)
+	h.nodes["B"].Handle(ctx, msg)
+	recs["B"].mu.Lock()
+	defer recs["B"].mu.Unlock()
+	if len(recs["B"].prepared) != 1 {
+		t.Errorf("prepare ran %d times, want 1", len(recs["B"].prepared))
+	}
+	if h.nodes["B"].PreparedCount() != 1 {
+		t.Errorf("prepared count = %d, want 1", h.nodes["B"].PreparedCount())
+	}
+}

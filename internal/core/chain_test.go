@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// TestDynamicDistributionMultiPiece exercises Figure 2's leftover
+// propagation over a transaction with four restricted pieces running
+// under divergence control, concurrently with audits. Every instance
+// must commit exactly once per piece, and audits must stay within their
+// import limits.
+func TestDynamicDistributionMultiPiece(t *testing.T) {
+	store := storage.NewFrom(map[storage.Key]metric.Value{
+		"a": 100000, "b": 100000, "c": 100000, "d": 100000,
+	})
+	inc := func(v metric.Value) metric.Value { return v + 1 }
+	op := func(k storage.Key) txn.Op {
+		return txn.Op{Kind: txn.OpWrite, Key: k, Update: inc, Bound: metric.LimitOf(1)}
+	}
+	deep := txn.MustProgram("deep", op("a"), op("b"), op("c"), op("d")).
+		WithSpec(metric.SpecOf(4000))
+	audit := txn.MustProgram("audit",
+		txn.ReadOp("a"), txn.ReadOp("b"), txn.ReadOp("c"), txn.ReadOp("d"),
+	).WithSpec(metric.SpecOf(4000))
+
+	const deeps, audits = 10, 5
+	r, err := NewRunner(Config{
+		Method:       Method1SRChopDC,
+		Distribution: Dynamic,
+		Store:        store,
+		Programs:     []*txn.Program{deep, audit},
+		Counts:       []int{deeps, audits},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, deeps+audits)
+	var mu sync.Mutex
+	var worstImported metric.Fuzz
+	submit := func(ti int) {
+		defer wg.Done()
+		res, err := r.Submit(ctx, ti)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		mu.Lock()
+		if res.Imported > worstImported {
+			worstImported = res.Imported
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < deeps; i++ {
+		wg.Add(1)
+		go submit(0)
+	}
+	for i := 0; i < audits; i++ {
+		wg.Add(1)
+		go submit(1)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Every deep instance applied all four increments exactly once.
+	for _, k := range []storage.Key{"a", "b", "c", "d"} {
+		if got := store.Get(k); got != 100000+deeps {
+			t.Errorf("%s = %d, want %d", k, got, 100000+deeps)
+		}
+	}
+	if worstImported > 4000 {
+		t.Errorf("imported %d exceeds ε 4000", worstImported)
+	}
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asynctp/internal/chop"
+	"asynctp/internal/dc"
+	"asynctp/internal/history"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/odc"
+	"asynctp/internal/storage"
+	"asynctp/internal/tdc"
+	"asynctp/internal/txn"
+)
+
+// Config configures a Runner.
+type Config struct {
+	// Method is the off-line × on-line combination to run.
+	Method Method
+	// Distribution is the ε-spec distribution policy (DC methods only;
+	// defaults to Static).
+	Distribution Distribution
+	// Store is the backing store.
+	Store *storage.Store
+	// Programs is the declared job stream: every transaction type that
+	// will run. Chopping assumes this knowledge.
+	Programs []*txn.Program
+	// Counts declares how many instances of each program the job stream
+	// contains (defaults to 1 each). Inter-sibling fuzziness — and hence
+	// how finely ESR-chopping may cut — scales with these counts, so a
+	// workload that will submit N transfers must declare N.
+	Counts []int
+	// Record attaches a history recorder for correctness checking.
+	Record bool
+	// OpDelay simulates per-operation work while locks are held (see
+	// txn.Exec.SetOpDelay); zero disables it.
+	OpDelay time.Duration
+	// Optimistic swaps the on-line engine from two-phase locking to the
+	// validation-based one (package odc): plain OCC for CC methods,
+	// optimistic divergence control for DC methods. Shorthand for
+	// Engine: EngineOptimistic.
+	Optimistic bool
+	// Engine selects the on-line engine family explicitly: locking
+	// (default), optimistic (odc), or timestamp ordering (tdc) — the
+	// three DC families of the paper's reference [12].
+	Engine EngineKind
+}
+
+// EngineKind selects the on-line engine family.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineLocking is two-phase locking (+ lock-arbiter DC). Default.
+	EngineLocking EngineKind = iota
+	// EngineOptimistic is backward-validation OCC (+ ε absorption).
+	EngineOptimistic
+	// EngineTimestamp is timestamp ordering (+ ε absorption).
+	EngineTimestamp
+)
+
+// String renders the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineLocking:
+		return "locking"
+	case EngineOptimistic:
+		return "optimistic"
+	case EngineTimestamp:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// altEngine is the shared surface of the non-locking engines.
+type altEngine interface {
+	Run(ctx context.Context, owner lock.Owner, p *txn.Program,
+		spec metric.Spec, class txn.Class) (*txn.Outcome, metric.Fuzz, error)
+	SetOpDelay(d time.Duration)
+}
+
+// InstanceResult describes one submitted transaction instance.
+type InstanceResult struct {
+	// Program is the original program name.
+	Program string
+	// Committed reports whether every piece committed.
+	Committed bool
+	// RolledBack reports a business rollback in the first piece.
+	RolledBack bool
+	// Outcomes holds each piece's final outcome, indexed by piece.
+	Outcomes []*txn.Outcome
+	// Retries counts system-abort resubmissions across all pieces.
+	Retries int
+	// Imported and Exported are the instance's total fuzziness: by
+	// Lemma 1, the sum over its pieces (DC methods only).
+	Imported, Exported metric.Fuzz
+}
+
+// SumReads totals all values read by all pieces (the audit result).
+func (ir *InstanceResult) SumReads() metric.Value {
+	var total metric.Value
+	for _, o := range ir.Outcomes {
+		if o != nil {
+			total += o.SumReads()
+		}
+	}
+	return total
+}
+
+// Runner executes a declared job stream under one method.
+type Runner struct {
+	cfg     Config
+	sa      *chop.StreamAnalysis
+	set     *chop.Set       // runtime set: one instance of each type
+	assign  [][]metric.Spec // static per-(type, piece) specs (DC methods)
+	dcSpecs []metric.Spec   // per-type spec used by DC (Method 3 shrinks it)
+	locks   *lock.Manager
+	ctl     *dc.Controller
+	engine  altEngine   // non-nil for optimistic/timestamp engines
+	odcEng  *odc.Engine // concrete handle for stats
+	tdcEng  *tdc.Engine // concrete handle for stats
+	exec    *txn.Exec
+	rec     *history.Recorder
+	gen     txn.IDGen
+
+	nextGroup atomic.Int64
+	mu        sync.Mutex
+	groupOf   map[lock.Owner]history.Group
+}
+
+// NewRunner prepares the chopping for cfg.Programs and builds the
+// execution stack.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("core: config needs a store")
+	}
+	if len(cfg.Programs) == 0 {
+		return nil, errors.New("core: config needs programs")
+	}
+	if cfg.Distribution == 0 {
+		cfg.Distribution = Static
+	}
+	if len(cfg.Counts) != 0 && len(cfg.Counts) != len(cfg.Programs) {
+		return nil, fmt.Errorf("core: %d counts for %d programs", len(cfg.Counts), len(cfg.Programs))
+	}
+	r := &Runner{cfg: cfg, groupOf: make(map[lock.Owner]history.Group)}
+
+	stream := make(chop.Stream, len(cfg.Programs))
+	for i, p := range cfg.Programs {
+		count := 1
+		if len(cfg.Counts) > 0 {
+			count = cfg.Counts[i]
+		}
+		stream[i] = chop.StreamItem{Program: p, Count: count}
+	}
+	var err error
+	switch {
+	case !cfg.Method.usesChopping():
+		chopped := make([]*chop.Chopped, len(cfg.Programs))
+		for i, p := range cfg.Programs {
+			chopped[i] = chop.Whole(p)
+		}
+		r.sa, err = chop.AnalyzeStream(stream, chopped)
+	case cfg.Method.usesESRChopping():
+		r.sa, err = chop.FindESRStream(stream)
+	default:
+		r.sa, err = chop.FindSRStream(stream)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Runtime set: one instance of each type with the chosen chopping;
+	// piece programs come from here.
+	r.set, err = chop.NewSet(r.sa.Choppings...)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Engine == EngineLocking && cfg.Optimistic {
+		cfg.Engine = EngineOptimistic
+	}
+	switch {
+	case cfg.Engine != EngineLocking:
+		// Alternative engines replace locks entirely; the lock manager
+		// stays around only for API completeness (stats read as zero).
+		r.locks = lock.NewManager()
+	case cfg.Method.usesDC():
+		r.ctl = dc.NewController()
+		r.locks = lock.NewManager(lock.WithArbiter(r.ctl))
+	default:
+		r.locks = lock.NewManager()
+	}
+	if cfg.Method.usesDC() {
+		// Per-transaction budget the engine works with: Method 3 reserves
+		// the inter-sibling fuzziness (Equation 6); others use the full
+		// ε-spec.
+		r.dcSpecs = make([]metric.Spec, r.set.NumTxns())
+		r.assign = make([][]metric.Spec, r.set.NumTxns())
+		for ti := range r.dcSpecs {
+			if cfg.Method == Method3ESRChopDC {
+				r.dcSpecs[ti] = r.sa.DCLimit(ti)
+			} else {
+				r.dcSpecs[ti] = r.set.Original(ti).Spec
+			}
+			switch cfg.Distribution {
+			case Naive:
+				r.assign[ti] = r.sa.NaivePieceSpecs(ti, r.dcSpecs[ti])
+			case Proportional:
+				r.assign[ti] = r.sa.ProportionalPieceSpecs(ti, r.dcSpecs[ti])
+			default:
+				// Static assignment also seeds Dynamic's unrestricted ∞.
+				r.assign[ti] = r.sa.PieceSpecs(ti, r.dcSpecs[ti])
+			}
+		}
+	}
+	if cfg.Record {
+		r.rec = history.NewRecorder()
+	}
+	// A nil *Recorder must not become a non-nil Observer interface.
+	var obs txn.Observer
+	if r.rec != nil {
+		obs = r.rec
+	}
+	switch cfg.Engine {
+	case EngineOptimistic:
+		r.odcEng = odc.NewEngine(cfg.Store, obs)
+		r.engine = r.odcEng
+	case EngineTimestamp:
+		r.tdcEng = tdc.NewEngine(cfg.Store, obs)
+		r.engine = r.tdcEng
+	}
+	if r.engine != nil {
+		r.engine.SetOpDelay(cfg.OpDelay)
+	}
+	r.exec = txn.NewExec(cfg.Store, r.locks, obs)
+	r.exec.SetOpDelay(cfg.OpDelay)
+	return r, nil
+}
+
+// ODCStats returns the optimistic engine counters (zero otherwise).
+func (r *Runner) ODCStats() odc.Stats {
+	if r.odcEng == nil {
+		return odc.Stats{}
+	}
+	return r.odcEng.Stats()
+}
+
+// TDCStats returns the timestamp engine counters (zero otherwise).
+func (r *Runner) TDCStats() tdc.Stats {
+	if r.tdcEng == nil {
+		return tdc.Stats{}
+	}
+	return r.tdcEng.Stats()
+}
+
+// Set returns the prepared chopping (one instance per program type).
+func (r *Runner) Set() *chop.Set { return r.set }
+
+// StreamAnalysis returns the multiplicity-aware chopping analysis.
+func (r *Runner) StreamAnalysis() *chop.StreamAnalysis { return r.sa }
+
+// Analysis returns the chopping-graph analysis of the expanded stream.
+func (r *Runner) Analysis() *chop.Analysis { return r.sa.Analysis }
+
+// Recorder returns the history recorder, nil unless Config.Record.
+func (r *Runner) Recorder() *history.Recorder { return r.rec }
+
+// LockStats returns the lock manager counters.
+func (r *Runner) LockStats() lock.Stats { return r.locks.Stats() }
+
+// DCStats returns divergence-control counters (zero for CC methods).
+func (r *Runner) DCStats() dc.Stats {
+	if r.ctl == nil {
+		return dc.Stats{}
+	}
+	return r.ctl.Stats()
+}
+
+// GroupOf returns the owner→original-transaction grouping for grouped
+// history checks.
+func (r *Runner) GroupOf() map[lock.Owner]history.Group {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[lock.Owner]history.Group, len(r.groupOf))
+	for k, v := range r.groupOf {
+		out[k] = v
+	}
+	return out
+}
+
+// Submit executes one instance of program ti (index into
+// Config.Programs) and blocks until every piece finishes. Instances may
+// be submitted concurrently from many goroutines.
+func (r *Runner) Submit(ctx context.Context, ti int) (*InstanceResult, error) {
+	if ti < 0 || ti >= r.set.NumTxns() {
+		return nil, fmt.Errorf("core: program index %d out of range", ti)
+	}
+	group := history.Group(r.nextGroup.Add(1))
+	inst := &instance{
+		runner: r,
+		ti:     ti,
+		group:  group,
+		result: &InstanceResult{
+			Program:  r.set.Original(ti).Name,
+			Outcomes: make([]*txn.Outcome, len(r.set.TxnPieces(ti))),
+		},
+	}
+	if err := inst.run(ctx); err != nil {
+		return inst.result, err
+	}
+	return inst.result, nil
+}
+
+// instance tracks one in-flight submission.
+type instance struct {
+	runner *Runner
+	ti     int
+	group  history.Group
+	mu     sync.Mutex
+	result *InstanceResult
+}
+
+// run executes the instance: the first piece synchronously (business
+// rollbacks abort the whole instance), then the rest of the dependency
+// tree, each piece retried on system aborts until it commits.
+func (inst *instance) run(ctx context.Context) error {
+	r := inst.runner
+	parents := r.set.DependencyParents(inst.ti)
+	children := make([][]int, len(parents))
+	for pi, parent := range parents {
+		if parent >= 0 {
+			children[parent] = append(children[parent], pi)
+		}
+	}
+
+	// The whole-transaction budget enters at the root (Figure 2:
+	// DynamicExecution assigns Limit_t to p1's schedule).
+	rootSpec := metric.Unbounded
+	if r.cfg.Method.usesDC() {
+		rootSpec = r.dcSpecs[inst.ti]
+	}
+	out, spent, err := inst.runPiece(ctx, 0, rootSpec)
+	inst.record(0, out)
+	if err != nil {
+		if errors.Is(err, txn.ErrRollback) {
+			inst.result.RolledBack = true
+			return nil // rollback is a defined outcome, not a failure
+		}
+		return err
+	}
+
+	// Remaining pieces commit asynchronously along the dependency tree.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(parents))
+	var schedule func(pi int, leftover metric.Spec)
+	schedule = func(pi int, leftover metric.Spec) {
+		kids := children[pi]
+		if len(kids) == 0 {
+			return
+		}
+		// Figure 2: split the leftover evenly across the scheduled set.
+		share := metric.Spec{
+			Import: leftover.Import.Div(len(kids)),
+			Export: leftover.Export.Div(len(kids)),
+		}
+		for _, kid := range kids {
+			wg.Add(1)
+			go func(kid int) {
+				defer wg.Done()
+				out, spent, err := inst.runPiece(ctx, kid, share)
+				inst.record(kid, out)
+				if err != nil {
+					errs <- fmt.Errorf("piece %d: %w", kid, err)
+					return
+				}
+				schedule(kid, spent)
+			}(kid)
+		}
+	}
+	schedule(0, spent)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	inst.result.Committed = true
+	return nil
+}
+
+// record stores a piece outcome.
+func (inst *instance) record(pi int, out *txn.Outcome) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.result.Outcomes[pi] = out
+}
+
+// runPiece executes piece pi with the given available budget, retrying
+// system aborts, and returns the outcome plus the leftover budget
+// (Figure 2's LO_p). Unrestricted pieces run with ∞ and pass their
+// incoming budget through untouched.
+func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) (*txn.Outcome, metric.Spec, error) {
+	r := inst.runner
+	v := r.set.Vertex(inst.ti, pi)
+	piece := r.set.Piece(v)
+	prog := piece.Program
+
+	useDC := r.cfg.Method.usesDC()
+	unrestricted := useDC && !r.sa.Restricted(inst.ti, pi)
+	runSpec := budget
+	switch {
+	case !useDC:
+		runSpec = metric.Unbounded // unused
+	case unrestricted:
+		runSpec = metric.Unbounded
+	case r.cfg.Distribution != Dynamic:
+		// Static and naive policies ignore the propagated budget and use
+		// the off-line assignment.
+		runSpec = r.assign[inst.ti][pi]
+	}
+
+	class := txn.Query
+	if piece.UpdatePiece {
+		class = txn.Update
+	}
+	for {
+		owner := r.gen.Next()
+		r.mu.Lock()
+		r.groupOf[owner] = inst.group
+		r.mu.Unlock()
+
+		var (
+			out                *txn.Outcome
+			err                error
+			imported, exported metric.Fuzz
+		)
+		if r.engine != nil {
+			// Optimistic engine: CC methods validate with a strict spec
+			// (plain OCC); DC methods absorb within the piece's budget.
+			engineSpec := metric.Strict
+			if useDC {
+				engineSpec = runSpec
+			}
+			out, imported, err = r.engine.Run(ctx, owner, prog, engineSpec, class)
+		} else {
+			if useDC {
+				if regErr := r.ctl.Register(owner, dc.Info{
+					Class:   class,
+					Import:  runSpec.Import,
+					Export:  runSpec.Export,
+					Program: prog,
+				}); regErr != nil {
+					return nil, budget, regErr
+				}
+			}
+			out, err = r.exec.Run(ctx, owner, prog)
+			if useDC {
+				imported, exported = r.ctl.Unregister(owner)
+			}
+		}
+		if err == nil {
+			if useDC {
+				inst.addFuzz(imported, exported)
+			}
+			leftover := metric.Spec{
+				Import: runSpec.Import.Sub(imported),
+				Export: runSpec.Export.Sub(exported),
+			}
+			if unrestricted {
+				// Unrestricted pieces consume no quota: pass through what
+				// came in (Figure 2's else branch).
+				leftover = budget
+			}
+			return out, leftover, nil
+		}
+		if (!txn.Retryable(err) && !odc.Retryable(err) && !tdc.Retryable(err)) || ctx.Err() != nil {
+			return out, budget, err
+		}
+		inst.mu.Lock()
+		inst.result.Retries++
+		inst.mu.Unlock()
+	}
+}
+
+// addFuzz accumulates instance-level fuzziness (Lemma 1).
+func (inst *instance) addFuzz(imported, exported metric.Fuzz) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.result.Imported = inst.result.Imported.Add(imported)
+	inst.result.Exported = inst.result.Exported.Add(exported)
+}

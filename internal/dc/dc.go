@@ -1,0 +1,220 @@
+// Package dc implements two-phase-locking divergence control (DC) for
+// epsilon serializability.
+//
+// DC is "2PL except for the way it handles read-write conflicts"
+// (Wu-Yu-Pu): when a read-write conflict arises between a query ET and an
+// update ET, the query may import and the update may export a bounded
+// amount of fuzziness instead of blocking. The controller plugs into the
+// lock manager as its conflict Arbiter:
+//
+//   - Each running transaction (or chopped piece) registers its class,
+//     its import/export limits, and its program (whose declared write
+//     bounds price conflicts).
+//   - A conflict on key k between query q and update u costs u's declared
+//     write bound on k — the worst-case distance the interleaving can put
+//     between q's view and a serializable one. Unpredictable writes carry
+//     an infinite bound, so conflicts on them are never absorbed and DC
+//     degrades to ordinary 2PL (the upward compatibility of ESR).
+//   - The conflict is absorbed iff both accounts stay within their
+//     limits: Z_import(q)+cost ≤ Limit_import(q) and Z_export(u)+cost ≤
+//     Limit_export(u) (Condition 1, Safe(p)). Otherwise the requester
+//     blocks exactly as under 2PL.
+//
+// Update-update conflicts are never absorbed: the paper's environment
+// keeps update ETs serializable among themselves.
+package dc
+
+import (
+	"fmt"
+	"sync"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Info describes a registered transaction to the controller.
+type Info struct {
+	// Class is the ET's class (query or update).
+	Class txn.Class
+	// Import bounds the fuzziness the ET may observe.
+	Import metric.Limit
+	// Export bounds the fuzziness the ET may cause others to observe.
+	Export metric.Limit
+	// Program supplies declared write bounds for pricing conflicts. It
+	// must be non-nil for update ETs.
+	Program *txn.Program
+}
+
+// account is the runtime fuzziness ledger of one registered transaction.
+type account struct {
+	info     Info
+	imported metric.Fuzz
+	exported metric.Fuzz
+}
+
+// Stats are cumulative controller counters.
+type Stats struct {
+	// Absorbed counts conflicts granted with fuzziness charging.
+	Absorbed uint64
+	// Refused counts conflicts that fell back to blocking.
+	Refused uint64
+	// TotalCharged sums the fuzziness charged over all absorbed
+	// conflicts (each conflict charges both sides once; counted once).
+	TotalCharged metric.Fuzz
+}
+
+// Controller is a divergence controller: a lock.Arbiter with fuzziness
+// accounts.
+type Controller struct {
+	mu       sync.Mutex
+	accounts map[lock.Owner]*account
+	stats    Stats
+}
+
+var _ lock.Arbiter = (*Controller)(nil)
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{accounts: make(map[lock.Owner]*account)}
+}
+
+// Register adds owner's account before it starts executing.
+func (c *Controller) Register(owner lock.Owner, info Info) error {
+	if info.Class == txn.Update && info.Program == nil {
+		return fmt.Errorf("dc: update ET %d registered without program", owner)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.accounts[owner]; dup {
+		return fmt.Errorf("dc: owner %d already registered", owner)
+	}
+	c.accounts[owner] = &account{info: info}
+	return nil
+}
+
+// Unregister removes owner's account after it finishes. It returns the
+// final (imported, exported) fuzziness, both zero if owner was unknown.
+func (c *Controller) Unregister(owner lock.Owner) (imported, exported metric.Fuzz) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acct := c.accounts[owner]
+	if acct == nil {
+		return 0, 0
+	}
+	delete(c.accounts, owner)
+	return acct.imported, acct.exported
+}
+
+// Fuzz returns owner's current (imported, exported) fuzziness.
+func (c *Controller) Fuzz(owner lock.Owner) (imported, exported metric.Fuzz) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if acct := c.accounts[owner]; acct != nil {
+		return acct.imported, acct.exported
+	}
+	return 0, 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// pairing is one query/update pair a conflict decomposes into.
+type pairing struct {
+	query  *account
+	update *account
+	cost   metric.Fuzz
+}
+
+// Absorb implements lock.Arbiter. It is all-or-nothing: either every
+// conflicting pair is priced, affordable, and charged, or nothing changes
+// and the requester blocks.
+func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := c.accounts[ci.Requester]
+	if req == nil {
+		c.stats.Refused++
+		return false // unregistered transactions run plain 2PL
+	}
+	pairs := make([]pairing, 0, len(ci.Holders))
+	for _, h := range ci.Holders {
+		holder := c.accounts[h.Owner]
+		if holder == nil {
+			c.stats.Refused++
+			return false
+		}
+		var p pairing
+		switch {
+		case req.info.Class == txn.Query && holder.info.Class == txn.Update:
+			p = pairing{query: req, update: holder}
+		case req.info.Class == txn.Update && holder.info.Class == txn.Query:
+			p = pairing{query: holder, update: req}
+		default:
+			// update-update (or an impossible query-query conflict):
+			// never absorbed.
+			c.stats.Refused++
+			return false
+		}
+		bound := p.update.info.Program.WriteBound(ci.Key)
+		if bound.IsInfinite() {
+			c.stats.Refused++
+			return false
+		}
+		p.cost = bound.Bound()
+		pairs = append(pairs, p)
+	}
+	// Affordability check with per-account aggregation: charging is
+	// simulated first so that two pairs hitting the same account within
+	// one conflict are summed before comparing with the limit.
+	pendImport := make(map[*account]metric.Fuzz)
+	pendExport := make(map[*account]metric.Fuzz)
+	for _, p := range pairs {
+		pendImport[p.query] = pendImport[p.query].Add(p.cost)
+		pendExport[p.update] = pendExport[p.update].Add(p.cost)
+	}
+	for acct, add := range pendImport {
+		if !acct.info.Import.Allows(acct.imported.Add(add)) {
+			c.stats.Refused++
+			return false
+		}
+	}
+	for acct, add := range pendExport {
+		if !acct.info.Export.Allows(acct.exported.Add(add)) {
+			c.stats.Refused++
+			return false
+		}
+	}
+	for acct, add := range pendImport {
+		acct.imported = acct.imported.Add(add)
+		c.stats.TotalCharged = c.stats.TotalCharged.Add(add)
+	}
+	for acct, add := range pendExport {
+		acct.exported = acct.exported.Add(add)
+	}
+	c.stats.Absorbed++
+	return true
+}
+
+// ChargeImport adds fuzziness directly to owner's import account. The
+// distributed runtime uses it to carry fuzziness across sites with a
+// piece's inputs (the paper's "distribution of actual inconsistency").
+// It reports whether the account stays within its limit.
+func (c *Controller) ChargeImport(owner lock.Owner, f metric.Fuzz) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acct := c.accounts[owner]
+	if acct == nil {
+		return false
+	}
+	acct.imported = acct.imported.Add(f)
+	return acct.info.Import.Allows(acct.imported)
+}
+
+// Key is re-exported for documentation completeness.
+type Key = storage.Key

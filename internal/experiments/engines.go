@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+	"asynctp/internal/workload"
+)
+
+// interestWorkload builds the abort-prone case: every transaction posts
+// 1% interest to both hot accounts with TransformOp (non-commutative).
+func interestWorkload() (*workload.Workload, error) {
+	grow := func(v metric.Value) metric.Value { return v + v/100 }
+	w := &workload.Workload{
+		Name: "interest",
+		Initial: map[storage.Key]metric.Value{
+			"hot1": 100000, "hot2": 100000,
+		},
+		Expected: map[int]metric.Value{},
+	}
+	spec := metric.SpecOf(50000)
+	for i := 0; i < 2; i++ {
+		key := storage.Key(fmt.Sprintf("hot%d", i+1))
+		p := txn.MustProgram(fmt.Sprintf("interest%d", i),
+			txn.TransformOp(key, grow, metric.LimitOf(2000)),
+			txn.TransformOp(storage.Key(fmt.Sprintf("hot%d", 2-i)), grow, metric.LimitOf(2000)),
+		).WithSpec(spec)
+		w.Programs = append(w.Programs, p)
+		w.Counts = append(w.Counts, 40)
+	}
+	audit := txn.MustProgram("audit",
+		txn.ReadOp("hot1"), txn.ReadOp("hot2")).WithSpec(spec)
+	w.Programs = append(w.Programs, audit)
+	w.Counts = append(w.Counts, 10)
+	return w, nil
+}
+
+// EngineComparison runs E5, an ablation beyond the paper's prototype: the
+// same workloads under the three divergence-control families its
+// reference [12] describes — lock-based (package dc), optimistic
+// (package odc), and timestamp ordering (package tdc). Locking blocks at
+// conflict time and never redoes work; the other two never block readers
+// but pay aborts (validation failures / timestamp-order violations)
+// under non-commuting write contention.
+func EngineComparison(seed int64) (*Report, error) {
+	rep := &Report{
+		ID:    "E5",
+		Title: "Ablation — lock-based vs optimistic divergence control",
+		Table: newTable("workload", "engine", "tps", "retries", "absorbed", "max dev"),
+	}
+	type workloadCase struct {
+		name string
+		mk   func() (*workload.Workload, error)
+	}
+	cases := []workloadCase{
+		{name: "bank (read-heavy)", mk: func() (*workload.Workload, error) {
+			return workload.NewBank(workload.BankConfig{
+				Branches: 1, AccountsPerBranch: 4,
+				InitialBalance: 1000000, TransferAmount: 100,
+				TransferTypes: 1, TransferCount: 20, AuditCount: 30,
+				Epsilon: 8000, IntraBranch: true, Seed: seed,
+			})
+		}},
+		{name: "bank (write-heavy)", mk: func() (*workload.Workload, error) {
+			return workload.NewBank(workload.BankConfig{
+				Branches: 1, AccountsPerBranch: 4,
+				InitialBalance: 1000000, TransferAmount: 100,
+				TransferTypes: 2, TransferCount: 40, AuditCount: 5,
+				Epsilon: 8000, IntraBranch: true, Seed: seed,
+			})
+		}},
+		// Non-commutative write contention: interest posting on two hot
+		// accounts. Optimistic DC cannot absorb update-update conflicts
+		// and must redo whole transactions; locking DC just queues.
+		{name: "interest (non-commutative)", mk: interestWorkload},
+	}
+	for _, wc := range cases {
+		w, err := wc.mk()
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []core.EngineKind{core.EngineLocking, core.EngineOptimistic, core.EngineTimestamp} {
+			engine := kind.String() + "-dc"
+			cfg := workload.ConfigFor(w, core.BaselineESRDC, core.Static, false)
+			cfg.OpDelay = 100 * time.Microsecond
+			cfg.Engine = kind
+			r, err := core.NewRunner(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			res, err := workload.Run(ctx, r, w, 12, seed)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", wc.name, engine, err)
+			}
+			var absorbed uint64
+			switch kind {
+			case core.EngineOptimistic:
+				absorbed = r.ODCStats().Absorbed
+			case core.EngineTimestamp:
+				absorbed = r.TDCStats().Absorbed
+			default:
+				absorbed = r.DCStats().Absorbed
+			}
+			rep.Table.AddRow(
+				wc.name, engine,
+				fmt.Sprintf("%.0f", res.ThroughputTPS),
+				fmt.Sprintf("%d", res.Retries),
+				fmt.Sprintf("%d", absorbed),
+				fmt.Sprintf("%d", res.MaxDeviation),
+			)
+			if res.MaxDeviation > 8000 {
+				rep.Notes = append(rep.Notes,
+					check(false, fmt.Sprintf("%s/%s exceeded ε: %d", wc.name, engine, res.MaxDeviation)))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"shape claim: optimistic DC wins when aborts are rare (commuting writes, read-mostly);",
+		"non-commutative write contention turns into validation aborts (retries) that locking avoids",
+	)
+	return rep, nil
+}

@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus quantified versions of its prose performance claims.
+// Each experiment returns a Report that the cmd tools print and the
+// bench harness drives; EXPERIMENTS.md records paper-vs-measured.
+//
+// Index (see DESIGN.md §3):
+//
+//	T1 — Table 1: the off-line × on-line correctness matrix, verified
+//	     empirically on recorded histories.
+//	F1 — Figure 1: restricted/unrestricted marking and the static
+//	     ε-distribution (51 → 17/17/17 with ∞ for p2, p4).
+//	F2 — Figure 2: static vs dynamic vs naive ε-distribution ablation.
+//	F3 — Figure 3: S-edge weight from C-edge weights (W_S = 2+8 = 10).
+//	E1 — Section 5: method comparison under contention and ε sweep.
+//	E2 — Section 4: 2PC vs chopped recoverable queues across WAN RTTs,
+//	     message counts, and availability under a site crash.
+//	E3 — Section 4.1: ε-spec splitting across branch pieces.
+//	E4 — Section 3: the update-update hazard executed, money destroyed,
+//	     and the chopping rejected by Definition 1.
+//	E5 — (extension) the three divergence-control engine families
+//	     compared on the same workloads.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"asynctp/internal/stats"
+)
+
+// Report is one regenerated table/figure.
+type Report struct {
+	// ID is the experiment identifier (T1, F1, ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table is the regenerated table.
+	Table *stats.Table
+	// Notes carry findings and the paper-vs-measured comparison.
+	Notes []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// reportJSON is the machine-readable form of a Report.
+type reportJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the report as indented JSON for downstream tooling.
+func (r *Report) JSON() (string, error) {
+	rj := reportJSON{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	if r.Table != nil {
+		rj.Header = r.Table.Header()
+		rj.Rows = r.Table.Rows()
+	}
+	out, err := json.MarshalIndent(rj, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Passed reports whether every note claim passed.
+func (r *Report) Passed() bool {
+	for _, n := range r.Notes {
+		if strings.HasPrefix(n, "[FAIL]") {
+			return false
+		}
+	}
+	return true
+}
+
+// check annotates a pass/fail claim in report notes.
+func check(ok bool, claim string) string {
+	mark := "PASS"
+	if !ok {
+		mark = "FAIL"
+	}
+	return fmt.Sprintf("[%s] %s", mark, claim)
+}

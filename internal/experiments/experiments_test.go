@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+)
+
+// assertAllPass fails on any [FAIL] note.
+func assertAllPass(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Table == nil {
+		t.Fatalf("%s: no table", rep.ID)
+	}
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "[FAIL]") {
+			t.Errorf("%s: %s", rep.ID, n)
+		}
+	}
+	if out := rep.String(); !strings.Contains(out, rep.ID) {
+		t.Errorf("report render missing ID:\n%s", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+	// The SR cell must classify as SR; the ESR cells as SR or bounded.
+	out := rep.Table.String()
+	if !strings.Contains(out, "SR") {
+		t.Errorf("table lacks SR verdicts:\n%s", out)
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("correctness violation in Table 1:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	rep, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+	out := rep.Table.String()
+	if !strings.Contains(out, "17 / 17") || !strings.Contains(out, "inf / inf") {
+		t.Errorf("Figure 1 static split missing paper numbers:\n%s", out)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	rep, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestFigure2Distribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run")
+	}
+	rep, err := Figure2Distribution(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestMethodComparisonSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run")
+	}
+	rep, err := MethodComparison(7, []metric.Fuzz{4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+	// Six methods, one ε → six rows.
+	lines := strings.Count(rep.Table.String(), "\n")
+	if lines < 8 {
+		t.Errorf("expected 6 method rows:\n%s", rep.Table.String())
+	}
+}
+
+func TestDistributed2PCvsQueuesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency run")
+	}
+	rep, err := Distributed2PCvsQueues([]time.Duration{5 * time.Millisecond}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestDistributedAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash run")
+	}
+	rep, err := DistributedAvailability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestDistributedEpsilonSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	rep, err := DistributedEpsilonSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestEngineComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run")
+	}
+	rep, err := EngineComparison(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+}
+
+func TestUpdateUpdateHazard(t *testing.T) {
+	rep, err := UpdateUpdateHazard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+	if !strings.Contains(rep.Table.String(), "2190") {
+		t.Errorf("hazard total should be 2190 (money destroyed):\n%s", rep.Table.String())
+	}
+}
+
+func TestReportJSONAndPassed(t *testing.T) {
+	rep, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "F3"`, `"header"`, `"rows"`, `"notes"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	if !rep.Passed() {
+		t.Error("Figure3 should pass")
+	}
+	failing := &Report{ID: "x", Notes: []string{check(false, "nope")}}
+	if failing.Passed() {
+		t.Error("failing report reported passed")
+	}
+}
+
+func TestReportStringWithoutTable(t *testing.T) {
+	rep := &Report{ID: "X", Title: "no table", Notes: []string{"note only"}}
+	out := rep.String()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "note only") {
+		t.Errorf("render = %q", out)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js, `"rows"`) {
+		t.Errorf("tableless JSON has rows: %s", js)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/metric"
+	"asynctp/internal/workload"
+)
+
+// MethodComparison runs E1 (the Section 5 evaluation): all six methods
+// over the same contended banking stream, for a sweep of ε budgets.
+// Reported per (method, ε): committed throughput, p95 latency of query
+// transactions, retries, fuzzy grants, and the worst query deviation.
+//
+// The paper's qualitative claims this quantifies:
+//   - asynchrony helps: DC methods and finer choppings admit more
+//     concurrency than the serializable baseline under contention;
+//   - "there are scenarios where SR-chopping on DC wins and others in
+//     which ESR-chopping on CC wins" — the winner flips with ε;
+//   - inconsistency stays within ε everywhere.
+func MethodComparison(seed int64, epsilons []metric.Fuzz) (*Report, error) {
+	if len(epsilons) == 0 {
+		epsilons = []metric.Fuzz{1000, 4000, 16000}
+	}
+	rep := &Report{
+		ID:    "E1",
+		Title: "Section 5 — method comparison under contention (ε sweep)",
+		Table: newTable("ε", "method", "pieces", "tps", "query p95", "retries", "fuzzy grants", "max dev"),
+	}
+	for _, eps := range epsilons {
+		w, err := workload.NewBank(workload.BankConfig{
+			Branches: 1, AccountsPerBranch: 4,
+			InitialBalance: 1000000, TransferAmount: 100,
+			TransferTypes: 2, TransferCount: 40, AuditCount: 20,
+			Epsilon: eps, IntraBranch: true, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range core.Methods() {
+			cfg := workload.ConfigFor(w, method, core.Static, false)
+			cfg.OpDelay = 100 * time.Microsecond
+			r, err := core.NewRunner(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			res, err := workload.Run(ctx, r, w, 12, seed)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("%s ε=%d: %w", method, eps, err)
+			}
+			pieces := 0
+			for ti := 0; ti < r.Set().NumTxns(); ti++ {
+				pieces += r.Set().Chopping(ti).NumPieces()
+			}
+			rep.Table.AddRow(
+				fmt.Sprintf("%d", eps),
+				method.String(),
+				fmt.Sprintf("%d", pieces),
+				fmt.Sprintf("%.0f", res.ThroughputTPS),
+				res.QueryLatency.Percentile(95).Round(10*time.Microsecond).String(),
+				fmt.Sprintf("%d", res.Retries),
+				fmt.Sprintf("%d", r.DCStats().Absorbed),
+				fmt.Sprintf("%d", res.MaxDeviation),
+			)
+			if res.MaxDeviation > eps {
+				rep.Notes = append(rep.Notes, check(false,
+					fmt.Sprintf("%s ε=%d exceeded its bound: deviation %d", method, eps, res.MaxDeviation)))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"shape claim: baseline-sr-cc is the floor under contention; DC methods absorb query/update conflicts;",
+		"larger ε keeps ESR-choppings finer (more pieces) and admits more fuzzy grants",
+	)
+	return rep, nil
+}

@@ -1,0 +1,313 @@
+// Package graph implements the small undirected-multigraph toolkit used by
+// the chopping analyzer.
+//
+// Chopping graphs (Shasha et al.) mix S edges (siblings) and C edges
+// (conflicts). The correctness theorems reduce to classic graph structure:
+//
+//   - An SC-cycle exists iff two distinct sibling pieces are connected in
+//     the C-edge-only subgraph (S edges form a clique among siblings, so a
+//     C-path between siblings closes a simple SC-cycle).
+//   - Two edges lie on a common simple cycle iff they belong to the same
+//     biconnected block; hence a C edge "is in an SC-cycle" iff its block
+//     in the full graph contains an S edge.
+//   - A vertex lies on a simple cycle of C edges (a C-cycle) iff it is in
+//     a block of the C-only subgraph that contains a cycle (any block with
+//     more than one edge).
+//
+// The package therefore provides connected components under edge filters,
+// biconnected blocks (Tarjan), bridges, and shortest filtered paths for
+// producing human-readable cycle witnesses.
+package graph
+
+import "fmt"
+
+// EdgeFilter selects a subgraph by edge ID. A nil filter keeps every edge.
+type EdgeFilter func(edge int) bool
+
+// Graph is an undirected multigraph over vertices 0..N-1. Self-loops are
+// rejected: a chopping graph never relates a piece to itself, and a
+// self-loop is never part of a *simple* cycle with two edge kinds.
+type Graph struct {
+	adj   [][]half
+	edges []edge
+}
+
+type edge struct{ u, v int }
+
+// half is one direction of an edge in an adjacency list.
+type half struct {
+	to int
+	id int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]half, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges added so far.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge adds an undirected edge between u and v and returns its edge ID.
+// Parallel edges are allowed; self-loops are not.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return 0, fmt.Errorf("graph: vertex out of range: (%d, %d) with n=%d", u, v, len(g.adj))
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on vertex %d rejected", u)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{u: u, v: v})
+	g.adj[u] = append(g.adj[u], half{to: v, id: id})
+	g.adj[v] = append(g.adj[v], half{to: u, id: id})
+	return id, nil
+}
+
+// Endpoints returns the two endpoints of edge id.
+func (g *Graph) Endpoints(id int) (u, v int) {
+	e := g.edges[id]
+	return e.u, e.v
+}
+
+// Degree returns the number of edge-ends incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// keep reports whether the filter admits edge id.
+func keep(f EdgeFilter, id int) bool { return f == nil || f(id) }
+
+// Components labels each vertex with a component ID in the subgraph
+// selected by filter. IDs are dense, starting at 0, in order of first
+// discovery. Isolated vertices get their own component.
+func (g *Graph) Components(filter EdgeFilter) []int {
+	comp := make([]int, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	stack := make([]int, 0, len(g.adj))
+	for start := range g.adj {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = next
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.adj[v] {
+				if !keep(filter, h.id) || comp[h.to] != -1 {
+					continue
+				}
+				comp[h.to] = next
+				stack = append(stack, h.to)
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// SameComponent reports whether u and v are connected in the filtered
+// subgraph.
+func (g *Graph) SameComponent(u, v int, filter EdgeFilter) bool {
+	comp := g.Components(filter)
+	return comp[u] == comp[v]
+}
+
+// ShortestPath returns the edge IDs of a shortest u→v path in the filtered
+// subgraph, or nil if v is unreachable from u. A path from u to itself is
+// the empty (non-nil) slice.
+func (g *Graph) ShortestPath(u, v int, filter EdgeFilter) []int {
+	if u == v {
+		return []int{}
+	}
+	prevEdge := make([]int, len(g.adj))
+	prevVert := make([]int, len(g.adj))
+	seen := make([]bool, len(g.adj))
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	queue := []int{u}
+	seen[u] = true
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[x] {
+			if !keep(filter, h.id) || seen[h.to] {
+				continue
+			}
+			seen[h.to] = true
+			prevEdge[h.to] = h.id
+			prevVert[h.to] = x
+			if h.to == v {
+				var path []int
+				for at := v; at != u; at = prevVert[at] {
+					path = append(path, prevEdge[at])
+				}
+				// Reverse into u→v order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, h.to)
+		}
+	}
+	return nil
+}
+
+// Blocks returns the biconnected components ("blocks") of the filtered
+// subgraph as lists of edge IDs. Every admitted edge appears in exactly one
+// block; a block consisting of a single edge is a bridge.
+func (g *Graph) Blocks(filter EdgeFilter) [][]int {
+	n := len(g.adj)
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var (
+		blocks    [][]int
+		edgeStack []int
+		timer     int
+	)
+
+	// Iterative DFS frame: vertex, the edge we arrived on, and a cursor
+	// into the adjacency list.
+	type frame struct {
+		v       int
+		inEdge  int
+		nextAdj int
+	}
+	var stack []frame
+
+	for root := range g.adj {
+		if disc[root] != -1 {
+			continue
+		}
+		stack = append(stack[:0], frame{v: root, inEdge: -1})
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.nextAdj < len(g.adj[f.v]) {
+				h := g.adj[f.v][f.nextAdj]
+				f.nextAdj++
+				if !keep(filter, h.id) || h.id == f.inEdge {
+					continue
+				}
+				if disc[h.to] == -1 {
+					edgeStack = append(edgeStack, h.id)
+					disc[h.to] = timer
+					low[h.to] = timer
+					timer++
+					stack = append(stack, frame{v: h.to, inEdge: h.id})
+					advanced = true
+					break
+				}
+				if disc[h.to] < disc[f.v] {
+					// Back edge to an ancestor.
+					edgeStack = append(edgeStack, h.id)
+					if disc[h.to] < low[f.v] {
+						low[f.v] = disc[h.to]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is fully explored: fold it into its parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			p := &stack[len(stack)-1]
+			if low[f.v] < low[p.v] {
+				low[p.v] = low[f.v]
+			}
+			if low[f.v] >= disc[p.v] {
+				// p.v is an articulation point (or the root): pop one block.
+				var block []int
+				for {
+					top := edgeStack[len(edgeStack)-1]
+					edgeStack = edgeStack[:len(edgeStack)-1]
+					block = append(block, top)
+					if top == f.inEdge {
+						break
+					}
+				}
+				blocks = append(blocks, block)
+			}
+		}
+	}
+	return blocks
+}
+
+// BlockOfEdge returns, for each edge, the index of its block in the
+// filtered subgraph, or -1 for edges the filter excludes.
+func (g *Graph) BlockOfEdge(filter EdgeFilter) []int {
+	owner := make([]int, len(g.edges))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for bi, block := range g.Blocks(filter) {
+		for _, e := range block {
+			owner[e] = bi
+		}
+	}
+	return owner
+}
+
+// Bridges returns the edge IDs that are bridges of the filtered subgraph
+// (blocks of size one).
+func (g *Graph) Bridges(filter EdgeFilter) []int {
+	var bridges []int
+	for _, block := range g.Blocks(filter) {
+		if len(block) == 1 {
+			bridges = append(bridges, block[0])
+		}
+	}
+	return bridges
+}
+
+// EdgesOnCycle reports, for each edge, whether it lies on some simple cycle
+// of the filtered subgraph — i.e. whether its block has more than one edge.
+// (Two parallel edges form a simple cycle in a multigraph.)
+func (g *Graph) EdgesOnCycle(filter EdgeFilter) []bool {
+	on := make([]bool, len(g.edges))
+	for _, block := range g.Blocks(filter) {
+		if len(block) < 2 {
+			continue
+		}
+		for _, e := range block {
+			on[e] = true
+		}
+	}
+	return on
+}
+
+// VerticesOnCycle reports, for each vertex, whether it lies on some simple
+// cycle of the filtered subgraph.
+func (g *Graph) VerticesOnCycle(filter EdgeFilter) []bool {
+	on := make([]bool, len(g.adj))
+	for _, block := range g.Blocks(filter) {
+		if len(block) < 2 {
+			continue
+		}
+		for _, e := range block {
+			u, v := g.Endpoints(e)
+			on[u] = true
+			on[v] = true
+		}
+	}
+	return on
+}

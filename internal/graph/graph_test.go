@@ -1,0 +1,383 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mustEdge adds an edge or fails the test.
+func mustEdge(t *testing.T, g *Graph, u, v int) int {
+	t.Helper()
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		t.Fatalf("AddEdge(%d, %d): %v", u, v, err)
+	}
+	return id
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(-1, 2); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d after failed adds, want 0", g.NumEdges())
+	}
+}
+
+func TestEndpointsAndDegree(t *testing.T) {
+	g := New(4)
+	e := mustEdge(t, g, 1, 3)
+	u, v := g.Endpoints(e)
+	if u != 1 || v != 3 {
+		t.Errorf("Endpoints = (%d, %d), want (1, 3)", u, v)
+	}
+	mustEdge(t, g, 1, 2)
+	if g.Degree(1) != 2 || g.Degree(0) != 0 {
+		t.Errorf("Degree(1)=%d Degree(0)=%d, want 2, 0", g.Degree(1), g.Degree(0))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	comp := g.Components(nil)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("0,1,2 should share a component: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("3,4 should share a component: %v", comp)
+	}
+	if comp[0] == comp[3] || comp[0] == comp[5] || comp[3] == comp[5] {
+		t.Errorf("components should be distinct: %v", comp)
+	}
+}
+
+func TestComponentsWithFilter(t *testing.T) {
+	g := New(3)
+	e0 := mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	// Exclude edge 0-1: vertex 0 becomes isolated.
+	comp := g.Components(func(e int) bool { return e != e0 })
+	if comp[0] == comp[1] {
+		t.Errorf("filtered edge still connects: %v", comp)
+	}
+	if comp[1] != comp[2] {
+		t.Errorf("1 and 2 should stay connected: %v", comp)
+	}
+	if !g.SameComponent(1, 2, func(e int) bool { return e != e0 }) {
+		t.Error("SameComponent(1,2) = false under filter")
+	}
+	if g.SameComponent(0, 2, func(e int) bool { return e != e0 }) {
+		t.Error("SameComponent(0,2) = true under filter")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New(5)
+	e01 := mustEdge(t, g, 0, 1)
+	e12 := mustEdge(t, g, 1, 2)
+	e23 := mustEdge(t, g, 2, 3)
+	e03 := mustEdge(t, g, 0, 3)
+	_ = e01
+
+	path := g.ShortestPath(0, 3, nil)
+	if len(path) != 1 || path[0] != e03 {
+		t.Errorf("ShortestPath(0,3) = %v, want [%d]", path, e03)
+	}
+	// Forbid the direct edge: must take the long way.
+	path = g.ShortestPath(0, 3, func(e int) bool { return e != e03 })
+	want := []int{e01, e12, e23}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Errorf("filtered ShortestPath(0,3) = %v, want %v", path, want)
+	}
+	if p := g.ShortestPath(0, 4, nil); p != nil {
+		t.Errorf("path to isolated vertex = %v, want nil", p)
+	}
+	if p := g.ShortestPath(2, 2, nil); p == nil || len(p) != 0 {
+		t.Errorf("path to self = %v, want empty non-nil", p)
+	}
+}
+
+func TestBlocksTriangleWithTail(t *testing.T) {
+	// 0-1-2-0 triangle with a tail 2-3.
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	tail := mustEdge(t, g, 2, 3)
+
+	blocks := g.Blocks(nil)
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2: %v", len(blocks), blocks)
+	}
+	sizes := []int{len(blocks[0]), len(blocks[1])}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 3 {
+		t.Errorf("block sizes = %v, want [1 3]", sizes)
+	}
+	bridges := g.Bridges(nil)
+	if len(bridges) != 1 || bridges[0] != tail {
+		t.Errorf("Bridges = %v, want [%d]", bridges, tail)
+	}
+}
+
+func TestBlocksParallelEdges(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 1)
+	blocks := g.Blocks(nil)
+	if len(blocks) != 1 || len(blocks[0]) != 2 {
+		t.Fatalf("parallel edges: blocks = %v, want one block of 2", blocks)
+	}
+	on := g.EdgesOnCycle(nil)
+	if !on[0] || !on[1] {
+		t.Errorf("parallel edges should be on a cycle: %v", on)
+	}
+	if len(g.Bridges(nil)) != 0 {
+		t.Error("parallel edges reported as bridges")
+	}
+}
+
+func TestEdgesOnCycle(t *testing.T) {
+	// Two triangles joined by a bridge: 0-1-2-0, 3-4-5-3, bridge 2-3.
+	g := New(6)
+	var tri []int
+	tri = append(tri, mustEdge(t, g, 0, 1), mustEdge(t, g, 1, 2), mustEdge(t, g, 2, 0))
+	bridge := mustEdge(t, g, 2, 3)
+	tri = append(tri, mustEdge(t, g, 3, 4), mustEdge(t, g, 4, 5), mustEdge(t, g, 5, 3))
+
+	on := g.EdgesOnCycle(nil)
+	for _, e := range tri {
+		if !on[e] {
+			t.Errorf("triangle edge %d not on cycle", e)
+		}
+	}
+	if on[bridge] {
+		t.Error("bridge reported on cycle")
+	}
+}
+
+func TestVerticesOnCycle(t *testing.T) {
+	// Triangle 0-1-2 with tails 2-3-4.
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	on := g.VerticesOnCycle(nil)
+	want := []bool{true, true, true, false, false}
+	for v, w := range want {
+		if on[v] != w {
+			t.Errorf("VerticesOnCycle[%d] = %v, want %v", v, on[v], w)
+		}
+	}
+}
+
+func TestBlockOfEdgeWithFilter(t *testing.T) {
+	g := New(4)
+	a := mustEdge(t, g, 0, 1)
+	b := mustEdge(t, g, 1, 2)
+	c := mustEdge(t, g, 2, 0)
+	d := mustEdge(t, g, 2, 3)
+	owner := g.BlockOfEdge(func(e int) bool { return e != d })
+	if owner[d] != -1 {
+		t.Errorf("excluded edge has block %d, want -1", owner[d])
+	}
+	if owner[a] != owner[b] || owner[b] != owner[c] {
+		t.Errorf("triangle split across blocks: %v", owner)
+	}
+}
+
+func TestBlocksCoverEveryEdgeExactlyOnce(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 40)
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if _, err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		count := make([]int, g.NumEdges())
+		for _, block := range g.Blocks(nil) {
+			for _, e := range block {
+				count[e]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBridgeRemovalDisconnectsProperty(t *testing.T) {
+	// For every bridge e=(u,v), removing e must disconnect u from v; for
+	// every non-bridge, removal must keep its endpoints connected.
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		m := int(mRaw % 30)
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				if _, err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		isBridge := make([]bool, g.NumEdges())
+		for _, e := range g.Bridges(nil) {
+			isBridge[e] = true
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.Endpoints(e)
+			without := func(x int) bool { return x != e }
+			connected := g.SameComponent(u, v, without)
+			if isBridge[e] && connected {
+				return false
+			}
+			if !isBridge[e] && !connected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	g := New(0)
+	if got := g.Blocks(nil); len(got) != 0 {
+		t.Errorf("empty graph blocks = %v", got)
+	}
+	if got := g.Components(nil); len(got) != 0 {
+		t.Errorf("empty graph components = %v", got)
+	}
+	g = New(1)
+	if got := g.Components(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton components = %v", got)
+	}
+	g = New(-3)
+	if g.NumVertices() != 0 {
+		t.Errorf("New(-3) has %d vertices", g.NumVertices())
+	}
+}
+
+// enumerateCycleEdges brute-forces which edges lie on at least one simple
+// cycle by DFS path enumeration (small graphs only).
+func enumerateCycleEdges(g *Graph) []bool {
+	on := make([]bool, g.NumEdges())
+	n := g.NumVertices()
+	// For each start vertex, walk all simple paths and close cycles back
+	// to the start.
+	var walk func(start, at int, usedV map[int]bool, usedE []bool, path []int)
+	walk = func(start, at int, usedV map[int]bool, usedE []bool, path []int) {
+		for e := 0; e < g.NumEdges(); e++ {
+			if usedE[e] {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			var to int
+			switch at {
+			case u:
+				to = v
+			case v:
+				to = u
+			default:
+				continue
+			}
+			if to == start && len(path) >= 1 {
+				// Simple cycle: path + e (length >= 2 edges).
+				for _, pe := range path {
+					on[pe] = true
+				}
+				on[e] = true
+				continue
+			}
+			if usedV[to] {
+				continue
+			}
+			usedV[to] = true
+			usedE[e] = true
+			walk(start, to, usedV, usedE, append(path, e))
+			usedV[to] = false
+			usedE[e] = false
+		}
+	}
+	for start := 0; start < n; start++ {
+		walk(start, start, map[int]bool{start: true}, make([]bool, g.NumEdges()), nil)
+	}
+	return on
+}
+
+func TestEdgesOnCycleMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		m := int(mRaw % 9)
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				if _, err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		fast := g.EdgesOnCycle(nil)
+		slow := enumerateCycleEdges(g)
+		for e := range fast {
+			if fast[e] != slow[e] {
+				t.Logf("seed %d: edge %d fast=%v slow=%v", seed, e, fast[e], slow[e])
+				return false
+			}
+		}
+		// Vertex version must agree too: a vertex is on a cycle iff it is
+		// an endpoint of an on-cycle edge.
+		fastV := g.VerticesOnCycle(nil)
+		slowV := make([]bool, n)
+		for e, on := range slow {
+			if on {
+				u, v := g.Endpoints(e)
+				slowV[u], slowV[v] = true, true
+			}
+		}
+		for v := range fastV {
+			if fastV[v] != slowV[v] {
+				t.Logf("seed %d: vertex %d fast=%v slow=%v", seed, v, fastV[v], slowV[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

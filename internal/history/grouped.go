@@ -1,0 +1,189 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/storage"
+)
+
+// Group identifies an original transaction whose chopped pieces executed
+// as separate owners. Grouping lets the checker ask the paper's real
+// question: is the execution of CHOP(T) serializable (or epsilon
+// serializable) *with respect to the original transaction set T*?
+type Group int64
+
+// GroupedAnalysis is the conflict-graph analysis after merging each
+// group's pieces into a single node.
+type GroupedAnalysis struct {
+	// Serializable reports whether the grouped conflict graph is acyclic,
+	// i.e. the piece execution is equivalent to a serializable execution
+	// of the original transactions.
+	Serializable bool
+	// Edges are the grouped conflict edges (between distinct groups).
+	Edges []GroupEdge
+	// Cycle is a witness cycle of groups when not serializable.
+	Cycle []Group
+}
+
+// GroupEdge is a conflict edge between two original transactions.
+type GroupEdge struct {
+	From, To Group
+	Key      storage.Key
+}
+
+// CheckGrouped analyzes the committed projection with owners merged by
+// groupOf. Owners missing from groupOf form singleton groups keyed by
+// their owner ID (so ungrouped transactions still participate).
+//
+// Ordering edges inside one group are ignored: sibling pieces of one
+// original transaction are free to interleave with each other.
+func (r *Recorder) CheckGrouped(groupOf map[lock.Owner]Group) GroupedAnalysis {
+	txns, ops := r.Snapshot()
+	committed := make(map[lock.Owner]bool, len(txns))
+	for _, t := range txns {
+		if t.Status == Committed {
+			committed[t.Owner] = true
+		}
+	}
+	group := func(o lock.Owner) Group {
+		if g, ok := groupOf[o]; ok {
+			return g
+		}
+		return Group(-int64(o)) // singleton, disjoint from explicit groups
+	}
+
+	byKey := make(map[storage.Key][]Op)
+	for _, op := range ops {
+		if committed[op.Owner] {
+			byKey[op.Key] = append(byKey[op.Key], op)
+		}
+	}
+	type edgeKey struct {
+		from, to Group
+		key      storage.Key
+	}
+	seen := make(map[edgeKey]bool)
+	nodes := make(map[Group]bool)
+	for o := range committed {
+		nodes[group(o)] = true
+	}
+	adjSet := make(map[Group]map[Group]bool)
+	var edges []GroupEdge
+	for key, list := range byKey {
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				ga, gb := group(a.Owner), group(b.Owner)
+				if ga == gb {
+					continue
+				}
+				if !opsConflict(a, b) {
+					continue
+				}
+				ek := edgeKey{from: ga, to: gb, key: key}
+				if seen[ek] {
+					continue
+				}
+				seen[ek] = true
+				edges = append(edges, GroupEdge{From: ga, To: gb, Key: key})
+				set := adjSet[ga]
+				if set == nil {
+					set = make(map[Group]bool)
+					adjSet[ga] = set
+				}
+				set[gb] = true
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Key < edges[j].Key
+	})
+
+	cycle := findGroupCycle(nodes, adjSet)
+	return GroupedAnalysis{Serializable: cycle == nil, Edges: edges, Cycle: cycle}
+}
+
+// findGroupCycle returns one cycle (first == last) or nil.
+func findGroupCycle(nodes map[Group]bool, adj map[Group]map[Group]bool) []Group {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Group]int, len(nodes))
+	parent := make(map[Group]Group)
+	ordered := make([]Group, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	var cycle []Group
+	var dfs func(u Group) bool
+	dfs = func(u Group) bool {
+		color[u] = gray
+		next := make([]Group, 0, len(adj[u]))
+		for v := range adj[u] {
+			next = append(next, v)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, v := range next {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycle = []Group{v}
+				for at := u; at != v; at = parent[at] {
+					cycle = append(cycle, at)
+				}
+				cycle = append(cycle, v)
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range ordered {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// DOT renders the grouped conflict graph in Graphviz format for
+// debugging non-serializable executions: one node per group, one edge
+// per conflicting key pair, cycle edges highlighted.
+func (ga *GroupedAnalysis) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph conflicts {\n")
+	onCycle := make(map[[2]Group]bool)
+	for i := 0; i+1 < len(ga.Cycle); i++ {
+		onCycle[[2]Group{ga.Cycle[i], ga.Cycle[i+1]}] = true
+	}
+	for _, e := range ga.Edges {
+		attr := ""
+		if onCycle[[2]Group{e.From, e.To}] {
+			attr = ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  g%d -> g%d [label=%q%s];\n", e.From, e.To, string(e.Key), attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,375 @@
+// Package history records execution histories and checks them for
+// conflict serializability.
+//
+// The recorder implements txn.Observer: every read, write, commit, and
+// abort lands in one global sequence. The checker builds the conflict
+// (serialization) graph over committed transactions — an edge t1→t2 for
+// each pair of conflicting operations where t1's came first — and reports
+// the history serializable iff the graph is acyclic. Under plain
+// concurrency control the graph must always be acyclic; under divergence
+// control cycles are expected, and the cycles' participants are exactly
+// the paper's runtime conflict cycles ("t C*_SR t") whose inconsistency
+// the ε-specs bound.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// OpKind is the kind of a recorded operation.
+type OpKind int
+
+// Recorded operation kinds.
+const (
+	// OpRead is a recorded read.
+	OpRead OpKind = iota + 1
+	// OpWrite is a recorded write.
+	OpWrite
+)
+
+// Op is one recorded operation.
+type Op struct {
+	// Seq is the global sequence number (total order of events).
+	Seq uint64
+	// Owner is the executing transaction.
+	Owner lock.Owner
+	// Kind is read or write.
+	Kind OpKind
+	// Key is the item touched.
+	Key storage.Key
+	// Value is the value read, or written (new value).
+	Value metric.Value
+	// Old is the overwritten value (writes only).
+	Old metric.Value
+	// Commutative marks writes that commute with other commutative
+	// writes (increments); such write pairs do not conflict.
+	Commutative bool
+}
+
+// Status is a transaction's final state.
+type Status int
+
+// Transaction statuses.
+const (
+	// Active transactions have begun and not finished.
+	Active Status = iota + 1
+	// Committed transactions finished successfully.
+	Committed
+	// Aborted transactions rolled back.
+	Aborted
+)
+
+// Txn is one recorded transaction.
+type Txn struct {
+	Owner  lock.Owner
+	Name   string
+	Class  txn.Class
+	Status Status
+	// Ops are indices into the recorder's op list, in execution order.
+	Ops []int
+	// AbortReason holds the error passed to Abort, if any.
+	AbortReason error
+}
+
+// Recorder accumulates a history. It is safe for concurrent use and
+// implements txn.Observer.
+type Recorder struct {
+	mu   sync.Mutex
+	seq  uint64
+	ops  []Op
+	txns map[lock.Owner]*Txn
+}
+
+var _ txn.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{txns: make(map[lock.Owner]*Txn)}
+}
+
+// Begin implements txn.Observer.
+func (r *Recorder) Begin(owner lock.Owner, name string, class txn.Class) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txns[owner] = &Txn{Owner: owner, Name: name, Class: class, Status: Active}
+}
+
+func (r *Recorder) record(owner lock.Owner, kind OpKind, key storage.Key, value, old metric.Value, commutative bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.txns[owner]
+	if t == nil {
+		// An operation without Begin: synthesize the transaction so the
+		// history stays checkable rather than panicking mid-run.
+		t = &Txn{Owner: owner, Name: fmt.Sprintf("anon-%d", owner), Status: Active}
+		r.txns[owner] = t
+	}
+	r.seq++
+	r.ops = append(r.ops, Op{
+		Seq: r.seq, Owner: owner, Kind: kind, Key: key,
+		Value: value, Old: old, Commutative: commutative,
+	})
+	t.Ops = append(t.Ops, len(r.ops)-1)
+}
+
+// Read implements txn.Observer.
+func (r *Recorder) Read(owner lock.Owner, key storage.Key, value metric.Value) {
+	r.record(owner, OpRead, key, value, 0, false)
+}
+
+// Write implements txn.Observer.
+func (r *Recorder) Write(owner lock.Owner, key storage.Key, old, new metric.Value, commutative bool) {
+	r.record(owner, OpWrite, key, new, old, commutative)
+}
+
+// Commit implements txn.Observer.
+func (r *Recorder) Commit(owner lock.Owner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.txns[owner]; t != nil {
+		t.Status = Committed
+	}
+}
+
+// Abort implements txn.Observer.
+func (r *Recorder) Abort(owner lock.Owner, reason error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.txns[owner]; t != nil {
+		t.Status = Aborted
+		t.AbortReason = reason
+	}
+}
+
+// Snapshot returns copies of the recorded transactions and operations.
+func (r *Recorder) Snapshot() ([]Txn, []Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	txns := make([]Txn, 0, len(r.txns))
+	for _, t := range r.txns {
+		cp := *t
+		cp.Ops = append([]int(nil), t.Ops...)
+		txns = append(txns, cp)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].Owner < txns[j].Owner })
+	ops := make([]Op, len(r.ops))
+	copy(ops, r.ops)
+	return txns, ops
+}
+
+// Counts returns (committed, aborted, active) transaction counts.
+func (r *Recorder) Counts() (committed, aborted, active int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.txns {
+		switch t.Status {
+		case Committed:
+			committed++
+		case Aborted:
+			aborted++
+		default:
+			active++
+		}
+	}
+	return committed, aborted, active
+}
+
+// ConflictEdge is one conflict-graph edge: From's operation preceded a
+// conflicting operation of To.
+type ConflictEdge struct {
+	From, To lock.Owner
+	Key      storage.Key
+}
+
+// Analysis is the result of checking a history.
+type Analysis struct {
+	// Serializable reports whether the committed projection's conflict
+	// graph is acyclic.
+	Serializable bool
+	// Edges are the conflict-graph edges (deduplicated).
+	Edges []ConflictEdge
+	// Cycle is one witness cycle (a sequence of owners, first == last)
+	// when the history is not serializable.
+	Cycle []lock.Owner
+	// Order is a serialization order (topological) when serializable.
+	Order []lock.Owner
+}
+
+// Check analyzes the committed projection of the recorded history.
+func (r *Recorder) Check() Analysis {
+	txns, ops := r.Snapshot()
+	committed := make(map[lock.Owner]bool, len(txns))
+	for _, t := range txns {
+		if t.Status == Committed {
+			committed[t.Owner] = true
+		}
+	}
+	return checkOps(committed, ops)
+}
+
+// opsConflict applies the chopper's conflict model to recorded ops: at
+// least one write, and not two commuting writes.
+func opsConflict(a, b Op) bool {
+	if a.Kind == OpRead && b.Kind == OpRead {
+		return false
+	}
+	if a.Kind == OpWrite && b.Kind == OpWrite && a.Commutative && b.Commutative {
+		return false
+	}
+	return true
+}
+
+// checkOps builds the conflict graph over committed owners and analyzes
+// it.
+func checkOps(committed map[lock.Owner]bool, ops []Op) Analysis {
+	// Per-key op lists in sequence order.
+	byKey := make(map[storage.Key][]Op)
+	for _, op := range ops {
+		if committed[op.Owner] {
+			byKey[op.Key] = append(byKey[op.Key], op)
+		}
+	}
+	type edgeKey struct {
+		from, to lock.Owner
+		key      storage.Key
+	}
+	seen := make(map[edgeKey]bool)
+	adj := make(map[lock.Owner][]lock.Owner)
+	var edges []ConflictEdge
+	nodes := make(map[lock.Owner]bool)
+	for o := range committed {
+		nodes[o] = true
+	}
+	for key, list := range byKey {
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.Owner == b.Owner {
+					continue
+				}
+				if !opsConflict(a, b) {
+					continue
+				}
+				ek := edgeKey{from: a.Owner, to: b.Owner, key: key}
+				if seen[ek] {
+					continue
+				}
+				seen[ek] = true
+				edges = append(edges, ConflictEdge{From: a.Owner, To: b.Owner, Key: key})
+				adj[a.Owner] = append(adj[a.Owner], b.Owner)
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Key < edges[j].Key
+	})
+
+	cycle := findCycle(nodes, adj)
+	an := Analysis{Serializable: cycle == nil, Edges: edges, Cycle: cycle}
+	if an.Serializable {
+		an.Order = topoOrder(nodes, adj)
+	}
+	return an
+}
+
+// findCycle returns one cycle (first == last) or nil.
+func findCycle(nodes map[lock.Owner]bool, adj map[lock.Owner][]lock.Owner) []lock.Owner {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[lock.Owner]int, len(nodes))
+	parent := make(map[lock.Owner]lock.Owner)
+
+	ordered := make([]lock.Owner, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	var cycle []lock.Owner
+	var dfs func(u lock.Owner) bool
+	dfs = func(u lock.Owner) bool {
+		color[u] = gray
+		next := append([]lock.Owner(nil), adj[u]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, v := range next {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a cycle v → ... → u → v.
+				cycle = []lock.Owner{v}
+				for at := u; at != v; at = parent[at] {
+					cycle = append(cycle, at)
+				}
+				cycle = append(cycle, v)
+				// Reverse to get forward edge order v → ... → v.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range ordered {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// topoOrder returns a topological order of the acyclic graph.
+func topoOrder(nodes map[lock.Owner]bool, adj map[lock.Owner][]lock.Owner) []lock.Owner {
+	indeg := make(map[lock.Owner]int, len(nodes))
+	for n := range nodes {
+		indeg[n] = 0
+	}
+	for _, outs := range adj {
+		for _, v := range outs {
+			indeg[v]++
+		}
+	}
+	var ready []lock.Owner
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []lock.Owner
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	return order
+}

@@ -1,0 +1,357 @@
+// Package lock implements the lock manager shared by concurrency control
+// and divergence control.
+//
+// It provides shared/exclusive locks over storage keys with strict
+// two-phase semantics (a transaction releases everything at end), a
+// waits-for-graph deadlock detector that aborts the requester closing a
+// cycle, and — the hook divergence control plugs into — a conflict
+// Arbiter: before a conflicting request blocks, the arbiter may "absorb"
+// the conflict, granting incompatible locks simultaneously. Two-phase
+// locking divergence control (Wu-Yu-Pu) is exactly ordinary 2PL with an
+// arbiter that admits query/update read-write conflicts while the
+// import/export fuzziness accounts stay within their ε-specs.
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"asynctp/internal/storage"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared is the read lock.
+	Shared Mode = iota + 1
+	// Exclusive is the write lock.
+	Exclusive
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compatible reports classic S/X compatibility.
+func Compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Owner identifies a lock owner (a transaction or piece execution).
+type Owner int64
+
+// ErrDeadlock is returned to the requester chosen as deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock victim")
+
+// HolderInfo describes one conflicting holder passed to the Arbiter.
+type HolderInfo struct {
+	Owner Owner
+	Mode  Mode
+}
+
+// ConflictInfo describes a request that conflicts with current holders.
+type ConflictInfo struct {
+	Key       storage.Key
+	Requester Owner
+	Mode      Mode
+	// Holders lists only the holders the request is incompatible with.
+	Holders []HolderInfo
+}
+
+// Arbiter decides whether a conflicting request may be granted anyway.
+//
+// Absorb must atomically account for the conflict (e.g. charge fuzziness
+// to both sides) and return true, or leave all state unchanged and return
+// false. It is called with the lock manager's internal mutex held and must
+// not call back into the manager.
+type Arbiter interface {
+	Absorb(ConflictInfo) bool
+}
+
+// Stats are cumulative lock-manager counters.
+type Stats struct {
+	Grants      uint64 // requests granted without conflict
+	FuzzyGrants uint64 // conflicting requests absorbed by the arbiter
+	Blocks      uint64 // requests that had to wait at least once
+	Deadlocks   uint64 // requests aborted as deadlock victims
+}
+
+// waiter is a blocked request.
+type waiter struct {
+	owner Owner
+	mode  Mode
+	// grant is closed exactly once with the outcome.
+	grant chan error
+	// granted/cancelled mark the waiter resolved so late wakeups skip it.
+	done bool
+}
+
+// entry is the lock table row for one key.
+type entry struct {
+	holders map[Owner]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	mu      sync.Mutex
+	table   map[storage.Key]*entry
+	held    map[Owner]map[storage.Key]struct{}
+	waits   map[Owner]map[Owner]struct{} // waits-for edges
+	arbiter Arbiter
+	stats   Stats
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithArbiter installs a conflict arbiter (divergence control).
+func WithArbiter(a Arbiter) Option {
+	return func(m *Manager) { m.arbiter = a }
+}
+
+// NewManager returns a lock manager. With no options it implements plain
+// strict two-phase locking.
+func NewManager(opts ...Option) *Manager {
+	m := &Manager{
+		table: make(map[storage.Key]*entry),
+		held:  make(map[Owner]map[storage.Key]struct{}),
+		waits: make(map[Owner]map[Owner]struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// conflicts returns the holders incompatible with owner requesting mode.
+func (e *entry) conflicts(owner Owner, mode Mode) []HolderInfo {
+	var out []HolderInfo
+	for h, hm := range e.holders {
+		if h == owner {
+			continue
+		}
+		if !Compatible(mode, hm) {
+			out = append(out, HolderInfo{Owner: h, Mode: hm})
+		}
+	}
+	return out
+}
+
+// grantLocked records owner holding key in at least mode.
+func (m *Manager) grantLocked(e *entry, key storage.Key, owner Owner, mode Mode) {
+	if cur, ok := e.holders[owner]; !ok || mode > cur {
+		e.holders[owner] = mode
+	}
+	hs := m.held[owner]
+	if hs == nil {
+		hs = make(map[storage.Key]struct{})
+		m.held[owner] = hs
+	}
+	hs[key] = struct{}{}
+}
+
+// setWaitEdges replaces owner's outgoing waits-for edges and reports
+// whether the new edges close a cycle back to owner.
+func (m *Manager) setWaitEdges(owner Owner, targets []HolderInfo) bool {
+	edges := make(map[Owner]struct{}, len(targets))
+	for _, h := range targets {
+		edges[h.Owner] = struct{}{}
+	}
+	m.waits[owner] = edges
+	return m.cycleFrom(owner)
+}
+
+// cycleFrom reports whether owner can reach itself in the waits-for graph.
+func (m *Manager) cycleFrom(owner Owner) bool {
+	seen := make(map[Owner]struct{})
+	var stack []Owner
+	for t := range m.waits[owner] {
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == owner {
+			return true
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		for t := range m.waits[v] {
+			stack = append(stack, t)
+		}
+	}
+	return false
+}
+
+// Acquire obtains key in mode for owner, blocking while conflicting locks
+// are held. It returns ErrDeadlock if granting would require waiting in a
+// waits-for cycle, or ctx.Err() if the context ends first. Re-acquiring a
+// held lock (including S→X upgrade) is supported.
+func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mode Mode) error {
+	m.mu.Lock()
+	e := m.table[key]
+	if e == nil {
+		e = &entry{holders: make(map[Owner]Mode)}
+		m.table[key] = e
+	}
+	if cur, ok := e.holders[owner]; ok && cur >= mode {
+		m.mu.Unlock()
+		return nil // already held in a sufficient mode
+	}
+	conf := e.conflicts(owner, mode)
+	if len(conf) == 0 {
+		m.grantLocked(e, key, owner, mode)
+		m.stats.Grants++
+		m.mu.Unlock()
+		return nil
+	}
+	if m.arbiter != nil && m.arbiter.Absorb(ConflictInfo{
+		Key: key, Requester: owner, Mode: mode, Holders: conf,
+	}) {
+		m.grantLocked(e, key, owner, mode)
+		m.stats.FuzzyGrants++
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait. Check for a deadlock the new edges would create.
+	if m.setWaitEdges(owner, conf) {
+		delete(m.waits, owner)
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	w := &waiter{owner: owner, mode: mode, grant: make(chan error, 1)}
+	e.queue = append(e.queue, w)
+	m.stats.Blocks++
+	m.mu.Unlock()
+
+	select {
+	case err := <-w.grant:
+		return err
+	case <-ctx.Done():
+		m.mu.Lock()
+		if !w.done {
+			w.done = true
+			m.removeWaiterLocked(e, w)
+			delete(m.waits, owner)
+			m.mu.Unlock()
+			return ctx.Err()
+		}
+		m.mu.Unlock()
+		// Resolved concurrently with cancellation: honor the resolution.
+		return <-w.grant
+	}
+}
+
+// removeWaiterLocked drops w from e's queue.
+func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll releases every lock owner holds and wakes whatever can now
+// run. It is the "end of transaction" of strict two-phase locking.
+func (m *Manager) ReleaseAll(owner Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.held[owner]
+	delete(m.held, owner)
+	delete(m.waits, owner)
+	for key := range keys {
+		e := m.table[key]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, owner)
+		m.wakeLocked(e, key)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.table, key)
+		}
+	}
+}
+
+// wakeLocked re-evaluates e's wait queue in order, granting every waiter
+// that is now compatible (or absorbed), and refreshing waits-for edges for
+// those that remain blocked. A waiter whose refreshed edges close a cycle
+// is aborted as a deadlock victim.
+func (m *Manager) wakeLocked(e *entry, key storage.Key) {
+	var remaining []*waiter
+	for _, w := range e.queue {
+		if w.done {
+			continue
+		}
+		conf := e.conflicts(w.owner, w.mode)
+		switch {
+		case len(conf) == 0:
+			m.grantLocked(e, key, w.owner, w.mode)
+			delete(m.waits, w.owner)
+			w.done = true
+			w.grant <- nil
+		case m.arbiter != nil && m.arbiter.Absorb(ConflictInfo{
+			Key: key, Requester: w.owner, Mode: w.mode, Holders: conf,
+		}):
+			m.grantLocked(e, key, w.owner, w.mode)
+			m.stats.FuzzyGrants++
+			delete(m.waits, w.owner)
+			w.done = true
+			w.grant <- nil
+		default:
+			if m.setWaitEdges(w.owner, conf) {
+				delete(m.waits, w.owner)
+				m.stats.Deadlocks++
+				w.done = true
+				w.grant <- ErrDeadlock
+				continue
+			}
+			remaining = append(remaining, w)
+		}
+	}
+	e.queue = remaining
+}
+
+// HoldsLock reports whether owner currently holds key in at least mode.
+func (m *Manager) HoldsLock(owner Owner, key storage.Key, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[key]
+	if e == nil {
+		return false
+	}
+	cur, ok := e.holders[owner]
+	return ok && cur >= mode
+}
+
+// HeldKeys returns the keys owner currently holds (any mode).
+func (m *Manager) HeldKeys(owner Owner) []storage.Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []storage.Key
+	for k := range m.held[owner] {
+		out = append(out, k)
+	}
+	return out
+}

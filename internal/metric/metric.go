@@ -1,0 +1,180 @@
+// Package metric defines the metric-space value model used throughout the
+// library.
+//
+// Epsilon serializability (ESR) is defined over database state spaces that
+// carry a distance measure. Following the paper's banking examples, the
+// canonical value type is an integer amount (cents), with distance
+// |a - b|. The package also provides the epsilon-specification (ε-spec)
+// types that bound how much inconsistency an epsilon transaction may
+// import or export, including the ∞ limit assigned to unrestricted pieces.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a point in the database's metric space. The paper's examples use
+// money amounts; we represent them as integer cents so that distances are
+// exact.
+type Value int64
+
+// Distance returns the metric-space distance |v - w|.
+//
+// Distance is the d(x, y) of the ESR definition: the fuzziness a
+// read/write conflict can introduce is the distance between the value a
+// query observed and the value a serializable execution would have shown.
+func Distance(v, w Value) Fuzz {
+	d := int64(v) - int64(w)
+	if d < 0 {
+		d = -d
+	}
+	return Fuzz(d)
+}
+
+// Fuzz is an amount of inconsistency (fuzziness), measured in the same
+// units as the value space. Fuzz values accumulate additively: the
+// fuzziness of a transaction is the sum of the fuzziness of its conflicts
+// (Lemma 1 extends this to the sum over chopped pieces).
+type Fuzz int64
+
+// Add returns f + g, saturating instead of overflowing.
+func (f Fuzz) Add(g Fuzz) Fuzz {
+	s := int64(f) + int64(g)
+	if s < int64(f) || s < int64(g) {
+		return Fuzz(math.MaxInt64)
+	}
+	return Fuzz(s)
+}
+
+// Limit is an inconsistency limit (an ε-spec component). A Limit is either
+// a finite fuzz bound or infinite. The zero value is the finite limit 0,
+// i.e. "no inconsistency allowed", which makes divergence control degrade
+// to ordinary concurrency control — the upward-compatibility of ESR.
+type Limit struct {
+	// bound is the finite bound; ignored when infinite is set.
+	bound Fuzz
+	// infinite marks the ∞ limit given to unrestricted pieces.
+	infinite bool
+}
+
+// Infinite is the unbounded limit (∞). The paper assigns it to
+// unrestricted pieces so that divergence control never blocks them: they
+// cannot take part in any conflict cycle, so their accounted fuzziness is
+// an over-estimate that must be ignored.
+var Infinite = Limit{infinite: true}
+
+// LimitOf returns a finite limit of f. Negative bounds are clamped to 0.
+func LimitOf(f Fuzz) Limit {
+	if f < 0 {
+		f = 0
+	}
+	return Limit{bound: f}
+}
+
+// Zero is the finite limit 0: classic serializability.
+var Zero = LimitOf(0)
+
+// IsInfinite reports whether l is the ∞ limit.
+func (l Limit) IsInfinite() bool { return l.infinite }
+
+// Bound returns the finite bound. It panics on the infinite limit; callers
+// must check IsInfinite first.
+func (l Limit) Bound() Fuzz {
+	if l.infinite {
+		panic("metric: Bound() on infinite limit")
+	}
+	return l.bound
+}
+
+// Allows reports whether accumulated fuzziness f is permitted under l,
+// i.e. f <= l (Condition 1, Safe(p)).
+func (l Limit) Allows(f Fuzz) bool {
+	return l.infinite || f <= l.bound
+}
+
+// Sub returns the limit l - f (the "leftover" limit LO_p = Limit - Z_p of
+// the dynamic distribution algorithm, Figure 2). Subtracting from ∞ yields
+// ∞; finite results are clamped at 0.
+func (l Limit) Sub(f Fuzz) Limit {
+	if l.infinite {
+		return l
+	}
+	if f >= l.bound {
+		return Limit{}
+	}
+	return Limit{bound: l.bound - f}
+}
+
+// AddLimit returns l + m, where adding anything to ∞ yields ∞.
+func (l Limit) AddLimit(m Limit) Limit {
+	if l.infinite || m.infinite {
+		return Infinite
+	}
+	return Limit{bound: l.bound.Add(m.bound)}
+}
+
+// Div returns l split n ways (the static distribution Limit_t / |CHOP_R(t)|,
+// Section 2.2.1). Dividing ∞ yields ∞. Div panics if n <= 0.
+func (l Limit) Div(n int) Limit {
+	if n <= 0 {
+		panic("metric: Div by non-positive count")
+	}
+	if l.infinite {
+		return l
+	}
+	return Limit{bound: l.bound / Fuzz(n)}
+}
+
+// Cmp compares two limits: -1 if l < m, 0 if equal, +1 if l > m. ∞ compares
+// greater than every finite limit and equal to itself.
+func (l Limit) Cmp(m Limit) int {
+	switch {
+	case l.infinite && m.infinite:
+		return 0
+	case l.infinite:
+		return 1
+	case m.infinite:
+		return -1
+	case l.bound < m.bound:
+		return -1
+	case l.bound > m.bound:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the limit for logs and reports.
+func (l Limit) String() string {
+	if l.infinite {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", int64(l.bound))
+}
+
+// Spec is a full ε-spec for an epsilon transaction: how much fuzziness it
+// may import (relevant to query ETs) and export (relevant to update ETs).
+type Spec struct {
+	// Import bounds the inconsistency the ET may observe.
+	Import Limit
+	// Export bounds the inconsistency the ET may cause others to observe.
+	Export Limit
+}
+
+// SpecOf builds a Spec with the same finite bound for import and export.
+func SpecOf(f Fuzz) Spec {
+	return Spec{Import: LimitOf(f), Export: LimitOf(f)}
+}
+
+// Strict is the ε-spec of a classic serializable transaction: no import,
+// no export.
+var Strict = Spec{Import: Zero, Export: Zero}
+
+// Unbounded is the ε-spec that never restricts execution.
+var Unbounded = Spec{Import: Infinite, Export: Infinite}
+
+// String renders the spec for logs and reports.
+func (s Spec) String() string {
+	return fmt.Sprintf("{import:%s export:%s}", s.Import, s.Export)
+}

@@ -1,0 +1,187 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		v, w Value
+		want Fuzz
+	}{
+		{"zero", 0, 0, 0},
+		{"positive gap", 10, 3, 7},
+		{"negative gap", 3, 10, 7},
+		{"both negative", -5, -9, 4},
+		{"across zero", -5, 5, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(tt.v, tt.w); got != tt.want {
+				t.Errorf("Distance(%d, %d) = %d, want %d", tt.v, tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceMetricAxioms(t *testing.T) {
+	symmetric := func(a, b int32) bool {
+		return Distance(Value(a), Value(b)) == Distance(Value(b), Value(a))
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a int32) bool {
+		return Distance(Value(a), Value(a)) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c int32) bool {
+		ab := Distance(Value(a), Value(b))
+		bc := Distance(Value(b), Value(c))
+		ac := Distance(Value(a), Value(c))
+		return ac <= ab.Add(bc)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestFuzzAddSaturates(t *testing.T) {
+	big := Fuzz(math.MaxInt64 - 1)
+	if got := big.Add(big); got != Fuzz(math.MaxInt64) {
+		t.Errorf("saturating add = %d, want MaxInt64", got)
+	}
+	if got := Fuzz(1).Add(2); got != 3 {
+		t.Errorf("small add = %d, want 3", got)
+	}
+}
+
+func TestLimitAllows(t *testing.T) {
+	tests := []struct {
+		name  string
+		limit Limit
+		fuzz  Fuzz
+		want  bool
+	}{
+		{"zero allows zero", Zero, 0, true},
+		{"zero rejects one", Zero, 1, false},
+		{"finite at bound", LimitOf(10), 10, true},
+		{"finite above bound", LimitOf(10), 11, false},
+		{"infinite allows huge", Infinite, Fuzz(math.MaxInt64), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.limit.Allows(tt.fuzz); got != tt.want {
+				t.Errorf("%s.Allows(%d) = %v, want %v", tt.limit, tt.fuzz, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLimitSub(t *testing.T) {
+	if got := LimitOf(51).Sub(20); got.Cmp(LimitOf(31)) != 0 {
+		t.Errorf("51 - 20 = %s, want 31", got)
+	}
+	if got := LimitOf(10).Sub(15); got.Cmp(Zero) != 0 {
+		t.Errorf("10 - 15 = %s, want 0 (clamped)", got)
+	}
+	if got := Infinite.Sub(1 << 40); !got.IsInfinite() {
+		t.Errorf("inf - x = %s, want inf", got)
+	}
+}
+
+func TestLimitDiv(t *testing.T) {
+	// The paper's Figure 1 example: Limit_t = 51 split over 3 restricted
+	// pieces gives 17 each.
+	if got := LimitOf(51).Div(3); got.Cmp(LimitOf(17)) != 0 {
+		t.Errorf("51/3 = %s, want 17", got)
+	}
+	if got := Infinite.Div(4); !got.IsInfinite() {
+		t.Errorf("inf/4 = %s, want inf", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Div(0) did not panic")
+		}
+	}()
+	LimitOf(1).Div(0)
+}
+
+func TestLimitAddLimit(t *testing.T) {
+	if got := LimitOf(3).AddLimit(LimitOf(4)); got.Cmp(LimitOf(7)) != 0 {
+		t.Errorf("3+4 = %s, want 7", got)
+	}
+	if got := LimitOf(3).AddLimit(Infinite); !got.IsInfinite() {
+		t.Errorf("3+inf = %s, want inf", got)
+	}
+}
+
+func TestLimitCmp(t *testing.T) {
+	tests := []struct {
+		name string
+		l, m Limit
+		want int
+	}{
+		{"less", LimitOf(1), LimitOf(2), -1},
+		{"equal", LimitOf(2), LimitOf(2), 0},
+		{"greater", LimitOf(3), LimitOf(2), 1},
+		{"finite vs inf", LimitOf(1 << 50), Infinite, -1},
+		{"inf vs finite", Infinite, LimitOf(0), 1},
+		{"inf vs inf", Infinite, Infinite, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.Cmp(tt.m); got != tt.want {
+				t.Errorf("Cmp = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLimitSubLeftoverProperty(t *testing.T) {
+	// LO_p = Limit - Z_p must always be allowed under the original limit
+	// and must never be negative.
+	prop := func(bound, used uint16) bool {
+		l := LimitOf(Fuzz(bound))
+		lo := l.Sub(Fuzz(used))
+		if lo.IsInfinite() {
+			return false
+		}
+		return lo.Bound() >= 0 && lo.Bound() <= l.Bound()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimitBoundPanicsOnInfinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bound() on Infinite did not panic")
+		}
+	}()
+	Infinite.Bound()
+}
+
+func TestLimitOfClampsNegative(t *testing.T) {
+	if got := LimitOf(-5); got.Cmp(Zero) != 0 {
+		t.Errorf("LimitOf(-5) = %s, want 0", got)
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	if got := Strict.String(); got != "{import:0 export:0}" {
+		t.Errorf("Strict.String() = %q", got)
+	}
+	if got := Unbounded.String(); got != "{import:inf export:inf}" {
+		t.Errorf("Unbounded.String() = %q", got)
+	}
+	if got := SpecOf(100).String(); got != "{import:100 export:100}" {
+		t.Errorf("SpecOf(100).String() = %q", got)
+	}
+}

@@ -1,0 +1,342 @@
+// Package odc implements optimistic (validation-based) divergence
+// control — the second family of DC algorithms described in the paper's
+// reference [12] (Wu, Yu, Pu: "Divergence control for epsilon-
+// serializability"), provided here as an alternative on-line engine to
+// the lock-based controller in package dc.
+//
+// Execution is classic backward-validation OCC with an ESR twist:
+//
+//   - Read phase: reads go straight to the committed store (writes are
+//     buffered, so there are never dirty reads); writes are buffered.
+//   - Validation (critical section): the transaction is checked against
+//     every transaction that committed after it started. A committed
+//     update that wrote a key this transaction read is a read-write
+//     conflict: under plain OCC it would force an abort, but a query ET
+//     may *absorb* it by importing the writer's declared bound — charged
+//     against the query's import limit and against the writer's export
+//     limit (tracked post-commit on its validation record). Update ETs
+//     stay serializable among themselves: write-write conflicts on
+//     non-commutative ops always abort.
+//   - Install: buffered writes apply atomically; commutative increments
+//     are re-applied against the current value, so concurrent adds never
+//     invalidate each other (the same commutativity the chopper uses).
+package odc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// ErrValidation is the system abort returned when validation fails; the
+// caller retries, as with lock deadlocks.
+var ErrValidation = errors.New("odc: validation failed")
+
+// bufWrite is one buffered write: the op plus the value computed during
+// the read phase (re-derived at install for commutative ops).
+type bufWrite struct {
+	op    txn.Op
+	value metric.Value
+}
+
+// committed is a validation record for one committed transaction.
+type committed struct {
+	seq   int64
+	class txn.Class
+	// writes maps written keys to the writer's declared bound (conflict
+	// price) and whether the write was commutative.
+	writes map[storage.Key]writeInfo
+	// exported accumulates post-commit export charges; bounded by limit.
+	exported    metric.Fuzz
+	exportLimit metric.Limit
+}
+
+type writeInfo struct {
+	bound       metric.Limit
+	commutative bool
+}
+
+// Stats counts engine events.
+type Stats struct {
+	Commits    uint64
+	Aborts     uint64 // validation failures
+	Absorbed   uint64 // conflicts absorbed by ε accounting
+	ReExecuted uint64 // commutative writes re-applied at install
+	GCRetained int    // current size of the validation window
+}
+
+// Engine is the optimistic divergence-control executor for one store.
+type Engine struct {
+	store   *storage.Store
+	obs     txn.Observer
+	opDelay time.Duration
+
+	mu     sync.Mutex
+	seq    int64
+	recent []*committed
+	active map[lock.Owner]int64 // owner → start seq (for GC)
+	stats  Stats
+}
+
+// NewEngine builds an engine over store; obs may be nil.
+func NewEngine(store *storage.Store, obs txn.Observer) *Engine {
+	return &Engine{store: store, obs: obs, active: make(map[lock.Owner]int64)}
+}
+
+// SetOpDelay makes every operation take d of simulated work during the
+// read phase (matching txn.Exec.SetOpDelay, but without any lock held —
+// the optimistic engine's whole point).
+func (e *Engine) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.GCRetained = len(e.recent)
+	return st
+}
+
+// Run executes p once under the given ε-spec and class, returning the
+// outcome plus the fuzziness imported by this execution. ErrValidation
+// aborts are retryable; rollback statements return txn.ErrRollback.
+func (e *Engine) Run(
+	ctx context.Context,
+	owner lock.Owner,
+	p *txn.Program,
+	spec metric.Spec,
+	class txn.Class,
+) (*txn.Outcome, metric.Fuzz, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if e.obs != nil {
+		e.obs.Begin(owner, p.Name, class)
+	}
+	start := e.begin(owner)
+	defer e.end(owner)
+
+	out := &txn.Outcome{Owner: owner}
+	readSet := make(map[storage.Key]bool)
+	var writes []bufWrite
+	// local mirrors buffered writes so the program reads its own writes.
+	local := make(map[storage.Key]metric.Value)
+
+	// readKey fetches a value for computation; observe marks keys whose
+	// committed value the transaction semantically depends on. A pure
+	// commutative increment computes old+δ but its effect (the δ) does
+	// not depend on old, so it joins the read set only when a rollback
+	// predicate inspects the value.
+	readKey := func(k storage.Key, observe bool) metric.Value {
+		if v, ok := local[k]; ok {
+			return v
+		}
+		if observe {
+			readSet[k] = true
+		}
+		return e.store.Get(k)
+	}
+	for _, op := range p.Ops {
+		if e.opDelay > 0 {
+			time.Sleep(e.opDelay)
+		}
+		observe := op.Kind == txn.OpRead || op.AbortIf != nil ||
+			(op.Kind == txn.OpWrite && !op.Commutative)
+		old := readKey(op.Key, observe)
+		if op.AbortIf != nil && op.AbortIf(old) {
+			if e.obs != nil {
+				e.obs.Abort(owner, txn.ErrRollback)
+			}
+			return out, 0, fmt.Errorf("op on %q: %w", op.Key, txn.ErrRollback)
+		}
+		switch op.Kind {
+		case txn.OpRead:
+			out.Reads = append(out.Reads, txn.ReadRec{Key: op.Key, Value: old})
+			if e.obs != nil {
+				e.obs.Read(owner, op.Key, old)
+			}
+		case txn.OpWrite:
+			val := op.Update(old)
+			local[op.Key] = val
+			writes = append(writes, bufWrite{op: op, value: val})
+		}
+	}
+
+	imported, err := e.validateAndInstall(owner, p, spec, class, start, readSet, writes, out)
+	if err != nil {
+		if e.obs != nil {
+			e.obs.Abort(owner, err)
+		}
+		return out, 0, err
+	}
+	out.Committed = true
+	if e.obs != nil {
+		e.obs.Commit(owner)
+	}
+	return out, imported, nil
+}
+
+// begin registers an active transaction and returns its start sequence.
+func (e *Engine) begin(owner lock.Owner) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active[owner] = e.seq
+	return e.seq
+}
+
+// end unregisters and garbage-collects the validation window.
+func (e *Engine) end(owner lock.Owner) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.active, owner)
+	min := e.seq
+	for _, s := range e.active {
+		if s < min {
+			min = s
+		}
+	}
+	keep := e.recent[:0]
+	for _, c := range e.recent {
+		if c.seq > min {
+			keep = append(keep, c)
+		}
+	}
+	e.recent = keep
+}
+
+// validateAndInstall is the critical section: backward validation with
+// ε absorption, then atomic install.
+func (e *Engine) validateAndInstall(
+	owner lock.Owner,
+	p *txn.Program,
+	spec metric.Spec,
+	class txn.Class,
+	start int64,
+	readSet map[storage.Key]bool,
+	writes []bufWrite,
+	out *txn.Outcome,
+) (metric.Fuzz, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Phase 1: price the conflicts without mutating any account.
+	var imported metric.Fuzz
+	type charge struct {
+		c    *committed
+		cost metric.Fuzz
+	}
+	var charges []charge
+	for _, c := range e.recent {
+		if c.seq <= start {
+			continue
+		}
+		for key, wi := range c.writes {
+			switch {
+			case readSet[key]:
+				// Read-write conflict with a later committer.
+				if class != txn.Query || c.class != txn.Update {
+					e.stats.Aborts++
+					return 0, fmt.Errorf("odc: r/w conflict on %q: %w", key, ErrValidation)
+				}
+				if wi.bound.IsInfinite() {
+					e.stats.Aborts++
+					return 0, fmt.Errorf("odc: unbounded conflict on %q: %w", key, ErrValidation)
+				}
+				cost := wi.bound.Bound()
+				imported = imported.Add(cost)
+				charges = append(charges, charge{c: c, cost: cost})
+			case writtenNonCommutative(writes, key, wi):
+				// Write-write conflict not covered by commutativity.
+				e.stats.Aborts++
+				return 0, fmt.Errorf("odc: w/w conflict on %q: %w", key, ErrValidation)
+			}
+		}
+	}
+	if !spec.Import.Allows(imported) {
+		e.stats.Aborts++
+		return 0, fmt.Errorf("odc: import limit %s exceeded by %d: %w", spec.Import, imported, ErrValidation)
+	}
+	for _, ch := range charges {
+		if !ch.c.exportLimit.Allows(ch.c.exported.Add(ch.cost)) {
+			e.stats.Aborts++
+			return 0, fmt.Errorf("odc: writer export limit exhausted: %w", ErrValidation)
+		}
+	}
+	// Phase 2: commit — charge, install, record.
+	for _, ch := range charges {
+		ch.c.exported = ch.c.exported.Add(ch.cost)
+		e.stats.Absorbed++
+	}
+	rec := &committed{
+		class:       class,
+		writes:      make(map[storage.Key]writeInfo, len(writes)),
+		exportLimit: spec.Export,
+	}
+	finals := make(map[storage.Key]metric.Value, len(writes))
+	for _, w := range writes {
+		val := w.value
+		if w.op.Commutative {
+			// Re-apply the increment against the current committed value:
+			// concurrent adds compose instead of clobbering.
+			cur := w.value
+			if v, ok := finals[w.op.Key]; ok {
+				cur = w.op.Update(v)
+			} else {
+				cur = w.op.Update(e.store.Get(w.op.Key))
+			}
+			if cur != val {
+				e.stats.ReExecuted++
+			}
+			val = cur
+		}
+		old := e.store.Get(w.op.Key)
+		finals[w.op.Key] = val
+		rec.writes[w.op.Key] = writeInfo{bound: w.op.Bound, commutative: w.op.Commutative}
+		if e.obs != nil {
+			e.obs.Write(owner, w.op.Key, old, val, w.op.Commutative)
+		}
+	}
+	batch := make([]storage.Write, 0, len(finals))
+	for k, v := range finals {
+		batch = append(batch, storage.Write{Key: k, Value: v})
+		e.store.Set(k, v)
+	}
+	if err := e.store.Apply(batch); err != nil {
+		return 0, err
+	}
+	e.seq++
+	rec.seq = e.seq
+	if len(rec.writes) > 0 {
+		e.recent = append(e.recent, rec)
+	}
+	out.Writes = batch
+	e.stats.Commits++
+	return imported, nil
+}
+
+// writtenNonCommutative reports whether this transaction writes key in a
+// way that does not commute with the committed writer's write.
+func writtenNonCommutative(writes []bufWrite, key storage.Key, wi writeInfo) bool {
+	for _, w := range writes {
+		if w.op.Key != key {
+			continue
+		}
+		if !(w.op.Commutative && wi.commutative) {
+			return true
+		}
+	}
+	return false
+}
+
+// Retryable reports whether err is a validation abort worth retrying.
+func Retryable(err error) bool { return errors.Is(err, ErrValidation) }

@@ -1,0 +1,344 @@
+// Package queue implements recoverable queues: the transactional,
+// durable, inter-site channels that let chopped pieces of a distributed
+// transaction commit asynchronously without a commit protocol
+// (Section 4, after Bernstein-Hsu-Mann).
+//
+// Semantics reproduced from the paper:
+//
+//   - Messages staged by a transaction become deliverable only when the
+//     sending transaction commits (CommitSend); an aborted sender
+//     delivers nothing (the buffer is simply dropped).
+//   - A committed message survives site and link failures: it sits in a
+//     durable outbox and is retransmitted until the destination
+//     acknowledges it; receivers deduplicate by message ID.
+//   - A delivered message must be consumed by a transaction that
+//     eventually commits: Dequeue hands out a Delivery that the consumer
+//     Acks on commit or Nacks on abort, which puts the message back.
+//   - Crash recovery (Snapshot/Restore) returns in-flight deliveries to
+//     the queue — at-least-once consumption, which is exactly what makes
+//     resubmit-until-commit of rollback-safe pieces sound.
+package queue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/simnet"
+)
+
+// Msg is one queued message.
+type Msg struct {
+	// ID is globally unique (site-qualified); receivers dedupe on it.
+	ID string
+	// From is the sending site.
+	From simnet.SiteID
+	// Queue names the destination queue at the receiving site.
+	Queue string
+	// Payload is the application content.
+	Payload any
+}
+
+// Message kinds on the wire.
+const (
+	// KindEnqueue carries a Msg to the destination queue.
+	KindEnqueue = "queue.enq"
+	// KindAck acknowledges a received Msg ID back to the sender.
+	KindAck = "queue.ack"
+)
+
+// outMsg is a committed, not-yet-acknowledged outgoing message.
+type outMsg struct {
+	msg Msg
+	to  simnet.SiteID
+}
+
+// TxBuffer stages messages inside a transaction. It is not safe for
+// concurrent use; each transaction owns one buffer.
+type TxBuffer struct {
+	staged []outMsg
+}
+
+// Enqueue stages payload for the named queue at site to. Nothing is
+// visible until the owning transaction commits the buffer.
+func (b *TxBuffer) Enqueue(to simnet.SiteID, queueName string, payload any) {
+	b.staged = append(b.staged, outMsg{to: to, msg: Msg{Queue: queueName, Payload: payload}})
+}
+
+// Len returns the number of staged messages.
+func (b *TxBuffer) Len() int { return len(b.staged) }
+
+// Manager is the per-site recoverable-queue endpoint.
+type Manager struct {
+	site simnet.SiteID
+	net  *simnet.Network
+
+	mu       sync.Mutex
+	nextID   uint64
+	outbox   map[string]outMsg // committed, unacked
+	queues   map[string][]Msg  // deliverable, arrival order
+	inflight map[string]Msg    // dequeued, not yet acked by consumer
+	seen     map[string]bool   // IDs ever enqueued here (dedup)
+	// notify is closed and replaced whenever a queue gains a message — a
+	// broadcast that cannot lose wakeups across waiters on different
+	// queues.
+	notify chan struct{}
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewManager builds the endpoint for site and starts the retransmitter,
+// which resends unacknowledged outbox messages every interval until
+// acked. Close must be called to stop it.
+func NewManager(site simnet.SiteID, net *simnet.Network, retransmitEvery time.Duration) *Manager {
+	if retransmitEvery <= 0 {
+		retransmitEvery = 50 * time.Millisecond
+	}
+	m := &Manager{
+		site:     site,
+		net:      net,
+		outbox:   make(map[string]outMsg),
+		queues:   make(map[string][]Msg),
+		inflight: make(map[string]Msg),
+		seen:     make(map[string]bool),
+		notify:   make(chan struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go m.retransmitLoop(retransmitEvery)
+	return m
+}
+
+// Close stops the retransmitter and waits for it to exit.
+func (m *Manager) Close() {
+	close(m.stop)
+	<-m.done
+}
+
+// retransmitLoop periodically resends every unacked outbox message.
+func (m *Manager) retransmitLoop(every time.Duration) {
+	defer close(m.done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.transmitOutbox()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// transmitOutbox sends every unacked message once; unreachable
+// destinations are retried on the next tick.
+func (m *Manager) transmitOutbox() {
+	m.mu.Lock()
+	pending := make([]outMsg, 0, len(m.outbox))
+	for _, om := range m.outbox {
+		pending = append(pending, om)
+	}
+	m.mu.Unlock()
+	for _, om := range pending {
+		// Errors are expected while partitioned/down; the tick retries.
+		_ = m.net.Send(simnet.Message{
+			From: m.site, To: om.to, Kind: KindEnqueue, Payload: om.msg,
+		})
+	}
+}
+
+// Buffer returns a fresh transactional staging buffer.
+func (m *Manager) Buffer() *TxBuffer { return &TxBuffer{} }
+
+// CommitSend makes the buffer's messages durable and deliverable: the
+// moment the sending piece commits. The messages enter the outbox (they
+// now survive crashes via Snapshot/Restore) and a first transmission is
+// attempted immediately.
+func (m *Manager) CommitSend(b *TxBuffer) {
+	m.mu.Lock()
+	for _, om := range b.staged {
+		m.nextID++
+		om.msg.ID = fmt.Sprintf("%s-%d", m.site, m.nextID)
+		om.msg.From = m.site
+		m.outbox[om.msg.ID] = om
+	}
+	m.mu.Unlock()
+	b.staged = nil
+	m.transmitOutbox()
+}
+
+// Handle processes a network message addressed to this site; the site's
+// dispatch loop routes Kind == queue.* here. Unknown kinds are ignored.
+func (m *Manager) Handle(msg simnet.Message) {
+	switch msg.Kind {
+	case KindEnqueue:
+		qm, ok := msg.Payload.(Msg)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		if !m.seen[qm.ID] {
+			m.seen[qm.ID] = true
+			m.queues[qm.Queue] = append(m.queues[qm.Queue], qm)
+			m.broadcastLocked()
+		}
+		m.mu.Unlock()
+		// Always ack, even duplicates: the first ack may have been lost.
+		_ = m.net.Send(simnet.Message{
+			From: m.site, To: msg.From, Kind: KindAck, Payload: qm.ID,
+		})
+	case KindAck:
+		id, ok := msg.Payload.(string)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		delete(m.outbox, id)
+		m.mu.Unlock()
+	}
+}
+
+// Delivery is one dequeued message pending consumer commit.
+type Delivery struct {
+	Msg Msg
+	mgr *Manager
+	// settled guards double Ack/Nack.
+	settled bool
+}
+
+// Ack marks the message consumed: the receiving transaction committed.
+func (d *Delivery) Ack() {
+	d.mgr.mu.Lock()
+	defer d.mgr.mu.Unlock()
+	if d.settled {
+		return
+	}
+	d.settled = true
+	delete(d.mgr.inflight, d.Msg.ID)
+}
+
+// Nack returns the message to its queue: the receiving transaction
+// aborted and the message remains deliverable.
+func (d *Delivery) Nack() {
+	d.mgr.mu.Lock()
+	defer d.mgr.mu.Unlock()
+	if d.settled {
+		return
+	}
+	d.settled = true
+	delete(d.mgr.inflight, d.Msg.ID)
+	d.mgr.queues[d.Msg.Queue] = append([]Msg{d.Msg}, d.mgr.queues[d.Msg.Queue]...)
+	d.mgr.broadcastLocked()
+}
+
+// broadcastLocked wakes every Dequeue waiter; callers hold m.mu.
+func (m *Manager) broadcastLocked() {
+	close(m.notify)
+	m.notify = make(chan struct{})
+}
+
+// Dequeue blocks until a message is available on queueName and returns
+// it as an in-flight Delivery.
+func (m *Manager) Dequeue(ctx context.Context, queueName string) (*Delivery, error) {
+	for {
+		m.mu.Lock()
+		if q := m.queues[queueName]; len(q) > 0 {
+			msg := q[0]
+			m.queues[queueName] = q[1:]
+			m.inflight[msg.ID] = msg
+			m.mu.Unlock()
+			return &Delivery{Msg: msg, mgr: m}, nil
+		}
+		wait := m.notify
+		m.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Depth returns the number of deliverable messages on queueName.
+func (m *Manager) Depth(queueName string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queues[queueName])
+}
+
+// OutboxLen returns the number of committed, unacknowledged messages.
+func (m *Manager) OutboxLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.outbox)
+}
+
+// State is the durable image of a Manager for crash simulation.
+type State struct {
+	NextID   uint64
+	Outbox   map[string]outMsgState
+	Queues   map[string][]Msg
+	Inflight map[string]Msg
+	Seen     map[string]bool
+}
+
+// outMsgState mirrors outMsg for the exported State.
+type outMsgState struct {
+	Msg Msg
+	To  simnet.SiteID
+}
+
+// Snapshot captures the durable state: committed outbox, deliverable
+// queues, in-flight deliveries, and the dedup set.
+func (m *Manager) Snapshot() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := State{
+		NextID:   m.nextID,
+		Outbox:   make(map[string]outMsgState, len(m.outbox)),
+		Queues:   make(map[string][]Msg, len(m.queues)),
+		Inflight: make(map[string]Msg, len(m.inflight)),
+		Seen:     make(map[string]bool, len(m.seen)),
+	}
+	for id, om := range m.outbox {
+		st.Outbox[id] = outMsgState{Msg: om.msg, To: om.to}
+	}
+	for q, msgs := range m.queues {
+		st.Queues[q] = append([]Msg(nil), msgs...)
+	}
+	for id, msg := range m.inflight {
+		st.Inflight[id] = msg
+	}
+	for id := range m.seen {
+		st.Seen[id] = true
+	}
+	return st
+}
+
+// Restore reloads a snapshot after a crash. In-flight deliveries whose
+// consumers never committed return to the front of their queues
+// (at-least-once).
+func (m *Manager) Restore(st State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID = st.NextID
+	m.outbox = make(map[string]outMsg, len(st.Outbox))
+	for id, om := range st.Outbox {
+		m.outbox[id] = outMsg{msg: om.Msg, to: om.To}
+	}
+	m.queues = make(map[string][]Msg, len(st.Queues))
+	for q, msgs := range st.Queues {
+		m.queues[q] = append([]Msg(nil), msgs...)
+	}
+	for _, msg := range st.Inflight {
+		m.queues[msg.Queue] = append([]Msg{msg}, m.queues[msg.Queue]...)
+	}
+	m.inflight = make(map[string]Msg)
+	m.seen = make(map[string]bool, len(st.Seen))
+	for id := range st.Seen {
+		m.seen[id] = true
+	}
+	m.broadcastLocked()
+}

@@ -1,0 +1,333 @@
+package queue
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/simnet"
+)
+
+// pair wires two sites with queue managers and a router goroutine per
+// site; cleanup tears everything down.
+type pair struct {
+	net      *simnet.Network
+	ny, la   *Manager
+	routerWG sync.WaitGroup
+	cancel   context.CancelFunc
+}
+
+func newPair(t *testing.T, opts ...simnet.Option) *pair {
+	t.Helper()
+	net := simnet.New(opts...)
+	nyInbox, err := net.AddSite("NY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laInbox, err := net.AddSite("LA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pair{
+		net: net,
+		ny:  NewManager("NY", net, 20*time.Millisecond),
+		la:  NewManager("LA", net, 20*time.Millisecond),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	route := func(inbox <-chan simnet.Message, m *Manager) {
+		defer p.routerWG.Done()
+		for {
+			select {
+			case msg := <-inbox:
+				m.Handle(msg)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+	p.routerWG.Add(2)
+	go route(nyInbox, p.ny)
+	go route(laInbox, p.la)
+	t.Cleanup(func() {
+		p.ny.Close()
+		p.la.Close()
+		cancel()
+		p.routerWG.Wait()
+		net.Close()
+	})
+	return p
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCommitSendDelivers(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "credits", 100)
+	if buf.Len() != 1 {
+		t.Fatalf("staged = %d", buf.Len())
+	}
+	p.ny.CommitSend(buf)
+	d, err := p.la.Dequeue(ctxT(t), "credits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Msg.Payload.(int) != 100 || d.Msg.From != "NY" {
+		t.Errorf("msg = %+v", d.Msg)
+	}
+	d.Ack()
+	// The ack eventually clears NY's outbox.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.ny.OutboxLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("outbox never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAbortedSenderDeliversNothing(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "credits", 1)
+	// The sending transaction aborts: the buffer is dropped, never
+	// committed.
+	buf = nil
+	_ = buf
+	time.Sleep(50 * time.Millisecond)
+	if got := p.la.Depth("credits"); got != 0 {
+		t.Errorf("aborted send delivered %d messages", got)
+	}
+	if p.ny.OutboxLen() != 0 {
+		t.Error("aborted send reached the outbox")
+	}
+}
+
+func TestNackRedelivers(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "q", "payload")
+	p.ny.CommitSend(buf)
+	ctx := ctxT(t)
+	d, err := p.la.Dequeue(ctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Nack() // consumer aborted
+	d2, err := p.la.Dequeue(ctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Msg.ID != d.Msg.ID {
+		t.Errorf("redelivered ID %s, want %s", d2.Msg.ID, d.Msg.ID)
+	}
+	d2.Ack()
+	// Settled deliveries ignore late calls.
+	d2.Nack()
+	if got := p.la.Depth("q"); got != 0 {
+		t.Errorf("depth after double settle = %d", got)
+	}
+}
+
+func TestDeliveryThroughPartition(t *testing.T) {
+	p := newPair(t)
+	p.net.SetPartitioned("NY", "LA", true)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "q", 7)
+	p.ny.CommitSend(buf) // transmit fails silently; retransmitter takes over
+	time.Sleep(60 * time.Millisecond)
+	if got := p.la.Depth("q"); got != 0 {
+		t.Fatalf("message crossed a partition: %d", got)
+	}
+	p.net.SetPartitioned("NY", "LA", false)
+	d, err := p.la.Dequeue(ctxT(t), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Msg.Payload.(int) != 7 {
+		t.Errorf("payload = %v", d.Msg.Payload)
+	}
+	d.Ack()
+}
+
+func TestRetransmissionDedupes(t *testing.T) {
+	// Partition AFTER delivery but before the ack returns: the sender
+	// keeps retransmitting; the receiver must not enqueue a duplicate.
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "q", 1)
+	p.ny.CommitSend(buf)
+	d, err := p.la.Dequeue(ctxT(t), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Ack()
+	// Let several retransmit ticks pass (acks may race; dedup must hold).
+	time.Sleep(100 * time.Millisecond)
+	if got := p.la.Depth("q"); got != 0 {
+		t.Errorf("duplicate enqueued: depth = %d", got)
+	}
+}
+
+func TestCrashRecoveryRedeliversInflight(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "q", "x")
+	p.ny.CommitSend(buf)
+	ctx := ctxT(t)
+	d, err := p.la.Dequeue(ctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LA crashes with the delivery in flight (consumer never committed).
+	snap := p.la.Snapshot()
+	p.la.Restore(snap)
+	_ = d // the old delivery handle is dead with the crash
+	d2, err := p.la.Dequeue(ctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Msg.Payload.(string) != "x" {
+		t.Errorf("redelivered payload = %v", d2.Msg.Payload)
+	}
+	d2.Ack()
+}
+
+func TestSnapshotCarriesOutbox(t *testing.T) {
+	p := newPair(t)
+	p.net.SetPartitioned("NY", "LA", true)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "q", 9)
+	p.ny.CommitSend(buf)
+	snap := p.ny.Snapshot()
+	if len(snap.Outbox) != 1 {
+		t.Fatalf("snapshot outbox = %d", len(snap.Outbox))
+	}
+	// NY crashes and recovers; the committed message must still go out.
+	p.ny.Restore(snap)
+	p.net.SetPartitioned("NY", "LA", false)
+	d, err := p.la.Dequeue(ctxT(t), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Msg.Payload.(int) != 9 {
+		t.Errorf("payload = %v", d.Msg.Payload)
+	}
+	d.Ack()
+}
+
+func TestMultipleQueuesIndependentWaiters(t *testing.T) {
+	p := newPair(t)
+	ctx := ctxT(t)
+	results := make(chan string, 2)
+	var wg sync.WaitGroup
+	for _, q := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			d, err := p.la.Dequeue(ctx, q)
+			if err != nil {
+				t.Errorf("dequeue %s: %v", q, err)
+				return
+			}
+			results <- d.Msg.Payload.(string)
+			d.Ack()
+		}(q)
+	}
+	// Deliver beta first, then alpha: both waiters must wake.
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "beta", "B")
+	p.ny.CommitSend(buf)
+	buf = p.ny.Buffer()
+	buf.Enqueue("LA", "alpha", "A")
+	p.ny.CommitSend(buf)
+	wg.Wait()
+	close(results)
+	got := map[string]bool{}
+	for r := range results {
+		got[r] = true
+	}
+	if !got["A"] || !got["B"] {
+		t.Errorf("results = %v", got)
+	}
+}
+
+func TestDequeueHonorsContext(t *testing.T) {
+	p := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.la.Dequeue(ctx, "empty"); err == nil {
+		t.Error("dequeue on empty queue returned without message")
+	}
+}
+
+func TestBatchDeliveredExactlyOnce(t *testing.T) {
+	// Delivery order across the simulated WAN is not guaranteed, but
+	// every committed message arrives exactly once.
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	for i := 0; i < 5; i++ {
+		buf.Enqueue("LA", "q", i)
+	}
+	p.ny.CommitSend(buf)
+	ctx := ctxT(t)
+	got := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		d, err := p.la.Dequeue(ctx, "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := d.Msg.Payload.(int)
+		if got[v] {
+			t.Fatalf("payload %d delivered twice", v)
+		}
+		got[v] = true
+		d.Ack()
+	}
+	// Give retransmit ticks a chance to create (forbidden) duplicates.
+	time.Sleep(80 * time.Millisecond)
+	if depth := p.la.Depth("q"); depth != 0 {
+		t.Errorf("queue depth after drain = %d", depth)
+	}
+}
+
+func TestDeliveryThroughLossyNetwork(t *testing.T) {
+	// 40% silent message loss: retransmission + dedup must still deliver
+	// every committed message exactly once.
+	p := newPair(t, simnet.WithLossRate(0.4), simnet.WithSeed(13))
+	const n = 20
+	buf := p.ny.Buffer()
+	for i := 0; i < n; i++ {
+		buf.Enqueue("LA", "lossy", i)
+	}
+	p.ny.CommitSend(buf)
+	ctx := ctxT(t)
+	got := map[int]bool{}
+	for i := 0; i < n; i++ {
+		d, err := p.la.Dequeue(ctx, "lossy")
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		v := d.Msg.Payload.(int)
+		if got[v] {
+			t.Fatalf("payload %d delivered twice", v)
+		}
+		got[v] = true
+		d.Ack()
+	}
+	// Outbox eventually drains despite lost acks.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.ny.OutboxLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outbox stuck at %d through lossy acks", p.ny.OutboxLen())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

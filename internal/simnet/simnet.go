@@ -1,0 +1,233 @@
+// Package simnet simulates the wide-area message network between sites.
+//
+// Section 4's performance argument is about message rounds: a two-phase
+// commit costs at least two rounds of cross-site messages ("a round trip
+// of message passing can take from a few hundred milliseconds to a few
+// seconds"), while chopped pieces communicating through recoverable
+// queues pay a single one-way transfer. The network therefore meters
+// every message per link and applies a configurable one-way latency, so
+// the harness can report both message counts and wall-clock effects. It
+// also simulates the failures the paper worries about: site crashes and
+// link partitions, under which 2PC blocks but asynchronous pieces keep
+// committing.
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SiteID names a site.
+type SiteID string
+
+// Message is one network message. Payload types are application-defined;
+// Kind routes them on the receiving site.
+type Message struct {
+	From, To SiteID
+	Kind     string
+	Payload  any
+}
+
+// Errors returned by Send.
+var (
+	// ErrUnknownSite is returned for a destination never added.
+	ErrUnknownSite = errors.New("simnet: unknown site")
+	// ErrUnreachable is returned when the destination is down or the
+	// link is partitioned; the message is counted as dropped.
+	ErrUnreachable = errors.New("simnet: unreachable")
+)
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// PerLink counts delivered messages per (from, to) link.
+	PerLink map[string]uint64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the base one-way latency (default 0).
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.baseLatency = d }
+}
+
+// WithJitter sets latency jitter as a fraction of the base (0..1).
+func WithJitter(frac float64) Option {
+	return func(n *Network) { n.jitter = frac }
+}
+
+// WithSeed seeds the jitter/loss RNG for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithLossRate makes the network silently drop the given fraction of
+// messages in flight (0..1). Reliable layers above (recoverable queues,
+// 2PC retries) must survive this.
+func WithLossRate(rate float64) Option {
+	return func(n *Network) { n.lossRate = rate }
+}
+
+// Network is a simulated message network. Delivery is asynchronous: Send
+// returns immediately and the message lands in the destination inbox
+// after the simulated latency. Messages between the same pair of sites
+// may reorder when jitter is nonzero, as on a real WAN.
+type Network struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	baseLatency time.Duration
+	jitter      float64
+	lossRate    float64
+	inboxes     map[SiteID]chan Message
+	down        map[SiteID]bool
+	partitioned map[[2]SiteID]bool
+	stats       Stats
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// New builds a network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		rng:         rand.New(rand.NewSource(1)),
+		inboxes:     make(map[SiteID]chan Message),
+		down:        make(map[SiteID]bool),
+		partitioned: make(map[[2]SiteID]bool),
+	}
+	n.stats.PerLink = make(map[string]uint64)
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// AddSite registers a site and returns its inbox.
+func (n *Network) AddSite(id SiteID) (<-chan Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.inboxes[id]; dup {
+		return nil, fmt.Errorf("simnet: site %q already exists", id)
+	}
+	ch := make(chan Message, 256)
+	n.inboxes[id] = ch
+	return ch, nil
+}
+
+// linkKey normalizes a partition key (undirected).
+func linkKey(a, b SiteID) [2]SiteID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]SiteID{a, b}
+}
+
+// SetDown marks a site crashed (true) or recovered (false). Messages to
+// a crashed site are dropped — the site's durable state is the store
+// journal, not the inbox.
+func (n *Network) SetDown(id SiteID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// SetPartitioned cuts (true) or heals (false) the link between two sites.
+func (n *Network) SetPartitioned(a, b SiteID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[linkKey(a, b)] = cut
+}
+
+// Send queues msg for delivery. It returns ErrUnreachable (counting the
+// message as dropped) when the destination is down or partitioned at
+// send time, and ErrUnknownSite for unregistered destinations.
+func (n *Network) Send(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("simnet: network closed")
+	}
+	inbox, ok := n.inboxes[msg.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSite, msg.To)
+	}
+	n.stats.Sent++
+	if n.down[msg.To] || n.down[msg.From] || n.partitioned[linkKey(msg.From, msg.To)] {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, msg.From, msg.To)
+	}
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		// Silent in-flight loss: the sender believes it sent.
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := n.baseLatency
+	if n.jitter > 0 && delay > 0 {
+		delay += time.Duration(n.rng.Float64() * n.jitter * float64(delay))
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	deliver := func() {
+		defer n.wg.Done()
+		// Re-check reachability at delivery time: a crash during flight
+		// loses the message.
+		n.mu.Lock()
+		blocked := n.down[msg.To] || n.partitioned[linkKey(msg.From, msg.To)] || n.closed
+		if blocked {
+			n.stats.Dropped++
+			n.mu.Unlock()
+			return
+		}
+		n.stats.Delivered++
+		n.stats.PerLink[string(msg.From)+"->"+string(msg.To)]++
+		n.mu.Unlock()
+		inbox <- msg
+	}
+	if delay == 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(delay, deliver)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.PerLink = make(map[string]uint64, len(n.stats.PerLink))
+	for k, v := range n.stats.PerLink {
+		out.PerLink[k] = v
+	}
+	return out
+}
+
+// Close stops accepting sends and waits for in-flight deliveries. Inbox
+// channels stay open so receivers drain without panics.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Recv receives one message from inbox, honoring ctx.
+func Recv(ctx context.Context, inbox <-chan Message) (Message, error) {
+	select {
+	case msg := <-inbox:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}

@@ -1,0 +1,259 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSendAndReceive(t *testing.T) {
+	n := New()
+	defer n.Close()
+	inbox, err := n.AddSite("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "b", Kind: "ping", Payload: 42}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Recv(ctxT(t), inbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "ping" || msg.Payload.(int) != 42 || msg.From != "a" {
+		t.Errorf("msg = %+v", msg)
+	}
+}
+
+func TestDuplicateSiteRejected(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("a"); err == nil {
+		t.Error("duplicate site accepted")
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := n.Send(Message{From: "a", To: "ghost"})
+	if !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("err = %v, want ErrUnknownSite", err)
+	}
+}
+
+func TestDownSiteDropsMessages(t *testing.T) {
+	n := New()
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true)
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+	n.SetDown("b", false)
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recv(ctxT(t), inbox); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Dropped != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPartitionCutsBothKeyOrders(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("b"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetPartitioned("b", "a", true)
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("a->b not cut: %v", err)
+	}
+	if err := n.Send(Message{From: "b", To: "a"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("b->a not cut: %v", err)
+	}
+	n.SetPartitioned("a", "b", false)
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Errorf("healed link still cut: %v", err)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(WithLatency(60 * time.Millisecond))
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recv(ctxT(t), inbox); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~60ms", elapsed)
+	}
+}
+
+func TestCrashDuringFlightLosesMessage(t *testing.T) {
+	n := New(WithLatency(80 * time.Millisecond))
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true) // crash while the message is in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := Recv(ctx, inbox); err == nil {
+		t.Error("message delivered to crashed site")
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestPerLinkAccounting(t *testing.T) {
+	n := New()
+	defer n.Close()
+	ia, _ := n.AddSite("a")
+	ib, _ := n.AddSite("b")
+	for i := 0; i < 3; i++ {
+		if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Send(Message{From: "b", To: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+	for i := 0; i < 3; i++ {
+		if _, err := Recv(ctx, ib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Recv(ctx, ia); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.PerLink["a->b"] != 3 || st.PerLink["b->a"] != 1 {
+		t.Errorf("PerLink = %v", st.PerLink)
+	}
+}
+
+func TestClosedNetworkRejectsSend(t *testing.T) {
+	n := New()
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("b"); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if err := n.Send(Message{From: "a", To: "b"}); err == nil {
+		t.Error("send after close accepted")
+	}
+}
+
+func TestJitterStaysWithinBounds(t *testing.T) {
+	n := New(WithLatency(20*time.Millisecond), WithJitter(0.5), WithSeed(7))
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Recv(ctx, inbox); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if elapsed < 15*time.Millisecond || elapsed > 300*time.Millisecond {
+			t.Errorf("delivery %d took %v, want ~20-30ms", i, elapsed)
+		}
+	}
+}
+
+func TestLossRateDropsSilently(t *testing.T) {
+	n := New(WithLossRate(1.0), WithSeed(1))
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Sender sees success; nothing arrives.
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatalf("lossy send errored: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := Recv(ctx, inbox); err == nil {
+		t.Error("message survived 100% loss")
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestPartialLossStatistics(t *testing.T) {
+	n := New(WithLossRate(0.5), WithSeed(42))
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := 0
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for {
+		if _, err := Recv(ctx, inbox); err != nil {
+			break
+		}
+		delivered++
+	}
+	if delivered < total/4 || delivered > 3*total/4 {
+		t.Errorf("delivered %d of %d at 50%% loss", delivered, total)
+	}
+}

@@ -1,0 +1,301 @@
+package site
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// threeSites builds NY, LA and CHI with one account each.
+func threeSites(t *testing.T, strategy Strategy, latency time.Duration) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Strategy: strategy,
+		Latency:  latency,
+		Seed:     3,
+		Placement: func(k storage.Key) simnet.SiteID {
+			switch {
+			case strings.HasPrefix(string(k), "ny:"):
+				return "NY"
+			case strings.HasPrefix(string(k), "la:"):
+				return "LA"
+			default:
+				return "CHI"
+			}
+		},
+		Initial: map[simnet.SiteID]map[storage.Key]metric.Value{
+			"NY":  {"ny:A": 10000},
+			"LA":  {"la:B": 10000},
+			"CHI": {"chi:C": 10000},
+		},
+		RetransmitEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// chainProgram moves amount NY→LA→CHI in one transaction: three pieces
+// at three sites.
+func chainProgram(amount metric.Value) *txn.Program {
+	return txn.MustProgram("chain",
+		txn.AddOp("ny:A", -amount),
+		txn.AddOp("la:B", amount), // passes through LA
+		txn.AddOp("la:B", -amount),
+		txn.AddOp("chi:C", amount),
+	)
+}
+
+func TestThreeSiteChainSettles(t *testing.T) {
+	c := threeSites(t, ChoppedQueues, 0)
+	if err := c.RegisterPrograms([]*txn.Program{chainProgram(500)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := c.Site("NY").Store.Get("ny:A"); got != 9500 {
+		t.Errorf("ny:A = %d, want 9500", got)
+	}
+	if got := c.Site("LA").Store.Get("la:B"); got != 10000 {
+		t.Errorf("la:B = %d, want 10000 (pass-through)", got)
+	}
+	if got := c.Site("CHI").Store.Get("chi:C"); got != 10500 {
+		t.Errorf("chi:C = %d, want 10500", got)
+	}
+}
+
+func TestThreeSiteChainPieceCount(t *testing.T) {
+	c := threeSites(t, ChoppedQueues, 0)
+	if err := c.RegisterPrograms([]*txn.Program{chainProgram(1)}); err != nil {
+		t.Fatal(err)
+	}
+	c.dist.mu.Lock()
+	dp := c.dist.programs[0]
+	c.dist.mu.Unlock()
+	if got := dp.chopped.NumPieces(); got != 3 {
+		t.Fatalf("pieces = %d, want 3 (one per site)", got)
+	}
+	want := []simnet.SiteID{"NY", "LA", "CHI"}
+	for pi, site := range dp.pieceSite {
+		if site != want[pi] {
+			t.Errorf("piece %d at %s, want %s", pi, site, want[pi])
+		}
+	}
+	// The LA and CHI pieces hang off the dependency tree; LA's two ops on
+	// la:B live in the same piece, so CHI's piece conflicts with nothing
+	// and parents to p1.
+	if len(dp.children[0]) == 0 {
+		t.Error("first piece has no dependents")
+	}
+}
+
+func TestThreeSiteChainThroughMidCrash(t *testing.T) {
+	// Crash the middle site while chains are settling; recovery must
+	// deliver every piece exactly once.
+	c := threeSites(t, ChoppedQueues, 0)
+	if err := c.RegisterPrograms([]*txn.Program{chainProgram(10)}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := c.Submit(ctx, 0); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	c.Site("LA").Crash()
+	time.Sleep(30 * time.Millisecond)
+	c.Site("LA").Recover()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.Site("NY").Store.Get("ny:A"); got != 10000-n*10 {
+		t.Errorf("ny:A = %d, want %d", got, 10000-n*10)
+	}
+	if got := c.Site("CHI").Store.Get("chi:C"); got != 10000+n*10 {
+		t.Errorf("chi:C = %d, want %d (exactly once through crash)", got, 10000+n*10)
+	}
+	if got := c.Site("LA").Store.Get("la:B"); got != 10000 {
+		t.Errorf("la:B = %d, want 10000", got)
+	}
+}
+
+func TestThreeSite2PCMessageCost(t *testing.T) {
+	// Under 2PC a three-site transaction costs 4 messages per
+	// participant: 12 one-way messages.
+	c := threeSites(t, TwoPhaseCommit, 0)
+	if err := c.RegisterPrograms([]*txn.Program{chainProgram(7)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("result = %+v", res)
+	}
+	if sent := c.Net.Stats().Sent; sent != 12 {
+		t.Errorf("messages = %d, want 12 (4 per participant)", sent)
+	}
+	if got := c.Site("CHI").Store.Get("chi:C"); got != 10007 {
+		t.Errorf("chi:C = %d, want 10007", got)
+	}
+}
+
+// TestDistributedGroupedSerializability records the distributed history
+// and checks it with pieces/subtransactions grouped by their distributed
+// transaction: 2PC must be serializable w.r.t. the distributed
+// transactions; the chopped strategy must also be serializable here
+// because transfers commute and the audits are whole... but audits are
+// chopped at site boundaries, so audits may interleave (ESR): the check
+// asserts conservation-bounded behavior instead.
+func TestDistributedGroupedSerializability(t *testing.T) {
+	c, err := NewCluster(Config{
+		Strategy: TwoPhaseCommit,
+		Seed:     9,
+		Record:   true,
+		Placement: func(k storage.Key) simnet.SiteID {
+			if strings.HasPrefix(string(k), "ny:") {
+				return "NY"
+			}
+			return "LA"
+		},
+		Initial: map[simnet.SiteID]map[storage.Key]metric.Value{
+			"NY": {"ny:X": 100000},
+			"LA": {"la:Y": 100000},
+		},
+		RetransmitEvery: 10 * time.Millisecond,
+		OpDelay:         200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.RegisterPrograms(bankPrograms(100, metric.Strict)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 30*time.Second)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Submit(ctx, 0); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.Submit(ctx, 1)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got := res.SumReads(); got != 200000 {
+				errCh <- fmt.Errorf("2PC audit sum = %d, want exactly 200000", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	grouped := c.Recorder().CheckGrouped(c.GroupOf())
+	if !grouped.Serializable {
+		t.Errorf("2PC execution not serializable w.r.t. distributed txns: %v\n%s",
+			grouped.Cycle, grouped.DOT())
+	}
+}
+
+// TestChoppedSettlesOverLossyNetwork runs transfers across a network
+// that silently drops a third of all messages: the recoverable queues'
+// retransmission and dedup must still settle everything exactly once.
+func TestChoppedSettlesOverLossyNetwork(t *testing.T) {
+	c, err := NewCluster(Config{
+		Strategy: ChoppedQueues,
+		Seed:     11,
+		LossRate: 0.33,
+		Placement: func(k storage.Key) simnet.SiteID {
+			if strings.HasPrefix(string(k), "ny:") {
+				return "NY"
+			}
+			return "LA"
+		},
+		Initial: map[simnet.SiteID]map[storage.Key]metric.Value{
+			"NY": {"ny:X": 100000},
+			"LA": {"la:Y": 100000},
+		},
+		RetransmitEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.RegisterPrograms(bankPrograms(100, metric.Strict)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := c.Submit(ctx, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Committed {
+				errs <- fmt.Errorf("not settled: %+v", res)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.Site("NY").Store.Get("ny:X"); got != 100000-n*100 {
+		t.Errorf("ny:X = %d, want %d", got, 100000-n*100)
+	}
+	if got := c.Site("LA").Store.Get("la:Y"); got != 100000+n*100 {
+		t.Errorf("la:Y = %d, want %d (exactly once through loss)", got, 100000+n*100)
+	}
+}

@@ -1,0 +1,176 @@
+package site
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// compCluster builds a two-branch cluster with compensation enabled.
+func compCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Strategy:          ChoppedQueues,
+		AllowCompensation: true,
+		Seed:              5,
+		Placement: func(k storage.Key) simnet.SiteID {
+			if strings.HasPrefix(string(k), "ny:") {
+				return "NY"
+			}
+			return "LA"
+		},
+		Initial: map[simnet.SiteID]map[storage.Key]metric.Value{
+			"NY": {"ny:X": 10000},
+			"LA": {"la:Y": 10000, "la:frozen": 0},
+		},
+		RetransmitEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// guardedTransfer debits NY, then credits LA unless the LA account is
+// frozen — a rollback statement in the SECOND piece, which plain chopped
+// execution must reject and compensation mode must handle.
+func guardedTransfer(amount metric.Value) *txn.Program {
+	return txn.MustProgram("guarded",
+		txn.AddOp("ny:X", -amount),
+		txn.WithAbortIf(
+			txn.AddOp("la:frozen", 0), // probe the freeze flag
+			func(v metric.Value) bool { return v != 0 },
+		),
+		txn.AddOp("la:Y", amount),
+	)
+}
+
+func TestCompensationRejectedWithoutOptIn(t *testing.T) {
+	c := twoBranches(t, ChoppedQueues, false, 0)
+	if err := c.RegisterPrograms([]*txn.Program{guardedTransfer(100)}); err == nil {
+		t.Fatal("rollback-unsafe cross-site program accepted without compensation")
+	}
+}
+
+func TestCompensationRejectsNonInvertibleWrites(t *testing.T) {
+	c := compCluster(t)
+	bad := txn.MustProgram("bad",
+		txn.SetOp("ny:X", 0), // not an invertible delta
+		txn.WithAbortIf(txn.AddOp("la:Y", 1), func(metric.Value) bool { return false }),
+	)
+	if err := c.RegisterPrograms([]*txn.Program{bad}); err == nil {
+		t.Fatal("non-invertible compensable program accepted")
+	}
+}
+
+func TestCompensableCommitsWhenUnblocked(t *testing.T) {
+	c := compCluster(t)
+	if err := c.RegisterPrograms([]*txn.Program{guardedTransfer(300)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.RolledBack {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := c.Site("NY").Store.Get("ny:X"); got != 9700 {
+		t.Errorf("ny:X = %d, want 9700", got)
+	}
+	if got := c.Site("LA").Store.Get("la:Y"); got != 10300 {
+		t.Errorf("la:Y = %d, want 10300", got)
+	}
+}
+
+func TestCompensationUndoesCommittedPredecessors(t *testing.T) {
+	c := compCluster(t)
+	if err := c.RegisterPrograms([]*txn.Program{guardedTransfer(300)}); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the LA account: the second piece rolls back AFTER the NY
+	// debit has already committed; compensation must restore it.
+	c.Site("LA").Store.Set("la:frozen", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed || !res.RolledBack || !res.Compensated {
+		t.Fatalf("result = %+v, want compensated rollback", res)
+	}
+	if got := c.Site("NY").Store.Get("ny:X"); got != 10000 {
+		t.Errorf("ny:X = %d, want 10000 (debit compensated)", got)
+	}
+	if got := c.Site("LA").Store.Get("la:Y"); got != 10000 {
+		t.Errorf("la:Y = %d, want 10000 (credit never applied)", got)
+	}
+}
+
+func TestCompensationSurvivesCrash(t *testing.T) {
+	c := compCluster(t)
+	if err := c.RegisterPrograms([]*txn.Program{guardedTransfer(200)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Site("LA").Store.Set("la:frozen", 1)
+	done := make(chan *Result, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := c.Submit(ctx, 0)
+		if err == nil {
+			done <- res
+		}
+	}()
+	// Crash/recover NY while the compensation is in flight.
+	time.Sleep(15 * time.Millisecond)
+	c.Site("NY").Crash()
+	time.Sleep(20 * time.Millisecond)
+	c.Site("NY").Recover()
+	select {
+	case res := <-done:
+		if !res.RolledBack {
+			t.Fatalf("result = %+v", res)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("compensated rollback never settled through the crash")
+	}
+	if got := c.Site("NY").Store.Get("ny:X"); got != 10000 {
+		t.Errorf("ny:X = %d, want 10000 (compensated exactly once)", got)
+	}
+}
+
+func TestCompensableFirstPieceRollback(t *testing.T) {
+	// A rollback in the FIRST piece of a compensable program follows the
+	// normal synchronous path: nothing committed, nothing to compensate.
+	c := compCluster(t)
+	p := txn.MustProgram("firstfail",
+		txn.WithAbortIf(txn.AddOp("ny:X", -999999), func(v metric.Value) bool { return v < 999999 }),
+		txn.WithAbortIf(txn.AddOp("la:Y", 999999), func(metric.Value) bool { return false }),
+	)
+	if err := c.RegisterPrograms([]*txn.Program{p}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RolledBack || res.Compensated {
+		t.Fatalf("result = %+v, want plain rollback", res)
+	}
+	if got := c.Site("NY").Store.Get("ny:X"); got != 10000 {
+		t.Errorf("ny:X = %d, want 10000", got)
+	}
+}

@@ -1,0 +1,802 @@
+package site
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/chop"
+	"asynctp/internal/commit"
+	"asynctp/internal/dc"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/queue"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Message kinds of the chopped-queue protocol.
+const (
+	// KindPieceDone notifies the origin site that one piece committed.
+	// (Retained for routing compatibility; reports now ride the
+	// recoverable queues so they survive message loss.)
+	KindPieceDone = "piece.done"
+	// pieceQueue is the recoverable queue carrying piece activations.
+	pieceQueue = "pieces"
+	// doneQueue is the recoverable queue carrying settlement reports
+	// back to the origin site.
+	doneQueue = "done"
+)
+
+// subTxn is the 2PC prepare payload: one site's slice of a distributed
+// transaction.
+type subTxn struct {
+	Ops   []txn.Op
+	Class txn.Class
+	Spec  metric.Spec // site share of the ε-spec (split evenly)
+	Name  string
+	Inst  uint64 // distributed transaction identity (history group)
+}
+
+// subResult is the 2PC prepare result.
+type subResult struct {
+	Reads []txn.ReadRec
+}
+
+// activation rides a recoverable queue to start a dependent piece (or,
+// with Compensate set, the inverse of an already-committed piece).
+type activation struct {
+	Inst       uint64
+	Origin     simnet.SiteID
+	TxType     int
+	Piece      int
+	Compensate bool
+}
+
+// pieceDone reports progress back to the origin: a committed piece, a
+// committed compensation (Comp), or a business rollback at piece
+// RolledAt (> 0) that triggered compensation of its predecessors.
+type pieceDone struct {
+	Inst     uint64
+	Piece    int
+	Comp     bool
+	RolledAt int // 0 means "not a rollback report"
+	Reads    []txn.ReadRec
+	Imported metric.Fuzz
+	Exported metric.Fuzz
+}
+
+// Result describes one distributed submission.
+type Result struct {
+	// Committed reports full settlement (every piece / all sites).
+	Committed bool
+	// RolledBack reports a business rollback (first piece / any vote NO,
+	// or a compensated later piece).
+	RolledBack bool
+	// Compensated reports that committed predecessor pieces were undone
+	// by inverse pieces after a later rollback.
+	Compensated bool
+	// Initiation is the latency until the caller could proceed: the 2PC
+	// decision, or the first piece's local commit under chopping.
+	Initiation time.Duration
+	// Settlement is the latency until every piece committed (equals
+	// Initiation under 2PC).
+	Settlement time.Duration
+	// Reads are all values observed across sites/pieces.
+	Reads []txn.ReadRec
+	// Imported is the total fuzziness imported (DC runs).
+	Imported metric.Fuzz
+}
+
+// SumReads totals the observed values.
+func (r *Result) SumReads() metric.Value {
+	var total metric.Value
+	for _, rec := range r.Reads {
+		total += rec.Value
+	}
+	return total
+}
+
+// distProgram is a registered distributed transaction type.
+type distProgram struct {
+	program *txn.Program
+	// compensable marks programs with rollback statements beyond the
+	// first piece, executed under the compensation protocol.
+	compensable bool
+	// chopped is the site-boundary chopping (ChoppedQueues strategy).
+	chopped *chop.Chopped
+	// pieceSite is each piece's owning site.
+	pieceSite []simnet.SiteID
+	// pieceSpecs is each piece's ε-spec share.
+	pieceSpecs []metric.Spec
+	// children lists dependent pieces per piece (dependency tree).
+	children [][]int
+}
+
+// tracker follows one chopped instance to settlement at its origin.
+type tracker struct {
+	total      int
+	donePieces int
+	doneComps  int
+	rolledAt   int // -1 until a rollback report arrives
+	completed  bool
+	reads      []txn.ReadRec
+	imported   metric.Fuzz
+	done       chan struct{}
+}
+
+// settled reports whether the instance reached its terminal state:
+// either every piece committed, or the rollback piece's predecessors all
+// compensated.
+func (tr *tracker) settled() bool {
+	if tr.rolledAt >= 0 {
+		return tr.donePieces >= tr.rolledAt && tr.doneComps >= tr.rolledAt
+	}
+	return tr.donePieces == tr.total
+}
+
+// distState is the cluster's distributed-execution state.
+type distState struct {
+	mu       sync.Mutex
+	programs []*distProgram
+	trackers map[uint64]*tracker
+}
+
+// RegisterPrograms declares the distributed job stream. For the
+// ChoppedQueues strategy each program is chopped at site boundaries
+// (consecutive ops on the same site form a piece) — the paper's "each
+// piece resides at only one site" assumption — and each piece gets an
+// even share of the transaction's ε-spec, as in the Section 4.1 example
+// ($10,000 split $5,000 + $5,000 across two branch pieces). Programs
+// with rollback statements outside the first piece are rejected
+// (rollback-safety).
+func (c *Cluster) RegisterPrograms(programs []*txn.Program) error {
+	for _, p := range programs {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		dp := &distProgram{program: p}
+		// Cut at site boundaries.
+		var cuts []int
+		for i := 1; i < len(p.Ops); i++ {
+			if c.placement(p.Ops[i].Key) != c.placement(p.Ops[i-1].Key) {
+				cuts = append(cuts, i)
+			}
+		}
+		chopped, err := chop.FromCuts(p, cuts)
+		if err != nil {
+			if !c.compensate {
+				return fmt.Errorf("site: %q cannot be chopped at site boundaries: %w", p.Name, err)
+			}
+			// Compensation mode: accept the rollback-unsafe chopping if
+			// every write is an invertible commutative delta.
+			chopped, err = chop.FromCutsCompensable(p, cuts)
+			if err != nil {
+				return fmt.Errorf("site: %q: %w", p.Name, err)
+			}
+			for _, op := range p.Ops {
+				if op.Kind == txn.OpWrite && !op.Commutative {
+					return fmt.Errorf(
+						"site: %q needs compensation but write to %q is not an invertible delta",
+						p.Name, op.Key)
+				}
+			}
+			dp.compensable = true
+		}
+		dp.chopped = chopped
+		for pi := 0; pi < chopped.NumPieces(); pi++ {
+			ops := chopped.PieceOps(pi)
+			siteID := c.placement(ops[0].Key)
+			for _, op := range ops {
+				if c.placement(op.Key) != siteID {
+					return fmt.Errorf("site: %q piece %d spans sites", p.Name, pi)
+				}
+			}
+			dp.pieceSite = append(dp.pieceSite, siteID)
+		}
+		n := chopped.NumPieces()
+		dp.pieceSpecs = make([]metric.Spec, n)
+		for pi := range dp.pieceSpecs {
+			dp.pieceSpecs[pi] = metric.Spec{
+				Import: p.Spec.Import.Div(n),
+				Export: p.Spec.Export.Div(n),
+			}
+		}
+		// Dependency tree (Figure 2): parent = latest conflicting earlier
+		// sibling, else the first piece. Compensable programs run as a
+		// strict chain so that a rollback at piece k implies exactly
+		// pieces 0..k-1 committed.
+		parents := make([]int, n)
+		parents[0] = -1
+		dp.children = make([][]int, n)
+		if dp.compensable {
+			for q := 1; q < n; q++ {
+				parents[q] = q - 1
+				dp.children[q-1] = append(dp.children[q-1], q)
+			}
+		} else {
+			for q := 1; q < n; q++ {
+				parent := 0
+				for pi := q - 1; pi >= 1; pi-- {
+					if opsConflictAcross(chopped.PieceOps(pi), chopped.PieceOps(q)) {
+						parent = pi
+						break
+					}
+				}
+				parents[q] = parent
+				dp.children[parent] = append(dp.children[parent], q)
+			}
+		}
+		c.dist.mu.Lock()
+		c.dist.programs = append(c.dist.programs, dp)
+		c.dist.mu.Unlock()
+	}
+	return nil
+}
+
+// inverseOps builds the compensating operations for a committed piece:
+// each commutative delta write is re-applied with the opposite delta
+// (reads and rollback predicates are dropped). Registration guarantees
+// every write in a compensable program is a pure commutative delta, so
+// Update(0) recovers the delta.
+func inverseOps(ops []txn.Op) []txn.Op {
+	var out []txn.Op
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		if op.Kind != txn.OpWrite {
+			continue
+		}
+		delta := op.Update(0)
+		out = append(out, txn.AddOp(op.Key, -delta))
+	}
+	return out
+}
+
+// opsConflictAcross reports whether any op pair conflicts.
+func opsConflictAcross(a, b []txn.Op) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if txn.OpsConflict(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Submit runs one instance of registered program ti and waits for
+// settlement (or ctx end). Under 2PC, initiation == settlement; under
+// chopped queues, initiation is the first piece's commit.
+func (c *Cluster) Submit(ctx context.Context, ti int) (*Result, error) {
+	c.dist.mu.Lock()
+	if ti < 0 || ti >= len(c.dist.programs) {
+		c.dist.mu.Unlock()
+		return nil, fmt.Errorf("site: program index %d out of range", ti)
+	}
+	dp := c.dist.programs[ti]
+	c.dist.mu.Unlock()
+	switch c.Strategy {
+	case ChoppedQueues:
+		return c.submitChopped(ctx, ti, dp)
+	default:
+		return c.submit2PC(ctx, dp)
+	}
+}
+
+// ---------------------------------------------------------------------
+// 2PC strategy
+// ---------------------------------------------------------------------
+
+// submit2PC runs the whole transaction as subtransactions under 2PC,
+// coordinated from the first op's site.
+func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, error) {
+	start := time.Now()
+	// Split ops by site, preserving op order within each site.
+	bySite := make(map[simnet.SiteID][]txn.Op)
+	for _, op := range dp.program.Ops {
+		siteID := c.placement(op.Key)
+		bySite[siteID] = append(bySite[siteID], op)
+	}
+	spec := metric.Spec{
+		Import: dp.program.Spec.Import.Div(len(bySite)),
+		Export: dp.program.Spec.Export.Div(len(bySite)),
+	}
+	payloads := make(map[simnet.SiteID]any, len(bySite))
+	for siteID, ops := range bySite {
+		payloads[siteID] = subTxn{
+			Ops:   ops,
+			Class: dp.program.Class(),
+			Spec:  spec,
+			Name:  dp.program.Name,
+		}
+	}
+	inst := c.nextInstID()
+	for siteID, payload := range payloads {
+		st := payload.(subTxn)
+		st.Inst = inst
+		payloads[siteID] = st
+	}
+	origin := c.sites[c.placement(dp.program.Ops[0].Key)]
+	txid := fmt.Sprintf("%s-%d", dp.program.Name, inst)
+
+	for {
+		results, err := origin.node.Execute(ctx, txid, payloads)
+		elapsed := time.Since(start)
+		res := &Result{Initiation: elapsed, Settlement: elapsed}
+		switch {
+		case err == nil:
+			res.Committed = true
+			for _, r := range results {
+				if sr, ok := r.(subResult); ok {
+					res.Reads = append(res.Reads, sr.Reads...)
+				}
+			}
+			return res, nil
+		case errors.Is(err, commit.ErrAborted):
+			res.RolledBack = true
+			return res, nil
+		case errors.Is(err, commit.ErrSystemAbort) && ctx.Err() == nil:
+			// Distributed deadlock or divergence refusal: retry with a
+			// fresh transaction id.
+			txid = fmt.Sprintf("%s-%d", dp.program.Name, c.nextInstID())
+			continue
+		default:
+			return res, err
+		}
+	}
+}
+
+// prepare2PC is the participant hook: execute the subtransaction, keep
+// its locks, vote.
+func (s *Site) prepare2PC(ctx context.Context, txid string, payload any) (any, error) {
+	st, ok := payload.(subTxn)
+	if !ok {
+		return nil, errors.New("site: bad prepare payload")
+	}
+	s.mu.Lock()
+	locks := s.locks
+	store := s.Store
+	ctl := s.ctl
+	s.mu.Unlock()
+
+	// Bound lock waits: distributed deadlocks are invisible to per-site
+	// detectors; a timeout converts them into retryable system votes.
+	ctx, cancel := context.WithTimeout(ctx, s.lockTimeout)
+	defer cancel()
+	owner := s.cluster.gen.Next()
+	s.cluster.recordGroup(owner, st.Inst)
+	rec := s.cluster.rec
+	if rec != nil {
+		rec.Begin(owner, st.Name+"@"+string(s.ID), st.Class)
+	}
+	if ctl != nil {
+		prog := &txn.Program{Name: st.Name + "@" + string(s.ID), Ops: st.Ops, Spec: st.Spec}
+		if err := ctl.Register(owner, dc.Info{
+			Class:   st.Class,
+			Import:  st.Spec.Import,
+			Export:  st.Spec.Export,
+			Program: prog,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	pt := &preparedTxn{owner: owner, undo: make(map[storage.Key]metric.Value)}
+	var reads []txn.ReadRec
+	fail := func(err error) (any, error) {
+		for k, v := range pt.undo {
+			store.Set(k, v)
+		}
+		locks.ReleaseAll(owner)
+		if ctl != nil {
+			ctl.Unregister(owner)
+		}
+		if rec != nil {
+			rec.Abort(owner, err)
+		}
+		return nil, err
+	}
+	for _, op := range st.Ops {
+		mode := lock.Shared
+		if op.Kind == txn.OpWrite {
+			mode = lock.Exclusive
+		}
+		if err := locks.Acquire(ctx, owner, op.Key, mode); err != nil {
+			return fail(err)
+		}
+		if s.opDelay > 0 {
+			time.Sleep(s.opDelay)
+		}
+		old := store.Get(op.Key)
+		if op.AbortIf != nil && op.AbortIf(old) {
+			return fail(fmt.Errorf("site: rollback statement: %w", commit.ErrBusinessVote))
+		}
+		switch op.Kind {
+		case txn.OpRead:
+			reads = append(reads, txn.ReadRec{Key: op.Key, Value: old})
+			if rec != nil {
+				rec.Read(owner, op.Key, old)
+			}
+		case txn.OpWrite:
+			if _, seen := pt.undo[op.Key]; !seen {
+				pt.undo[op.Key] = old
+			}
+			val := op.Update(old)
+			store.Set(op.Key, val)
+			if rec != nil {
+				rec.Write(owner, op.Key, old, val, op.Commutative)
+			}
+		}
+	}
+	finals := make(map[storage.Key]metric.Value)
+	for k := range pt.undo {
+		finals[k] = store.Get(k)
+	}
+	for k, v := range finals {
+		pt.batch = append(pt.batch, storage.Write{Key: k, Value: v})
+	}
+	s.mu.Lock()
+	s.prepared[txid] = pt
+	s.mu.Unlock()
+	return subResult{Reads: reads}, nil
+}
+
+// commit2PC finalizes a prepared subtransaction.
+func (s *Site) commit2PC(txid string) {
+	s.mu.Lock()
+	pt := s.prepared[txid]
+	delete(s.prepared, txid)
+	locks := s.locks
+	ctl := s.ctl
+	s.mu.Unlock()
+	if pt == nil {
+		return
+	}
+	// The writes are already in place; journal them as committed.
+	_ = s.Store.Apply(pt.batch)
+	locks.ReleaseAll(pt.owner)
+	if ctl != nil {
+		ctl.Unregister(pt.owner)
+	}
+	if s.cluster.rec != nil {
+		s.cluster.rec.Commit(pt.owner)
+	}
+}
+
+// abort2PC rolls back a prepared subtransaction.
+func (s *Site) abort2PC(txid string) {
+	s.mu.Lock()
+	pt := s.prepared[txid]
+	delete(s.prepared, txid)
+	locks := s.locks
+	ctl := s.ctl
+	s.mu.Unlock()
+	if pt == nil {
+		return
+	}
+	for k, v := range pt.undo {
+		s.Store.Set(k, v)
+	}
+	locks.ReleaseAll(pt.owner)
+	if ctl != nil {
+		ctl.Unregister(pt.owner)
+	}
+	if s.cluster.rec != nil {
+		s.cluster.rec.Abort(pt.owner, commit.ErrAborted)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Chopped-queues strategy
+// ---------------------------------------------------------------------
+
+// submitChopped runs the first piece at its site, activates dependents
+// through recoverable queues, and waits for settlement.
+func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*Result, error) {
+	start := time.Now()
+	inst := c.nextInstID()
+	origin := c.sites[dp.pieceSite[0]]
+	tr := &tracker{total: dp.chopped.NumPieces(), rolledAt: -1, done: make(chan struct{})}
+	c.dist.mu.Lock()
+	c.dist.trackers[inst] = tr
+	c.dist.mu.Unlock()
+	defer func() {
+		c.dist.mu.Lock()
+		delete(c.dist.trackers, inst)
+		c.dist.mu.Unlock()
+	}()
+
+	done, err := origin.runPiece(ctx, activation{
+		Inst: inst, Origin: origin.ID, TxType: ti, Piece: 0,
+	}, dp)
+	if err != nil {
+		if errors.Is(err, txn.ErrRollback) {
+			return &Result{
+				RolledBack: true,
+				Initiation: time.Since(start),
+				Settlement: time.Since(start),
+			}, nil
+		}
+		return nil, err
+	}
+	initiation := time.Since(start)
+	c.recordDone(done)
+
+	select {
+	case <-tr.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.dist.mu.Lock()
+	res := &Result{
+		Committed:   tr.rolledAt < 0,
+		RolledBack:  tr.rolledAt >= 0,
+		Compensated: tr.rolledAt >= 0,
+		Initiation:  initiation,
+		Settlement:  time.Since(start),
+		Reads:       append([]txn.ReadRec(nil), tr.reads...),
+		Imported:    tr.imported,
+	}
+	c.dist.mu.Unlock()
+	return res, nil
+}
+
+// nextInstID hands out instance IDs.
+func (c *Cluster) nextInstID() uint64 {
+	c.nextInst.Lock()
+	defer c.nextInst.Unlock()
+	c.instSeq++
+	return c.instSeq
+}
+
+// runPiece executes piece act.Piece of dp at site s, retrying system
+// aborts until commit (resubmission of rollback-safe pieces), then
+// stages the dependent activations through the recoverable queue in the
+// same commit scope. It returns the pieceDone report.
+func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (pieceDone, error) {
+	// Exactly-once application: redelivered activations (crash between a
+	// piece's commit and its queue ack) must not re-apply the writes. A
+	// marker key is written in the same commit batch as the piece, so
+	// "piece applied" and "marker present" are atomic in the journal.
+	tag := "applied"
+	if act.Compensate {
+		tag = "comp"
+	}
+	marker := storage.Key(fmt.Sprintf("__%s/%d/%d", tag, act.Inst, act.Piece))
+	if s.Store.Has(marker) {
+		return pieceDone{Inst: act.Inst, Piece: act.Piece, Comp: act.Compensate}, nil
+	}
+	var body []txn.Op
+	name := fmt.Sprintf("%s/p%d", dp.program.Name, act.Piece+1)
+	if act.Compensate {
+		body = inverseOps(dp.chopped.PieceOps(act.Piece))
+		name = fmt.Sprintf("%s/p%d~undo", dp.program.Name, act.Piece+1)
+	} else {
+		body = append(body, dp.chopped.PieceOps(act.Piece)...)
+	}
+	ops := append(append([]txn.Op(nil), body...), txn.SetOp(marker, 1))
+	prog := &txn.Program{
+		Name: name,
+		Ops:  ops,
+		Spec: dp.pieceSpecs[act.Piece],
+	}
+	class := dp.program.Class()
+	for {
+		s.mu.Lock()
+		exec := s.exec
+		ctl := s.ctl
+		s.mu.Unlock()
+		owner := s.cluster.gen.Next()
+		s.cluster.recordGroup(owner, act.Inst)
+		if ctl != nil {
+			if err := ctl.Register(owner, dc.Info{
+				Class:   class,
+				Import:  prog.Spec.Import,
+				Export:  prog.Spec.Export,
+				Program: prog,
+			}); err != nil {
+				return pieceDone{}, err
+			}
+		}
+		out, err := exec.Run(ctx, owner, prog)
+		var imported, exported metric.Fuzz
+		if ctl != nil {
+			imported, exported = ctl.Unregister(owner)
+		}
+		if err == nil {
+			// Stage successor activations; CommitSend makes them durable
+			// and deliverable now that the piece has committed.
+			// Compensation pieces have no successors.
+			buf := s.queues.Buffer()
+			if !act.Compensate {
+				for _, child := range dp.children[act.Piece] {
+					buf.Enqueue(dp.pieceSite[child], pieceQueue, activation{
+						Inst: act.Inst, Origin: act.Origin, TxType: act.TxType, Piece: child,
+					})
+				}
+			}
+			if buf.Len() > 0 {
+				s.queues.CommitSend(buf)
+				s.persistQueues()
+			}
+			return pieceDone{
+				Inst:     act.Inst,
+				Piece:    act.Piece,
+				Comp:     act.Compensate,
+				Reads:    out.Reads,
+				Imported: imported,
+				Exported: exported,
+			}, nil
+		}
+		if !txn.Retryable(err) || ctx.Err() != nil {
+			return pieceDone{}, err
+		}
+	}
+}
+
+// startWorkers launches the piece-consuming workers and the settlement
+// report consumer.
+func (s *Site) startWorkers() {
+	s.mu.Lock()
+	s.stopWorkers = make(chan struct{})
+	stop := s.stopWorkers
+	s.mu.Unlock()
+	const workers = 4
+	for i := 0; i < workers; i++ {
+		s.workerWG.Add(1)
+		go s.workerLoop(stop)
+	}
+	s.workerWG.Add(1)
+	go s.doneLoop(stop)
+}
+
+// doneLoop consumes settlement reports addressed to this site's
+// submissions.
+func (s *Site) doneLoop(stop <-chan struct{}) {
+	defer s.workerWG.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	for {
+		d, err := s.queues.Dequeue(ctx, doneQueue)
+		if err != nil {
+			return
+		}
+		if done, ok := d.Msg.Payload.(pieceDone); ok {
+			s.cluster.recordDone(done)
+		}
+		d.Ack()
+	}
+}
+
+// stopWorkersAndWait signals the workers and waits for them.
+func (s *Site) stopWorkersAndWait() {
+	s.mu.Lock()
+	if s.stopWorkers != nil {
+		select {
+		case <-s.stopWorkers:
+		default:
+			close(s.stopWorkers)
+		}
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+}
+
+// workerLoop consumes piece activations until stopped.
+func (s *Site) workerLoop(stop <-chan struct{}) {
+	defer s.workerWG.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	for {
+		d, err := s.queues.Dequeue(ctx, pieceQueue)
+		if err != nil {
+			return // stopped
+		}
+		act, ok := d.Msg.Payload.(activation)
+		if !ok {
+			d.Ack()
+			continue
+		}
+		s.cluster.dist.mu.Lock()
+		dp := s.cluster.dist.programs[act.TxType]
+		s.cluster.dist.mu.Unlock()
+		done, err := s.runPiece(ctx, act, dp)
+		if err != nil {
+			if errors.Is(err, txn.ErrRollback) && dp.compensable && !act.Compensate {
+				// A later piece hit its rollback statement: compensate
+				// every committed predecessor (the chain guarantees they
+				// are exactly pieces 0..Piece-1) and report the rollback.
+				buf := s.queues.Buffer()
+				for pi := 0; pi < act.Piece; pi++ {
+					buf.Enqueue(dp.pieceSite[pi], pieceQueue, activation{
+						Inst: act.Inst, Origin: act.Origin, TxType: act.TxType,
+						Piece: pi, Compensate: true,
+					})
+				}
+				if buf.Len() > 0 {
+					s.queues.CommitSend(buf)
+					s.persistQueues()
+				}
+				report := pieceDone{Inst: act.Inst, RolledAt: act.Piece}
+				d.Ack()
+				s.persistQueues()
+				if act.Origin == s.ID {
+					s.cluster.recordDone(report)
+				} else {
+					rbuf := s.queues.Buffer()
+					rbuf.Enqueue(act.Origin, doneQueue, report)
+					s.queues.CommitSend(rbuf)
+					s.persistQueues()
+				}
+				continue
+			}
+			// Crash/stop mid-piece: redeliver after recovery.
+			d.Nack()
+			return
+		}
+		d.Ack()
+		s.persistQueues()
+		// Report to the origin through the recoverable queue so the
+		// settlement report survives message loss and crashes.
+		if act.Origin == s.ID {
+			s.cluster.recordDone(done)
+		} else {
+			buf := s.queues.Buffer()
+			buf.Enqueue(act.Origin, doneQueue, done)
+			s.queues.CommitSend(buf)
+			s.persistQueues()
+		}
+	}
+}
+
+// recordDone folds a progress report into its instance tracker.
+func (c *Cluster) recordDone(done pieceDone) {
+	c.dist.mu.Lock()
+	defer c.dist.mu.Unlock()
+	tr := c.dist.trackers[done.Inst]
+	if tr == nil {
+		return // settled after the submitter gave up; nothing to track
+	}
+	switch {
+	case done.RolledAt > 0:
+		tr.rolledAt = done.RolledAt
+	case done.Comp:
+		tr.doneComps++
+	default:
+		tr.reads = append(tr.reads, done.Reads...)
+		tr.imported = tr.imported.Add(done.Imported)
+		tr.donePieces++
+	}
+	if !tr.completed && tr.settled() {
+		tr.completed = true
+		close(tr.done)
+	}
+}
+
+// handleDone routes a piece.done message (called from dispatch).
+func (c *Cluster) handleDone(msg simnet.Message) {
+	if done, ok := msg.Payload.(pieceDone); ok {
+		c.recordDone(done)
+	}
+}
+
+// queueKindOf reports whether a message kind belongs to the queue layer.
+func queueKindOf(kind string) bool {
+	return kind == queue.KindEnqueue || kind == queue.KindAck
+}

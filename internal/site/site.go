@@ -1,0 +1,391 @@
+// Package site simulates multi-site distributed transaction processing:
+// each site owns a partition of the keys and runs its own store, lock
+// manager, executor, optional divergence controller, recoverable-queue
+// endpoint, and 2PC node, all connected by the simulated network.
+//
+// Two execution strategies implement Section 4's comparison:
+//
+//   - TwoPhaseCommit: the traditional approach — every distributed
+//     transaction runs subtransactions at each site it touches and
+//     closes with a blocking two-phase commit (two message rounds on the
+//     critical path; a crash between rounds blocks participants).
+//   - ChoppedQueues: the paper's approach — transactions are chopped at
+//     site boundaries; the first piece commits locally, and sibling
+//     pieces are activated through recoverable queues, committing
+//     asynchronously with no commit protocol at all. The caller observes
+//     two latencies: initiation (first piece committed — the
+//     user-visible latency) and settlement (every piece committed).
+package site
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/commit"
+	"asynctp/internal/dc"
+	"asynctp/internal/history"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/queue"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Strategy selects the distributed execution protocol.
+type Strategy int
+
+// Strategies.
+const (
+	// TwoPhaseCommit runs whole distributed transactions under 2PC.
+	TwoPhaseCommit Strategy = iota + 1
+	// ChoppedQueues chops at site boundaries and activates pieces
+	// through recoverable queues.
+	ChoppedQueues
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TwoPhaseCommit:
+		return "2pc"
+	case ChoppedQueues:
+		return "chopped-queues"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Site is one simulated site.
+type Site struct {
+	ID    simnet.SiteID
+	Store *storage.Store
+
+	cluster     *Cluster
+	opDelay     time.Duration
+	lockTimeout time.Duration
+	mu          sync.Mutex
+	locks       *lock.Manager
+	exec        *txn.Exec
+	ctl         *dc.Controller
+	queues      *queue.Manager
+	node        *commit.Node
+	// prepared holds participant-side 2PC subtransactions awaiting the
+	// decision: owner + undo images.
+	prepared map[string]*preparedTxn
+	// crashed marks the site down; workers idle and messages drop.
+	crashed bool
+	// queueSnap is the durable queue-state image maintained at every
+	// commit point, used to recover after a crash.
+	queueSnap queue.State
+
+	stopWorkers chan struct{}
+	workerWG    sync.WaitGroup
+}
+
+// preparedTxn is a participant-side subtransaction holding locks.
+type preparedTxn struct {
+	owner lock.Owner
+	undo  map[storage.Key]metric.Value
+	batch []storage.Write
+}
+
+// Config configures a cluster.
+type Config struct {
+	// Strategy selects 2PC vs chopped queues.
+	Strategy Strategy
+	// UseDC runs each site's lock manager under divergence control.
+	UseDC bool
+	// Placement maps each key to its owning site.
+	Placement func(storage.Key) simnet.SiteID
+	// Initial seeds each site's store.
+	Initial map[simnet.SiteID]map[storage.Key]metric.Value
+	// Latency and Jitter configure the network (one-way).
+	Latency time.Duration
+	Jitter  float64
+	// LossRate silently drops this fraction of in-flight messages; the
+	// recoverable queues must still deliver exactly once.
+	LossRate float64
+	// Seed makes jitter reproducible.
+	Seed int64
+	// RetransmitEvery tunes the recoverable-queue retransmitter.
+	RetransmitEvery time.Duration
+	// OpDelay simulates per-operation work at each site (see
+	// txn.Exec.SetOpDelay).
+	OpDelay time.Duration
+	// Record attaches a cluster-wide history recorder so distributed
+	// executions can be checked for (grouped) serializability.
+	Record bool
+	// AllowCompensation permits chopped programs whose rollback
+	// statements live beyond the first piece (not rollback-safe): a
+	// later piece's business rollback triggers compensating inverse
+	// pieces for its committed predecessors — the optimistic-commit
+	// pattern of the paper's related work [7]. Requires every write in
+	// such programs to be a commutative delta (invertible).
+	AllowCompensation bool
+	// LockTimeout bounds a 2PC participant's lock wait during prepare.
+	// Distributed deadlocks are invisible to per-site detectors, so the
+	// timeout (default 500ms) converts them into system NO votes that
+	// the coordinator retries. Defaults are fine for tests; tune down
+	// for high-contention benchmarks.
+	LockTimeout time.Duration
+}
+
+// Cluster is a set of sites plus the network.
+type Cluster struct {
+	Net      *simnet.Network
+	Strategy Strategy
+	UseDC    bool
+
+	placement  func(storage.Key) simnet.SiteID
+	compensate bool
+	sites      map[simnet.SiteID]*Site
+	dist       *distState
+	rec        *history.Recorder
+	groupMu    sync.Mutex
+	groupOf    map[lock.Owner]history.Group
+	gen        txn.IDGen
+	nextInst   sync.Mutex
+	instSeq    uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Placement == nil {
+		return nil, errors.New("site: config needs a placement function")
+	}
+	if len(cfg.Initial) == 0 {
+		return nil, errors.New("site: config needs at least one site")
+	}
+	if cfg.Strategy == 0 {
+		cfg.Strategy = TwoPhaseCommit
+	}
+	opts := []simnet.Option{simnet.WithLatency(cfg.Latency), simnet.WithJitter(cfg.Jitter)}
+	if cfg.Seed != 0 {
+		opts = append(opts, simnet.WithSeed(cfg.Seed))
+	}
+	if cfg.LossRate > 0 {
+		opts = append(opts, simnet.WithLossRate(cfg.LossRate))
+	}
+	c := &Cluster{
+		Net:        simnet.New(opts...),
+		Strategy:   cfg.Strategy,
+		UseDC:      cfg.UseDC,
+		placement:  cfg.Placement,
+		compensate: cfg.AllowCompensation,
+		sites:      make(map[simnet.SiteID]*Site, len(cfg.Initial)),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.dist = &distState{trackers: make(map[uint64]*tracker)}
+	c.groupOf = make(map[lock.Owner]history.Group)
+	if cfg.Record {
+		c.rec = history.NewRecorder()
+	}
+	for id, init := range cfg.Initial {
+		lockTimeout := cfg.LockTimeout
+		if lockTimeout <= 0 {
+			lockTimeout = 500 * time.Millisecond
+		}
+		s := &Site{
+			ID:          id,
+			Store:       storage.NewFrom(init),
+			cluster:     c,
+			opDelay:     cfg.OpDelay,
+			lockTimeout: lockTimeout,
+			prepared:    make(map[string]*preparedTxn),
+		}
+		if cfg.UseDC {
+			s.ctl = dc.NewController()
+			s.locks = lock.NewManager(lock.WithArbiter(s.ctl))
+		} else {
+			s.locks = lock.NewManager()
+		}
+		var obs txn.Observer
+		if c.rec != nil {
+			obs = c.rec
+		}
+		s.exec = txn.NewExec(s.Store, s.locks, obs)
+		s.exec.SetOpDelay(cfg.OpDelay)
+		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery)
+		s.node = commit.NewNode(id, c.Net, commit.Hooks{
+			Prepare: s.prepare2PC,
+			Commit:  s.commit2PC,
+			Abort:   s.abort2PC,
+		})
+		c.sites[id] = s
+	}
+	// Start dispatchers and piece workers after all sites exist.
+	for _, s := range c.sites {
+		inbox, err := c.Net.AddSite(s.ID)
+		if err != nil {
+			return nil, err
+		}
+		c.wg.Add(1)
+		go c.dispatch(s, inbox)
+		s.startWorkers()
+	}
+	return c, nil
+}
+
+// Close stops the cluster and waits for its goroutines.
+func (c *Cluster) Close() {
+	c.cancel()
+	for _, s := range c.sites {
+		s.stopWorkersAndWait()
+		s.queues.Close()
+	}
+	c.wg.Wait()
+	c.Net.Close()
+}
+
+// Site returns the site with the given ID, or nil.
+func (c *Cluster) Site(id simnet.SiteID) *Site { return c.sites[id] }
+
+// dispatch routes a site's inbox messages.
+func (c *Cluster) dispatch(s *Site, inbox <-chan simnet.Message) {
+	defer c.wg.Done()
+	for {
+		select {
+		case msg := <-inbox:
+			if s.isCrashed() {
+				continue // a crashed site processes nothing
+			}
+			switch {
+			case queueKindOf(msg.Kind):
+				s.queues.Handle(msg)
+				if msg.Kind == queue.KindEnqueue {
+					s.persistQueues()
+				}
+			case msg.Kind == KindPieceDone:
+				c.handleDone(msg)
+			default:
+				// 2PC prepares may block on locks (up to the lock
+				// timeout); handle them off the dispatch loop so
+				// decisions and other traffic keep flowing.
+				c.wg.Add(1)
+				go func(msg simnet.Message) {
+					defer c.wg.Done()
+					s.node.Handle(c.ctx, msg)
+				}(msg)
+			}
+		case <-c.ctx.Done():
+			return
+		}
+	}
+}
+
+// isCrashed reports the crash flag.
+func (s *Site) isCrashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// persistQueues refreshes the durable queue image.
+func (s *Site) persistQueues() {
+	snap := s.queues.Snapshot()
+	s.mu.Lock()
+	s.queueSnap = snap
+	s.mu.Unlock()
+}
+
+// Crash simulates a site failure: volatile state (locks, in-flight
+// transactions, dirty store cells) is lost; the journaled store and the
+// persisted queue image survive.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	s.mu.Unlock()
+	s.cluster.Net.SetDown(s.ID, true)
+	s.stopWorkersAndWait()
+}
+
+// Recover restarts a crashed site from durable state.
+func (s *Site) Recover() {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	// Durable store: replay the journal, dropping dirty cells.
+	recovered := s.Store.Recover()
+	s.Store.Restore(recovered.Snapshot())
+	// Volatile state: fresh locks (and DC accounts), no prepared txns.
+	if s.ctl != nil {
+		s.ctl = dc.NewController()
+		s.locks = lock.NewManager(lock.WithArbiter(s.ctl))
+	} else {
+		s.locks = lock.NewManager()
+	}
+	var obs txn.Observer
+	if s.cluster.rec != nil {
+		obs = s.cluster.rec
+	}
+	s.exec = txn.NewExec(s.Store, s.locks, obs)
+	s.exec.SetOpDelay(s.opDelay)
+	s.prepared = make(map[string]*preparedTxn)
+	queueSnap := s.queueSnap
+	s.crashed = false
+	s.mu.Unlock()
+
+	s.queues.Restore(queueSnap)
+	s.cluster.Net.SetDown(s.ID, false)
+	s.startWorkers()
+}
+
+// Exec returns the site's executor (fresh after recovery).
+func (s *Site) Exec() *txn.Exec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exec
+}
+
+// Locks returns the site's lock manager (fresh after recovery).
+func (s *Site) Locks() *lock.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.locks
+}
+
+// Controller returns the site's divergence controller (nil without DC).
+func (s *Site) Controller() *dc.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctl
+}
+
+// PreparedCount exposes the 2PC blocked-window size.
+func (s *Site) PreparedCount() int { return s.node.PreparedCount() }
+
+// Recorder returns the cluster history recorder (nil unless Record).
+func (c *Cluster) Recorder() *history.Recorder { return c.rec }
+
+// GroupOf returns the owner → distributed-transaction grouping for
+// grouped serializability checks.
+func (c *Cluster) GroupOf() map[lock.Owner]history.Group {
+	c.groupMu.Lock()
+	defer c.groupMu.Unlock()
+	out := make(map[lock.Owner]history.Group, len(c.groupOf))
+	for k, v := range c.groupOf {
+		out[k] = v
+	}
+	return out
+}
+
+// recordGroup associates an owner with a distributed transaction.
+func (c *Cluster) recordGroup(owner lock.Owner, inst uint64) {
+	c.groupMu.Lock()
+	defer c.groupMu.Unlock()
+	c.groupOf[owner] = history.Group(inst)
+}

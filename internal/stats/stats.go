@@ -1,0 +1,200 @@
+// Package stats provides the small measurement toolkit used by the
+// benchmark harness: latency recorders with percentiles, counters, and a
+// fixed-width table writer for printing paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, d)
+}
+
+// N returns the number of samples.
+func (r *Recorder) N() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the mean sample, 0 when empty.
+func (r *Recorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range r.samples {
+		total += s
+	}
+	return total / time.Duration(len(r.samples))
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100) by
+// nearest-rank, 0 when empty.
+func (r *Recorder) Percentile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Max returns the largest sample, 0 when empty.
+func (r *Recorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var max time.Duration
+	for _, s := range r.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Min returns the smallest sample, 0 when empty.
+func (r *Recorder) Min() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	min := r.samples[0]
+	for _, s := range r.samples[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Counter is a concurrent counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Table renders fixed-width result tables for the experiment harness.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Header returns the column headers.
+func (t *Table) Header() []string {
+	return append([]string(nil), t.header...)
+}
+
+// Rows returns a copy of the table rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.N() != 0 || r.Mean() != 0 || r.Percentile(50) != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Error("empty recorder not all zeros")
+	}
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		r.Add(d * time.Millisecond)
+	}
+	if r.N() != 5 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Mean(); got != 30*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := r.Min(); got != 10*time.Millisecond {
+		t.Errorf("Min = %v", got)
+	}
+	if got := r.Max(); got != 50*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i))
+	}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{50, 50}, {95, 95}, {99, 99}, {100, 100}, {1, 1},
+	}
+	for _, tt := range tests {
+		if got := r.Percentile(tt.q); got != tt.want {
+			t.Errorf("P%.0f = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	prop := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		var min, max time.Duration
+		for i, v := range raw {
+			d := time.Duration(v)
+			r.Add(d)
+			if i == 0 || d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		q := float64(qRaw%100) + 1
+		p := r.Percentile(q)
+		return p >= min && p <= max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("Value = %d, want 8000", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Add(time.Millisecond)
+				_ = r.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.N() != 4000 {
+		t.Errorf("N = %d", r.N())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("method", "throughput", "p95")
+	tbl.AddRow("baseline-sr-cc", "1200", "4ms")
+	tbl.AddRow("method1", "3400") // short row pads
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "method") || !strings.Contains(lines[0], "throughput") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "baseline-sr-cc") {
+		t.Errorf("row = %q", lines[2])
+	}
+	// Columns align: each line has the same prefix widths.
+	idx := strings.Index(lines[0], "throughput")
+	if !strings.HasPrefix(lines[2][idx:], "1200") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+	// Extra cells dropped.
+	tbl2 := NewTable("a")
+	tbl2.AddRow("x", "overflow")
+	if strings.Contains(tbl2.String(), "overflow") {
+		t.Error("overflow cell rendered")
+	}
+}

@@ -1,0 +1,206 @@
+// Package storage implements the in-memory versioned key-value store that
+// backs every simulated site.
+//
+// The store holds the committed database state. Transactions write through
+// it immediately under two-phase locking and undo on abort using
+// before-images kept by the transaction layer, so the store itself stays a
+// plain concurrent map plus a committed-write journal. The journal gives
+// sites a durable-state notion for crash/restore simulation: state
+// reconstructed from the journal is exactly the committed state.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"asynctp/internal/metric"
+)
+
+// Key names a data item. The paper's examples use account names ("X",
+// "Y", "checking:42").
+type Key string
+
+// Write is a single key/value assignment.
+type Write struct {
+	Key   Key
+	Value metric.Value
+}
+
+// JournalEntry is one committed atomic batch, in commit order.
+type JournalEntry struct {
+	// LSN is the log sequence number, dense from 1.
+	LSN uint64
+	// Writes are the batch's assignments.
+	Writes []Write
+}
+
+// Store is a concurrent key-value store over the metric value space.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[Key]metric.Value
+	journal []JournalEntry
+	nextLSN uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[Key]metric.Value), nextLSN: 1}
+}
+
+// NewFrom returns a store seeded with the given contents. The initial load
+// is recorded as LSN 1 so that recovery reproduces it.
+func NewFrom(init map[Key]metric.Value) *Store {
+	s := New()
+	if len(init) == 0 {
+		return s
+	}
+	writes := make([]Write, 0, len(init))
+	for k, v := range init {
+		writes = append(writes, Write{Key: k, Value: v})
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Key < writes[j].Key })
+	if err := s.Apply(writes); err != nil {
+		// Apply on a fresh store with a non-empty batch cannot fail.
+		panic(fmt.Sprintf("storage: seeding fresh store: %v", err))
+	}
+	return s
+}
+
+// Get returns the current value of k. Missing keys read as 0, matching the
+// metric space's natural zero (an account that does not exist holds no
+// money).
+func (s *Store) Get(k Key) metric.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+// Has reports whether k has ever been written.
+func (s *Store) Has(k Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[k]
+	return ok
+}
+
+// Set assigns k := v without journaling. It is the raw cell update used by
+// in-flight transactions; the transaction layer journals the final batch at
+// commit via Apply, and undoes via Set on abort.
+func (s *Store) Set(k Key, v metric.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+}
+
+// Apply journals an atomic committed batch. Values must already be present
+// in the live map when the batch comes from an in-place committer; Apply
+// also (re)assigns them so it works for both write-through and deferred
+// writers.
+func (s *Store) Apply(writes []Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]Write, len(writes))
+	copy(cp, writes)
+	for _, w := range cp {
+		s.data[w.Key] = w.Value
+	}
+	s.journal = append(s.journal, JournalEntry{LSN: s.nextLSN, Writes: cp})
+	s.nextLSN++
+	return nil
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]Key, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Snapshot returns a copy of the full current state.
+func (s *Store) Snapshot() map[Key]metric.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := make(map[Key]metric.Value, len(s.data))
+	for k, v := range s.data {
+		snap[k] = v
+	}
+	return snap
+}
+
+// Restore replaces the live state with snap, keeping the journal. It is
+// the test hook for "reset to a known state".
+func (s *Store) Restore(snap map[Key]metric.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[Key]metric.Value, len(snap))
+	for k, v := range snap {
+		s.data[k] = v
+	}
+}
+
+// Journal returns a copy of the committed-batch journal.
+func (s *Store) Journal() []JournalEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]JournalEntry, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// Recover builds a fresh store whose state replays the journal: the
+// durable, committed state as of the crash. Uncommitted Set calls made by
+// in-flight transactions are lost, exactly as a write-ahead-logged store
+// would lose dirty pages whose transactions never committed.
+func (s *Store) Recover() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := New()
+	for _, entry := range s.journal {
+		for _, w := range entry.Writes {
+			r.data[w.Key] = w.Value
+		}
+		r.journal = append(r.journal, entry)
+		r.nextLSN = entry.LSN + 1
+	}
+	return r
+}
+
+// Sum returns the total of the given keys (missing keys count 0). It is
+// the consistency invariant of the banking workloads: transfers conserve
+// the sum.
+func (s *Store) Sum(keys []Key) metric.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total metric.Value
+	for _, k := range keys {
+		total += s.data[k]
+	}
+	return total
+}
+
+// SumAll returns the total over every key present.
+func (s *Store) SumAll() metric.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total metric.Value
+	for _, v := range s.data {
+		total += v
+	}
+	return total
+}

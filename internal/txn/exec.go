@@ -1,0 +1,211 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+)
+
+// ErrRollback is the business rollback: a rollback statement fired. Unlike
+// system aborts (deadlock, divergence refusal) a business rollback must
+// not be retried.
+var ErrRollback = errors.New("txn: rollback statement fired")
+
+// IDGen hands out unique transaction owners.
+type IDGen struct {
+	next atomic.Int64
+}
+
+// Next returns a fresh owner ID (positive, dense).
+func (g *IDGen) Next() lock.Owner {
+	return lock.Owner(g.next.Add(1))
+}
+
+// ReadRec is one read observed by a transaction, in execution order.
+type ReadRec struct {
+	Key   storage.Key
+	Value metric.Value
+}
+
+// Outcome describes one finished execution attempt.
+type Outcome struct {
+	// Owner is the transaction identity used for locks and history.
+	Owner lock.Owner
+	// Committed reports whether the attempt committed.
+	Committed bool
+	// Reads are the values observed, in order.
+	Reads []ReadRec
+	// Writes are the final values written (one per key, last-writer-wins),
+	// empty when the attempt aborted.
+	Writes []storage.Write
+}
+
+// ReadValue returns the last value this execution read for key.
+func (o *Outcome) ReadValue(key storage.Key) (metric.Value, bool) {
+	for i := len(o.Reads) - 1; i >= 0; i-- {
+		if o.Reads[i].Key == key {
+			return o.Reads[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumReads totals every read (the audit transactions' result).
+func (o *Outcome) SumReads() metric.Value {
+	var total metric.Value
+	for _, r := range o.Reads {
+		total += r.Value
+	}
+	return total
+}
+
+// Observer receives execution events; the history recorder implements it.
+// A nil Observer is valid and observes nothing. Write carries the op's
+// commutativity so the serializability checker can apply the same
+// conflict model as the chopper (commuting increments do not conflict).
+type Observer interface {
+	Begin(owner lock.Owner, name string, class Class)
+	Read(owner lock.Owner, key storage.Key, value metric.Value)
+	Write(owner lock.Owner, key storage.Key, old, new metric.Value, commutative bool)
+	Commit(owner lock.Owner)
+	Abort(owner lock.Owner, reason error)
+}
+
+// Exec runs programs as atomic transactions under strict two-phase locking
+// against one store. Plugging a divergence-control arbiter into the lock
+// manager turns the same executor into a divergence-controlled one.
+type Exec struct {
+	store   *storage.Store
+	locks   *lock.Manager
+	obs     Observer
+	opDelay time.Duration
+}
+
+// NewExec builds an executor. obs may be nil.
+func NewExec(store *storage.Store, locks *lock.Manager, obs Observer) *Exec {
+	return &Exec{store: store, locks: locks, obs: obs}
+}
+
+// SetOpDelay makes every operation take d of simulated work while its
+// lock is held. Zero (the default) disables it. Benchmarks use it to
+// model the paper's environment, where operations take real time and
+// blocking on locks is what limits throughput.
+func (e *Exec) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// Store returns the backing store.
+func (e *Exec) Store() *storage.Store { return e.store }
+
+// Locks returns the lock manager.
+func (e *Exec) Locks() *lock.Manager { return e.locks }
+
+// Run executes p atomically as owner. On success the outcome is committed
+// and journaled. On failure all effects are undone and the error tells the
+// caller whether to retry: lock.ErrDeadlock and context errors are system
+// aborts (retryable); ErrRollback is a business rollback (final).
+func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e.obs != nil {
+		e.obs.Begin(owner, p.Name, p.Class())
+	}
+	out := &Outcome{Owner: owner}
+	undo := make(map[storage.Key]metric.Value) // before-images, first write only
+	finals := make(map[storage.Key]metric.Value)
+
+	abort := func(reason error) {
+		for k, v := range undo {
+			e.store.Set(k, v)
+		}
+		e.locks.ReleaseAll(owner)
+		if e.obs != nil {
+			e.obs.Abort(owner, reason)
+		}
+	}
+
+	for i, op := range p.Ops {
+		mode := lock.Shared
+		if op.Kind == OpWrite {
+			mode = lock.Exclusive
+		}
+		if err := e.locks.Acquire(ctx, owner, op.Key, mode); err != nil {
+			abort(err)
+			return out, fmt.Errorf("op %d on %q: %w", i, op.Key, err)
+		}
+		if e.opDelay > 0 {
+			time.Sleep(e.opDelay)
+		}
+		old := e.store.Get(op.Key)
+		if op.AbortIf != nil && op.AbortIf(old) {
+			abort(ErrRollback)
+			return out, fmt.Errorf("op %d on %q: %w", i, op.Key, ErrRollback)
+		}
+		switch op.Kind {
+		case OpRead:
+			out.Reads = append(out.Reads, ReadRec{Key: op.Key, Value: old})
+			if e.obs != nil {
+				e.obs.Read(owner, op.Key, old)
+			}
+		case OpWrite:
+			if _, seen := undo[op.Key]; !seen {
+				undo[op.Key] = old
+			}
+			val := op.Update(old)
+			e.store.Set(op.Key, val)
+			finals[op.Key] = val
+			if e.obs != nil {
+				e.obs.Write(owner, op.Key, old, val, op.Commutative)
+			}
+		}
+	}
+
+	// Commit: journal the batch, then release (strict 2PL holds all locks
+	// to this point).
+	batch := make([]storage.Write, 0, len(finals))
+	for k, v := range finals {
+		batch = append(batch, storage.Write{Key: k, Value: v})
+	}
+	if err := e.store.Apply(batch); err != nil {
+		abort(err)
+		return out, fmt.Errorf("commit %q: %w", p.Name, err)
+	}
+	out.Writes = batch
+	out.Committed = true
+	e.locks.ReleaseAll(owner)
+	if e.obs != nil {
+		e.obs.Commit(owner)
+	}
+	return out, nil
+}
+
+// Retryable reports whether an execution error is a system abort worth
+// retrying (deadlock or divergence refusal), as opposed to a business
+// rollback or context end.
+func Retryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock)
+}
+
+// RunWithRetry runs p, resubmitting on system aborts until it commits, the
+// context ends, or a business rollback fires. It returns the number of
+// aborted attempts alongside the final outcome. Each attempt uses a fresh
+// owner from gen, matching the paper's process handler that "resubmits the
+// piece until it commits".
+func (e *Exec) RunWithRetry(ctx context.Context, gen *IDGen, p *Program) (*Outcome, int, error) {
+	retries := 0
+	for {
+		out, err := e.Run(ctx, gen.Next(), p)
+		if err == nil {
+			return out, retries, nil
+		}
+		if !Retryable(err) || ctx.Err() != nil {
+			return out, retries, err
+		}
+		retries++
+	}
+}

@@ -1,0 +1,288 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+)
+
+// event is one observer callback for assertion.
+type event struct {
+	kind  string
+	owner lock.Owner
+	key   storage.Key
+	old   metric.Value
+	val   metric.Value
+}
+
+// recorder is a test Observer.
+type recorder struct {
+	mu     sync.Mutex
+	events []event
+}
+
+func (r *recorder) Begin(o lock.Owner, name string, c Class) {
+	r.add(event{kind: "begin", owner: o})
+}
+func (r *recorder) Read(o lock.Owner, k storage.Key, v metric.Value) {
+	r.add(event{kind: "read", owner: o, key: k, val: v})
+}
+func (r *recorder) Write(o lock.Owner, k storage.Key, old, v metric.Value, commutative bool) {
+	r.add(event{kind: "write", owner: o, key: k, old: old, val: v})
+}
+func (r *recorder) Commit(o lock.Owner) { r.add(event{kind: "commit", owner: o}) }
+func (r *recorder) Abort(o lock.Owner, err error) {
+	r.add(event{kind: "abort", owner: o})
+}
+
+func (r *recorder) add(e event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recorder) kinds() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.kind
+	}
+	return out
+}
+
+func newExecT(init map[storage.Key]metric.Value) (*Exec, *recorder) {
+	rec := &recorder{}
+	return NewExec(storage.NewFrom(init), lock.NewManager(), rec), rec
+}
+
+func TestRunCommitsTransfer(t *testing.T) {
+	e, rec := newExecT(map[storage.Key]metric.Value{"x": 1000, "y": 500})
+	xfer := MustProgram("xfer", AddOp("x", -100), AddOp("y", 100))
+	out, err := e.Run(context.Background(), 1, xfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed {
+		t.Fatal("not committed")
+	}
+	if got := e.Store().Get("x"); got != 900 {
+		t.Errorf("x = %d, want 900", got)
+	}
+	if got := e.Store().Get("y"); got != 600 {
+		t.Errorf("y = %d, want 600", got)
+	}
+	want := []string{"begin", "write", "write", "commit"}
+	got := rec.kinds()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	// Locks must be released at commit.
+	if len(e.Locks().HeldKeys(1)) != 0 {
+		t.Error("locks leaked after commit")
+	}
+}
+
+func TestRunReadsObserveValues(t *testing.T) {
+	e, _ := newExecT(map[storage.Key]metric.Value{"x": 10, "y": 20})
+	audit := MustProgram("audit", ReadOp("x"), ReadOp("y"))
+	out, err := e.Run(context.Background(), 2, audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.SumReads(); got != 30 {
+		t.Errorf("SumReads = %d, want 30", got)
+	}
+	if v, ok := out.ReadValue("y"); !ok || v != 20 {
+		t.Errorf("ReadValue(y) = %d, %v", v, ok)
+	}
+	if _, ok := out.ReadValue("zzz"); ok {
+		t.Error("ReadValue on unread key reported ok")
+	}
+}
+
+func TestBusinessRollbackUndoesWrites(t *testing.T) {
+	e, rec := newExecT(map[storage.Key]metric.Value{"x": 50})
+	// Withdraw 100 from x, but roll back on insufficient funds; the
+	// predicate sees the pre-write value.
+	p := MustProgram("withdraw",
+		AddOp("staging", 1), // a write that must be undone
+		WithAbortIf(AddOp("x", -100), func(v metric.Value) bool { return v < 100 }),
+	)
+	out, err := e.Run(context.Background(), 3, p)
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("err = %v, want ErrRollback", err)
+	}
+	if out.Committed {
+		t.Error("outcome committed after rollback")
+	}
+	if got := e.Store().Get("staging"); got != 0 {
+		t.Errorf("staging = %d after undo, want 0", got)
+	}
+	if got := e.Store().Get("x"); got != 50 {
+		t.Errorf("x = %d after undo, want 50", got)
+	}
+	kinds := rec.kinds()
+	if kinds[len(kinds)-1] != "abort" {
+		t.Errorf("last event = %s, want abort", kinds[len(kinds)-1])
+	}
+	if Retryable(err) {
+		t.Error("business rollback classified retryable")
+	}
+}
+
+func TestRollbackNotTriggeredWhenFundsSuffice(t *testing.T) {
+	e, _ := newExecT(map[storage.Key]metric.Value{"x": 500})
+	p := MustProgram("withdraw",
+		WithAbortIf(AddOp("x", -100), func(v metric.Value) bool { return v < 100 }))
+	out, err := e.Run(context.Background(), 4, p)
+	if err != nil || !out.Committed {
+		t.Fatalf("err = %v committed = %v", err, out.Committed)
+	}
+	if got := e.Store().Get("x"); got != 400 {
+		t.Errorf("x = %d, want 400", got)
+	}
+}
+
+func TestDeadlockAbortUndoesAndIsRetryable(t *testing.T) {
+	store := storage.NewFrom(map[storage.Key]metric.Value{"a": 1, "b": 2})
+	locks := lock.NewManager()
+	e := NewExec(store, locks, nil)
+
+	// Owner 9 holds b exclusively and waits for a; txn 10 takes a then b.
+	// The op delay keeps txn 10 inside its first op long enough for owner
+	// 9 to queue up on "a", making txn 10 the one that closes the cycle
+	// (and hence the deterministic victim).
+	e.SetOpDelay(300 * time.Millisecond)
+	if err := locks.Acquire(context.Background(), 9, "b", lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan error, 1)
+	go func() {
+		// Owner 9 waits on "a" after txn 10 grabs it, while txn 10 is
+		// still sleeping in its first op.
+		time.Sleep(50 * time.Millisecond)
+		hold <- locks.Acquire(context.Background(), 9, "a", lock.Exclusive)
+	}()
+	p := MustProgram("t", AddOp("a", 10), AddOp("b", 10))
+	_, err := e.Run(context.Background(), 10, p)
+	if !errors.Is(err, lock.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !Retryable(err) {
+		t.Error("deadlock not classified retryable")
+	}
+	// Write to "a" must be undone.
+	if got := store.Get("a"); got != 1 {
+		t.Errorf("a = %d after deadlock undo, want 1", got)
+	}
+	locks.ReleaseAll(9)
+	if err := <-hold; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithRetryEventuallyCommits(t *testing.T) {
+	store := storage.NewFrom(map[storage.Key]metric.Value{"a": 0, "b": 0})
+	locks := lock.NewManager()
+	e := NewExec(store, locks, nil)
+	gen := &IDGen{}
+
+	// Two goroutines run opposite-order transfers; deadlocks resolve via
+	// retry and both eventually commit.
+	p1 := MustProgram("fwd", AddOp("a", 1), AddOp("b", 1))
+	p2 := MustProgram("rev", AddOp("b", 1), AddOp("a", 1))
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for _, p := range []*Program{p1, p2} {
+		wg.Add(1)
+		go func(p *Program) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, _, err := e.RunWithRetry(context.Background(), gen, p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := store.Get("a"); got != 50 {
+		t.Errorf("a = %d, want 50", got)
+	}
+	if got := store.Get("b"); got != 50 {
+		t.Errorf("b = %d, want 50", got)
+	}
+}
+
+func TestRunWithRetryStopsOnRollback(t *testing.T) {
+	e, _ := newExecT(map[storage.Key]metric.Value{"x": 0})
+	gen := &IDGen{}
+	p := MustProgram("t", WithAbortIf(ReadOp("x"), func(metric.Value) bool { return true }))
+	_, retries, err := e.RunWithRetry(context.Background(), gen, p)
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("err = %v, want ErrRollback", err)
+	}
+	if retries != 0 {
+		t.Errorf("retries = %d, want 0", retries)
+	}
+}
+
+func TestRunInvalidProgram(t *testing.T) {
+	e, _ := newExecT(nil)
+	bad := &Program{Name: "bad"}
+	if _, err := e.Run(context.Background(), 1, bad); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	gen := &IDGen{}
+	var wg sync.WaitGroup
+	seen := sync.Map{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				id := gen.Next()
+				if _, dup := seen.LoadOrStore(id, true); dup {
+					t.Errorf("duplicate id %d", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCommitJournalsBatch(t *testing.T) {
+	e, _ := newExecT(nil)
+	p := MustProgram("t", AddOp("x", 5))
+	if _, err := e.Run(context.Background(), 1, p); err != nil {
+		t.Fatal(err)
+	}
+	j := e.Store().Journal()
+	if len(j) != 1 || len(j[0].Writes) != 1 || j[0].Writes[0].Key != "x" || j[0].Writes[0].Value != 5 {
+		t.Errorf("journal = %+v", j)
+	}
+	// Recovery must see the committed value.
+	if got := e.Store().Recover().Get("x"); got != 5 {
+		t.Errorf("recovered x = %d, want 5", got)
+	}
+}

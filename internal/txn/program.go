@@ -1,0 +1,302 @@
+// Package txn defines transaction programs and the executor that runs a
+// program (or a chopped piece of one) as a single atomic transaction.
+//
+// A Program is a declared list of operations over keys. Declaring the
+// operation list — rather than running opaque code — is the paper's key
+// assumption: chopping is an off-line technique that needs the full job
+// stream, every access, and every rollback statement visible in the
+// program text. The same declarations drive the runtime: write operations
+// carry a declared delta bound (the paper's C-edge weight W_C, e.g. "a
+// customer may withdraw at most $500/day"), which divergence control uses
+// to price a conflict before granting it.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+)
+
+// Class tells update epsilon-transactions from query-only ones. The paper
+// focuses on environments where query ETs may read fuzzy data but update
+// ETs stay serializable among themselves.
+type Class int
+
+// Transaction classes.
+const (
+	// Query is a read-only epsilon transaction.
+	Query Class = iota + 1
+	// Update is an epsilon transaction with at least one write.
+	Update
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case Query:
+		return "query"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// OpKind is the kind of one program operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpRead reads a key.
+	OpRead OpKind = iota + 1
+	// OpWrite reads a key and writes a new value derived from it.
+	OpWrite
+)
+
+// UpdateFunc computes a written value from the current one.
+type UpdateFunc func(metric.Value) metric.Value
+
+// AbortPred decides, from the value just read, whether the transaction
+// must roll back (a business rollback statement, e.g. "insufficient
+// funds").
+type AbortPred func(metric.Value) bool
+
+// Op is one operation of a transaction program.
+type Op struct {
+	// Kind is OpRead or OpWrite.
+	Kind OpKind
+	// Key is the data item accessed.
+	Key storage.Key
+	// Update derives the new value for OpWrite. Nil for OpRead.
+	Update UpdateFunc
+	// Bound bounds |new - old| for OpWrite: the potential fuzziness a
+	// conflict with this write can introduce (the C-edge weight). Writes
+	// whose delta cannot be predicted carry metric.Infinite, which makes
+	// divergence control treat conflicts on them as unabsorbable — the
+	// upward-compatible degradation to plain concurrency control.
+	Bound metric.Limit
+	// AbortIf, when non-nil, is evaluated on the value read (for OpRead)
+	// or the value about to be overwritten (for OpWrite); true rolls the
+	// transaction back. Its presence marks a rollback statement for the
+	// rollback-safety rule.
+	AbortIf AbortPred
+	// Commutative marks writes that commute with each other (increments:
+	// AddOp). Two commutative writes to the same key do not conflict in
+	// the chopping graph — the distinction Shasha et al. rely on to keep
+	// concurrent transfers choppable. They still serialize through
+	// exclusive locks at runtime; commutativity only says the resulting
+	// state and the values seen by later readers do not depend on their
+	// order.
+	Commutative bool
+}
+
+// HasRollback reports whether the op contains a rollback statement.
+func (o Op) HasRollback() bool { return o.AbortIf != nil }
+
+// ReadOp reads key.
+func ReadOp(key storage.Key) Op {
+	return Op{Kind: OpRead, Key: key}
+}
+
+// AddOp adds delta to key. Its declared bound is |delta| exactly, and it
+// commutes with other AddOps on the same key.
+func AddOp(key storage.Key, delta metric.Value) Op {
+	return Op{
+		Kind:        OpWrite,
+		Key:         key,
+		Update:      func(old metric.Value) metric.Value { return old + delta },
+		Bound:       metric.LimitOf(metric.Distance(delta, 0)),
+		Commutative: true,
+	}
+}
+
+// SetOp assigns key := value. Without knowledge of the old value the
+// delta is unbounded, so the declared bound is ∞; use TransformOp to
+// declare a tighter one.
+func SetOp(key storage.Key, value metric.Value) Op {
+	return Op{
+		Kind:   OpWrite,
+		Key:    key,
+		Update: func(metric.Value) metric.Value { return value },
+		Bound:  metric.Infinite,
+	}
+}
+
+// TransformOp writes f(old) to key, declaring bound on |f(old) - old|.
+func TransformOp(key storage.Key, f UpdateFunc, bound metric.Limit) Op {
+	return Op{Kind: OpWrite, Key: key, Update: f, Bound: bound}
+}
+
+// WithAbortIf returns o with a rollback predicate attached.
+func WithAbortIf(o Op, pred AbortPred) Op {
+	o.AbortIf = pred
+	return o
+}
+
+// Program is a declared transaction: a name, an operation list, and the
+// ε-spec Limit_t the application assigned to it.
+type Program struct {
+	// Name identifies the program in reports and chopping graphs.
+	Name string
+	// Ops is the operation list, in program-text order.
+	Ops []Op
+	// Spec is the ε-spec (import and export inconsistency limits).
+	Spec metric.Spec
+}
+
+// NewProgram builds a validated program. Defaults: a strict ε-spec
+// (classic serializability).
+func NewProgram(name string, ops ...Op) (*Program, error) {
+	p := &Program{Name: name, Ops: ops, Spec: metric.Strict}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is NewProgram that panics on invalid input; for declaring
+// fixed workloads and tests.
+func MustProgram(name string, ops ...Op) *Program {
+	p, err := NewProgram(name, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// WithSpec returns a shallow copy of p with ε-spec s.
+func (p *Program) WithSpec(s metric.Spec) *Program {
+	q := *p
+	q.Spec = s
+	return &q
+}
+
+// Validate checks structural invariants.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return errors.New("txn: program needs a name")
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("txn: program %q has no operations", p.Name)
+	}
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpRead:
+			if op.Update != nil {
+				return fmt.Errorf("txn: %q op %d: read with update func", p.Name, i)
+			}
+		case OpWrite:
+			if op.Update == nil {
+				return fmt.Errorf("txn: %q op %d: write without update func", p.Name, i)
+			}
+		default:
+			return fmt.Errorf("txn: %q op %d: bad kind %d", p.Name, i, op.Kind)
+		}
+		if op.Key == "" {
+			return fmt.Errorf("txn: %q op %d: empty key", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// Class derives the program's class from its text: any write makes it an
+// update ET.
+func (p *Program) Class() Class {
+	for _, op := range p.Ops {
+		if op.Kind == OpWrite {
+			return Update
+		}
+	}
+	return Query
+}
+
+// ReadSet returns the keys read (including read-before-write), sorted.
+func (p *Program) ReadSet() []storage.Key { return p.keySet(func(Op) bool { return true }) }
+
+// WriteSet returns the keys written, sorted.
+func (p *Program) WriteSet() []storage.Key {
+	return p.keySet(func(o Op) bool { return o.Kind == OpWrite })
+}
+
+func (p *Program) keySet(include func(Op) bool) []storage.Key {
+	set := make(map[storage.Key]struct{})
+	for _, op := range p.Ops {
+		if include(op) {
+			set[op.Key] = struct{}{}
+		}
+	}
+	keys := make([]storage.Key, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// WriteBound returns the total declared delta bound of p's writes to key:
+// the worst-case fuzziness a single conflicting reader of key can import
+// from one execution of p. Programs that never write key have bound 0.
+func (p *Program) WriteBound(key storage.Key) metric.Limit {
+	total := metric.Zero
+	for _, op := range p.Ops {
+		if op.Kind == OpWrite && op.Key == key {
+			total = total.AddLimit(op.Bound)
+		}
+	}
+	return total
+}
+
+// HasRollback reports whether any op carries a rollback statement.
+func (p *Program) HasRollback() bool {
+	for _, op := range p.Ops {
+		if op.HasRollback() {
+			return true
+		}
+	}
+	return false
+}
+
+// LastRollbackIndex returns the index of the last op with a rollback
+// statement, or -1. Rollback-safety requires every piece boundary to fall
+// after this index (all rollbacks in the first piece).
+func (p *Program) LastRollbackIndex() int {
+	last := -1
+	for i, op := range p.Ops {
+		if op.HasRollback() {
+			last = i
+		}
+	}
+	return last
+}
+
+// OpsConflict reports whether two operations conflict — i.e. do not
+// commute: same key, at least one write, and not both commutative writes.
+// Read/write and write/write pairs conflict unless both sides are
+// commuting increments.
+func OpsConflict(a, b Op) bool {
+	if a.Key != b.Key {
+		return false
+	}
+	if a.Kind != OpWrite && b.Kind != OpWrite {
+		return false
+	}
+	if a.Kind == OpWrite && b.Kind == OpWrite && a.Commutative && b.Commutative {
+		return false
+	}
+	return true
+}
+
+// Conflicts reports whether any op of p conflicts with any op of q.
+func (p *Program) Conflicts(q *Program) bool {
+	for _, a := range p.Ops {
+		for _, b := range q.Ops {
+			if OpsConflict(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package txn
+
+import (
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+)
+
+func TestOpConstructors(t *testing.T) {
+	r := ReadOp("x")
+	if r.Kind != OpRead || r.Key != "x" || r.Update != nil {
+		t.Errorf("ReadOp = %+v", r)
+	}
+	a := AddOp("x", -250)
+	if a.Kind != OpWrite || a.Bound.Cmp(metric.LimitOf(250)) != 0 {
+		t.Errorf("AddOp bound = %s, want 250", a.Bound)
+	}
+	if got := a.Update(1000); got != 750 {
+		t.Errorf("AddOp update = %d, want 750", got)
+	}
+	s := SetOp("x", 7)
+	if !s.Bound.IsInfinite() {
+		t.Errorf("SetOp bound = %s, want inf", s.Bound)
+	}
+	if got := s.Update(123); got != 7 {
+		t.Errorf("SetOp update = %d, want 7", got)
+	}
+	tr := TransformOp("x", func(v metric.Value) metric.Value { return v * 11 / 10 }, metric.LimitOf(100))
+	if got := tr.Update(1000); got != 1100 {
+		t.Errorf("TransformOp update = %d, want 1100", got)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		prog    string
+		ops     []Op
+		wantErr bool
+	}{
+		{"valid", "t", []Op{ReadOp("x")}, false},
+		{"empty name", "", []Op{ReadOp("x")}, true},
+		{"no ops", "t", nil, true},
+		{"empty key", "t", []Op{ReadOp("")}, true},
+		{"write without update", "t", []Op{{Kind: OpWrite, Key: "x"}}, true},
+		{"read with update", "t", []Op{{Kind: OpRead, Key: "x", Update: func(v metric.Value) metric.Value { return v }}}, true},
+		{"bad kind", "t", []Op{{Kind: 0, Key: "x"}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewProgram(tt.prog, tt.ops...)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewProgram err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram with bad input did not panic")
+		}
+	}()
+	MustProgram("")
+}
+
+func TestClassDerivation(t *testing.T) {
+	q := MustProgram("audit", ReadOp("x"), ReadOp("y"))
+	if q.Class() != Query {
+		t.Errorf("read-only program class = %v", q.Class())
+	}
+	u := MustProgram("xfer", AddOp("x", -10), AddOp("y", 10))
+	if u.Class() != Update {
+		t.Errorf("writing program class = %v", u.Class())
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	p := MustProgram("t",
+		ReadOp("c"), AddOp("a", 1), ReadOp("a"), AddOp("b", 2))
+	rs := p.ReadSet()
+	if len(rs) != 3 || rs[0] != "a" || rs[1] != "b" || rs[2] != "c" {
+		t.Errorf("ReadSet = %v", rs)
+	}
+	ws := p.WriteSet()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "b" {
+		t.Errorf("WriteSet = %v", ws)
+	}
+}
+
+func TestWriteBound(t *testing.T) {
+	p := MustProgram("t", AddOp("x", -100), AddOp("x", 30), AddOp("y", 5))
+	if got := p.WriteBound("x"); got.Cmp(metric.LimitOf(130)) != 0 {
+		t.Errorf("WriteBound(x) = %s, want 130", got)
+	}
+	if got := p.WriteBound("y"); got.Cmp(metric.LimitOf(5)) != 0 {
+		t.Errorf("WriteBound(y) = %s, want 5", got)
+	}
+	if got := p.WriteBound("z"); got.Cmp(metric.Zero) != 0 {
+		t.Errorf("WriteBound(z) = %s, want 0", got)
+	}
+	withSet := MustProgram("t2", SetOp("x", 1))
+	if !withSet.WriteBound("x").IsInfinite() {
+		t.Error("SetOp write bound should be infinite")
+	}
+}
+
+func TestRollbackDetection(t *testing.T) {
+	noRb := MustProgram("t", ReadOp("x"), AddOp("y", 1))
+	if noRb.HasRollback() || noRb.LastRollbackIndex() != -1 {
+		t.Error("program without rollbacks misdetected")
+	}
+	pred := func(v metric.Value) bool { return v < 0 }
+	withRb := MustProgram("t",
+		ReadOp("x"),
+		WithAbortIf(AddOp("y", -5), pred),
+		AddOp("z", 5))
+	if !withRb.HasRollback() {
+		t.Error("rollback not detected")
+	}
+	if got := withRb.LastRollbackIndex(); got != 1 {
+		t.Errorf("LastRollbackIndex = %d, want 1", got)
+	}
+}
+
+func TestOpsConflict(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Op
+		want bool
+	}{
+		{"read-read same key", ReadOp("x"), ReadOp("x"), false},
+		{"read-write same key", ReadOp("x"), AddOp("x", 1), true},
+		{"write-read same key", AddOp("x", 1), ReadOp("x"), true},
+		{"commuting adds same key", AddOp("x", 1), AddOp("x", 2), false},
+		{"add vs set same key", AddOp("x", 1), SetOp("x", 2), true},
+		{"set vs set same key", SetOp("x", 1), SetOp("x", 2), true},
+		{"different keys", AddOp("x", 1), AddOp("y", 2), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := OpsConflict(tt.a, tt.b); got != tt.want {
+				t.Errorf("OpsConflict = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProgramConflicts(t *testing.T) {
+	xfer := MustProgram("xfer", AddOp("x", -10), AddOp("y", 10))
+	audit := MustProgram("audit", ReadOp("x"), ReadOp("y"))
+	other := MustProgram("other", ReadOp("z"))
+	if !xfer.Conflicts(audit) {
+		t.Error("xfer should conflict with audit")
+	}
+	if xfer.Conflicts(other) || audit.Conflicts(other) {
+		t.Error("disjoint programs should not conflict")
+	}
+	if audit.Conflicts(audit) {
+		t.Error("read-only programs never conflict")
+	}
+}
+
+func TestWithSpecCopies(t *testing.T) {
+	p := MustProgram("t", ReadOp("x"))
+	q := p.WithSpec(metric.SpecOf(100))
+	if p.Spec.Import.Cmp(metric.Zero) != 0 {
+		t.Error("WithSpec mutated the original")
+	}
+	if q.Spec.Import.Cmp(metric.LimitOf(100)) != 0 {
+		t.Errorf("copy spec = %s", q.Spec)
+	}
+	if q.Name != p.Name || len(q.Ops) != len(p.Ops) {
+		t.Error("copy lost fields")
+	}
+}
+
+func TestWriteSetKeyTypes(t *testing.T) {
+	// Keys are storage.Key; make sure mixed construction works.
+	k := storage.Key("acct:1")
+	p := MustProgram("t", AddOp(k, 1))
+	if p.WriteSet()[0] != k {
+		t.Errorf("WriteSet = %v", p.WriteSet())
+	}
+}

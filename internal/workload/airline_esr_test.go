@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/storage"
+)
+
+// TestAirlineUnderEveryMethod oversells a small flight under all six
+// methods: exactly Seats reservations commit, the rest roll back, and
+// the seats+booked invariant holds at quiescence — including when the
+// booking-counter piece commits asynchronously under chopping.
+func TestAirlineUnderEveryMethod(t *testing.T) {
+	for _, method := range core.Methods() {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			t.Parallel()
+			const seats, attempts = 5, 12
+			w, err := NewAirline(AirlineConfig{
+				Flights: 1, SeatsPerFlight: seats,
+				ReserveCount: attempts, QueryCount: 3, Epsilon: 1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunnerFor(w, method, core.Static, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := Run(ctx, r, w, 6, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 3 queries always commit; exactly `seats` reservations do.
+			if res.Committed != seats+3 {
+				t.Errorf("committed = %d, want %d", res.Committed, seats+3)
+			}
+			if res.RolledBack != attempts-seats {
+				t.Errorf("rolled back = %d, want %d", res.RolledBack, attempts-seats)
+			}
+			if res.MaxDeviation > 1000 {
+				t.Errorf("query deviation %d > ε", res.MaxDeviation)
+			}
+		})
+	}
+}
+
+// TestPayrollEndStateUnderMethods posts raises under the serializable
+// baseline and Method 1 and checks the exact end state.
+func TestPayrollEndStateUnderMethods(t *testing.T) {
+	for _, method := range []core.Method{core.BaselineSRCC, core.Method1SRChopDC, core.Method3ESRChopDC} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			t.Parallel()
+			w, err := NewPayroll(PayrollConfig{
+				Employees: 4, InitialSalary: 100000, Raise: 500,
+				RaiseCount: 6, QueryCount: 2, Epsilon: 10000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ConfigFor(w, method, core.Static, false)
+			r, err := core.NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := Run(ctx, r, w, 6, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != w.TotalInstances() {
+				t.Errorf("committed = %d, want %d", res.Committed, w.TotalInstances())
+			}
+			want := int64(4*100000 + 4*6*500)
+			var got int64
+			for e := 0; e < 4; e++ {
+				got += int64(cfg.Store.Get(storage.Key(fmt.Sprintf("emp%d:salary", e))))
+			}
+			if got != want {
+				t.Errorf("final payroll = %d, want %d", got, want)
+			}
+		})
+	}
+}

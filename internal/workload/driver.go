@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/metric"
+	"asynctp/internal/stats"
+)
+
+// Result summarizes one driven run.
+type Result struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Committed/RolledBack count finished instances; Retries sums piece
+	// resubmissions.
+	Committed, RolledBack, Retries int
+	// ThroughputTPS is committed instances per second.
+	ThroughputTPS float64
+	// Latency records per-instance completion latency.
+	Latency *stats.Recorder
+	// QueryLatency records query-instance latency separately (the class
+	// ESR is supposed to help most).
+	QueryLatency *stats.Recorder
+	// Deviations are |observed − serializable| per checkable query.
+	Deviations []metric.Fuzz
+	// MaxDeviation and MeanDeviation summarize Deviations.
+	MaxDeviation  metric.Fuzz
+	MeanDeviation float64
+	// MaxImported is the largest per-instance imported fuzziness.
+	MaxImported metric.Fuzz
+}
+
+// Run executes the workload's full declared stream (every instance of
+// every program) against r using the given worker concurrency, and
+// gathers the measurements. The submission order is a seed-shuffled
+// interleaving of the stream.
+func Run(ctx context.Context, r *core.Runner, w *Workload, concurrency int, seed int64) (*Result, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	schedule := make([]int, 0, w.TotalInstances())
+	for ti, count := range w.Counts {
+		for k := 0; k < count; k++ {
+			schedule = append(schedule, ti)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(schedule), func(i, j int) {
+		schedule[i], schedule[j] = schedule[j], schedule[i]
+	})
+
+	res := &Result{Latency: stats.NewRecorder(), QueryLatency: stats.NewRecorder()}
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		first error
+	)
+	work := make(chan int)
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				start := time.Now()
+				out, err := r.Submit(ctx, ti)
+				elapsed := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					if first == nil {
+						first = fmt.Errorf("submit %d: %w", ti, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Retries += out.Retries
+				switch {
+				case out.RolledBack:
+					res.RolledBack++
+				case out.Committed:
+					res.Committed++
+					res.Latency.Add(elapsed)
+					if expected, ok := w.Expected[ti]; ok {
+						res.QueryLatency.Add(elapsed)
+						dev := metric.Distance(out.SumReads(), expected)
+						res.Deviations = append(res.Deviations, dev)
+						if dev > res.MaxDeviation {
+							res.MaxDeviation = dev
+						}
+					}
+					if out.Imported > res.MaxImported {
+						res.MaxImported = out.Imported
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for _, ti := range schedule {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if first != nil {
+		return res, first
+	}
+	if res.Elapsed > 0 {
+		res.ThroughputTPS = float64(res.Committed) / res.Elapsed.Seconds()
+	}
+	if len(res.Deviations) > 0 {
+		var total float64
+		for _, d := range res.Deviations {
+			total += float64(d)
+		}
+		res.MeanDeviation = total / float64(len(res.Deviations))
+	}
+	return res, nil
+}
+
+// ConfigFor builds the core.Config for workload w under the given method
+// and distribution, with a fresh store. Callers may tweak fields (e.g.
+// OpDelay) before handing it to core.NewRunner.
+func ConfigFor(w *Workload, method core.Method, dist core.Distribution, record bool) core.Config {
+	return core.Config{
+		Method:       method,
+		Distribution: dist,
+		Store:        w.Store(),
+		Programs:     w.Programs,
+		Counts:       w.Counts,
+		Record:       record,
+	}
+}
+
+// RunnerFor builds a core.Runner for workload w under the given method
+// and distribution, with a fresh store.
+func RunnerFor(w *Workload, method core.Method, dist core.Distribution, record bool) (*core.Runner, error) {
+	return core.NewRunner(ConfigFor(w, method, dist, record))
+}

@@ -1,0 +1,269 @@
+// Package workload declares benchmark job streams — banking, airline
+// reservation, and payroll, the application domains the paper's examples
+// draw on — and a driver that executes a declared stream against a
+// core.Runner while measuring throughput, latency, retries, and query
+// deviation from the serializable answer.
+//
+// Every workload is a fully declared stream (program types plus instance
+// counts), matching the chopping assumption that the job stream is known
+// in advance. Query programs whose serializable answer is an invariant
+// (conserved totals) carry that expected value so the driver can measure
+// actual inconsistency, not just bound it.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Workload is a declared job stream plus its invariants.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Initial seeds the store.
+	Initial map[storage.Key]metric.Value
+	// Programs and Counts declare the stream.
+	Programs []*txn.Program
+	Counts   []int
+	// Expected maps a query program index to its serializable answer
+	// (sum of reads), when that answer is invariant across the run.
+	Expected map[int]metric.Value
+}
+
+// BankConfig parameterizes the banking workload.
+type BankConfig struct {
+	// Branches and AccountsPerBranch shape the database.
+	Branches          int
+	AccountsPerBranch int
+	// InitialBalance seeds every account.
+	InitialBalance metric.Value
+	// TransferAmount is the fixed transfer size (its write bound).
+	TransferAmount metric.Value
+	// TransferTypes is the number of distinct transfer programs;
+	// TransferCount is the instance count per program.
+	TransferTypes, TransferCount int
+	// AuditCount is the instance count per audit program (one audit
+	// program per branch when IntraBranch, else one global audit).
+	AuditCount int
+	// Epsilon is the ε-spec: transfers export up to it, audits import up
+	// to it.
+	Epsilon metric.Fuzz
+	// IntraBranch keeps each transfer inside one branch, making branch
+	// audits invariant-checkable and transfers choppable against them.
+	IntraBranch bool
+	// HotBias skews transfer sources toward each branch's account 0
+	// with the given probability (0 disables skew) — a cheap stand-in
+	// for Zipf-style hot keys when sweeping contention.
+	HotBias float64
+	// Seed drives account-pair selection.
+	Seed int64
+}
+
+// account names branch b's account i.
+func account(b, i int) storage.Key {
+	return storage.Key(fmt.Sprintf("b%d:a%d", b, i))
+}
+
+// NewBank builds the banking workload: transfers move money between
+// accounts, audits sum accounts. The serializable audit answer is the
+// conserved total of its read set.
+func NewBank(cfg BankConfig) (*Workload, error) {
+	if cfg.Branches < 1 || cfg.AccountsPerBranch < 2 {
+		return nil, fmt.Errorf("workload: bank needs >=1 branch with >=2 accounts, got %d/%d",
+			cfg.Branches, cfg.AccountsPerBranch)
+	}
+	if cfg.TransferTypes < 1 || cfg.TransferCount < 1 {
+		return nil, fmt.Errorf("workload: bank needs transfers")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Name:     "bank",
+		Initial:  make(map[storage.Key]metric.Value),
+		Expected: make(map[int]metric.Value),
+	}
+	for b := 0; b < cfg.Branches; b++ {
+		for i := 0; i < cfg.AccountsPerBranch; i++ {
+			w.Initial[account(b, i)] = cfg.InitialBalance
+		}
+	}
+	spec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	for ti := 0; ti < cfg.TransferTypes; ti++ {
+		var fromB, toB int
+		if cfg.IntraBranch {
+			fromB = ti % cfg.Branches
+			toB = fromB
+		} else {
+			fromB = rng.Intn(cfg.Branches)
+			toB = rng.Intn(cfg.Branches)
+		}
+		fromA := rng.Intn(cfg.AccountsPerBranch)
+		if cfg.HotBias > 0 && rng.Float64() < cfg.HotBias {
+			fromA = 0 // the hot account
+		}
+		toA := rng.Intn(cfg.AccountsPerBranch)
+		for fromB == toB && fromA == toA {
+			toA = rng.Intn(cfg.AccountsPerBranch)
+		}
+		p := txn.MustProgram(fmt.Sprintf("xfer%d", ti),
+			txn.AddOp(account(fromB, fromA), -cfg.TransferAmount),
+			txn.AddOp(account(toB, toA), cfg.TransferAmount),
+		).WithSpec(spec)
+		w.Programs = append(w.Programs, p)
+		w.Counts = append(w.Counts, cfg.TransferCount)
+	}
+	if cfg.AuditCount > 0 {
+		auditSpec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero}
+		if cfg.IntraBranch {
+			for b := 0; b < cfg.Branches; b++ {
+				ops := make([]txn.Op, 0, cfg.AccountsPerBranch)
+				for i := 0; i < cfg.AccountsPerBranch; i++ {
+					ops = append(ops, txn.ReadOp(account(b, i)))
+				}
+				p := txn.MustProgram(fmt.Sprintf("audit%d", b), ops...).WithSpec(auditSpec)
+				w.Expected[len(w.Programs)] = cfg.InitialBalance * metric.Value(cfg.AccountsPerBranch)
+				w.Programs = append(w.Programs, p)
+				w.Counts = append(w.Counts, cfg.AuditCount)
+			}
+		} else {
+			ops := make([]txn.Op, 0, cfg.Branches*cfg.AccountsPerBranch)
+			for b := 0; b < cfg.Branches; b++ {
+				for i := 0; i < cfg.AccountsPerBranch; i++ {
+					ops = append(ops, txn.ReadOp(account(b, i)))
+				}
+			}
+			p := txn.MustProgram("audit", ops...).WithSpec(auditSpec)
+			w.Expected[len(w.Programs)] = cfg.InitialBalance * metric.Value(cfg.Branches*cfg.AccountsPerBranch)
+			w.Programs = append(w.Programs, p)
+			w.Counts = append(w.Counts, cfg.AuditCount)
+		}
+	}
+	return w, nil
+}
+
+// AirlineConfig parameterizes the reservation workload. Reservations
+// carry a rollback statement ("sold out"), exercising rollback-safety:
+// the seat check must stay in the first piece of any chopping.
+type AirlineConfig struct {
+	Flights        int
+	SeatsPerFlight metric.Value
+	// ReserveCount is the instance count per flight's reserve program.
+	ReserveCount int
+	// QueryCount is the instance count of the load-factor query.
+	QueryCount int
+	// Epsilon is the ε-spec (the paper: "airline reservation systems
+	// often require a limit for each reservation").
+	Epsilon metric.Fuzz
+}
+
+// flightKeys returns the seat and booking keys of flight f.
+func flightKeys(f int) (seats, booked storage.Key) {
+	return storage.Key(fmt.Sprintf("f%d:seats", f)), storage.Key(fmt.Sprintf("f%d:booked", f))
+}
+
+// NewAirline builds the reservation workload. The invariant is
+// seats + booked == SeatsPerFlight per flight, so the query's
+// serializable answer is Flights × SeatsPerFlight.
+func NewAirline(cfg AirlineConfig) (*Workload, error) {
+	if cfg.Flights < 1 || cfg.SeatsPerFlight < 1 {
+		return nil, fmt.Errorf("workload: airline needs flights with seats")
+	}
+	w := &Workload{
+		Name:     "airline",
+		Initial:  make(map[storage.Key]metric.Value),
+		Expected: make(map[int]metric.Value),
+	}
+	spec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	for f := 0; f < cfg.Flights; f++ {
+		seats, booked := flightKeys(f)
+		w.Initial[seats] = cfg.SeatsPerFlight
+		w.Initial[booked] = 0
+		reserve := txn.MustProgram(fmt.Sprintf("reserve%d", f),
+			txn.WithAbortIf(
+				txn.AddOp(seats, -1),
+				func(v metric.Value) bool { return v <= 0 }, // sold out
+			),
+			txn.AddOp(booked, 1),
+		).WithSpec(spec)
+		w.Programs = append(w.Programs, reserve)
+		w.Counts = append(w.Counts, cfg.ReserveCount)
+	}
+	if cfg.QueryCount > 0 {
+		ops := make([]txn.Op, 0, 2*cfg.Flights)
+		for f := 0; f < cfg.Flights; f++ {
+			seats, booked := flightKeys(f)
+			ops = append(ops, txn.ReadOp(seats), txn.ReadOp(booked))
+		}
+		query := txn.MustProgram("loadfactor", ops...).
+			WithSpec(metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero})
+		w.Expected[len(w.Programs)] = cfg.SeatsPerFlight * metric.Value(cfg.Flights)
+		w.Programs = append(w.Programs, query)
+		w.Counts = append(w.Counts, cfg.QueryCount)
+	}
+	return w, nil
+}
+
+// PayrollConfig parameterizes the payroll workload ("a payroll system
+// may limit the salary raise for each employee per year").
+type PayrollConfig struct {
+	Employees     int
+	InitialSalary metric.Value
+	// Raise is the per-update raise; its bound is the declared C-edge
+	// weight.
+	Raise metric.Value
+	// RaiseCount is the instance count per raise program; one raise
+	// program per employee.
+	RaiseCount int
+	// QueryCount is the instance count of the total-payroll query.
+	QueryCount int
+	Epsilon    metric.Fuzz
+}
+
+// NewPayroll builds the payroll workload. The payroll total grows as
+// raises commit, so mid-run queries have no invariant answer; the
+// workload is used for throughput comparison and end-state checking
+// (final total = initial + committed raises × Raise).
+func NewPayroll(cfg PayrollConfig) (*Workload, error) {
+	if cfg.Employees < 1 {
+		return nil, fmt.Errorf("workload: payroll needs employees")
+	}
+	w := &Workload{Name: "payroll", Initial: make(map[storage.Key]metric.Value)}
+	spec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	for e := 0; e < cfg.Employees; e++ {
+		key := storage.Key(fmt.Sprintf("emp%d:salary", e))
+		w.Initial[key] = cfg.InitialSalary
+		raise := txn.MustProgram(fmt.Sprintf("raise%d", e),
+			txn.AddOp(key, cfg.Raise),
+		).WithSpec(spec)
+		w.Programs = append(w.Programs, raise)
+		w.Counts = append(w.Counts, cfg.RaiseCount)
+	}
+	if cfg.QueryCount > 0 {
+		ops := make([]txn.Op, 0, cfg.Employees)
+		for e := 0; e < cfg.Employees; e++ {
+			ops = append(ops, txn.ReadOp(storage.Key(fmt.Sprintf("emp%d:salary", e))))
+		}
+		query := txn.MustProgram("totalpayroll", ops...).
+			WithSpec(metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero})
+		w.Programs = append(w.Programs, query)
+		w.Counts = append(w.Counts, cfg.QueryCount)
+	}
+	return w, nil
+}
+
+// Store builds a fresh store seeded with the workload's initial state.
+func (w *Workload) Store() *storage.Store {
+	return storage.NewFrom(w.Initial)
+}
+
+// TotalInstances returns the number of instances in the stream.
+func (w *Workload) TotalInstances() int {
+	total := 0
+	for _, c := range w.Counts {
+		total += c
+	}
+	return total
+}

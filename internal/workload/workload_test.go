@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/storage"
+)
+
+func TestNewBankShape(t *testing.T) {
+	w, err := NewBank(BankConfig{
+		Branches: 2, AccountsPerBranch: 4,
+		InitialBalance: 1000, TransferAmount: 50,
+		TransferTypes: 3, TransferCount: 5, AuditCount: 2,
+		Epsilon: 500, IntraBranch: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Initial) != 8 {
+		t.Errorf("accounts = %d, want 8", len(w.Initial))
+	}
+	// 3 transfers + 2 branch audits.
+	if len(w.Programs) != 5 || len(w.Counts) != 5 {
+		t.Fatalf("programs = %d counts = %d", len(w.Programs), len(w.Counts))
+	}
+	if w.TotalInstances() != 3*5+2*2 {
+		t.Errorf("TotalInstances = %d", w.TotalInstances())
+	}
+	// Branch audits expect the branch total.
+	for qi, expected := range w.Expected {
+		if expected != 4000 {
+			t.Errorf("audit %d expected = %d, want 4000", qi, expected)
+		}
+	}
+	if len(w.Expected) != 2 {
+		t.Errorf("expected map size = %d", len(w.Expected))
+	}
+	// Intra-branch transfers: both keys in the same branch.
+	for ti := 0; ti < 3; ti++ {
+		ws := w.Programs[ti].WriteSet()
+		if ws[0][:2] != ws[1][:2] {
+			t.Errorf("transfer %d crosses branches: %v", ti, ws)
+		}
+	}
+}
+
+func TestNewBankGlobalAudit(t *testing.T) {
+	w, err := NewBank(BankConfig{
+		Branches: 3, AccountsPerBranch: 2,
+		InitialBalance: 100, TransferAmount: 10,
+		TransferTypes: 2, TransferCount: 1, AuditCount: 1,
+		Epsilon: 100, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One global audit reading all 6 accounts.
+	qi := len(w.Programs) - 1
+	if got := len(w.Programs[qi].ReadSet()); got != 6 {
+		t.Errorf("global audit reads %d accounts, want 6", got)
+	}
+	if w.Expected[qi] != 600 {
+		t.Errorf("expected = %d, want 600", w.Expected[qi])
+	}
+}
+
+func TestNewBankValidation(t *testing.T) {
+	if _, err := NewBank(BankConfig{Branches: 0}); err == nil {
+		t.Error("zero branches accepted")
+	}
+	if _, err := NewBank(BankConfig{Branches: 1, AccountsPerBranch: 2}); err == nil {
+		t.Error("no transfers accepted")
+	}
+}
+
+func TestNewAirlineShape(t *testing.T) {
+	w, err := NewAirline(AirlineConfig{
+		Flights: 2, SeatsPerFlight: 10, ReserveCount: 3, QueryCount: 1, Epsilon: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Programs) != 3 { // 2 reserves + query
+		t.Fatalf("programs = %d", len(w.Programs))
+	}
+	if !w.Programs[0].HasRollback() {
+		t.Error("reserve lacks rollback statement")
+	}
+	if w.Expected[2] != 20 {
+		t.Errorf("query expected = %d, want 20", w.Expected[2])
+	}
+	if _, err := NewAirline(AirlineConfig{}); err == nil {
+		t.Error("empty airline accepted")
+	}
+}
+
+func TestAirlineSellsOutExactly(t *testing.T) {
+	// 3 seats, 6 reservation attempts: exactly 3 commit, 3 roll back,
+	// and seats+booked stays invariant.
+	w, err := NewAirline(AirlineConfig{
+		Flights: 1, SeatsPerFlight: 3, ReserveCount: 6, QueryCount: 0, Epsilon: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunnerFor(w, core.BaselineSRCC, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, r, w, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 3 || res.RolledBack != 3 {
+		t.Errorf("committed = %d rolledback = %d, want 3/3", res.Committed, res.RolledBack)
+	}
+}
+
+func TestNewPayrollShape(t *testing.T) {
+	w, err := NewPayroll(PayrollConfig{
+		Employees: 3, InitialSalary: 50000, Raise: 1000,
+		RaiseCount: 2, QueryCount: 1, Epsilon: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Programs) != 4 {
+		t.Fatalf("programs = %d", len(w.Programs))
+	}
+	if len(w.Expected) != 0 {
+		t.Error("payroll queries must not claim an invariant answer")
+	}
+	if _, err := NewPayroll(PayrollConfig{}); err == nil {
+		t.Error("empty payroll accepted")
+	}
+}
+
+func TestDriverRunsFullStream(t *testing.T) {
+	w, err := NewBank(BankConfig{
+		Branches: 1, AccountsPerBranch: 4,
+		InitialBalance: 10000, TransferAmount: 100,
+		TransferTypes: 2, TransferCount: 10, AuditCount: 5,
+		Epsilon: 0, IntraBranch: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunnerFor(w, core.BaselineSRCC, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, r, w, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != w.TotalInstances() {
+		t.Errorf("committed = %d, want %d", res.Committed, w.TotalInstances())
+	}
+	if res.Latency.N() != res.Committed {
+		t.Errorf("latency samples = %d", res.Latency.N())
+	}
+	// SR baseline: every audit exact.
+	if res.MaxDeviation != 0 {
+		t.Errorf("SR baseline deviation = %d", res.MaxDeviation)
+	}
+	if len(res.Deviations) != 5 {
+		t.Errorf("deviations = %d, want 5 audit instances", len(res.Deviations))
+	}
+	if res.ThroughputTPS <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestDriverDeviationBoundedUnderDC(t *testing.T) {
+	const eps = 300
+	w, err := NewBank(BankConfig{
+		Branches: 1, AccountsPerBranch: 2,
+		InitialBalance: 10000, TransferAmount: 100,
+		TransferTypes: 1, TransferCount: 30, AuditCount: 10,
+		Epsilon: eps, IntraBranch: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunnerFor(w, core.BaselineESRDC, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, r, w, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDeviation > eps {
+		t.Errorf("max deviation %d > ε %d", res.MaxDeviation, eps)
+	}
+	if res.MaxImported > eps {
+		t.Errorf("max imported %d > ε %d", res.MaxImported, eps)
+	}
+}
+
+func TestWorkloadStoreIsFreshEachCall(t *testing.T) {
+	w, err := NewBank(BankConfig{
+		Branches: 1, AccountsPerBranch: 2,
+		InitialBalance: 100, TransferAmount: 1,
+		TransferTypes: 1, TransferCount: 1,
+		Seed: 1, IntraBranch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := w.Store()
+	s1.Set(storage.Key("b0:a0"), 0)
+	s2 := w.Store()
+	if got := s2.Get("b0:a0"); got != 100 {
+		t.Errorf("second store polluted: %d", got)
+	}
+}
+
+func TestHotBiasSkewsTransfers(t *testing.T) {
+	w, err := NewBank(BankConfig{
+		Branches: 1, AccountsPerBranch: 8,
+		InitialBalance: 1000, TransferAmount: 10,
+		TransferTypes: 40, TransferCount: 1,
+		Epsilon: 0, IntraBranch: true, HotBias: 1.0, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < 40; ti++ {
+		ws := w.Programs[ti].WriteSet()
+		hot := false
+		for _, k := range ws {
+			if k == "b0:a0" {
+				hot = true
+			}
+		}
+		if !hot {
+			t.Fatalf("transfer %d (%v) misses the hot account under full bias", ti, ws)
+		}
+	}
+}
