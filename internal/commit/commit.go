@@ -10,6 +10,17 @@
 // the prepared state until the decision arrives, so a coordinator crash
 // between the rounds leaves them stuck — the availability hazard the
 // paper contrasts with asynchronous piece commits.
+//
+// Bounded-wait mode (WithTimeouts) converts the unbounded blocking into
+// the presumed-abort discipline of multi-shot commit protocols: the
+// coordinator retries each round with exponential backoff and, after
+// bounded attempts, presumes abort (ErrTimeoutAbort) and logs the
+// decision; prepared participants that wait too long for a decision
+// query the coordinator, which answers from its decision log — and
+// answers "abort" for any transaction it has no record of (presumed
+// abort). Under the same fault schedules where chopped pieces keep
+// settling, bounded-wait 2PC *measurably* times out and aborts, which
+// is exactly the availability comparison the chaos harness asserts.
 package commit
 
 import (
@@ -17,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"asynctp/internal/simnet"
 )
@@ -31,6 +43,9 @@ const (
 	KindDecision = "2pc.decision"
 	// KindAck acknowledges a decision.
 	KindAck = "2pc.ack"
+	// KindQuery asks the coordinator for the decision of a transaction
+	// the querying participant is still prepared (in doubt) on.
+	KindQuery = "2pc.query"
 )
 
 // Errors returned by Execute and used to classify votes.
@@ -45,7 +60,61 @@ var (
 	// ErrBusinessVote is the sentinel a Prepare hook wraps to mark its
 	// NO vote as a business rollback rather than a system failure.
 	ErrBusinessVote = errors.New("commit: business rollback vote")
+	// ErrTimeoutAbort is returned in bounded-wait mode when the vote
+	// round exhausted its retries: the coordinator presumed abort. It is
+	// deliberately distinct from ErrSystemAbort so harnesses can count
+	// how often 2PC's blocking window turned into an abort.
+	ErrTimeoutAbort = errors.New("commit: vote round timed out, presumed abort")
 )
+
+// Timeouts configures bounded-wait 2PC. The zero value disables it
+// (legacy unbounded blocking, the paper's strawman).
+type Timeouts struct {
+	// VoteWait bounds each coordinator wait for the vote round; zero
+	// disables bounded-wait mode entirely.
+	VoteWait time.Duration
+	// AckWait bounds each coordinator wait for decision acks (defaults
+	// to VoteWait).
+	AckWait time.Duration
+	// QueryAfter is how long a prepared participant stays in doubt
+	// before querying the coordinator for a stale decision (defaults to
+	// 2×VoteWait). Retries back off exponentially, capped at 10×.
+	QueryAfter time.Duration
+	// MaxRetries bounds the resend attempts per round; waits double
+	// after each retry.
+	MaxRetries int
+}
+
+// enabled reports whether bounded-wait mode is on.
+func (t Timeouts) enabled() bool { return t.VoteWait > 0 }
+
+// withDefaults fills derived fields.
+func (t Timeouts) withDefaults() Timeouts {
+	if !t.enabled() {
+		return t
+	}
+	if t.AckWait <= 0 {
+		t.AckWait = t.VoteWait
+	}
+	if t.QueryAfter <= 0 {
+		t.QueryAfter = 2 * t.VoteWait
+	}
+	return t
+}
+
+// DefaultTimeouts returns bounded-wait settings suited to the
+// simulation's LAN-scale latencies.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{VoteWait: 50 * time.Millisecond, MaxRetries: 2}.withDefaults()
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithTimeouts enables bounded-wait mode.
+func WithTimeouts(t Timeouts) Option {
+	return func(n *Node) { n.timeouts = t.withDefaults() }
+}
 
 // prepareMsg is the PREPARE payload.
 type prepareMsg struct {
@@ -70,6 +139,12 @@ type decisionMsg struct {
 
 // ackMsg is the ACK payload.
 type ackMsg struct {
+	TxID string
+	Site simnet.SiteID
+}
+
+// queryMsg is the stale-decision QUERY payload.
+type queryMsg struct {
 	TxID string
 	Site simnet.SiteID
 }
@@ -100,16 +175,26 @@ type coordState struct {
 	acksDone     chan struct{}
 }
 
+// inDoubt is a participant-side prepared (blocked) subtransaction
+// awaiting its decision. In bounded-wait mode it carries the timer that
+// periodically queries the coordinator for a stale decision.
+type inDoubt struct {
+	coord  simnet.SiteID
+	result any
+	timer  *time.Timer
+}
+
 // Node is one site's 2PC endpoint: it can coordinate transactions and
 // participate in others'.
 type Node struct {
-	site  simnet.SiteID
-	net   *simnet.Network
-	hooks Hooks
+	site     simnet.SiteID
+	net      *simnet.Network
+	hooks    Hooks
+	timeouts Timeouts
 
 	mu       sync.Mutex
 	coords   map[string]*coordState
-	prepared map[string]bool // participant-side prepared (blocked) txns
+	prepared map[string]*inDoubt // participant-side prepared (blocked) txns
 	// preparing tracks in-flight Prepare hooks so that a concurrently
 	// delivered decision waits for them (Handle may run concurrently).
 	preparing map[string]chan struct{}
@@ -117,19 +202,29 @@ type Node struct {
 	// (possible under network reordering): the late prepare applies the
 	// decision immediately instead of blocking forever.
 	decided map[string]bool
+	// decisions is the coordinator's decision log, consulted to answer
+	// stale-decision queries. A transaction with no entry is presumed
+	// aborted. (A production log would be truncated once every
+	// participant acked; the simulation keeps it whole.)
+	decisions map[string]bool
 }
 
 // NewNode builds a 2PC endpoint for site.
-func NewNode(site simnet.SiteID, net *simnet.Network, hooks Hooks) *Node {
-	return &Node{
+func NewNode(site simnet.SiteID, net *simnet.Network, hooks Hooks, opts ...Option) *Node {
+	n := &Node{
 		site:      site,
 		net:       net,
 		hooks:     hooks,
 		coords:    make(map[string]*coordState),
-		prepared:  make(map[string]bool),
+		prepared:  make(map[string]*inDoubt),
 		preparing: make(map[string]chan struct{}),
 		decided:   make(map[string]bool),
+		decisions: make(map[string]bool),
 	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
 }
 
 // PreparedCount returns the number of participant-side transactions
@@ -139,6 +234,16 @@ func (n *Node) PreparedCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.prepared)
+}
+
+// Decision reports this node's logged coordinator decision for txid:
+// (commit, true) once decided, (false, false) if unknown — which a
+// querying participant must read as presumed abort.
+func (n *Node) Decision(txid string) (commit, known bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	commit, known = n.decisions[txid]
+	return commit, known
 }
 
 // Execute coordinates a distributed transaction with the given
@@ -175,33 +280,66 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 	}()
 
 	// Phase 1: PREPARE round.
-	for site, payload := range payloads {
-		err := n.net.Send(simnet.Message{
-			From: n.site, To: site, Kind: KindPrepare,
-			Payload: prepareMsg{TxID: txid, Payload: payload},
-		})
-		if err != nil {
-			// Unreachable participant: broadcast abort to whoever got a
-			// PREPARE and surface the failure — the protocol could not
-			// run, which is different from a NO vote.
-			n.decide(txid, st, false)
-			return nil, fmt.Errorf("commit: prepare %s unreachable: %w", site, err)
+	if n.timeouts.enabled() {
+		if err := n.voteRoundBounded(ctx, txid, st, payloads); err != nil {
+			return nil, err
 		}
-	}
-	select {
-	case <-st.votesDone:
-	case <-ctx.Done():
-		n.decide(txid, st, false)
-		return nil, ctx.Err()
+	} else {
+		for site, payload := range payloads {
+			err := n.net.Send(simnet.Message{
+				From: n.site, To: site, Kind: KindPrepare,
+				Payload: prepareMsg{TxID: txid, Payload: payload},
+			})
+			if err != nil {
+				// Unreachable participant: broadcast abort to whoever got
+				// a PREPARE and surface the failure — the protocol could
+				// not run, which is different from a NO vote.
+				n.logDecision(txid, false)
+				n.decide(txid, st, false)
+				return nil, fmt.Errorf("commit: prepare %s unreachable: %w", site, err)
+			}
+		}
+		select {
+		case <-st.votesDone:
+		case <-ctx.Done():
+			n.logDecision(txid, false)
+			n.decide(txid, st, false)
+			return nil, ctx.Err()
+		}
 	}
 
 	doCommit := !st.votedNo
-	// Phase 2: DECISION round.
+	// Phase 2: DECISION round. The decision is logged before the first
+	// broadcast so stale-decision queries always see it.
+	n.logDecision(txid, doCommit)
 	n.decide(txid, st, doCommit)
-	select {
-	case <-st.acksDone:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if n.timeouts.enabled() {
+		// Bounded ack wait with retransmission. Exhausting the retries is
+		// not a failure: the decision is logged, so in-doubt participants
+		// resolve themselves through KindQuery once reachable.
+		wait := n.timeouts.AckWait
+		for attempt := 0; ; attempt++ {
+			timer := time.NewTimer(wait)
+			select {
+			case <-st.acksDone:
+				timer.Stop()
+			case <-timer.C:
+				if attempt < n.timeouts.MaxRetries {
+					wait *= 2
+					n.decide(txid, st, doCommit) // retransmit
+					continue
+				}
+			case <-ctx.Done():
+				timer.Stop()
+			}
+			break
+		}
+	} else {
+		select {
+		case <-st.acksDone:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	if !doCommit {
 		n.mu.Lock()
@@ -221,6 +359,53 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 	return results, nil
 }
 
+// voteRoundBounded runs the PREPARE round under bounded-wait rules:
+// each attempt (re)sends every prepare — send errors are just another
+// way a vote fails to arrive — and waits VoteWait (doubling per retry).
+// After MaxRetries the coordinator presumes abort, logs it, broadcasts
+// it to whoever prepared, and returns ErrTimeoutAbort.
+func (n *Node) voteRoundBounded(ctx context.Context, txid string, st *coordState, payloads map[simnet.SiteID]any) error {
+	wait := n.timeouts.VoteWait
+	for attempt := 0; ; attempt++ {
+		for site, payload := range payloads {
+			// Errors (down site, cut link) are deliberately ignored: a
+			// retry may reach a recovered site, and the timeout bounds
+			// the total wait either way.
+			_ = n.net.Send(simnet.Message{
+				From: n.site, To: site, Kind: KindPrepare,
+				Payload: prepareMsg{TxID: txid, Payload: payload},
+			})
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-st.votesDone:
+			timer.Stop()
+			return nil
+		case <-timer.C:
+			if attempt >= n.timeouts.MaxRetries {
+				n.logDecision(txid, false)
+				n.decide(txid, st, false)
+				return fmt.Errorf("%w: no unanimous vote after %d attempts",
+					ErrTimeoutAbort, attempt+1)
+			}
+			wait *= 2
+		case <-ctx.Done():
+			timer.Stop()
+			n.logDecision(txid, false)
+			n.decide(txid, st, false)
+			return ctx.Err()
+		}
+	}
+}
+
+// logDecision records a coordinator decision for stale-decision
+// queries.
+func (n *Node) logDecision(txid string, commit bool) {
+	n.mu.Lock()
+	n.decisions[txid] = commit
+	n.mu.Unlock()
+}
+
 // decide broadcasts the decision to all participants.
 func (n *Node) decide(txid string, st *coordState, commit bool) {
 	for site := range st.participants {
@@ -229,6 +414,31 @@ func (n *Node) decide(txid string, st *coordState, commit bool) {
 			Payload: decisionMsg{TxID: txid, Commit: commit},
 		})
 	}
+}
+
+// armQuery schedules (or reschedules) the in-doubt participant's
+// stale-decision query. Callers must hold n.mu.
+func (n *Node) armQuery(txid string, pd *inDoubt, interval time.Duration) {
+	pd.timer = time.AfterFunc(interval, func() {
+		n.mu.Lock()
+		if n.prepared[txid] != pd {
+			n.mu.Unlock()
+			return // decision arrived; nothing in doubt
+		}
+		next := interval * 2
+		if limit := 10 * n.timeouts.QueryAfter; next > limit {
+			next = limit
+		}
+		n.armQuery(txid, pd, next)
+		coord := pd.coord
+		n.mu.Unlock()
+		// Errors are expected while the coordinator is unreachable; the
+		// rescheduled timer retries.
+		_ = n.net.Send(simnet.Message{
+			From: n.site, To: coord, Kind: KindQuery,
+			Payload: queryMsg{TxID: txid, Site: n.site},
+		})
+	})
 }
 
 // Handle processes a 2PC network message; the site dispatch loop routes
@@ -241,9 +451,21 @@ func (n *Node) Handle(ctx context.Context, msg simnet.Message) {
 			return
 		}
 		n.mu.Lock()
-		if _, dup := n.preparing[pm.TxID]; dup || n.prepared[pm.TxID] {
+		if pd := n.prepared[pm.TxID]; pd != nil {
+			// Duplicate prepare while prepared: the hook must not re-run,
+			// but the YES vote may have been lost — resend it with the
+			// cached result so a retrying coordinator can make progress.
+			result := pd.result
 			n.mu.Unlock()
-			return // duplicate prepare
+			_ = n.net.Send(simnet.Message{
+				From: n.site, To: msg.From, Kind: KindVote,
+				Payload: voteMsg{TxID: pm.TxID, Site: n.site, Yes: true, Result: result},
+			})
+			return
+		}
+		if _, dup := n.preparing[pm.TxID]; dup {
+			n.mu.Unlock()
+			return // prepare already in flight
 		}
 		done := make(chan struct{})
 		n.preparing[pm.TxID] = done
@@ -261,7 +483,11 @@ func (n *Node) Handle(ctx context.Context, msg simnet.Message) {
 		earlyDecision, hasEarly := n.decided[pm.TxID]
 		delete(n.decided, pm.TxID)
 		if err == nil && !hasEarly {
-			n.prepared[pm.TxID] = true
+			pd := &inDoubt{coord: msg.From, result: result}
+			n.prepared[pm.TxID] = pd
+			if n.timeouts.enabled() {
+				n.armQuery(pm.TxID, pd, n.timeouts.QueryAfter)
+			}
 		}
 		n.mu.Unlock()
 		close(done)
@@ -326,8 +552,12 @@ func (n *Node) Handle(ctx context.Context, msg simnet.Message) {
 			}
 		}
 		n.mu.Lock()
-		wasPrepared := n.prepared[dm.TxID]
+		pd := n.prepared[dm.TxID]
 		delete(n.prepared, dm.TxID)
+		if pd != nil && pd.timer != nil {
+			pd.timer.Stop()
+		}
+		wasPrepared := pd != nil
 		if !wasPrepared && inFlight == nil {
 			// Decision before its prepare: remember it for the prepare.
 			n.decided[dm.TxID] = dm.Commit
@@ -364,5 +594,23 @@ func (n *Node) Handle(ctx context.Context, msg simnet.Message) {
 			}
 		}
 		n.mu.Unlock()
+	case KindQuery:
+		qm, ok := msg.Payload.(queryMsg)
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		commit, known := n.decisions[qm.TxID]
+		_, active := n.coords[qm.TxID]
+		n.mu.Unlock()
+		if !known && active {
+			return // still deciding; the participant will ask again
+		}
+		// Presumed abort: a transaction the coordinator has no decision
+		// record for was never committed.
+		_ = n.net.Send(simnet.Message{
+			From: n.site, To: qm.Site, Kind: KindDecision,
+			Payload: decisionMsg{TxID: qm.TxID, Commit: known && commit},
+		})
 	}
 }

@@ -27,9 +27,20 @@ type record struct {
 	aborts   []string
 	voteNo   bool
 	systemNo bool
+	// prepareHook, when set, runs inside the Prepare hook (before the
+	// vote is determined) — a deterministic injection point for cutting
+	// links or blocking mid-protocol.
+	prepareHook func(txid string)
 }
 
 func newHarness(t *testing.T, sites []simnet.SiteID, recs map[simnet.SiteID]*record, opts ...simnet.Option) *harness {
+	t.Helper()
+	return newHarnessOpts(t, sites, recs, nil, opts...)
+}
+
+// newHarnessOpts additionally applies node options (e.g. WithTimeouts)
+// to every node.
+func newHarnessOpts(t *testing.T, sites []simnet.SiteID, recs map[simnet.SiteID]*record, nodeOpts []Option, opts ...simnet.Option) *harness {
 	t.Helper()
 	h := &harness{net: simnet.New(opts...), nodes: make(map[simnet.SiteID]*Node)}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -41,12 +52,17 @@ func newHarness(t *testing.T, sites []simnet.SiteID, recs map[simnet.SiteID]*rec
 			hooks = Hooks{
 				Prepare: func(ctx context.Context, txid string, payload any) (any, error) {
 					rec.mu.Lock()
-					defer rec.mu.Unlock()
 					rec.prepared = append(rec.prepared, txid)
-					if rec.voteNo {
+					hook := rec.prepareHook
+					voteNo, systemNo := rec.voteNo, rec.systemNo
+					rec.mu.Unlock()
+					if hook != nil {
+						hook(txid)
+					}
+					if voteNo {
 						return nil, fmt.Errorf("no funds: %w", ErrBusinessVote)
 					}
-					if rec.systemNo {
+					if systemNo {
 						return nil, errors.New("lock timeout")
 					}
 					return payload, nil
@@ -63,7 +79,7 @@ func newHarness(t *testing.T, sites []simnet.SiteID, recs map[simnet.SiteID]*rec
 				},
 			}
 		}
-		node := NewNode(id, h.net, hooks)
+		node := NewNode(id, h.net, hooks, nodeOpts...)
 		h.nodes[id] = node
 		inbox, err := h.net.AddSite(id)
 		if err != nil {
@@ -294,6 +310,174 @@ func TestDecisionBeforePrepareIsHonored(t *testing.T) {
 	}
 	if node.PreparedCount() != 0 {
 		t.Error("subtransaction left prepared after early decision")
+	}
+}
+
+// fastTimeouts are bounded-wait settings small enough for tests.
+func fastTimeouts() Timeouts {
+	return Timeouts{
+		VoteWait:   25 * time.Millisecond,
+		AckWait:    25 * time.Millisecond,
+		QueryAfter: 40 * time.Millisecond,
+		MaxRetries: 1,
+	}
+}
+
+func TestBoundedWaitPresumesAbortOnCrashedParticipant(t *testing.T) {
+	// The legacy coordinator blocks until its context dies; the
+	// bounded-wait coordinator retries with backoff, then presumes
+	// abort and returns ErrTimeoutAbort well before the context bound.
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarnessOpts(t, []simnet.SiteID{"A", "B"}, recs, []Option{WithTimeouts(fastTimeouts())})
+	h.net.SetDown("B", true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1})
+	if !errors.Is(err, ErrTimeoutAbort) {
+		t.Fatalf("err = %v, want ErrTimeoutAbort", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("presumed abort took %v, want bounded (~75ms of retries)", elapsed)
+	}
+	// The presumed abort is logged so late queries get a consistent answer.
+	if commit, known := h.nodes["A"].Decision("t1"); !known || commit {
+		t.Errorf("Decision = (%v, %v), want logged abort", commit, known)
+	}
+}
+
+func TestBoundedWaitRetryReachesRecoveredParticipant(t *testing.T) {
+	// The first prepare transmission fails (participant down); the
+	// participant recovers before the retry, which must succeed.
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarnessOpts(t, []simnet.SiteID{"A", "B"}, recs,
+		[]Option{WithTimeouts(Timeouts{VoteWait: 30 * time.Millisecond, MaxRetries: 2})})
+	h.net.SetDown("B", true)
+	time.AfterFunc(15*time.Millisecond, func() { h.net.SetDown("B", false) })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := h.nodes["A"].Execute(ctx, "t1", map[simnet.SiteID]any{"B": 1}); err != nil {
+		t.Fatalf("retry after recovery failed: %v", err)
+	}
+	recs["B"].mu.Lock()
+	defer recs["B"].mu.Unlock()
+	if len(recs["B"].commits) != 1 {
+		t.Errorf("commits = %v, want 1", recs["B"].commits)
+	}
+}
+
+func TestStaleDecisionQueryResolvesPresumedAbort(t *testing.T) {
+	// B prepares and votes YES, but the vote is lost because the link is
+	// cut from inside B's prepare hook (deterministically, before the
+	// vote is sent). The coordinator presumes abort; B is left in doubt
+	// holding its locks. After the link heals, B's stale-decision query
+	// must learn the abort from the coordinator's decision log.
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarnessOpts(t, []simnet.SiteID{"A", "B"}, recs, []Option{WithTimeouts(fastTimeouts())})
+	recs["B"].mu.Lock()
+	recs["B"].prepareHook = func(string) { h.net.SetPartitioned("A", "B", true) }
+	recs["B"].mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := h.nodes["A"].Execute(ctx, "tq", map[simnet.SiteID]any{"B": 1})
+	if !errors.Is(err, ErrTimeoutAbort) {
+		t.Fatalf("err = %v, want ErrTimeoutAbort", err)
+	}
+	if got := h.nodes["B"].PreparedCount(); got != 1 {
+		t.Fatalf("B prepared count = %d, want 1 (in doubt)", got)
+	}
+	h.net.SetPartitioned("A", "B", false)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.nodes["B"].PreparedCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-doubt participant never resolved via query")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs["B"].mu.Lock()
+	defer recs["B"].mu.Unlock()
+	if len(recs["B"].aborts) != 1 || len(recs["B"].commits) != 0 {
+		t.Errorf("B: aborts=%v commits=%v, want exactly one abort", recs["B"].aborts, recs["B"].commits)
+	}
+}
+
+func TestStaleDecisionQueryLearnsCommit(t *testing.T) {
+	// B votes YES quickly; C's prepare blocks until released. While the
+	// coordinator waits for C, the A-B link is cut, so B never receives
+	// the commit decision. The coordinator commits (C acks), exhausts
+	// its bounded ack retries toward B, and returns success. B resolves
+	// its in-doubt state through a stale-decision query after the heal —
+	// and must COMMIT, not presume abort, because the decision log says
+	// so.
+	release := make(chan struct{})
+	recs := map[simnet.SiteID]*record{"B": {}, "C": {}}
+	recs["C"].prepareHook = func(string) { <-release }
+	h := newHarnessOpts(t, []simnet.SiteID{"A", "B", "C"}, recs, []Option{WithTimeouts(fastTimeouts())})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	type out struct {
+		results map[simnet.SiteID]any
+		err     error
+	}
+	done := make(chan out, 1)
+	go func() {
+		results, err := h.nodes["A"].Execute(ctx, "tc", map[simnet.SiteID]any{"B": "pb", "C": "pc"})
+		done <- out{results, err}
+	}()
+	// Wait until B is prepared (its vote is sent immediately after), cut
+	// the A-B link, then release C.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.nodes["B"].PreparedCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("B never prepared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let B's vote land at A
+	h.net.SetPartitioned("A", "B", true)
+	close(release)
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("Execute = %v, want commit despite unacked B", res.err)
+	}
+	if commit, known := h.nodes["A"].Decision("tc"); !known || !commit {
+		t.Fatalf("Decision = (%v, %v), want logged commit", commit, known)
+	}
+	// B is in doubt until the heal; then its query must learn COMMIT.
+	h.net.SetPartitioned("A", "B", false)
+	deadline = time.Now().Add(5 * time.Second)
+	for h.nodes["B"].PreparedCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("B never resolved after heal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs["B"].mu.Lock()
+	defer recs["B"].mu.Unlock()
+	if len(recs["B"].commits) != 1 || len(recs["B"].aborts) != 0 {
+		t.Errorf("B: commits=%v aborts=%v, want exactly one commit", recs["B"].commits, recs["B"].aborts)
+	}
+}
+
+func TestDuplicatePrepareResendsVote(t *testing.T) {
+	// A duplicate prepare while prepared must not re-run the hook but
+	// must re-vote YES (the original vote may have been lost).
+	recs := map[simnet.SiteID]*record{"B": {}}
+	h := newHarness(t, []simnet.SiteID{"A", "B"}, recs)
+	ctx := context.Background()
+	msg := simnet.Message{From: "A", To: "B", Kind: KindPrepare,
+		Payload: prepareMsg{TxID: "tv", Payload: 1}}
+	h.nodes["B"].Handle(ctx, msg)
+	sent := h.net.Stats().Sent
+	h.nodes["B"].Handle(ctx, msg)
+	recs["B"].mu.Lock()
+	prepares := len(recs["B"].prepared)
+	recs["B"].mu.Unlock()
+	if prepares != 1 {
+		t.Errorf("prepare hook ran %d times, want 1", prepares)
+	}
+	if got := h.net.Stats().Sent - sent; got != 1 {
+		t.Errorf("duplicate prepare sent %d messages, want 1 re-vote", got)
 	}
 }
 

@@ -1,0 +1,360 @@
+// Package fault turns the repro's failure *primitives* (SetDown,
+// SetPartitioned, loss rates) into a failure *discipline*: a
+// deterministic, seeded Schedule of timed and step-triggered events
+// that drives site crashes, restarts, partitions, heals, drop-rate
+// changes, and latency spikes against a running cluster.
+//
+// The package exists so chaos runs are reproducible experiments rather
+// than hand-toggled demos: the same seed and schedule produce the same
+// fault sequence, which is what lets the harness assert — in ordinary
+// `go test` — that 100% of chopped chains settle through a crash storm
+// while 2PC measurably times out and presumes abort under the very same
+// schedule (the paper's Section 4 availability argument).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"asynctp/internal/simnet"
+)
+
+// Kind enumerates fault actions.
+type Kind int
+
+// Fault actions.
+const (
+	// CrashSite fail-stops a site: volatile state is lost, messages to
+	// and from it drop, workers halt.
+	CrashSite Kind = iota + 1
+	// RestartSite recovers a crashed site from its durable state.
+	RestartSite
+	// Partition cuts the (undirected) link between two sites.
+	Partition
+	// Heal restores a previously cut link.
+	Heal
+	// DropRate sets the network's silent in-flight loss fraction.
+	DropRate
+	// LatencySpike changes the network's base one-way latency/jitter
+	// (use a second event to restore the original values).
+	LatencySpike
+)
+
+// String renders the action kind.
+func (k Kind) String() string {
+	switch k {
+	case CrashSite:
+		return "crash"
+	case RestartSite:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case DropRate:
+		return "droprate"
+	case LatencySpike:
+		return "latency"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injector is the surface a Schedule drives. *site.Cluster implements
+// it; tests may substitute fakes.
+type Injector interface {
+	// CrashSite fail-stops the site.
+	CrashSite(id simnet.SiteID)
+	// RestartSite recovers the site from durable state.
+	RestartSite(id simnet.SiteID)
+	// SetPartitioned cuts (true) or heals (false) a link.
+	SetPartitioned(a, b simnet.SiteID, cut bool)
+	// SetLossRate sets the silent in-flight loss fraction.
+	SetLossRate(rate float64)
+	// SetLatency sets the base one-way latency and jitter fraction.
+	SetLatency(base time.Duration, jitter float64)
+}
+
+// Event is one scheduled fault action. An event fires either at a time
+// offset from Run (At) or when the harness's step counter reaches
+// AfterStep (whichever trigger is set; AfterStep > 0 wins).
+type Event struct {
+	// At is the time offset from Run at which the event fires.
+	At time.Duration
+	// AfterStep, when > 0, fires the event on the AfterStep'th call to
+	// Step instead of on the clock.
+	AfterStep int
+	// Kind selects the action.
+	Kind Kind
+	// Site is the target of CrashSite/RestartSite.
+	Site simnet.SiteID
+	// A, B name the link for Partition/Heal.
+	A, B simnet.SiteID
+	// Rate is the DropRate fraction.
+	Rate float64
+	// Latency and Jitter are the LatencySpike parameters.
+	Latency time.Duration
+	Jitter  float64
+}
+
+// describe renders an event for the fired-event log.
+func (e Event) describe() string {
+	trigger := e.At.String()
+	if e.AfterStep > 0 {
+		trigger = fmt.Sprintf("step %d", e.AfterStep)
+	}
+	switch e.Kind {
+	case CrashSite, RestartSite:
+		return fmt.Sprintf("%s %s @%s", e.Kind, e.Site, trigger)
+	case Partition, Heal:
+		return fmt.Sprintf("%s %s-%s @%s", e.Kind, e.A, e.B, trigger)
+	case DropRate:
+		return fmt.Sprintf("%s %.2f @%s", e.Kind, e.Rate, trigger)
+	case LatencySpike:
+		return fmt.Sprintf("%s %v/%.2f @%s", e.Kind, e.Latency, e.Jitter, trigger)
+	default:
+		return fmt.Sprintf("%s @%s", e.Kind, trigger)
+	}
+}
+
+// Schedule is a deterministic fault plan: a set of events plus an
+// optional seeded time perturbation. Build it with the fluent methods,
+// then Run it against an Injector. A Schedule is single-use: build a
+// fresh one per run (scenario constructors make this cheap).
+type Schedule struct {
+	seed   int64
+	jitter float64 // fraction of each event's At to perturb, seeded
+	events []Event
+
+	mu      sync.Mutex
+	steps   int
+	stepEvs []Event
+	fired   []string
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+	inj     Injector
+}
+
+// NewSchedule builds an empty schedule. The seed drives the optional
+// time perturbation (WithTimeJitter) deterministically.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{seed: seed}
+}
+
+// WithTimeJitter perturbs every time-triggered event's offset by up to
+// ±frac of its value, deterministically from the schedule seed, so
+// repeated seeds explore slightly different interleavings while any one
+// seed stays reproducible.
+func (s *Schedule) WithTimeJitter(frac float64) *Schedule {
+	s.jitter = frac
+	return s
+}
+
+// Add appends a raw event.
+func (s *Schedule) Add(e Event) *Schedule {
+	s.events = append(s.events, e)
+	return s
+}
+
+// CrashAt crashes site at offset d.
+func (s *Schedule) CrashAt(d time.Duration, site simnet.SiteID) *Schedule {
+	return s.Add(Event{At: d, Kind: CrashSite, Site: site})
+}
+
+// RestartAt recovers site at offset d.
+func (s *Schedule) RestartAt(d time.Duration, site simnet.SiteID) *Schedule {
+	return s.Add(Event{At: d, Kind: RestartSite, Site: site})
+}
+
+// PartitionAt cuts the a-b link at offset d.
+func (s *Schedule) PartitionAt(d time.Duration, a, b simnet.SiteID) *Schedule {
+	return s.Add(Event{At: d, Kind: Partition, A: a, B: b})
+}
+
+// HealAt restores the a-b link at offset d.
+func (s *Schedule) HealAt(d time.Duration, a, b simnet.SiteID) *Schedule {
+	return s.Add(Event{At: d, Kind: Heal, A: a, B: b})
+}
+
+// DropRateAt sets the loss fraction at offset d.
+func (s *Schedule) DropRateAt(d time.Duration, rate float64) *Schedule {
+	return s.Add(Event{At: d, Kind: DropRate, Rate: rate})
+}
+
+// LatencySpikeAt sets base latency/jitter at offset d.
+func (s *Schedule) LatencySpikeAt(d time.Duration, base time.Duration, jitter float64) *Schedule {
+	return s.Add(Event{At: d, Kind: LatencySpike, Latency: base, Jitter: jitter})
+}
+
+// CrashAtStep crashes site when the harness's step counter reaches n.
+func (s *Schedule) CrashAtStep(n int, site simnet.SiteID) *Schedule {
+	return s.Add(Event{AfterStep: n, Kind: CrashSite, Site: site})
+}
+
+// RestartAtStep recovers site when the step counter reaches n.
+func (s *Schedule) RestartAtStep(n int, site simnet.SiteID) *Schedule {
+	return s.Add(Event{AfterStep: n, Kind: RestartSite, Site: site})
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// Horizon returns the latest time-triggered offset (after perturbation
+// this is still the nominal bound since jitter is applied at Run).
+func (s *Schedule) Horizon() time.Duration {
+	var max time.Duration
+	for _, e := range s.events {
+		if e.AfterStep == 0 && e.At > max {
+			max = e.At
+		}
+	}
+	return max
+}
+
+// apply executes one event against the injector and logs it.
+func (s *Schedule) apply(e Event) {
+	switch e.Kind {
+	case CrashSite:
+		s.inj.CrashSite(e.Site)
+	case RestartSite:
+		s.inj.RestartSite(e.Site)
+	case Partition:
+		s.inj.SetPartitioned(e.A, e.B, true)
+	case Heal:
+		s.inj.SetPartitioned(e.A, e.B, false)
+	case DropRate:
+		s.inj.SetLossRate(e.Rate)
+	case LatencySpike:
+		s.inj.SetLatency(e.Latency, e.Jitter)
+	}
+	s.mu.Lock()
+	s.fired = append(s.fired, e.describe())
+	s.mu.Unlock()
+}
+
+// Run starts executing the schedule against inj. Time-triggered events
+// fire from a single goroutine in offset order (deterministic relative
+// order); step-triggered events fire synchronously inside Step. Call
+// Wait to block until every time event has fired, and Stop to cancel
+// early. Run panics if called twice.
+func (s *Schedule) Run(inj Injector) {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		panic("fault: Schedule.Run called twice")
+	}
+	s.running = true
+	s.inj = inj
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+
+	var timed []Event
+	for _, e := range s.events {
+		if e.AfterStep > 0 {
+			s.stepEvs = append(s.stepEvs, e)
+		} else {
+			timed = append(timed, e)
+		}
+	}
+	// Deterministic seeded perturbation of the timeline.
+	if s.jitter > 0 {
+		rng := rand.New(rand.NewSource(s.seed))
+		for i := range timed {
+			frac := (rng.Float64()*2 - 1) * s.jitter // [-j, +j]
+			timed[i].At += time.Duration(frac * float64(timed[i].At))
+			if timed[i].At < 0 {
+				timed[i].At = 0
+			}
+		}
+	}
+	sort.SliceStable(timed, func(i, j int) bool { return timed[i].At < timed[j].At })
+	s.mu.Unlock()
+
+	go func() {
+		defer close(s.done)
+		start := time.Now()
+		for _, e := range timed {
+			wait := e.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-s.stop:
+					return
+				}
+			} else {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+			}
+			s.apply(e)
+		}
+	}()
+}
+
+// Step advances the harness step counter (e.g. once per submitted chain
+// or executed piece) and fires any step-triggered events that just came
+// due, synchronously in the caller.
+func (s *Schedule) Step() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.steps++
+	n := s.steps
+	var due []Event
+	rest := s.stepEvs[:0]
+	for _, e := range s.stepEvs {
+		if e.AfterStep <= n {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	s.stepEvs = rest
+	s.mu.Unlock()
+	for _, e := range due {
+		s.apply(e)
+	}
+}
+
+// Wait blocks until every time-triggered event has fired (or Stop was
+// called). It does not wait for step events.
+func (s *Schedule) Wait() {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// Stop cancels pending time events and waits for the runner to exit.
+func (s *Schedule) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	done := s.done
+	s.mu.Unlock()
+	<-done
+}
+
+// Fired returns descriptions of the events applied so far, in order.
+func (s *Schedule) Fired() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.fired...)
+}

@@ -331,3 +331,149 @@ func TestDeliveryThroughLossyNetwork(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestCrashWindowRedelivery exercises the crash window between a
+// consumer's Dequeue and its Ack: the durable Snapshot taken with the
+// delivery in flight is Restored onto a fresh Manager (the crashed
+// site's replacement), which must redeliver the unacked message exactly
+// once and at the front, keep the Msg.ID dedup set so retransmitted
+// duplicates stay out, and preserve Nack front-of-queue ordering.
+func TestCrashWindowRedelivery(t *testing.T) {
+	net := simnet.New()
+	nyInbox, err := net.AddSite("NY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laInbox, err := net.AddSite("LA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny := NewManager("NY", net, 20*time.Millisecond)
+	la := NewManager("LA", net, 20*time.Millisecond)
+	var laMu sync.Mutex
+	currentLA := func() *Manager {
+		laMu.Lock()
+		defer laMu.Unlock()
+		return la
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case msg := <-nyInbox:
+				ny.Handle(msg)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case msg := <-laInbox:
+				currentLA().Handle(msg)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		ny.Close()
+		currentLA().Close()
+		cancel()
+		wg.Wait()
+		net.Close()
+	})
+
+	buf := ny.Buffer()
+	for i := 0; i < 3; i++ {
+		buf.Enqueue("LA", "q", i)
+	}
+	ny.CommitSend(buf)
+	deadline := time.Now().Add(5 * time.Second)
+	for la.Depth("q") != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want 3", la.Depth("q"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Dequeue the first message but crash before acking.
+	tctx := ctxT(t)
+	d, err := la.Dequeue(tctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := d.Msg
+	snap := la.Snapshot()
+	if len(snap.Inflight) != 1 {
+		t.Fatalf("snapshot holds %d in-flight deliveries, want 1", len(snap.Inflight))
+	}
+
+	// Crash: the replacement Manager restores the durable image.
+	old := la
+	fresh := NewManager("LA", net, 20*time.Millisecond)
+	fresh.Restore(snap)
+	laMu.Lock()
+	la = fresh
+	laMu.Unlock()
+	old.Close()
+
+	// The unacked delivery is redelivered exactly once, at the front.
+	d0, err := fresh.Dequeue(tctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Msg.ID != first.ID {
+		t.Fatalf("first redelivery = %q, want unacked %q", d0.Msg.ID, first.ID)
+	}
+	delivered := map[int]bool{d0.Msg.Payload.(int): true}
+	d0.Ack()
+
+	// The Msg.ID dedup set survived the restore: a retransmitted
+	// duplicate of the consumed message must not re-queue it.
+	fresh.Handle(simnet.Message{From: "NY", To: "LA", Kind: KindEnqueue, Payload: first})
+	if depth := fresh.Depth("q"); depth != 2 {
+		t.Fatalf("duplicate re-queued after restore: depth %d, want 2", depth)
+	}
+
+	// Nack puts the message back at the front, ahead of later arrivals.
+	d1, err := fresh.Dequeue(tctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Nack()
+	d1b, err := fresh.Dequeue(tctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1b.Msg.ID != d1.Msg.ID {
+		t.Fatalf("after Nack got %q, want %q redelivered first", d1b.Msg.ID, d1.Msg.ID)
+	}
+	if delivered[d1b.Msg.Payload.(int)] {
+		t.Fatalf("payload %v delivered twice", d1b.Msg.Payload)
+	}
+	delivered[d1b.Msg.Payload.(int)] = true
+	d1b.Ack()
+	d2, err := fresh.Dequeue(tctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered[d2.Msg.Payload.(int)] {
+		t.Fatalf("payload %v delivered twice", d2.Msg.Payload)
+	}
+	delivered[d2.Msg.Payload.(int)] = true
+	d2.Ack()
+	for i := 0; i < 3; i++ {
+		if !delivered[i] {
+			t.Errorf("payload %d never delivered", i)
+		}
+	}
+	if depth := fresh.Depth("q"); depth != 0 {
+		t.Fatalf("queue not drained: depth %d", depth)
+	}
+}

@@ -79,6 +79,14 @@ func WithLossRate(rate float64) Option {
 // returns immediately and the message lands in the destination inbox
 // after the simulated latency. Messages between the same pair of sites
 // may reorder when jitter is nonzero, as on a real WAN.
+//
+// Concurrency and determinism: every use of the shared rng and every
+// read of the latency/loss knobs happens under mu, inside Send. Given a
+// fixed seed (WithSeed) and a fixed sequence of Send calls, the drop
+// and jitter decisions are therefore a pure function of that sequence —
+// concurrent senders serialize on mu, so the network itself introduces
+// no data races (only the caller-side ordering nondeterminism a real
+// network has).
 type Network struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -142,6 +150,37 @@ func (n *Network) SetPartitioned(a, b SiteID, cut bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partitioned[linkKey(a, b)] = cut
+}
+
+// SetLossRate changes the silent in-flight loss fraction at runtime
+// (fault schedules use it for degraded-network phases). Values are
+// clamped to [0, 1].
+func (n *Network) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// SetLatency changes the base one-way latency and jitter fraction at
+// runtime (fault schedules use it for latency spikes). Messages already
+// in flight keep their original delay.
+func (n *Network) SetLatency(base time.Duration, jitter float64) {
+	if base < 0 {
+		base = 0
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.baseLatency = base
+	n.jitter = jitter
 }
 
 // Send queues msg for delivery. It returns ErrUnreachable (counting the

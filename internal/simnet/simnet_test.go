@@ -3,6 +3,7 @@ package simnet
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -228,6 +229,158 @@ func TestLossRateDropsSilently(t *testing.T) {
 	}
 	if st := n.Stats(); st.Dropped != 1 {
 		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestDroppedCountsDownSiteAndPartitionedLink(t *testing.T) {
+	// Stats.Dropped must increment for both unreachability flavors: a
+	// crashed destination and a cut link.
+	n := New()
+	defer n.Close()
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("c"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true)
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down-site send err = %v, want ErrUnreachable", err)
+	}
+	if got := n.Stats().Dropped; got != 1 {
+		t.Errorf("Dropped after down-site send = %d, want 1", got)
+	}
+	n.SetPartitioned("a", "c", true)
+	if err := n.Send(Message{From: "a", To: "c"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned send err = %v, want ErrUnreachable", err)
+	}
+	st := n.Stats()
+	if st.Dropped != 2 {
+		t.Errorf("Dropped after partitioned send = %d, want 2", st.Dropped)
+	}
+	if st.Sent != 2 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentSendsAreRaceFree(t *testing.T) {
+	// The shared rng and latency knobs are consulted under the network
+	// mutex; hammer Send from many goroutines (with -race in CI) while
+	// the knobs change underneath.
+	n := New(WithLatency(time.Millisecond), WithJitter(0.5), WithSeed(7), WithLossRate(0.2))
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	drain := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-inbox:
+			case <-drain:
+				return
+			}
+		}
+	}()
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = n.Send(Message{From: "a", To: "b"})
+			}
+		}()
+	}
+	// Mutate the knobs concurrently, as a fault schedule would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			n.SetLossRate(float64(i%3) * 0.1)
+			n.SetLatency(time.Duration(i%2)*time.Millisecond, 0.3)
+		}
+	}()
+	wg.Wait()
+	n.Close()
+	close(drain)
+	if got := n.Stats().Sent; got != senders*per {
+		t.Errorf("Sent = %d, want %d", got, senders*per)
+	}
+}
+
+func TestSeededLossPatternIsDeterministic(t *testing.T) {
+	// Two networks with the same seed and the same serialized send
+	// sequence must make identical drop decisions.
+	pattern := func() []bool {
+		n := New(WithLossRate(0.5), WithSeed(99))
+		defer n.Close()
+		if _, err := n.AddSite("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.AddSite("b"); err != nil {
+			t.Fatal(err)
+		}
+		var drops []bool
+		var prev uint64
+		for i := 0; i < 64; i++ {
+			if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+				t.Fatal(err)
+			}
+			d := n.Stats().Dropped
+			drops = append(drops, d > prev)
+			prev = d
+		}
+		return drops
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop pattern diverged at send %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRuntimeKnobChanges(t *testing.T) {
+	n := New()
+	defer n.Close()
+	inbox, _ := n.AddSite("b")
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Loss 1.0: silent drop.
+	n.SetLossRate(1.0)
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	// Back to 0: delivery resumes, and a latency spike delays it.
+	n.SetLossRate(0)
+	n.SetLatency(50*time.Millisecond, 0)
+	start := time.Now()
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recv(ctxT(t), inbox); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~50ms spike", elapsed)
+	}
+	// Clamping.
+	n.SetLossRate(-1)
+	n.SetLatency(-time.Second, -2)
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recv(ctxT(t), inbox); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"asynctp/internal/chop"
 	"asynctp/internal/commit"
 	"asynctp/internal/dc"
+	"asynctp/internal/fault"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
 	"asynctp/internal/queue"
@@ -117,25 +118,44 @@ type distProgram struct {
 }
 
 // tracker follows one chopped instance to settlement at its origin.
+// Progress is kept per piece index, not as counters: settlement reports
+// ride at-least-once queues and are re-sent after crash redeliveries, so
+// duplicates must collapse instead of inflating the count.
 type tracker struct {
-	total      int
-	donePieces int
-	doneComps  int
-	rolledAt   int // -1 until a rollback report arrives
-	completed  bool
-	reads      []txn.ReadRec
-	imported   metric.Fuzz
-	done       chan struct{}
+	total     int
+	pieces    map[int]bool // committed pieces, by index
+	comps     map[int]bool // committed compensations, by index
+	rolledAt  int          // -1 until a rollback report arrives
+	completed bool
+	reads     []txn.ReadRec
+	imported  metric.Fuzz
+	done      chan struct{}
+}
+
+// newTracker builds a tracker for an instance with n pieces.
+func newTracker(n int) *tracker {
+	return &tracker{
+		total:    n,
+		pieces:   make(map[int]bool),
+		comps:    make(map[int]bool),
+		rolledAt: -1,
+		done:     make(chan struct{}),
+	}
 }
 
 // settled reports whether the instance reached its terminal state:
 // either every piece committed, or the rollback piece's predecessors all
-// compensated.
+// committed and then compensated.
 func (tr *tracker) settled() bool {
 	if tr.rolledAt >= 0 {
-		return tr.donePieces >= tr.rolledAt && tr.doneComps >= tr.rolledAt
+		for pi := 0; pi < tr.rolledAt; pi++ {
+			if !tr.pieces[pi] || !tr.comps[pi] {
+				return false
+			}
+		}
+		return true
 	}
-	return tr.donePieces == tr.total
+	return len(tr.pieces) == tr.total
 }
 
 // distState is the cluster's distributed-execution state.
@@ -498,7 +518,7 @@ func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*
 	start := time.Now()
 	inst := c.nextInstID()
 	origin := c.sites[dp.pieceSite[0]]
-	tr := &tracker{total: dp.chopped.NumPieces(), rolledAt: -1, done: make(chan struct{})}
+	tr := newTracker(dp.chopped.NumPieces())
 	c.dist.mu.Lock()
 	c.dist.trackers[inst] = tr
 	c.dist.mu.Unlock()
@@ -551,23 +571,48 @@ func (c *Cluster) nextInstID() uint64 {
 	return c.instSeq
 }
 
+// errInjectedCrash is the sentinel a fault hook raises out of runPiece:
+// the piece committed but the site fail-stops before staging its
+// successors and report (fault.PointPreReport).
+var errInjectedCrash = errors.New("site: fault-injected crash")
+
+// stageChildren durably enqueues the dependent activations of a
+// committed piece. Safe to repeat: receivers dedup application on
+// (inst, piece) and the origin's tracker dedups reports.
+func (s *Site) stageChildren(act activation, dp *distProgram) {
+	buf := s.queues.Buffer()
+	for _, child := range dp.children[act.Piece] {
+		buf.Enqueue(dp.pieceSite[child], pieceQueue, activation{
+			Inst: act.Inst, Origin: act.Origin, TxType: act.TxType, Piece: child,
+		})
+	}
+	if buf.Len() > 0 {
+		s.queues.CommitSend(buf)
+		s.persistQueues()
+	}
+}
+
 // runPiece executes piece act.Piece of dp at site s, retrying system
 // aborts until commit (resubmission of rollback-safe pieces), then
 // stages the dependent activations through the recoverable queue in the
 // same commit scope. It returns the pieceDone report.
 func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (pieceDone, error) {
 	// Exactly-once application: redelivered activations (crash between a
-	// piece's commit and its queue ack) must not re-apply the writes. A
-	// marker key is written in the same commit batch as the piece, so
-	// "piece applied" and "marker present" are atomic in the journal.
-	tag := "applied"
-	if act.Compensate {
-		tag = "comp"
-	}
-	marker := storage.Key(fmt.Sprintf("__%s/%d/%d", tag, act.Inst, act.Piece))
-	if s.Store.Has(marker) {
+	// piece's commit and its queue ack) must not re-apply the writes. The
+	// dedup table answers from memory or from the durable marker key that
+	// the piece's own commit batch wrote — "piece applied" and "marker
+	// present" are atomic in the journal.
+	key := pieceKey{inst: act.Inst, piece: act.Piece, comp: act.Compensate}
+	if s.applied.applied(key) {
+		// Redelivered after a crash in the commit→ack window. The piece's
+		// effects are durable, but the crash may have eaten its successor
+		// activations, so re-stage them; duplicates collapse downstream.
+		if !act.Compensate {
+			s.stageChildren(act, dp)
+		}
 		return pieceDone{Inst: act.Inst, Piece: act.Piece, Comp: act.Compensate}, nil
 	}
+	marker := key.marker()
 	var body []txn.Op
 	name := fmt.Sprintf("%s/p%d", dp.program.Name, act.Piece+1)
 	if act.Compensate {
@@ -606,20 +651,20 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 			imported, exported = ctl.Unregister(owner)
 		}
 		if err == nil {
+			s.applied.record(key)
+			// Injection point: the piece has committed (marker and all)
+			// but nothing has been staged yet — a crash here loses the
+			// successor activations and the report, and only the
+			// redelivered, dedup'd activation can resurrect them.
+			if h := s.cluster.faultHook; h != nil &&
+				h.ShouldCrash(fault.PointPreReport, s.ID, act.Inst, act.Piece, act.Compensate) {
+				return pieceDone{}, errInjectedCrash
+			}
 			// Stage successor activations; CommitSend makes them durable
 			// and deliverable now that the piece has committed.
 			// Compensation pieces have no successors.
-			buf := s.queues.Buffer()
 			if !act.Compensate {
-				for _, child := range dp.children[act.Piece] {
-					buf.Enqueue(dp.pieceSite[child], pieceQueue, activation{
-						Inst: act.Inst, Origin: act.Origin, TxType: act.TxType, Piece: child,
-					})
-				}
-			}
-			if buf.Len() > 0 {
-				s.queues.CommitSend(buf)
-				s.persistQueues()
+				s.stageChildren(act, dp)
 			}
 			return pieceDone{
 				Inst:     act.Inst,
@@ -716,53 +761,110 @@ func (s *Site) workerLoop(stop <-chan struct{}) {
 		s.cluster.dist.mu.Lock()
 		dp := s.cluster.dist.programs[act.TxType]
 		s.cluster.dist.mu.Unlock()
+		// A durably recorded rollback decision from a previous delivery:
+		// re-stage the compensations and report without re-running the
+		// piece (compensation itself may have flipped its predicate).
+		if !act.Compensate && s.Store.Has(rolledMarker(act.Inst, act.Piece)) {
+			s.stageRollback(act, dp)
+			if s.preAckCrash(act) {
+				return
+			}
+			d.Ack()
+			s.persistQueues()
+			continue
+		}
 		done, err := s.runPiece(ctx, act, dp)
 		if err != nil {
+			if errors.Is(err, errInjectedCrash) {
+				// PointPreReport: the piece committed but nothing was
+				// staged and the delivery stays unacked — only the
+				// redelivery after Recover resurrects the lost staging.
+				s.crashFromWorker()
+				return
+			}
 			if errors.Is(err, txn.ErrRollback) && dp.compensable && !act.Compensate {
-				// A later piece hit its rollback statement: compensate
-				// every committed predecessor (the chain guarantees they
-				// are exactly pieces 0..Piece-1) and report the rollback.
-				buf := s.queues.Buffer()
-				for pi := 0; pi < act.Piece; pi++ {
-					buf.Enqueue(dp.pieceSite[pi], pieceQueue, activation{
-						Inst: act.Inst, Origin: act.Origin, TxType: act.TxType,
-						Piece: pi, Compensate: true,
-					})
+				// A later piece hit its rollback statement: record the
+				// decision durably, then compensate every committed
+				// predecessor (the chain guarantees they are exactly
+				// pieces 0..Piece-1) and report the rollback.
+				_ = s.Store.Apply([]storage.Write{{Key: rolledMarker(act.Inst, act.Piece), Value: 1}})
+				s.stageRollback(act, dp)
+				if s.preAckCrash(act) {
+					return
 				}
-				if buf.Len() > 0 {
-					s.queues.CommitSend(buf)
-					s.persistQueues()
-				}
-				report := pieceDone{Inst: act.Inst, RolledAt: act.Piece}
 				d.Ack()
 				s.persistQueues()
-				if act.Origin == s.ID {
-					s.cluster.recordDone(report)
-				} else {
-					rbuf := s.queues.Buffer()
-					rbuf.Enqueue(act.Origin, doneQueue, report)
-					s.queues.CommitSend(rbuf)
-					s.persistQueues()
-				}
 				continue
 			}
 			// Crash/stop mid-piece: redeliver after recovery.
 			d.Nack()
 			return
 		}
+		// Stage the settlement report BEFORE acking the delivery: a crash
+		// between the two redelivers the activation, and dedup turns the
+		// re-execution into a report resend — at-least-once reports,
+		// collapsed at the origin's per-piece tracker.
+		s.stageReport(act.Origin, done)
+		if s.preAckCrash(act) {
+			return
+		}
 		d.Ack()
 		s.persistQueues()
-		// Report to the origin through the recoverable queue so the
-		// settlement report survives message loss and crashes.
-		if act.Origin == s.ID {
-			s.cluster.recordDone(done)
-		} else {
-			buf := s.queues.Buffer()
-			buf.Enqueue(act.Origin, doneQueue, done)
-			s.queues.CommitSend(buf)
-			s.persistQueues()
-		}
 	}
+}
+
+// rolledMarker is the durable record of a business-rollback decision at
+// (inst, piece): written the moment the rollback is first observed, it
+// makes redeliveries re-stage compensations instead of re-evaluating a
+// predicate that the compensations themselves may since have flipped.
+func rolledMarker(inst uint64, piece int) storage.Key {
+	return storage.Key(fmt.Sprintf("__rolled/%d/%d", inst, piece))
+}
+
+// stageRollback durably stages the compensating activations for the
+// committed predecessors of a rolled-back piece, plus the rollback
+// report to the origin. Safe to repeat after a redelivery: compensation
+// application dedups on (inst, piece, comp) and the tracker collapses
+// duplicate reports.
+func (s *Site) stageRollback(act activation, dp *distProgram) {
+	buf := s.queues.Buffer()
+	for pi := 0; pi < act.Piece; pi++ {
+		buf.Enqueue(dp.pieceSite[pi], pieceQueue, activation{
+			Inst: act.Inst, Origin: act.Origin, TxType: act.TxType,
+			Piece: pi, Compensate: true,
+		})
+	}
+	if buf.Len() > 0 {
+		s.queues.CommitSend(buf)
+		s.persistQueues()
+	}
+	s.stageReport(act.Origin, pieceDone{Inst: act.Inst, RolledAt: act.Piece})
+}
+
+// stageReport delivers a settlement report to the origin: locally when
+// the origin is this site, else through the recoverable done queue.
+func (s *Site) stageReport(origin simnet.SiteID, done pieceDone) {
+	if origin == s.ID {
+		s.cluster.recordDone(done)
+		return
+	}
+	buf := s.queues.Buffer()
+	buf.Enqueue(origin, doneQueue, done)
+	s.queues.CommitSend(buf)
+	s.persistQueues()
+}
+
+// preAckCrash consults the fault hook at PointPreAck — the piece is
+// committed and everything is staged; only the queue ack remains — and
+// fail-stops the site when it fires. True means the worker must exit
+// without acking, leaving the delivery to be redelivered after Recover.
+func (s *Site) preAckCrash(act activation) bool {
+	h := s.cluster.faultHook
+	if h == nil || !h.ShouldCrash(fault.PointPreAck, s.ID, act.Inst, act.Piece, act.Compensate) {
+		return false
+	}
+	s.crashFromWorker()
+	return true
 }
 
 // recordDone folds a progress report into its instance tracker.
@@ -777,11 +879,13 @@ func (c *Cluster) recordDone(done pieceDone) {
 	case done.RolledAt > 0:
 		tr.rolledAt = done.RolledAt
 	case done.Comp:
-		tr.doneComps++
+		tr.comps[done.Piece] = true
 	default:
-		tr.reads = append(tr.reads, done.Reads...)
-		tr.imported = tr.imported.Add(done.Imported)
-		tr.donePieces++
+		if !tr.pieces[done.Piece] {
+			tr.pieces[done.Piece] = true
+			tr.reads = append(tr.reads, done.Reads...)
+			tr.imported = tr.imported.Add(done.Imported)
+		}
 	}
 	if !tr.completed && tr.settled() {
 		tr.completed = true

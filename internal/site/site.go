@@ -26,6 +26,7 @@ import (
 
 	"asynctp/internal/commit"
 	"asynctp/internal/dc"
+	"asynctp/internal/fault"
 	"asynctp/internal/history"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
@@ -76,6 +77,9 @@ type Site struct {
 	// prepared holds participant-side 2PC subtransactions awaiting the
 	// decision: owner + undo images.
 	prepared map[string]*preparedTxn
+	// applied dedups piece applications on (inst, pieceIdx): redelivered
+	// activations (at-least-once queues) must not double-apply.
+	applied *dedupTable
 	// crashed marks the site down; workers idle and messages drop.
 	crashed bool
 	// queueSnap is the durable queue-state image maintained at every
@@ -132,6 +136,14 @@ type Config struct {
 	// the coordinator retries. Defaults are fine for tests; tune down
 	// for high-contention benchmarks.
 	LockTimeout time.Duration
+	// CommitTimeouts enables bounded-wait 2PC (presumed abort on vote
+	// timeout, participant stale-decision queries). The zero value keeps
+	// the legacy unbounded-blocking coordinator.
+	CommitTimeouts commit.Timeouts
+	// FaultHook, when set, is consulted at the pipeline's injection
+	// points (see fault.Point); a true answer fail-stops the site right
+	// there — e.g. between a piece's commit and its queue ack.
+	FaultHook fault.Hook
 }
 
 // Cluster is a set of sites plus the network.
@@ -142,6 +154,7 @@ type Cluster struct {
 
 	placement  func(storage.Key) simnet.SiteID
 	compensate bool
+	faultHook  fault.Hook
 	sites      map[simnet.SiteID]*Site
 	dist       *distState
 	rec        *history.Recorder
@@ -180,6 +193,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		UseDC:      cfg.UseDC,
 		placement:  cfg.Placement,
 		compensate: cfg.AllowCompensation,
+		faultHook:  cfg.FaultHook,
 		sites:      make(map[simnet.SiteID]*Site, len(cfg.Initial)),
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
@@ -214,11 +228,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		s.exec = txn.NewExec(s.Store, s.locks, obs)
 		s.exec.SetOpDelay(cfg.OpDelay)
 		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery)
+		s.applied = newDedupTable(s.Store)
+		var nodeOpts []commit.Option
+		if cfg.CommitTimeouts.VoteWait > 0 {
+			nodeOpts = append(nodeOpts, commit.WithTimeouts(cfg.CommitTimeouts))
+		}
 		s.node = commit.NewNode(id, c.Net, commit.Hooks{
 			Prepare: s.prepare2PC,
 			Commit:  s.commit2PC,
 			Abort:   s.abort2PC,
-		})
+		}, nodeOpts...)
 		c.sites[id] = s
 	}
 	// Start dispatchers and piece workers after all sites exist.
@@ -311,6 +330,30 @@ func (s *Site) Crash() {
 	s.stopWorkersAndWait()
 }
 
+// crashFromWorker fail-stops the site from inside one of its own worker
+// goroutines (fault-hook injection points fire there). It cannot call
+// Crash, which waits on the worker WaitGroup that includes the caller;
+// instead it marks the site crashed, signals the remaining workers, and
+// drops the site off the network. Recover waits out the stragglers
+// before rebuilding.
+func (s *Site) crashFromWorker() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	if s.stopWorkers != nil {
+		select {
+		case <-s.stopWorkers:
+		default:
+			close(s.stopWorkers)
+		}
+	}
+	s.mu.Unlock()
+	s.cluster.Net.SetDown(s.ID, true)
+}
+
 // Recover restarts a crashed site from durable state.
 func (s *Site) Recover() {
 	s.mu.Lock()
@@ -318,9 +361,23 @@ func (s *Site) Recover() {
 		s.mu.Unlock()
 		return
 	}
+	s.mu.Unlock()
+	// A fault-injected crash (crashFromWorker) signals the workers but
+	// cannot wait for them; do so now, before rebuilding volatile state
+	// under their feet.
+	s.stopWorkersAndWait()
+	s.mu.Lock()
+	if !s.crashed { // lost a race with a concurrent Recover
+		s.mu.Unlock()
+		return
+	}
 	// Durable store: replay the journal, dropping dirty cells.
 	recovered := s.Store.Recover()
 	s.Store.Restore(recovered.Snapshot())
+	// The piece-dedup cache is volatile; wipe it. Durable `__applied` /
+	// `__comp` markers in the recovered journal keep answering lookups,
+	// so redelivered activations stay exactly-once.
+	s.applied.reset(s.Store)
 	// Volatile state: fresh locks (and DC accounts), no prepared txns.
 	if s.ctl != nil {
 		s.ctl = dc.NewController()
@@ -389,3 +446,37 @@ func (c *Cluster) recordGroup(owner lock.Owner, inst uint64) {
 	defer c.groupMu.Unlock()
 	c.groupOf[owner] = history.Group(inst)
 }
+
+// ---------------------------------------------------------------------
+// fault.Injector — a fault.Schedule drives the cluster through these.
+// ---------------------------------------------------------------------
+
+// CrashSite fail-stops the site (fault.Injector).
+func (c *Cluster) CrashSite(id simnet.SiteID) {
+	if s := c.sites[id]; s != nil {
+		s.Crash()
+	}
+}
+
+// RestartSite recovers the site from durable state (fault.Injector).
+func (c *Cluster) RestartSite(id simnet.SiteID) {
+	if s := c.sites[id]; s != nil {
+		s.Recover()
+	}
+}
+
+// SetPartitioned cuts or heals a link (fault.Injector).
+func (c *Cluster) SetPartitioned(a, b simnet.SiteID, cut bool) {
+	c.Net.SetPartitioned(a, b, cut)
+}
+
+// SetLossRate sets the silent message-loss fraction (fault.Injector).
+func (c *Cluster) SetLossRate(rate float64) { c.Net.SetLossRate(rate) }
+
+// SetLatency sets the base one-way latency and jitter (fault.Injector).
+func (c *Cluster) SetLatency(base time.Duration, jitter float64) {
+	c.Net.SetLatency(base, jitter)
+}
+
+// compile-time check: *Cluster satisfies fault.Injector.
+var _ fault.Injector = (*Cluster)(nil)
