@@ -68,7 +68,9 @@ type Analysis struct {
 	// when HasSCCycle.
 	SCWitness []int
 	// Restricted marks pieces associated with C-cycles (Section 2.2):
-	// only they can take part in a runtime conflict cycle.
+	// only they can take part in a runtime conflict cycle. Endpoints of
+	// a multi-key C edge count too — two pieces conflicting on several
+	// keys form a 2-vertex runtime conflict cycle on their own.
 	Restricted []bool
 	// InterSibling is Z^is_t per transaction: the worst-case fuzziness
 	// the chopping itself can introduce (sum of its S-edge weights).
@@ -159,6 +161,19 @@ func Analyze(s *Set) *Analysis {
 
 	// Restricted pieces: vertices on a C-cycle (C-only subgraph).
 	a.Restricted = a.Graph.VerticesOnCycle(cOnly)
+	// A single C edge carrying two or more conflict keys is itself a
+	// runtime conflict hazard the simple-cycle view cannot represent:
+	// the two pieces can interleave with opposite orientations on
+	// different keys (u before v on one key, v before u on another),
+	// forming a 2-vertex runtime conflict cycle. Mark both endpoints
+	// restricted so divergence control prices those conflicts instead
+	// of treating the pieces as unbounded.
+	for _, e := range a.Edges {
+		if e.Kind == CEdge && len(e.Keys) >= 2 {
+			a.Restricted[e.U] = true
+			a.Restricted[e.V] = true
+		}
+	}
 
 	// S-edge weights (Equation 4): W_S(s) = Σ W_C(c) over C edges that
 	// touch either endpoint of s and lie on an SC-cycle. Then Z^is_t.

@@ -400,61 +400,6 @@ func TestSCWitnessesEnumeration(t *testing.T) {
 	}
 }
 
-// bruteForceHasSCCycle enumerates simple cycles of the chopping graph and
-// reports whether any contains both edge kinds (small sets only).
-func bruteForceHasSCCycle(a *Analysis) bool {
-	g := a.Graph
-	found := false
-	var walk func(start, at int, usedV map[int]bool, usedE []bool, path []int)
-	walk = func(start, at int, usedV map[int]bool, usedE []bool, path []int) {
-		if found {
-			return
-		}
-		for e := 0; e < g.NumEdges(); e++ {
-			if usedE[e] {
-				continue
-			}
-			u, v := g.Endpoints(e)
-			var to int
-			switch at {
-			case u:
-				to = v
-			case v:
-				to = u
-			default:
-				continue
-			}
-			if to == start && len(path) >= 1 {
-				hasS, hasC := a.Edges[e].Kind == SEdge, a.Edges[e].Kind == CEdge
-				for _, pe := range path {
-					if a.Edges[pe].Kind == SEdge {
-						hasS = true
-					} else {
-						hasC = true
-					}
-				}
-				if hasS && hasC {
-					found = true
-					return
-				}
-				continue
-			}
-			if usedV[to] {
-				continue
-			}
-			usedV[to] = true
-			usedE[e] = true
-			walk(start, to, usedV, usedE, append(path, e))
-			usedV[to] = false
-			usedE[e] = false
-		}
-	}
-	for start := 0; start < g.NumVertices() && !found; start++ {
-		walk(start, start, map[int]bool{start: true}, make([]bool, g.NumEdges()), nil)
-	}
-	return found
-}
-
 func TestHasSCCycleMatchesBruteForce(t *testing.T) {
 	// Random tiny job streams: the block-based SC-cycle test must agree
 	// with exhaustive simple-cycle enumeration.
@@ -488,7 +433,7 @@ func TestHasSCCycleMatchesBruteForce(t *testing.T) {
 			return false
 		}
 		a := Analyze(set)
-		want := bruteForceHasSCCycle(a)
+		want := ReferenceSCCycle(a)
 		if a.HasSCCycle != want {
 			t.Logf("seed %d: fast=%v brute=%v", seed, a.HasSCCycle, want)
 			return false

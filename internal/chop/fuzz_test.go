@@ -1,0 +1,185 @@
+package chop
+
+import (
+	"fmt"
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// The native fuzz targets decode arbitrary bytes into small chopping
+// sets and check structural invariants of the analysis against the
+// brute-force references. Sizes are capped so the exponential reference
+// stays fast enough for fuzzing throughput.
+
+var fuzzTestKeys = []storage.Key{"a", "b", "c", "d"}
+
+// decodeSet turns fuzz bytes into a chopping set: up to 4 programs of
+// up to 3 ops each, each program chopped whole / finest / by cuts. The
+// decoder never fails — missing bytes read as zero.
+func decodeSet(data []byte) *Set {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	nProgs := int(next())%3 + 2
+	chopped := make([]*Chopped, nProgs)
+	for pi := 0; pi < nProgs; pi++ {
+		nOps := int(next())%3 + 1
+		ops := make([]txn.Op, 0, nOps)
+		for oi := 0; oi < nOps; oi++ {
+			b := next()
+			key := fuzzTestKeys[int(b)%len(fuzzTestKeys)]
+			switch (int(b) / 4) % 3 {
+			case 0:
+				ops = append(ops, txn.ReadOp(key))
+			case 1:
+				ops = append(ops, txn.AddOp(key, metric.Value(int(b)%5-2)))
+			default:
+				d := metric.Value(int(b)%3 + 1)
+				ops = append(ops, txn.TransformOp(key,
+					func(v metric.Value) metric.Value { return v + d },
+					metric.LimitOf(metric.Fuzz(d))))
+			}
+		}
+		eps := metric.Fuzz(int(next())%200 + 1)
+		p := txn.MustProgram(fmt.Sprintf("p%d", pi), ops...).WithSpec(metric.SpecOf(eps))
+		switch int(next()) % 3 {
+		case 0:
+			chopped[pi] = Whole(p)
+		case 1:
+			chopped[pi] = Finest(p)
+		default:
+			var cuts []int
+			mask := next()
+			for i := 1; i < len(p.Ops); i++ {
+				if mask&(1<<uint(i%8)) != 0 {
+					cuts = append(cuts, i)
+				}
+			}
+			c, err := FromCuts(p, cuts)
+			if err != nil {
+				c = Whole(p)
+			}
+			chopped[pi] = c
+		}
+	}
+	set, err := NewSet(chopped...)
+	if err != nil {
+		// Programs are well-formed by construction.
+		panic(fmt.Sprintf("chop: fuzz decoder built invalid set: %v", err))
+	}
+	return set
+}
+
+// fuzzSeedCorpus returns byte strings shaped after the paper's running
+// examples: a chopped transfer with a read-only audit (Section 3's
+// SC-cycle), a triangle C-cycle (Figure 1's restricted pattern), and an
+// unchopped conflicting pair (the 2-vertex multi-key hazard).
+func fuzzSeedCorpus() [][]byte {
+	return [][]byte{
+		// Section 3 shape: transfer (2 writes, finest) + audit (2 reads, finest).
+		{0, 2, 9, 10, 50, 1, 2, 0, 1, 50, 1},
+		// Figure 1 shape: chopped writer + two overlapping reader/writers.
+		{1, 3, 8, 1, 9, 51, 1, 2, 0, 6, 30, 0, 2, 2, 1, 30, 0},
+		// Multi-key C edge: two whole programs touching the same two keys.
+		{0, 2, 8, 9, 40, 0, 2, 0, 1, 40, 0},
+		// All zeros: minimal degenerate input.
+		{0},
+	}
+}
+
+// FuzzChop checks, for arbitrary chopping sets, that the block-based
+// SC-cycle analysis and the restricted-piece computation agree with the
+// brute-force simple-cycle references, and that derived facts
+// (IsSR, witnesses, update-update classification) stay consistent.
+func FuzzChop(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := decodeSet(data)
+		a := Analyze(set)
+		if want := ReferenceSCCycle(a); a.HasSCCycle != want {
+			t.Fatalf("HasSCCycle=%v, brute force=%v (input %v)", a.HasSCCycle, want, data)
+		}
+		wantR := ReferenceRestricted(a)
+		for v := range wantR {
+			if a.Restricted[v] != wantR[v] {
+				t.Fatalf("Restricted[%d]=%v, brute force=%v (input %v)", v, a.Restricted[v], wantR[v], data)
+			}
+		}
+		if a.IsSR() == a.HasSCCycle {
+			t.Fatalf("IsSR=%v with HasSCCycle=%v", a.IsSR(), a.HasSCCycle)
+		}
+		if a.HasSCCycle {
+			w := a.SCWitness
+			if len(w) < 4 || w[0] != w[len(w)-1] {
+				t.Fatalf("SC witness not a closed walk: %v", w)
+			}
+		}
+		for _, id := range a.UpdateUpdateViolations {
+			e := a.Edges[id]
+			if e.Kind != CEdge || !e.InSCCycle || !e.UpdateUpdate {
+				t.Fatalf("update-update violation edge %d misclassified: %+v", id, e)
+			}
+		}
+	})
+}
+
+// FuzzEpsilonDistribute checks every distribution policy on arbitrary
+// chopping sets: no transaction's budget is over-distributed — the sum
+// of finite per-piece limits never exceeds the transaction's declared
+// ε — and unrestricted pieces get ∞ under the restricted-aware
+// policies.
+func FuzzEpsilonDistribute(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := decodeSet(data)
+		a := Analyze(set)
+		policies := map[string]Assignment{
+			"static":       StaticDistribution(a),
+			"proportional": ProportionalDistribution(a),
+			"naive":        NaiveDistribution(a),
+		}
+		for name, assign := range policies {
+			if len(assign) != set.NumPieces() {
+				t.Fatalf("%s: %d specs for %d pieces", name, len(assign), set.NumPieces())
+			}
+			for ti := 0; ti < set.NumTxns(); ti++ {
+				spec := set.Original(ti).Spec
+				var imp, exp metric.Fuzz
+				for _, v := range set.TxnPieces(ti) {
+					s := assign[v]
+					if name != "naive" && !a.Restricted[v] {
+						if !s.Import.IsInfinite() || !s.Export.IsInfinite() {
+							t.Fatalf("%s: unrestricted piece %d got finite spec %s", name, v, s)
+						}
+						continue
+					}
+					if !s.Import.IsInfinite() {
+						imp += s.Import.Bound()
+					}
+					if !s.Export.IsInfinite() {
+						exp += s.Export.Bound()
+					}
+				}
+				if !spec.Import.IsInfinite() && imp > spec.Import.Bound() {
+					t.Fatalf("%s: txn %d import over-distributed: %d > %s", name, ti, imp, spec.Import)
+				}
+				if !spec.Export.IsInfinite() && exp > spec.Export.Bound() {
+					t.Fatalf("%s: txn %d export over-distributed: %d > %s", name, ti, exp, spec.Export)
+				}
+			}
+		}
+	})
+}

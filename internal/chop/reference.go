@@ -1,0 +1,121 @@
+package chop
+
+// ReferenceSCCycle is the brute-force SC-cycle detector: it enumerates
+// every simple cycle of the chopping graph (vertices distinct, edges
+// distinct) and reports whether any contains at least one S edge and at
+// least one C edge. Exponential in graph size — it exists solely as the
+// independent reference the conformance fuzzer cross-checks the
+// biconnected-block analysis against (explore.FuzzerStats and
+// TestHasSCCycleMatchesBruteForce). Keep it dumb; its only virtue is
+// being obviously correct.
+func ReferenceSCCycle(a *Analysis) bool {
+	g := a.Graph
+	found := false
+	var walk func(start, at int, usedV map[int]bool, usedE []bool, path []int)
+	walk = func(start, at int, usedV map[int]bool, usedE []bool, path []int) {
+		if found {
+			return
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if usedE[e] {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			var to int
+			switch at {
+			case u:
+				to = v
+			case v:
+				to = u
+			default:
+				continue
+			}
+			if to == start && len(path) >= 1 {
+				hasS, hasC := a.Edges[e].Kind == SEdge, a.Edges[e].Kind == CEdge
+				for _, pe := range path {
+					if a.Edges[pe].Kind == SEdge {
+						hasS = true
+					} else {
+						hasC = true
+					}
+				}
+				if hasS && hasC {
+					found = true
+					return
+				}
+				continue
+			}
+			if usedV[to] {
+				continue
+			}
+			usedV[to] = true
+			usedE[e] = true
+			walk(start, to, usedV, usedE, append(path, e))
+			usedV[to] = false
+			usedE[e] = false
+		}
+	}
+	for start := 0; start < g.NumVertices() && !found; start++ {
+		walk(start, start, map[int]bool{start: true}, make([]bool, g.NumEdges()), nil)
+	}
+	return found
+}
+
+// ReferenceRestricted is the brute-force restricted-piece detector: a
+// vertex is restricted when it lies on some simple cycle of the C-only
+// subgraph, or when it is an endpoint of a multi-key C edge (the
+// 2-vertex runtime conflict cycle the simple-cycle view cannot
+// represent). Same role as ReferenceSCCycle: slow, obvious, used only
+// to cross-check Analysis.Restricted.
+func ReferenceRestricted(a *Analysis) []bool {
+	g := a.Graph
+	out := make([]bool, g.NumVertices())
+	cEdge := func(e int) bool { return a.Edges[e].Kind == CEdge }
+
+	var found bool
+	var walk func(start, at int, usedV map[int]bool, usedE []bool, n int)
+	walk = func(start, at int, usedV map[int]bool, usedE []bool, n int) {
+		if found {
+			return
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if usedE[e] || !cEdge(e) {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			var to int
+			switch at {
+			case u:
+				to = v
+			case v:
+				to = u
+			default:
+				continue
+			}
+			if to == start && n >= 2 {
+				found = true
+				return
+			}
+			if to == start || usedV[to] {
+				continue
+			}
+			usedV[to] = true
+			usedE[e] = true
+			walk(start, to, usedV, usedE, n+1)
+			usedV[to] = false
+			usedE[e] = false
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		found = false
+		walk(v, v, map[int]bool{v: true}, make([]bool, g.NumEdges()), 0)
+		out[v] = found
+	}
+	for _, e := range a.Edges {
+		if e.Kind == CEdge && len(e.Keys) >= 2 {
+			out[e.U] = true
+			out[e.V] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// TestDistributionBudgetNeverExceedsLimit is the Lemma 1 property test:
+// under both the static (off-line, Section 2.2.1) and dynamic
+// (runtime, Figure 2) ε-distribution policies, a transaction instance
+// whose pieces are all restricted never accumulates more fuzziness
+// across them than its declared Limit_t — the distribution can only
+// split the budget, never mint it. Instances containing unrestricted
+// pieces are excluded: their absorbed fuzziness is fictitious by the
+// restrictedness argument and deliberately runs without quota.
+func TestDistributionBudgetNeverExceedsLimit(t *testing.T) {
+	keys := []storage.Key{"x", "y", "z"}
+	for seed := int64(1); seed <= 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			eps := metric.Fuzz(rng.Intn(400) + 50)
+			nProgs := rng.Intn(2) + 2
+			programs := make([]*txn.Program, nProgs)
+			for pi := range programs {
+				nOps := rng.Intn(3) + 1
+				ops := make([]txn.Op, 0, nOps)
+				for oi := 0; oi < nOps; oi++ {
+					key := keys[rng.Intn(len(keys))]
+					switch rng.Intn(3) {
+					case 0:
+						ops = append(ops, txn.ReadOp(key))
+					case 1:
+						ops = append(ops, txn.AddOp(key, metric.Value(rng.Intn(5)+1)))
+					default:
+						d := metric.Value(rng.Intn(3) + 1)
+						ops = append(ops, txn.TransformOp(key,
+							func(v metric.Value) metric.Value { return v + d },
+							metric.LimitOf(metric.Fuzz(d))))
+					}
+				}
+				p := txn.MustProgram(fmt.Sprintf("d%d", pi), ops...)
+				if p.Class() == txn.Query {
+					p = p.WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+				} else {
+					p = p.WithSpec(metric.SpecOf(eps))
+				}
+				programs[pi] = p
+			}
+			initial := map[storage.Key]metric.Value{}
+			for _, k := range keys {
+				initial[k] = metric.Value(rng.Intn(500) + 100)
+			}
+
+			for _, method := range []Method{BaselineESRDC, Method1SRChopDC, Method3ESRChopDC} {
+				for _, dist := range []Distribution{Static, Dynamic} {
+					runner, err := NewRunner(Config{
+						Method:       method,
+						Distribution: dist,
+						Store:        storage.NewFrom(initial),
+						Programs:     programs,
+						Counts:       repeat(2, nProgs),
+					})
+					if err != nil {
+						// The chopping search legitimately rejects some
+						// streams; that is not this property's concern.
+						continue
+					}
+					sa, set := runner.StreamAnalysis(), runner.Set()
+					allRestricted := make([]bool, nProgs)
+					for ti := range allRestricted {
+						allRestricted[ti] = true
+						for pi := range set.TxnPieces(ti) {
+							if !sa.Restricted(ti, pi) {
+								allRestricted[ti] = false
+							}
+						}
+					}
+					var wg sync.WaitGroup
+					results := make([]*InstanceResult, 2*nProgs)
+					tis := make([]int, 2*nProgs)
+					for i := range results {
+						i := i
+						ti := i % nProgs
+						tis[i] = ti
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							out, err := runner.Submit(context.Background(), ti)
+							if err == nil {
+								results[i] = out
+							}
+						}()
+					}
+					wg.Wait()
+					for i, out := range results {
+						if out == nil || !allRestricted[tis[i]] {
+							continue
+						}
+						spec := programs[tis[i]].Spec
+						if !spec.Import.IsInfinite() && out.Imported > spec.Import.Bound() {
+							t.Errorf("%s/%s: %s imported %d > Limit_t %s",
+								method, dist, out.Program, out.Imported, spec.Import)
+						}
+						if !spec.Export.IsInfinite() && out.Exported > spec.Export.Bound() {
+							t.Errorf("%s/%s: %s exported %d > Limit_t %s",
+								method, dist, out.Program, out.Exported, spec.Export)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// repeat returns a slice of n copies of v.
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

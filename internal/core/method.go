@@ -100,6 +100,15 @@ func (m Method) usesESRChopping() bool {
 	return m == Method2ESRChopCC || m == Method3ESRChopDC
 }
 
+// UsesDC reports whether the method runs under divergence control.
+// Exported for the conformance harness (package explore), which picks
+// distribution policies and engines per method.
+func (m Method) UsesDC() bool { return m.usesDC() }
+
+// UsesChopping reports whether the method chops at all. Exported for
+// the conformance harness.
+func (m Method) UsesChopping() bool { return m.usesChopping() }
+
 // Distribution selects the ε-spec distribution policy for DC methods.
 type Distribution int
 

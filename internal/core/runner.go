@@ -50,6 +50,26 @@ type Config struct {
 	// (default), optimistic (odc), or timestamp ordering (tdc) — the
 	// three DC families of the paper's reference [12].
 	Engine EngineKind
+	// StepHook, when non-nil, gates every engine scheduling point (lock
+	// request, operation effect, commit). The conformance explorer uses
+	// it to serialize execution deterministically.
+	StepHook txn.StepHook
+	// WaitObserver, when non-nil, observes lock-wait transitions on the
+	// locking engine's lock manager (see lock.WaitObserver). The
+	// conformance explorer uses it to keep its one-runner-at-a-time
+	// invariant across blocking lock acquisitions.
+	WaitObserver lock.WaitObserver
+	// SequentialPieces runs each instance's piece dependency tree
+	// depth-first on the submitting goroutine instead of spawning child
+	// pieces concurrently. Budget distribution (Figure 2) is unchanged.
+	// The conformance explorer sets it so the worker set stays static.
+	SequentialPieces bool
+	// BudgetScale is a TEST-ONLY knob that multiplies every DC ε budget
+	// by the given factor after the off-line distribution (0 or 1 leaves
+	// budgets intact). The conformance harness uses it to mis-budget a
+	// run on purpose and assert the serial-replay oracle catches the
+	// resulting ESR violation. It must never be set in production paths.
+	BudgetScale int
 }
 
 // EngineKind selects the on-line engine family.
@@ -186,16 +206,20 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Engine == EngineLocking && cfg.Optimistic {
 		cfg.Engine = EngineOptimistic
 	}
+	var lockOpts []lock.Option
+	if cfg.WaitObserver != nil {
+		lockOpts = append(lockOpts, lock.WithWaitObserver(cfg.WaitObserver))
+	}
 	switch {
 	case cfg.Engine != EngineLocking:
 		// Alternative engines replace locks entirely; the lock manager
 		// stays around only for API completeness (stats read as zero).
-		r.locks = lock.NewManager()
+		r.locks = lock.NewManager(lockOpts...)
 	case cfg.Method.usesDC():
 		r.ctl = dc.NewController()
-		r.locks = lock.NewManager(lock.WithArbiter(r.ctl))
+		r.locks = lock.NewManager(append(lockOpts, lock.WithArbiter(r.ctl))...)
 	default:
-		r.locks = lock.NewManager()
+		r.locks = lock.NewManager(lockOpts...)
 	}
 	if cfg.Method.usesDC() {
 		// Per-transaction budget the engine works with: Method 3 reserves
@@ -217,6 +241,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 			default:
 				// Static assignment also seeds Dynamic's unrestricted ∞.
 				r.assign[ti] = r.sa.PieceSpecs(ti, r.dcSpecs[ti])
+			}
+		}
+		if cfg.BudgetScale > 1 {
+			// TEST-ONLY: inflate every DC budget so divergence control
+			// absorbs more than the declared ε-spec permits. The
+			// conformance oracle must catch the resulting violation.
+			for ti := range r.dcSpecs {
+				r.dcSpecs[ti] = scaleSpec(r.dcSpecs[ti], cfg.BudgetScale)
+				for pi := range r.assign[ti] {
+					r.assign[ti][pi] = scaleSpec(r.assign[ti][pi], cfg.BudgetScale)
+				}
 			}
 		}
 	}
@@ -241,7 +276,21 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	r.exec = txn.NewExec(cfg.Store, r.locks, obs)
 	r.exec.SetOpDelay(cfg.OpDelay)
+	if cfg.StepHook != nil {
+		r.exec.SetStepHook(cfg.StepHook)
+		if r.odcEng != nil {
+			r.odcEng.SetStepHook(cfg.StepHook)
+		}
+		if r.tdcEng != nil {
+			r.tdcEng.SetStepHook(cfg.StepHook)
+		}
+	}
 	return r, nil
+}
+
+// scaleSpec multiplies both components of an ε-spec (BudgetScale knob).
+func scaleSpec(s metric.Spec, n int) metric.Spec {
+	return metric.Spec{Import: s.Import.Mul(n), Export: s.Export.Mul(n)}
 }
 
 // ODCStats returns the optimistic engine counters (zero otherwise).
@@ -354,6 +403,40 @@ func (inst *instance) run(ctx context.Context) error {
 			return nil // rollback is a defined outcome, not a failure
 		}
 		return err
+	}
+
+	if r.cfg.SequentialPieces {
+		// Depth-first on the submitting goroutine: the same budget split
+		// as the concurrent path, but a static worker set (one goroutine
+		// per instance), which the conformance explorer needs for
+		// deterministic scheduling.
+		var walk func(pi int, leftover metric.Spec) error
+		walk = func(pi int, leftover metric.Spec) error {
+			kids := children[pi]
+			if len(kids) == 0 {
+				return nil
+			}
+			share := metric.Spec{
+				Import: leftover.Import.Div(len(kids)),
+				Export: leftover.Export.Div(len(kids)),
+			}
+			for _, kid := range kids {
+				out, kidSpent, err := inst.runPiece(ctx, kid, share)
+				inst.record(kid, out)
+				if err != nil {
+					return fmt.Errorf("piece %d: %w", kid, err)
+				}
+				if err := walk(kid, kidSpent); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0, spent); err != nil {
+			return err
+		}
+		inst.result.Committed = true
+		return nil
 	}
 
 	// Remaining pieces commit asynchronously along the dependency tree.

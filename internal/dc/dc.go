@@ -65,12 +65,25 @@ type Stats struct {
 	TotalCharged metric.Fuzz
 }
 
+// Event describes one arbitration decision, for observers.
+type Event struct {
+	// Key is the conflicted item.
+	Key storage.Key
+	// Requester is the transaction that asked for the incompatible grant.
+	Requester lock.Owner
+	// Absorbed reports whether the conflict was absorbed (granted).
+	Absorbed bool
+	// Cost is the total fuzziness charged (absorbed events only).
+	Cost metric.Fuzz
+}
+
 // Controller is a divergence controller: a lock.Arbiter with fuzziness
 // accounts.
 type Controller struct {
 	mu       sync.Mutex
 	accounts map[lock.Owner]*account
 	stats    Stats
+	observer func(Event)
 }
 
 var _ lock.Arbiter = (*Controller)(nil)
@@ -78,6 +91,24 @@ var _ lock.Arbiter = (*Controller)(nil)
 // NewController returns an empty controller.
 func NewController() *Controller {
 	return &Controller{accounts: make(map[lock.Owner]*account)}
+}
+
+// SetObserver installs a callback invoked on every arbitration decision,
+// in the hook style of the fault package: conformance tooling uses it to
+// log exactly which conflict windows were fuzzily granted. The callback
+// runs with the controller's mutex held and must not call back into the
+// controller or the lock manager. Nil (the default) disables it.
+func (c *Controller) SetObserver(fn func(Event)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observer = fn
+}
+
+// notifyLocked reports one decision to the observer.
+func (c *Controller) notifyLocked(ev Event) {
+	if c.observer != nil {
+		c.observer(ev)
+	}
 }
 
 // Register adds owner's account before it starts executing.
@@ -137,17 +168,25 @@ type pairing struct {
 func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ok, cost := c.absorbLocked(ci)
+	c.notifyLocked(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: ok, Cost: cost})
+	return ok
+}
+
+// absorbLocked performs the arbitration and returns the decision plus the
+// total fuzziness charged.
+func (c *Controller) absorbLocked(ci lock.ConflictInfo) (bool, metric.Fuzz) {
 	req := c.accounts[ci.Requester]
 	if req == nil {
 		c.stats.Refused++
-		return false // unregistered transactions run plain 2PL
+		return false, 0 // unregistered transactions run plain 2PL
 	}
 	pairs := make([]pairing, 0, len(ci.Holders))
 	for _, h := range ci.Holders {
 		holder := c.accounts[h.Owner]
 		if holder == nil {
 			c.stats.Refused++
-			return false
+			return false, 0
 		}
 		var p pairing
 		switch {
@@ -159,12 +198,12 @@ func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
 			// update-update (or an impossible query-query conflict):
 			// never absorbed.
 			c.stats.Refused++
-			return false
+			return false, 0
 		}
 		bound := p.update.info.Program.WriteBound(ci.Key)
 		if bound.IsInfinite() {
 			c.stats.Refused++
-			return false
+			return false, 0
 		}
 		p.cost = bound.Bound()
 		pairs = append(pairs, p)
@@ -181,24 +220,26 @@ func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
 	for acct, add := range pendImport {
 		if !acct.info.Import.Allows(acct.imported.Add(add)) {
 			c.stats.Refused++
-			return false
+			return false, 0
 		}
 	}
 	for acct, add := range pendExport {
 		if !acct.info.Export.Allows(acct.exported.Add(add)) {
 			c.stats.Refused++
-			return false
+			return false, 0
 		}
 	}
+	var total metric.Fuzz
 	for acct, add := range pendImport {
 		acct.imported = acct.imported.Add(add)
 		c.stats.TotalCharged = c.stats.TotalCharged.Add(add)
+		total = total.Add(add)
 	}
 	for acct, add := range pendExport {
 		acct.exported = acct.exported.Add(add)
 	}
 	c.stats.Absorbed++
-	return true
+	return true, total
 }
 
 // ChargeImport adds fuzziness directly to owner's import account. The

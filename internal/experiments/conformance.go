@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"asynctp/internal/core"
+	"asynctp/internal/explore"
+	"asynctp/internal/metric"
+	"asynctp/internal/oracle"
+)
+
+// ConformanceConfig parameterizes E8.
+type ConformanceConfig struct {
+	// Seed drives the scheduler sweeps and the fuzz campaign; one seed
+	// reproduces the whole experiment, table and verdicts included.
+	Seed int64
+	// Seeds is how many scheduler seeds each scenario sweeps.
+	Seeds int
+	// Budget caps the oracle's serial-order enumeration per run.
+	Budget int
+	// FuzzChoppings and FuzzRuns size the fuzz campaign.
+	FuzzChoppings int
+	FuzzRuns      int
+}
+
+// withDefaults fills zero fields.
+func (cfg ConformanceConfig) withDefaults() ConformanceConfig {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 5
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 200
+	}
+	if cfg.FuzzChoppings <= 0 {
+		cfg.FuzzChoppings = 1000
+	}
+	if cfg.FuzzRuns <= 0 {
+		cfg.FuzzRuns = 40
+	}
+	return cfg
+}
+
+// conformanceEps is the bank scenario's declared ε.
+const conformanceEps = 600
+
+// sweepRow sweeps one scenario and summarizes it into a table row plus
+// aggregate facts.
+type sweepRow struct {
+	maxDivergence metric.Fuzz
+	orders        int
+	allOK         bool
+	allExhaustive bool
+	violations    int
+	namedAudit    bool
+	fingerprint   string
+}
+
+func sweepScenario(sc explore.Scenario, cfg ConformanceConfig) (*sweepRow, error) {
+	ocfg := oracle.Config{MaxOrders: cfg.Budget, Seed: cfg.Seed}
+	results, err := explore.Sweep(sc, cfg.Seeds, explore.StrategyConflict, ocfg)
+	if err != nil {
+		return nil, err
+	}
+	row := &sweepRow{allOK: true, allExhaustive: true}
+	for _, r := range results {
+		if d := r.Report.MaxQueryDivergence; d > row.maxDivergence {
+			row.maxDivergence = d
+		}
+		if r.Report.Orders > row.orders {
+			row.orders = r.Report.Orders
+		}
+		if !r.Report.OK {
+			row.allOK = false
+			row.violations++
+			for _, v := range r.Report.Violations() {
+				if v.Name == "audit" {
+					row.namedAudit = true
+				}
+			}
+		}
+		if !r.Report.Exhaustive {
+			row.allExhaustive = false
+		}
+	}
+	if len(results) > 0 {
+		row.fingerprint = results[0].Fingerprint()
+	}
+	return row, nil
+}
+
+// Conformance runs E8: the declared bank workload swept across every
+// method (and the alternative engines for the unchopped DC baseline)
+// under the deterministic scheduler, each run checked by the
+// serial-replay ε-oracle; the deliberately mis-budgeted control (the
+// BudgetScale knob) that the oracle must catch by query name; and the
+// fuzz campaign cross-checking the chopping analyzer against brute
+// force plus random end-to-end conformance runs.
+func Conformance(cfg ConformanceConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:    "E8",
+		Title: "Conformance — serial-replay ε-oracle over deterministic schedules",
+		Table: newTable("scenario", "engine", "seeds", "max orders", "max divergence", "ε", "verdict"),
+	}
+
+	type stack struct {
+		method core.Method
+		engine core.EngineKind
+	}
+	stacks := make([]stack, 0, len(core.Methods())+2)
+	for _, m := range core.Methods() {
+		stacks = append(stacks, stack{m, core.EngineLocking})
+	}
+	stacks = append(stacks,
+		stack{core.BaselineESRDC, core.EngineOptimistic},
+		stack{core.BaselineESRDC, core.EngineTimestamp},
+	)
+
+	for _, st := range stacks {
+		sc := explore.BankScenario(st.method, st.engine, core.Static, conformanceEps)
+		row, err := sweepScenario(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E8 %s: %w", sc.Name, err)
+		}
+		verdict := "conforms"
+		if !row.allOK {
+			verdict = fmt.Sprintf("VIOLATION x%d", row.violations)
+		}
+		rep.Table.AddRow(sc.Name, st.engine.String(),
+			fmt.Sprintf("%d", cfg.Seeds),
+			fmt.Sprintf("%d", row.orders),
+			fmt.Sprintf("%d", row.maxDivergence),
+			fmt.Sprintf("%d", conformanceEps), verdict)
+		rep.Notes = append(rep.Notes, check(row.allOK && row.maxDivergence <= conformanceEps,
+			fmt.Sprintf("%s: every seed's measured divergence (max %d) within ε=%d",
+				sc.Name, row.maxDivergence, conformanceEps)))
+		if !row.allExhaustive {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"%s: oracle fell back to sampled orders within budget %d", sc.Name, cfg.Budget))
+		}
+	}
+
+	// Determinism: the first scenario re-swept must reproduce its
+	// fingerprint exactly — one seed, one interleaving, one verdict.
+	sc0 := explore.BankScenario(stacks[0].method, stacks[0].engine, core.Static, conformanceEps)
+	first, err := sweepScenario(sc0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	again, err := sweepScenario(sc0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes, check(first.fingerprint == again.fingerprint && first.fingerprint != "",
+		fmt.Sprintf("deterministic replay: %s", first.fingerprint)))
+
+	// Control pair: correctly budgeted run must never be flagged;
+	// budget inflated 8× must be caught, naming the audit query.
+	good, err := sweepScenario(explore.MisbudgetScenario(1), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E8 misbudget/x1: %w", err)
+	}
+	rep.Table.AddRow("misbudget/x1", "locking", fmt.Sprintf("%d", cfg.Seeds),
+		fmt.Sprintf("%d", good.orders), fmt.Sprintf("%d", good.maxDivergence), "100",
+		map[bool]string{true: "conforms", false: "VIOLATION"}[good.allOK])
+	rep.Notes = append(rep.Notes, check(good.allOK,
+		"correctly budgeted DC run never flagged by the oracle"))
+
+	// The mis-budgeted control sweeps more seeds: the violation needs a
+	// conflict-window interleaving to surface, not every seed finds one.
+	badCfg := cfg
+	badCfg.Seeds = 4 * cfg.Seeds
+	bad, err := sweepScenario(explore.MisbudgetScenario(8), badCfg)
+	if err != nil {
+		return nil, fmt.Errorf("E8 misbudget/x8: %w", err)
+	}
+	rep.Table.AddRow("misbudget/x8", "locking", fmt.Sprintf("%d", badCfg.Seeds),
+		fmt.Sprintf("%d", bad.orders), fmt.Sprintf("%d", bad.maxDivergence), "100",
+		map[bool]string{true: "MISSED", false: "caught"}[bad.allOK])
+	rep.Notes = append(rep.Notes, check(!bad.allOK && bad.namedAudit,
+		fmt.Sprintf("mis-budgeted DC control caught: divergence %d > ε=100, violation names the audit query",
+			bad.maxDivergence)))
+
+	// Fuzz campaign: analyzer vs brute force, plus random end-to-end.
+	fz := explore.Fuzz(cfg.Seed, cfg.FuzzChoppings, cfg.FuzzRuns)
+	rep.Table.AddRow("fuzz", "-", "-",
+		fmt.Sprintf("%d choppings", fz.Choppings),
+		fmt.Sprintf("%d runs", fz.Runs), "-",
+		map[bool]string{true: "agrees", false: "DISAGREES"}[fz.OK()])
+	rep.Notes = append(rep.Notes,
+		check(len(fz.Disagreements) == 0,
+			fmt.Sprintf("SC-cycle + restricted-piece analysis agrees with brute force on %d random choppings (%d with SC-cycles)",
+				fz.Choppings, fz.WithSCCycle)),
+		check(len(fz.Failures) == 0,
+			fmt.Sprintf("%d random end-to-end runs all conform (%d workloads rejected off-line)",
+				fz.Runs, fz.Skipped)))
+	for _, d := range fz.Disagreements {
+		rep.Notes = append(rep.Notes, "disagreement: "+d)
+	}
+	for _, f := range fz.Failures {
+		rep.Notes = append(rep.Notes, "failure: "+f)
+	}
+	return rep, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConformance is the E8 acceptance gate: every declared stack
+// conforms, the mis-budgeted control is caught by name, and the fuzzer
+// agrees with brute force. Fuzz sizes are trimmed for ordinary `go
+// test`; the CLI and nightly run the full campaign.
+func TestConformance(t *testing.T) {
+	rep, err := Conformance(ConformanceConfig{
+		Seed: 1, Seeds: 3, Budget: 200, FuzzChoppings: 200, FuzzRuns: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllPass(t, rep)
+	out := rep.String()
+	if strings.Contains(out, "VIOLATION") || strings.Contains(out, "MISSED") || strings.Contains(out, "DISAGREES") {
+		t.Errorf("E8 table reports a failure:\n%s", out)
+	}
+	if !strings.Contains(out, "caught") {
+		t.Errorf("E8 table missing the caught mis-budget control:\n%s", out)
+	}
+}
+
+// TestConformanceDeterministic renders E8 twice on one seed; the full
+// report (table, fingerprints, verdicts) must be byte-identical. This is
+// the regression CI pins.
+func TestConformanceDeterministic(t *testing.T) {
+	cfg := ConformanceConfig{Seed: 1, Seeds: 2, Budget: 200, FuzzChoppings: 100, FuzzRuns: 8}
+	first, err := Conformance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Conformance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != again.String() {
+		t.Fatalf("E8 not deterministic:\n--- first\n%s\n--- again\n%s", first, again)
+	}
+}

@@ -19,6 +19,11 @@
 //	     and the chopping rejected by Definition 1.
 //	E5 — (extension) the three divergence-control engine families
 //	     compared on the same workloads.
+//	E7 — (extension) chaos harness: chopped queues vs bounded-wait 2PC
+//	     under scheduled faults.
+//	E8 — (extension) conformance: the serial-replay ε-oracle over
+//	     deterministic schedules, the mis-budgeted control it must
+//	     catch, and the chopping fuzzer cross-checked vs brute force.
 package experiments
 
 import (

@@ -1,0 +1,54 @@
+package explore
+
+import (
+	"testing"
+)
+
+// TestFuzzChoppingsAgreeWithReference is the acceptance gate for the
+// chopping analyzer: 1000 random chopping sets, zero disagreements with
+// the brute-force SC-cycle and restricted-piece references.
+func TestFuzzChoppingsAgreeWithReference(t *testing.T) {
+	st := &FuzzStats{}
+	FuzzChoppings(20260806, 1000, st)
+	if st.Choppings != 1000 {
+		t.Fatalf("analyzed %d choppings, want 1000", st.Choppings)
+	}
+	for _, d := range st.Disagreements {
+		t.Error(d)
+	}
+	// Coverage sanity: the generator must actually produce SC-cycles,
+	// otherwise agreement is vacuous.
+	if st.WithSCCycle < 50 {
+		t.Errorf("only %d/1000 choppings had SC-cycles; generator too tame", st.WithSCCycle)
+	}
+}
+
+// TestFuzzRunsAllConform drives random workloads end to end: every run
+// the stack accepts must pass the serial-replay ε-oracle.
+func TestFuzzRunsAllConform(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	st := &FuzzStats{}
+	FuzzRuns(20260806, n, st)
+	for _, f := range st.Failures {
+		t.Error(f)
+	}
+	if st.Runs == 0 {
+		t.Fatalf("all %d workloads skipped; generator produces nothing runnable", n)
+	}
+	t.Logf("%s", st)
+}
+
+// TestFuzzIsDeterministic pins the campaign digest: same seed, same
+// stats, run to run.
+func TestFuzzIsDeterministic(t *testing.T) {
+	first := Fuzz(7, 50, 5)
+	for i := 0; i < 2; i++ {
+		again := Fuzz(7, 50, 5)
+		if again.String() != first.String() {
+			t.Fatalf("campaign diverged:\n  %s\n  %s", again, first)
+		}
+	}
+}

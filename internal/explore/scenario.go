@@ -1,0 +1,68 @@
+package explore
+
+import (
+	"fmt"
+
+	"asynctp/internal/core"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// BankScenario is the canonical conformance workload: two transfer
+// types moving amount between disjoint account pairs, plus one audit
+// query reading every account, all under ε-spec eps. Submissions: two
+// instances of each transfer and one audit — five workers, small enough
+// for the oracle's exhaustive enumeration.
+func BankScenario(method core.Method, engine core.EngineKind, dist core.Distribution, eps metric.Fuzz) Scenario {
+	const amount = 100
+	initial := map[storage.Key]metric.Value{
+		"a0": 1000, "a1": 1000, "a2": 1000, "a3": 1000,
+	}
+	spec := metric.SpecOf(eps)
+	t01 := txn.MustProgram("transfer-01",
+		txn.AddOp("a0", -amount), txn.AddOp("a1", amount)).WithSpec(spec)
+	t23 := txn.MustProgram("transfer-23",
+		txn.AddOp("a2", -amount), txn.AddOp("a3", amount)).WithSpec(spec)
+	audit := txn.MustProgram("audit",
+		txn.ReadOp("a0"), txn.ReadOp("a1"), txn.ReadOp("a2"), txn.ReadOp("a3")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+	return Scenario{
+		Name:         fmt.Sprintf("bank/%s/%s", method, engine),
+		Initial:      initial,
+		Programs:     []*txn.Program{t01, t23, audit},
+		Submissions:  []int{0, 1, 2, 0, 1},
+		Method:       method,
+		Distribution: dist,
+		Engine:       engine,
+	}
+}
+
+// MisbudgetScenario is the deliberately mis-budgeted divergence-control
+// run: a transfer whose per-key delta (300) exceeds the audit's declared
+// ε (100). With scale <= 1 the controller correctly refuses to absorb
+// the read-write conflicts and the run serializes (divergence 0). With
+// scale > 1 (the core.Config.BudgetScale test knob) the controller
+// works with inflated budgets and absorbs conflicts the declared spec
+// forbids — the serial-replay oracle must flag the audit by name.
+func MisbudgetScenario(scale int) Scenario {
+	const (
+		amount = 300
+		eps    = 100
+	)
+	initial := map[storage.Key]metric.Value{"a": 1000, "b": 1000}
+	transfer := txn.MustProgram("transfer",
+		txn.AddOp("a", -amount), txn.AddOp("b", amount)).
+		WithSpec(metric.Spec{Import: metric.Zero, Export: metric.LimitOf(eps)})
+	audit := txn.MustProgram("audit", txn.ReadOp("a"), txn.ReadOp("b")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+	return Scenario{
+		Name:        fmt.Sprintf("misbudget/x%d", scale),
+		Initial:     initial,
+		Programs:    []*txn.Program{transfer, audit},
+		Submissions: []int{0, 1},
+		Method:      core.BaselineESRDC,
+		Engine:      core.EngineLocking,
+		BudgetScale: scale,
+	}
+}

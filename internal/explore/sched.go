@@ -1,0 +1,358 @@
+// Package explore implements the deterministic schedule explorer of the
+// conformance harness: it drives concurrent transaction executions
+// through a seeded cooperative scheduler so that one seed reproduces one
+// interleaving exactly, then hands the recorded history to the
+// serial-replay ε-oracle (package oracle).
+//
+// Determinism comes from three ingredients:
+//
+//   - Engines expose every scheduling point through txn.StepHook (lock
+//     request, operation effect, commit) and the lock manager reports
+//     wait transitions through lock.WaitObserver.
+//   - The Scheduler lets exactly ONE worker run between scheduling
+//     points. A worker parks at every step; lock waits park it too
+//     (Blocked → not runnable, Woken → in transit, Resumed → parked
+//     again before executing anything).
+//   - All scheduling choices come from one seeded PRNG over a sorted
+//     ready set, so the decision sequence — and hence the recorded
+//     history — is a pure function of the seed.
+//
+// Two strategies are provided: StrategyRandom permutes steps uniformly;
+// StrategyConflict prefers workers whose pending step touches a key some
+// other live worker has already touched, steering runs into the
+// read-write conflict windows that divergence control must price.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Strategy selects how the scheduler picks among runnable workers.
+type Strategy int
+
+// Strategies.
+const (
+	// StrategyRandom picks uniformly among runnable workers.
+	StrategyRandom Strategy = iota + 1
+	// StrategyConflict prefers workers about to touch a key another live
+	// worker has touched — targeted conflict-window interleavings.
+	StrategyConflict
+)
+
+// String renders the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "random"
+	case StrategyConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// DefaultMaxSteps bounds a single exploration run; exceeding it reports
+// a livelock instead of hanging the test suite.
+const DefaultMaxSteps = 1 << 20
+
+// workerState is a worker's scheduling state.
+type workerState int
+
+const (
+	// wReady: parked at a scheduling point, runnable.
+	wReady workerState = iota + 1
+	// wRunning: the one worker currently executing.
+	wRunning
+	// wBlocked: waiting for a lock grant; not runnable.
+	wBlocked
+	// wWaking: lock grant issued, goroutine not yet re-parked.
+	wWaking
+	// wDone: finished.
+	wDone
+)
+
+// worker is one scheduled goroutine (one transaction instance).
+type worker struct {
+	id      int
+	state   workerState
+	pending txn.Step // the step it is parked at (valid after first park)
+	parked  bool     // pending is valid
+	touched map[storage.Key]bool
+}
+
+// Scheduler is the deterministic cooperative scheduler. It implements
+// txn.StepHook and lock.WaitObserver; install it on the engines via
+// core.Config.StepHook / core.Config.WaitObserver.
+type Scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	rng      *rand.Rand
+	strategy Strategy
+	maxSteps int
+
+	workers []*worker
+	byOwner map[lock.Owner]*worker
+	current *worker
+	steps   int
+	started bool
+}
+
+var (
+	_ txn.StepHook      = (*Scheduler)(nil)
+	_ lock.WaitObserver = (*Scheduler)(nil)
+)
+
+// NewScheduler returns a scheduler seeded with seed.
+func NewScheduler(seed int64, strategy Strategy) *Scheduler {
+	if strategy == 0 {
+		strategy = StrategyRandom
+	}
+	s := &Scheduler{
+		rng:      rand.New(rand.NewSource(seed)),
+		strategy: strategy,
+		maxSteps: DefaultMaxSteps,
+		byOwner:  make(map[lock.Owner]*worker),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetMaxSteps overrides the livelock bound (<= 0 restores the default).
+func (s *Scheduler) SetMaxSteps(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxSteps
+	}
+	s.maxSteps = n
+}
+
+// Steps returns the number of scheduling decisions made so far.
+func (s *Scheduler) Steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Go registers one worker and starts its goroutine. The function does
+// not begin executing until the scheduler picks the worker. Go must be
+// called before Run.
+func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("explore: Go after Run")
+	}
+	w := &worker{id: len(s.workers), state: wReady, touched: make(map[storage.Key]bool)}
+	s.workers = append(s.workers, w)
+	s.mu.Unlock()
+
+	go func() {
+		s.mu.Lock()
+		for w.state != wRunning {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		fn()
+		s.mu.Lock()
+		w.state = wDone
+		if s.current == w {
+			s.current = nil
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// Run drives the scheduling loop until every worker finishes. It
+// returns an error on livelock (step bound exceeded) or when all
+// remaining workers are lock-blocked with nobody left to wake them.
+func (s *Scheduler) Run() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("explore: Run called twice")
+	}
+	s.started = true
+	for {
+		// Quiescence: nobody running, no wakeup in flight.
+		for s.current != nil || s.anyWakingLocked() {
+			s.cond.Wait()
+		}
+		ready := s.readyLocked()
+		if len(ready) == 0 {
+			if s.allDoneLocked() {
+				return nil
+			}
+			return fmt.Errorf("explore: no runnable workers (%d lock-blocked) — undetected deadlock", s.countLocked(wBlocked))
+		}
+		if s.steps >= s.maxSteps {
+			return fmt.Errorf("explore: step bound %d exceeded (livelock?)", s.maxSteps)
+		}
+		w := s.pickLocked(ready)
+		w.state = wRunning
+		s.current = w
+		s.steps++
+		s.cond.Broadcast()
+	}
+}
+
+// anyWakingLocked reports whether some wakeup has not re-parked yet.
+func (s *Scheduler) anyWakingLocked() bool {
+	for _, w := range s.workers {
+		if w.state == wWaking {
+			return true
+		}
+	}
+	return false
+}
+
+// readyLocked returns the runnable workers, sorted by id.
+func (s *Scheduler) readyLocked() []*worker {
+	var out []*worker
+	for _, w := range s.workers {
+		if w.state == wReady {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// allDoneLocked reports whether every worker finished.
+func (s *Scheduler) allDoneLocked() bool {
+	for _, w := range s.workers {
+		if w.state != wDone {
+			return false
+		}
+	}
+	return true
+}
+
+// countLocked counts workers in the given state.
+func (s *Scheduler) countLocked(st workerState) int {
+	n := 0
+	for _, w := range s.workers {
+		if w.state == st {
+			n++
+		}
+	}
+	return n
+}
+
+// pickLocked chooses the next worker to run.
+func (s *Scheduler) pickLocked(ready []*worker) *worker {
+	if s.strategy == StrategyConflict {
+		var hot []*worker
+		for _, w := range ready {
+			if w.parked && w.pending.Key != "" && s.keyHotElsewhereLocked(w) {
+				hot = append(hot, w)
+			}
+		}
+		if len(hot) > 0 {
+			return hot[s.rng.Intn(len(hot))]
+		}
+	}
+	return ready[s.rng.Intn(len(ready))]
+}
+
+// keyHotElsewhereLocked reports whether w's pending key was touched by
+// another live worker.
+func (s *Scheduler) keyHotElsewhereLocked(w *worker) bool {
+	for _, o := range s.workers {
+		if o == w || o.state == wDone {
+			continue
+		}
+		if o.touched[w.pending.Key] {
+			return true
+		}
+	}
+	return false
+}
+
+// bindLocked resolves owner to its worker, binding unknown owners to the
+// currently running worker — sound because exactly one worker runs at a
+// time and owners are created on the running worker's goroutine.
+func (s *Scheduler) bindLocked(owner lock.Owner) *worker {
+	if w := s.byOwner[owner]; w != nil {
+		return w
+	}
+	w := s.current
+	if w == nil {
+		panic(fmt.Sprintf("explore: event for unknown owner %d with no worker running", owner))
+	}
+	s.byOwner[owner] = w
+	return w
+}
+
+// parkLocked parks w at step st and waits until it is scheduled again.
+func (s *Scheduler) parkLocked(w *worker, st txn.Step, record bool) {
+	if record {
+		w.pending, w.parked = st, true
+		if st.Key != "" {
+			w.touched[st.Key] = true
+		}
+	}
+	w.state = wReady
+	if s.current == w {
+		s.current = nil
+	}
+	s.cond.Broadcast()
+	for w.state != wRunning {
+		s.cond.Wait()
+	}
+}
+
+// OnStep implements txn.StepHook: every engine scheduling point parks
+// the worker until the scheduler picks it again.
+func (s *Scheduler) OnStep(st txn.Step) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.bindLocked(st.Owner)
+	s.parkLocked(w, st, true)
+}
+
+// Blocked implements lock.WaitObserver: the worker is about to wait for
+// a lock grant, so it stops being runnable. Called with the lock
+// manager's mutex held; only scheduler state is touched.
+func (s *Scheduler) Blocked(owner lock.Owner, key storage.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.bindLocked(owner)
+	w.state = wBlocked
+	if s.current == w {
+		s.current = nil
+	}
+	s.cond.Broadcast()
+}
+
+// Woken implements lock.WaitObserver: a release (or cancellation)
+// resolved the wait. The worker is in transit until Resumed re-parks it,
+// and the scheduler must not declare quiescence in between.
+func (s *Scheduler) Woken(owner lock.Owner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w := s.byOwner[owner]; w != nil && w.state == wBlocked {
+		w.state = wWaking
+	}
+}
+
+// Resumed implements lock.WaitObserver: the waiter's goroutine regained
+// control; park it before it executes anything else.
+func (s *Scheduler) Resumed(owner lock.Owner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.byOwner[owner]
+	if w == nil {
+		return
+	}
+	s.parkLocked(w, txn.Step{}, false)
+}

@@ -1,0 +1,234 @@
+package history
+
+import (
+	"testing"
+
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// ev is one scripted recorder event for the table-driven grouped tests.
+type ev struct {
+	owner  lock.Owner
+	kind   string // "begin", "r", "w", "commit", "abort"
+	key    storage.Key
+	v, old metric.Value
+}
+
+func playScript(events []ev) *Recorder {
+	r := NewRecorder()
+	for _, e := range events {
+		switch e.kind {
+		case "begin":
+			r.Begin(e.owner, "t", txn.Update)
+		case "r":
+			r.Read(e.owner, e.key, e.v)
+		case "w":
+			r.Write(e.owner, e.key, e.old, e.v, false)
+		case "commit":
+			r.Commit(e.owner)
+		case "abort":
+			r.Abort(e.owner, nil)
+		}
+	}
+	return r
+}
+
+// TestCheckGroupedEdgeCases covers the corners of the grouped conflict
+// checker: singleton groups for unmapped owners, aborted pieces dropped
+// from the committed projection, and cycle witnesses that cross group
+// boundaries.
+func TestCheckGroupedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		events       []ev
+		groupOf      map[lock.Owner]Group
+		serializable bool
+		wantEdges    int
+		// wantInCycle lists groups that must all appear in the witness.
+		wantInCycle []Group
+	}{
+		{
+			name: "singleton groups: two unmapped owners in a plain cycle",
+			events: []ev{
+				{owner: 1, kind: "begin"}, {owner: 2, kind: "begin"},
+				{owner: 1, kind: "w", key: "x", old: 0, v: 1},
+				{owner: 2, kind: "r", key: "x", v: 1},
+				{owner: 2, kind: "w", key: "y", old: 0, v: 1},
+				{owner: 1, kind: "r", key: "y", v: 1},
+				{owner: 1, kind: "commit"}, {owner: 2, kind: "commit"},
+			},
+			groupOf:      nil, // everything singleton
+			serializable: false,
+			wantEdges:    2,
+			wantInCycle:  []Group{Group(-1), Group(-2)},
+		},
+		{
+			name: "singleton group id never collides with explicit groups",
+			events: []ev{
+				{owner: 1, kind: "begin"}, {owner: 2, kind: "begin"},
+				{owner: 1, kind: "w", key: "x", old: 0, v: 1},
+				{owner: 2, kind: "r", key: "x", v: 1},
+				{owner: 1, kind: "commit"}, {owner: 2, kind: "commit"},
+			},
+			// Owner 1 is mapped; owner 2 falls back to singleton -2,
+			// which must stay distinct from explicit group 1.
+			groupOf:      map[lock.Owner]Group{1: 1},
+			serializable: true,
+			wantEdges:    1,
+		},
+		{
+			name: "aborted piece excluded: its conflicts do not close the cycle",
+			events: []ev{
+				// Transfer pieces 10 (commits) and 11 (aborts); audit 20
+				// reads between them. With 11 aborted only the 10→20 edge
+				// survives: acyclic.
+				{owner: 10, kind: "begin"},
+				{owner: 10, kind: "w", key: "x", old: 1000, v: 900},
+				{owner: 10, kind: "commit"},
+				{owner: 20, kind: "begin"},
+				{owner: 20, kind: "r", key: "x", v: 900},
+				{owner: 20, kind: "r", key: "y", v: 500},
+				{owner: 20, kind: "commit"},
+				{owner: 11, kind: "begin"},
+				{owner: 11, kind: "w", key: "y", old: 500, v: 600},
+				{owner: 11, kind: "abort"},
+			},
+			groupOf:      map[lock.Owner]Group{10: 1, 11: 1},
+			serializable: true,
+			wantEdges:    1,
+		},
+		{
+			name: "same script with the second piece committed is cyclic",
+			events: []ev{
+				{owner: 10, kind: "begin"},
+				{owner: 10, kind: "w", key: "x", old: 1000, v: 900},
+				{owner: 10, kind: "commit"},
+				{owner: 20, kind: "begin"},
+				{owner: 20, kind: "r", key: "x", v: 900},
+				{owner: 20, kind: "r", key: "y", v: 500},
+				{owner: 20, kind: "commit"},
+				{owner: 11, kind: "begin"},
+				{owner: 11, kind: "w", key: "y", old: 500, v: 600},
+				{owner: 11, kind: "commit"},
+			},
+			groupOf:      map[lock.Owner]Group{10: 1, 11: 1},
+			serializable: false,
+			wantEdges:    2,
+			wantInCycle:  []Group{1, Group(-20)},
+		},
+		{
+			name: "cycle witness crosses group boundaries: chopped vs chopped",
+			events: []ev{
+				// Group 1 = {1, 2}, group 2 = {3, 4}. Piece 1 precedes
+				// piece 3 on x; piece 4 precedes piece 2 on y: the witness
+				// must name both groups even though no single piece pair is
+				// cyclic.
+				{owner: 1, kind: "begin"}, {owner: 3, kind: "begin"},
+				{owner: 1, kind: "w", key: "x", old: 0, v: 1},
+				{owner: 1, kind: "commit"},
+				{owner: 3, kind: "r", key: "x", v: 1},
+				{owner: 3, kind: "commit"},
+				{owner: 4, kind: "begin"},
+				{owner: 4, kind: "w", key: "y", old: 0, v: 1},
+				{owner: 4, kind: "commit"},
+				{owner: 2, kind: "begin"},
+				{owner: 2, kind: "r", key: "y", v: 1},
+				{owner: 2, kind: "commit"},
+			},
+			groupOf:      map[lock.Owner]Group{1: 1, 2: 1, 3: 2, 4: 2},
+			serializable: false,
+			wantEdges:    2,
+			wantInCycle:  []Group{1, 2},
+		},
+		{
+			name: "all pieces aborted: empty committed projection",
+			events: []ev{
+				{owner: 1, kind: "begin"},
+				{owner: 1, kind: "w", key: "x", old: 0, v: 1},
+				{owner: 1, kind: "abort"},
+				{owner: 2, kind: "begin"},
+				{owner: 2, kind: "r", key: "x", v: 1},
+				{owner: 2, kind: "abort"},
+			},
+			groupOf:      map[lock.Owner]Group{1: 1, 2: 2},
+			serializable: true,
+			wantEdges:    0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			an := playScript(tc.events).CheckGrouped(tc.groupOf)
+			if an.Serializable != tc.serializable {
+				t.Fatalf("Serializable = %v, want %v (cycle %v)",
+					an.Serializable, tc.serializable, an.Cycle)
+			}
+			if len(an.Edges) != tc.wantEdges {
+				t.Errorf("edges = %+v, want %d", an.Edges, tc.wantEdges)
+			}
+			if len(tc.wantInCycle) > 0 {
+				if len(an.Cycle) < 3 || an.Cycle[0] != an.Cycle[len(an.Cycle)-1] {
+					t.Fatalf("cycle %v is not a closed walk", an.Cycle)
+				}
+				seen := map[Group]bool{}
+				for _, g := range an.Cycle {
+					seen[g] = true
+				}
+				for _, g := range tc.wantInCycle {
+					if !seen[g] {
+						t.Errorf("cycle %v missing group %d", an.Cycle, g)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderReset verifies a reset recorder is indistinguishable from
+// a fresh one: sequence numbers restart, old transactions vanish, and
+// histories recorded after the reset digest identically.
+func TestRecorderReset(t *testing.T) {
+	script := []ev{
+		{owner: 1, kind: "begin"},
+		{owner: 1, kind: "w", key: "x", old: 0, v: 1},
+		{owner: 1, kind: "commit"},
+	}
+	fresh := playScript(script)
+	wantTxns, wantOps := fresh.Snapshot()
+
+	r := playScript([]ev{
+		{owner: 9, kind: "begin"},
+		{owner: 9, kind: "r", key: "z", v: 42},
+		{owner: 9, kind: "abort"},
+	})
+	r.Reset()
+	if txns, ops := r.Snapshot(); len(txns) != 0 || len(ops) != 0 {
+		t.Fatalf("reset recorder not empty: %d txns, %d ops", len(txns), len(ops))
+	}
+	if c, a, act := r.Counts(); c+a+act != 0 {
+		t.Fatalf("reset counts = %d/%d/%d", c, a, act)
+	}
+
+	for _, e := range script {
+		switch e.kind {
+		case "begin":
+			r.Begin(e.owner, "t", txn.Update)
+		case "w":
+			r.Write(e.owner, e.key, e.old, e.v, false)
+		case "commit":
+			r.Commit(e.owner)
+		}
+	}
+	gotTxns, gotOps := r.Snapshot()
+	if len(gotTxns) != len(wantTxns) || len(gotOps) != len(wantOps) {
+		t.Fatalf("replay after reset: %d txns/%d ops, want %d/%d",
+			len(gotTxns), len(gotOps), len(wantTxns), len(wantOps))
+	}
+	for i := range gotOps {
+		if gotOps[i] != wantOps[i] {
+			t.Errorf("op %d = %+v, want %+v (sequence must restart)", i, gotOps[i], wantOps[i])
+		}
+	}
+}

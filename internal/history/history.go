@@ -164,6 +164,19 @@ func (r *Recorder) Snapshot() ([]Txn, []Op) {
 	return txns, ops
 }
 
+// Reset clears the recorder back to empty: all transactions and
+// operations are dropped and the sequence counter restarts at zero, so
+// a reused recorder produces histories indistinguishable from a fresh
+// one. Sweep harnesses reuse one recorder across runs instead of
+// allocating per seed.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = 0
+	r.ops = nil
+	r.txns = make(map[lock.Owner]*Txn)
+}
+
 // Counts returns (committed, aborted, active) transaction counts.
 func (r *Recorder) Counts() (committed, aborted, active int) {
 	r.mu.Lock()

@@ -68,6 +68,28 @@ type ConflictInfo struct {
 	Holders []HolderInfo
 }
 
+// WaitObserver is notified of every wait-state transition a request goes
+// through, so that a deterministic scheduler can account for lock-blocked
+// transactions exactly.
+//
+// Blocked and Woken are called with the manager's internal mutex held and
+// must not call back into the manager; they should only update scheduler
+// state. Woken runs on the *releasing* goroutine, synchronously with the
+// release, so a scheduler learns about the wakeup before the releaser's
+// turn ends. Resumed runs on the waiter's own goroutine, with no manager
+// mutex held, immediately after it receives its grant and before it
+// executes anything else — it MAY block, which is exactly how a schedule
+// explorer turns lock wakeups into scheduling points.
+type WaitObserver interface {
+	// Blocked fires when owner enqueues to wait for key.
+	Blocked(owner Owner, key storage.Key)
+	// Woken fires when a blocked owner is resolved (granted or chosen as
+	// deadlock victim) by another transaction's release.
+	Woken(owner Owner)
+	// Resumed fires on owner's goroutine right after its wait ends.
+	Resumed(owner Owner)
+}
+
 // Arbiter decides whether a conflicting request may be granted anyway.
 //
 // Absorb must atomically account for the conflict (e.g. charge fuzziness
@@ -109,6 +131,7 @@ type Manager struct {
 	held    map[Owner]map[storage.Key]struct{}
 	waits   map[Owner]map[Owner]struct{} // waits-for edges
 	arbiter Arbiter
+	waitObs WaitObserver
 	stats   Stats
 }
 
@@ -118,6 +141,11 @@ type Option func(*Manager)
 // WithArbiter installs a conflict arbiter (divergence control).
 func WithArbiter(a Arbiter) Option {
 	return func(m *Manager) { m.arbiter = a }
+}
+
+// WithWaitObserver installs a wait observer (schedule exploration).
+func WithWaitObserver(o WaitObserver) Option {
+	return func(m *Manager) { m.waitObs = o }
 }
 
 // NewManager returns a lock manager. With no options it implements plain
@@ -243,10 +271,16 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mod
 	w := &waiter{owner: owner, mode: mode, grant: make(chan error, 1)}
 	e.queue = append(e.queue, w)
 	m.stats.Blocks++
+	if m.waitObs != nil {
+		m.waitObs.Blocked(owner, key)
+	}
 	m.mu.Unlock()
 
 	select {
 	case err := <-w.grant:
+		if m.waitObs != nil {
+			m.waitObs.Resumed(owner)
+		}
 		return err
 	case <-ctx.Done():
 		m.mu.Lock()
@@ -254,12 +288,22 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mod
 			w.done = true
 			m.removeWaiterLocked(e, w)
 			delete(m.waits, owner)
+			if m.waitObs != nil {
+				m.waitObs.Woken(owner)
+			}
 			m.mu.Unlock()
+			if m.waitObs != nil {
+				m.waitObs.Resumed(owner)
+			}
 			return ctx.Err()
 		}
 		m.mu.Unlock()
 		// Resolved concurrently with cancellation: honor the resolution.
-		return <-w.grant
+		err := <-w.grant
+		if m.waitObs != nil {
+			m.waitObs.Resumed(owner)
+		}
+		return err
 	}
 }
 
@@ -310,6 +354,9 @@ func (m *Manager) wakeLocked(e *entry, key storage.Key) {
 			m.grantLocked(e, key, w.owner, w.mode)
 			delete(m.waits, w.owner)
 			w.done = true
+			if m.waitObs != nil {
+				m.waitObs.Woken(w.owner)
+			}
 			w.grant <- nil
 		case m.arbiter != nil && m.arbiter.Absorb(ConflictInfo{
 			Key: key, Requester: w.owner, Mode: w.mode, Holders: conf,
@@ -318,12 +365,18 @@ func (m *Manager) wakeLocked(e *entry, key storage.Key) {
 			m.stats.FuzzyGrants++
 			delete(m.waits, w.owner)
 			w.done = true
+			if m.waitObs != nil {
+				m.waitObs.Woken(w.owner)
+			}
 			w.grant <- nil
 		default:
 			if m.setWaitEdges(w.owner, conf) {
 				delete(m.waits, w.owner)
 				m.stats.Deadlocks++
 				w.done = true
+				if m.waitObs != nil {
+					m.waitObs.Woken(w.owner)
+				}
 				w.grant <- ErrDeadlock
 				continue
 			}

@@ -126,6 +126,22 @@ func (l Limit) Div(n int) Limit {
 	return Limit{bound: l.bound / Fuzz(n)}
 }
 
+// Mul returns l scaled by n, saturating instead of overflowing.
+// Multiplying ∞ yields ∞. Mul panics if n <= 0. The conformance
+// harness uses it to inflate budgets on purpose (mis-budgeted runs).
+func (l Limit) Mul(n int) Limit {
+	if n <= 0 {
+		panic("metric: Mul by non-positive count")
+	}
+	if l.infinite {
+		return l
+	}
+	if l.bound > 0 && int64(l.bound) > math.MaxInt64/int64(n) {
+		return Limit{bound: Fuzz(math.MaxInt64)}
+	}
+	return Limit{bound: l.bound * Fuzz(n)}
+}
+
 // Cmp compares two limits: -1 if l < m, 0 if equal, +1 if l > m. ∞ compares
 // greater than every finite limit and equal to itself.
 func (l Limit) Cmp(m Limit) int {

@@ -77,6 +77,7 @@ type Engine struct {
 	store   *storage.Store
 	obs     txn.Observer
 	opDelay time.Duration
+	step    txn.StepHook
 
 	mu     sync.Mutex
 	seq    int64
@@ -94,6 +95,11 @@ func NewEngine(store *storage.Store, obs txn.Observer) *Engine {
 // read phase (matching txn.Exec.SetOpDelay, but without any lock held —
 // the optimistic engine's whole point).
 func (e *Engine) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// SetStepHook installs a step hook consulted before every read-phase
+// operation and before the validate-and-install critical section. Nil
+// (the default) disables gating.
+func (e *Engine) SetStepHook(h txn.StepHook) { e.step = h }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
@@ -136,17 +142,29 @@ func (e *Engine) Run(
 	// committed value the transaction semantically depends on. A pure
 	// commutative increment computes old+δ but its effect (the δ) does
 	// not depend on old, so it joins the read set only when a rollback
-	// predicate inspects the value.
+	// predicate inspects the value. A read served from the local
+	// workspace still observes: the buffered value is base+δ where base
+	// is the committed snapshot, so the value handed to the program
+	// depends on that base even though the store is not touched —
+	// without this, two concurrent "add k; read k" updates both read
+	// snapshot+own-δ, both validate (their writes commute), and the
+	// history is not serializable with respect to the read values.
 	readKey := func(k storage.Key, observe bool) metric.Value {
-		if v, ok := local[k]; ok {
-			return v
-		}
 		if observe {
 			readSet[k] = true
 		}
+		if v, ok := local[k]; ok {
+			return v
+		}
 		return e.store.Get(k)
 	}
-	for _, op := range p.Ops {
+	for i, op := range p.Ops {
+		if e.step != nil {
+			e.step.OnStep(txn.Step{
+				Owner: owner, Program: p.Name, Op: i, Kind: txn.StepApply,
+				Key: op.Key, Write: op.Kind == txn.OpWrite,
+			})
+		}
 		if e.opDelay > 0 {
 			time.Sleep(e.opDelay)
 		}
@@ -172,6 +190,9 @@ func (e *Engine) Run(
 		}
 	}
 
+	if e.step != nil {
+		e.step.OnStep(txn.Step{Owner: owner, Program: p.Name, Op: -1, Kind: txn.StepCommit})
+	}
 	imported, err := e.validateAndInstall(owner, p, spec, class, start, readSet, writes, out)
 	if err != nil {
 		if e.obs != nil {

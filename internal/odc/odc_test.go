@@ -297,6 +297,75 @@ func TestInvalidProgramRejected(t *testing.T) {
 	}
 }
 
+// TestReadOfOwnAddObservesBase is the regression test for a hole the
+// end-to-end fuzzer found (explore.FuzzRuns): a read served from the
+// local workspace returns base+δ, where base is the committed snapshot
+// the buffered increment was computed over — so the read depends on
+// that base and must join the read set even though the store is never
+// touched. Without this, two concurrent "add x; read x" updates both
+// read snapshot+δ, both validate (their writes commute), and the
+// history is not serializable: one of them must observe the other's
+// increment in any serial order.
+func TestReadOfOwnAddObservesBase(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 10})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := txn.MustProgram("slow",
+		txn.AddOp("x", 3),
+		txn.Op{Kind: txn.OpRead, Key: "x", AbortIf: func(metric.Value) bool {
+			close(started)
+			<-release
+			return false
+		}},
+	)
+	fast := txn.MustProgram("fast", txn.AddOp("x", 3), txn.ReadOp("x"))
+
+	type res struct {
+		out *txn.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, _, err := e.Run(context.Background(), 1, slow, metric.SpecOf(1000), txn.Update)
+		ch <- res{out, err}
+	}()
+	<-started
+	// fast commits x=13 while slow is paused between its add and read.
+	fastOut, _, err := e.Run(context.Background(), 2, fast, metric.SpecOf(1000), txn.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fastOut.ReadValue("x"); v != 13 {
+		t.Errorf("fast read %d, want 13", v)
+	}
+	close(release)
+	r := <-ch
+	// slow read its own workspace value 13 = stale base 10 + own 3; it
+	// must fail validation (update-class r/w conflict), not commit a
+	// read value no serial order can produce.
+	if !Retryable(r.err) {
+		t.Fatalf("slow: err = %v, want retryable validation abort", r.err)
+	}
+	// The retry observes fast's committed increment.
+	out, _, err := e.Run(context.Background(), 3, slow2(t), metric.SpecOf(1000), txn.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := out.ReadValue("x"); v != 16 {
+		t.Errorf("retry read %d, want 16", v)
+	}
+	if got := e.store.Get("x"); got != 16 {
+		t.Errorf("x = %d, want 16", got)
+	}
+}
+
+// slow2 is the retry body of TestReadOfOwnAddObservesBase's slow
+// transaction: same ops, no pause.
+func slow2(t *testing.T) *txn.Program {
+	t.Helper()
+	return txn.MustProgram("slow", txn.AddOp("x", 3), txn.ReadOp("x"))
+}
+
 func TestStressMixedWorkloadConserved(t *testing.T) {
 	e := newEngineT(map[storage.Key]metric.Value{"x": 100000, "y": 100000})
 	xfer := txn.MustProgram("xfer", txn.AddOp("x", -100), txn.AddOp("y", 100))

@@ -1,0 +1,260 @@
+package oracle
+
+import (
+	"testing"
+
+	"asynctp/internal/history"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// record builds a recorder-backed Input from a scripted run.
+type script struct {
+	rec      *history.Recorder
+	groupOf  map[lock.Owner]history.Group
+	programs map[history.Group]*txn.Program
+	initial  map[storage.Key]metric.Value
+}
+
+func newScript(initial map[storage.Key]metric.Value) *script {
+	return &script{
+		rec:      history.NewRecorder(),
+		groupOf:  make(map[lock.Owner]history.Group),
+		programs: make(map[history.Group]*txn.Program),
+		initial:  initial,
+	}
+}
+
+func (s *script) begin(o lock.Owner, g history.Group, p *txn.Program) {
+	s.groupOf[o] = g
+	s.programs[g] = p
+	s.rec.Begin(o, p.Name, p.Class())
+}
+
+func (s *script) input() Input {
+	txns, ops := s.rec.Snapshot()
+	return Input{
+		Txns: txns, Ops: ops,
+		GroupOf: s.groupOf, Programs: s.programs, Initial: s.initial,
+	}
+}
+
+func check(t *testing.T, in Input, cfg Config) *Report {
+	t.Helper()
+	rep, err := Check(in, cfg)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return rep
+}
+
+func TestSerializableRunHasZeroDivergence(t *testing.T) {
+	transfer := txn.MustProgram("transfer", txn.AddOp("a", -100), txn.AddOp("b", 100))
+	audit := txn.MustProgram("audit", txn.ReadOp("a"), txn.ReadOp("b")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(0), Export: metric.Zero})
+
+	s := newScript(map[storage.Key]metric.Value{"a": 500, "b": 500})
+	s.begin(1, 1, transfer)
+	s.rec.Write(1, "a", 500, 400, true)
+	s.rec.Write(1, "b", 500, 600, true)
+	s.rec.Commit(1)
+	s.begin(2, 2, audit)
+	s.rec.Read(2, "a", 400)
+	s.rec.Read(2, "b", 600)
+	s.rec.Commit(2)
+
+	rep := check(t, s.input(), Config{})
+	if !rep.OK || rep.MaxQueryDivergence != 0 {
+		t.Fatalf("serial run flagged: %s", rep)
+	}
+	if !rep.Exhaustive || rep.Groups != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestFuzzyReadMeasuredExactly(t *testing.T) {
+	transfer := txn.MustProgram("transfer", txn.AddOp("a", -100), txn.AddOp("b", 100))
+	mkAudit := func(eps metric.Fuzz) *txn.Program {
+		return txn.MustProgram("audit", txn.ReadOp("a"), txn.ReadOp("b")).
+			WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+	}
+	// The query reads a AFTER the debit but b BEFORE the credit: it
+	// observes (400, 500) — 100 away from both serial orders.
+	run := func(audit *txn.Program) Input {
+		s := newScript(map[storage.Key]metric.Value{"a": 500, "b": 500})
+		s.begin(1, 1, transfer)
+		s.begin(2, 2, audit)
+		s.rec.Write(1, "a", 500, 400, true)
+		s.rec.Read(2, "a", 400)
+		s.rec.Read(2, "b", 500)
+		s.rec.Write(1, "b", 500, 600, true)
+		s.rec.Commit(1)
+		s.rec.Commit(2)
+		return s.input()
+	}
+
+	rep := check(t, run(mkAudit(100)), Config{})
+	if !rep.OK {
+		t.Fatalf("ε=100 run should conform: %s", rep)
+	}
+	if rep.MaxQueryDivergence != 100 {
+		t.Fatalf("divergence = %d, want 100", rep.MaxQueryDivergence)
+	}
+
+	rep = check(t, run(mkAudit(99)), Config{})
+	if rep.OK {
+		t.Fatalf("ε=99 run should be flagged: %s", rep)
+	}
+	viol := rep.Violations()
+	if len(viol) != 1 || viol[0].Name != "audit" {
+		t.Fatalf("violations = %+v, want the audit query", viol)
+	}
+}
+
+func TestRollbackExcludesImpossibleOrders(t *testing.T) {
+	// The guarded program rolls back when "a" is still 500 — so the only
+	// serial order explaining its commit runs the debit first. In that
+	// order the query's observed read of 500 is impossible, so the
+	// impossible orders must not dilute the divergence.
+	debit := txn.MustProgram("debit", txn.AddOp("a", -100))
+	guarded := txn.MustProgram("guarded",
+		txn.WithAbortIf(txn.ReadOp("a"), func(v metric.Value) bool { return v >= 500 }))
+
+	s := newScript(map[storage.Key]metric.Value{"a": 500})
+	s.begin(1, 1, debit)
+	s.begin(2, 2, guarded)
+	s.rec.Write(1, "a", 500, 400, true)
+	s.rec.Read(2, "a", 400)
+	s.rec.Commit(1)
+	s.rec.Commit(2)
+
+	rep := check(t, s.input(), Config{})
+	if !rep.OK {
+		t.Fatalf("run should conform: %s", rep)
+	}
+	// Two groups, overlapping intervals → 2 linear extensions, but only
+	// the debit-first one survives replay.
+	if rep.ValidOrders != 1 {
+		t.Fatalf("ValidOrders = %d, want 1 (guarded-first order must be excluded)", rep.ValidOrders)
+	}
+}
+
+func TestObservedSurplusIsUnexplained(t *testing.T) {
+	// A group with more committed reads than its program could have
+	// produced can never be explained by replay.
+	audit := txn.MustProgram("audit", txn.ReadOp("a"))
+	s := newScript(map[storage.Key]metric.Value{"a": 1})
+	s.begin(1, 1, audit)
+	s.rec.Read(1, "a", 1)
+	s.rec.Read(1, "a", 1)
+	s.rec.Commit(1)
+
+	rep := check(t, s.input(), Config{})
+	if rep.OK {
+		t.Fatalf("surplus reads should be flagged: %s", rep)
+	}
+	if rep.Verdicts[0].Divergence != Unexplained {
+		t.Fatalf("divergence = %d, want Unexplained", rep.Verdicts[0].Divergence)
+	}
+}
+
+func TestPartialCommitComparesPrefix(t *testing.T) {
+	// Only the first piece of the audit committed (a crash took the
+	// rest): the observed single read compares against the replayed
+	// prefix.
+	audit := txn.MustProgram("audit", txn.ReadOp("a"), txn.ReadOp("b")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(0), Export: metric.Zero})
+	s := newScript(map[storage.Key]metric.Value{"a": 7, "b": 9})
+	s.begin(1, 1, audit)
+	s.rec.Read(1, "a", 7)
+	s.rec.Commit(1)
+
+	rep := check(t, s.input(), Config{})
+	if !rep.OK || rep.Verdicts[0].Divergence != 0 {
+		t.Fatalf("prefix compare failed: %+v", rep.Verdicts[0])
+	}
+}
+
+func TestPrecedenceRespectsIntervals(t *testing.T) {
+	// T1 finishes entirely before T2 starts: the only admissible serial
+	// order is T1;T2, so a query observing T1's effects conforms even
+	// though the reverse order would diverge.
+	transfer := txn.MustProgram("transfer", txn.AddOp("a", -100), txn.AddOp("b", 100))
+	audit := txn.MustProgram("audit", txn.ReadOp("a"), txn.ReadOp("b")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(0), Export: metric.Zero})
+
+	s := newScript(map[storage.Key]metric.Value{"a": 500, "b": 500})
+	s.begin(1, 1, transfer)
+	s.rec.Write(1, "a", 500, 400, true)
+	s.rec.Write(1, "b", 500, 600, true)
+	s.rec.Commit(1)
+	s.begin(2, 2, audit)
+	s.rec.Read(2, "a", 400)
+	s.rec.Read(2, "b", 600)
+	s.rec.Commit(2)
+
+	rep := check(t, s.input(), Config{})
+	if rep.Orders != 1 {
+		t.Fatalf("Orders = %d, want exactly 1 (interval precedence)", rep.Orders)
+	}
+	if !rep.OK {
+		t.Fatalf("run should conform: %s", rep)
+	}
+}
+
+func TestBudgetedEnumerationIsDeterministic(t *testing.T) {
+	// Seven mutually concurrent groups → 5040 extensions, beyond the
+	// tiny budget; the fallback sample must be deterministic per seed.
+	progs := make([]*txn.Program, 7)
+	s := newScript(map[storage.Key]metric.Value{"k": 0})
+	for i := range progs {
+		progs[i] = txn.MustProgram("inc", txn.AddOp("k", 1), txn.AddOp("k", 1))
+	}
+	// Every group's first write precedes every group's second write, so
+	// all execution intervals overlap pairwise: no precedence at all.
+	for i := range progs {
+		o := lock.Owner(i + 1)
+		s.begin(o, history.Group(i+1), progs[i])
+		s.rec.Write(o, "k", metric.Value(i), metric.Value(i+1), true)
+	}
+	for i := range progs {
+		o := lock.Owner(i + 1)
+		s.rec.Write(o, "k", metric.Value(7+i), metric.Value(8+i), true)
+	}
+	// One query observing an intermediate sum keeps divergence > 0 so
+	// the early-exit cannot kick in.
+	audit := txn.MustProgram("audit", txn.ReadOp("k")).
+		WithSpec(metric.Spec{Import: metric.LimitOf(10), Export: metric.Zero})
+	s.begin(100, 100, audit)
+	s.rec.Read(100, "k", 3)
+	for i := range progs {
+		s.rec.Commit(lock.Owner(i + 1))
+	}
+	s.rec.Commit(100)
+
+	cfg := Config{MaxOrders: 50, RandomOrders: 16, Seed: 42}
+	first := check(t, s.input(), cfg)
+	if first.Exhaustive {
+		t.Fatalf("expected budget exhaustion with MaxOrders=50")
+	}
+	for i := 0; i < 4; i++ {
+		rep := check(t, s.input(), cfg)
+		if rep.Orders != first.Orders || rep.MaxQueryDivergence != first.MaxQueryDivergence || rep.OK != first.OK {
+			t.Fatalf("run %d disagrees: %s vs %s", i, rep, first)
+		}
+	}
+}
+
+func TestMissingProgramErrors(t *testing.T) {
+	s := newScript(nil)
+	s.rec.Begin(1, "anon", txn.Update)
+	s.rec.Write(1, "a", 0, 1, false)
+	s.rec.Commit(1)
+	in := s.input()
+	in.Programs = nil
+	if _, err := Check(in, Config{}); err == nil {
+		t.Fatal("expected error for committed group without program")
+	}
+}

@@ -72,6 +72,7 @@ type Engine struct {
 	store   *storage.Store
 	obs     txn.Observer
 	opDelay time.Duration
+	step    txn.StepHook
 
 	mu     sync.Mutex
 	clock  int64
@@ -92,6 +93,11 @@ func NewEngine(store *storage.Store, obs txn.Observer) *Engine {
 
 // SetOpDelay simulates per-operation work outside the critical sections.
 func (e *Engine) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// SetStepHook installs a step hook consulted before every operation's
+// timestamp admission and before the install critical section. Nil (the
+// default) disables gating.
+func (e *Engine) SetStepHook(h txn.StepHook) { e.step = h }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
@@ -180,7 +186,13 @@ func (e *Engine) Run(
 		return out, 0, fmt.Errorf(format+": %w", append(args, ErrTimestamp)...)
 	}
 
-	for _, op := range p.Ops {
+	for i, op := range p.Ops {
+		if e.step != nil {
+			e.step.OnStep(txn.Step{
+				Owner: owner, Program: p.Name, Op: i, Kind: txn.StepApply,
+				Key: op.Key, Write: op.Kind == txn.OpWrite,
+			})
+		}
 		if e.opDelay > 0 {
 			time.Sleep(e.opDelay)
 		}
@@ -265,6 +277,9 @@ func (e *Engine) Run(
 	}
 
 	// Install: revalidate write timestamps, then apply atomically.
+	if e.step != nil {
+		e.step.OnStep(txn.Step{Owner: owner, Program: p.Name, Op: -1, Kind: txn.StepCommit})
+	}
 	e.mu.Lock()
 	for _, op := range writes {
 		ks := e.key(op.Key)

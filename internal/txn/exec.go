@@ -85,6 +85,7 @@ type Exec struct {
 	locks   *lock.Manager
 	obs     Observer
 	opDelay time.Duration
+	step    StepHook
 }
 
 // NewExec builds an executor. obs may be nil.
@@ -97,6 +98,18 @@ func NewExec(store *storage.Store, locks *lock.Manager, obs Observer) *Exec {
 // model the paper's environment, where operations take real time and
 // blocking on locks is what limits throughput.
 func (e *Exec) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// SetStepHook installs a step hook consulted before every lock request,
+// operation effect, and commit. Nil (the default) disables gating; the
+// schedule explorer uses it to serialize execution deterministically.
+func (e *Exec) SetStepHook(h StepHook) { e.step = h }
+
+// stepTo gates one scheduling point when a hook is installed.
+func (e *Exec) stepTo(owner lock.Owner, p *Program, op int, kind StepKind, key storage.Key, write bool) {
+	if e.step != nil {
+		e.step.OnStep(Step{Owner: owner, Program: p.Name, Op: op, Kind: kind, Key: key, Write: write})
+	}
+}
 
 // Store returns the backing store.
 func (e *Exec) Store() *storage.Store { return e.store }
@@ -134,10 +147,12 @@ func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome,
 		if op.Kind == OpWrite {
 			mode = lock.Exclusive
 		}
+		e.stepTo(owner, p, i, StepAcquire, op.Key, op.Kind == OpWrite)
 		if err := e.locks.Acquire(ctx, owner, op.Key, mode); err != nil {
 			abort(err)
 			return out, fmt.Errorf("op %d on %q: %w", i, op.Key, err)
 		}
+		e.stepTo(owner, p, i, StepApply, op.Key, op.Kind == OpWrite)
 		if e.opDelay > 0 {
 			time.Sleep(e.opDelay)
 		}
@@ -167,6 +182,7 @@ func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome,
 
 	// Commit: journal the batch, then release (strict 2PL holds all locks
 	// to this point).
+	e.stepTo(owner, p, -1, StepCommit, "", false)
 	batch := make([]storage.Write, 0, len(finals))
 	for k, v := range finals {
 		batch = append(batch, storage.Write{Key: k, Value: v})
