@@ -15,6 +15,7 @@ import (
 
 	"asynctp/internal/experiments"
 	"asynctp/internal/metric"
+	"asynctp/internal/profiling"
 )
 
 func main() {
@@ -30,9 +31,19 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	epsArg := fs.String("eps", "1000,4000,16000", "ε sweep for e1 (comma-separated)")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "bankbench: profile:", perr)
+		}
+	}()
 	var epsilons []metric.Fuzz
 	for _, part := range strings.Split(*epsArg, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)

@@ -21,6 +21,7 @@ import (
 
 	"asynctp/internal/experiments"
 	"asynctp/internal/metric"
+	"asynctp/internal/profiling"
 )
 
 func main() {
@@ -40,9 +41,19 @@ func run(args []string) error {
 	stagger := fs.Duration("stagger", 10*time.Millisecond,
 		"pacing between chain submissions")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench: profile:", perr)
+		}
+	}()
 	var scenarios []string
 	for _, part := range strings.Split(*scenArg, ",") {
 		if s := strings.TrimSpace(part); s != "" {

@@ -38,6 +38,12 @@ type Config struct {
 	Counts []int
 	// Record attaches a history recorder for correctness checking.
 	Record bool
+	// LockStripes overrides the lock manager's stripe count (the number
+	// of independently-locked lock-table shards). Zero uses
+	// lock.DefaultStripes; 1 degenerates to a single-mutex table, which
+	// the conformance explorer uses to cross-check that striping does
+	// not change behaviour. Ignored by the non-locking engines.
+	LockStripes int
 	// OpDelay simulates per-operation work while locks are held (see
 	// txn.Exec.SetOpDelay); zero disables it.
 	OpDelay time.Duration
@@ -150,6 +156,13 @@ type Runner struct {
 	rec     *history.Recorder
 	gen     txn.IDGen
 
+	// children[ti][pi] lists the dependency-tree children of piece pi of
+	// type ti; numPieces[ti] is the piece count. Both are precomputed at
+	// construction because Submit is the hot path and DependencyParents
+	// allocates a fresh slice per call.
+	children  [][][]int
+	numPieces []int
+
 	nextGroup atomic.Int64
 	mu        sync.Mutex
 	groupOf   map[lock.Owner]history.Group
@@ -202,6 +215,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.children = make([][][]int, r.set.NumTxns())
+	r.numPieces = make([]int, r.set.NumTxns())
+	for ti := 0; ti < r.set.NumTxns(); ti++ {
+		parents := r.set.DependencyParents(ti)
+		kids := make([][]int, len(parents))
+		for pi, parent := range parents {
+			if parent >= 0 {
+				kids[parent] = append(kids[parent], pi)
+			}
+		}
+		r.children[ti] = kids
+		r.numPieces[ti] = len(parents)
+	}
 
 	if cfg.Engine == EngineLocking && cfg.Optimistic {
 		cfg.Engine = EngineOptimistic
@@ -209,6 +235,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	var lockOpts []lock.Option
 	if cfg.WaitObserver != nil {
 		lockOpts = append(lockOpts, lock.WithWaitObserver(cfg.WaitObserver))
+	}
+	if cfg.LockStripes > 0 {
+		lockOpts = append(lockOpts, lock.WithStripes(cfg.LockStripes))
 	}
 	switch {
 	case cfg.Engine != EngineLocking:
@@ -358,7 +387,7 @@ func (r *Runner) Submit(ctx context.Context, ti int) (*InstanceResult, error) {
 		group:  group,
 		result: &InstanceResult{
 			Program:  r.set.Original(ti).Name,
-			Outcomes: make([]*txn.Outcome, len(r.set.TxnPieces(ti))),
+			Outcomes: make([]*txn.Outcome, r.numPieces[ti]),
 		},
 	}
 	if err := inst.run(ctx); err != nil {
@@ -381,13 +410,7 @@ type instance struct {
 // tree, each piece retried on system aborts until it commits.
 func (inst *instance) run(ctx context.Context) error {
 	r := inst.runner
-	parents := r.set.DependencyParents(inst.ti)
-	children := make([][]int, len(parents))
-	for pi, parent := range parents {
-		if parent >= 0 {
-			children[parent] = append(children[parent], pi)
-		}
-	}
+	children := r.children[inst.ti]
 
 	// The whole-transaction budget enters at the root (Figure 2:
 	// DynamicExecution assigns Limit_t to p1's schedule).
@@ -403,6 +426,14 @@ func (inst *instance) run(ctx context.Context) error {
 			return nil // rollback is a defined outcome, not a failure
 		}
 		return err
+	}
+	if len(children) == 1 {
+		// Single-piece program (unchopped, or a chopping that found no
+		// cut): there is nothing to schedule, so skip the walk/scheduler
+		// machinery — the closure, wait group, and error channel it
+		// allocates are pure overhead on this hot path.
+		inst.result.Committed = true
+		return nil
 	}
 
 	if r.cfg.SequentialPieces {
@@ -441,7 +472,7 @@ func (inst *instance) run(ctx context.Context) error {
 
 	// Remaining pieces commit asynchronously along the dependency tree.
 	var wg sync.WaitGroup
-	errs := make(chan error, len(parents))
+	errs := make(chan error, len(children))
 	var schedule func(pi int, leftover metric.Spec)
 	schedule = func(pi int, leftover metric.Spec) {
 		kids := children[pi]
@@ -514,9 +545,14 @@ func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) 
 	}
 	for {
 		owner := r.gen.Next()
-		r.mu.Lock()
-		r.groupOf[owner] = inst.group
-		r.mu.Unlock()
+		if r.rec != nil {
+			// The owner→group map exists only for grouped history checks;
+			// without a recorder there is no history to group, and the
+			// global-mutex map insert would be pure hot-path overhead.
+			r.mu.Lock()
+			r.groupOf[owner] = inst.group
+			r.mu.Unlock()
+		}
 
 		var (
 			out                *txn.Outcome

@@ -22,11 +22,23 @@
 //
 // Update-update conflicts are never absorbed: the paper's environment
 // keeps update ETs serializable among themselves.
+//
+// # Striping
+//
+// The owner→account lookup is a sharded read-mostly map (shard RWMutex,
+// read path takes only a read lock), and each account carries its own
+// mutex over the fuzziness ledger. Absorb locks exactly the accounts a
+// conflict involves, in owner order, so fuzziness accounting of
+// unrelated ETs never serializes. Counters are atomics and the observer
+// is an atomic pointer with a nil fast path, so an idle hook costs one
+// atomic load per arbitration.
 package dc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
@@ -49,7 +61,10 @@ type Info struct {
 
 // account is the runtime fuzziness ledger of one registered transaction.
 type account struct {
-	info     Info
+	owner lock.Owner
+	info  Info
+
+	mu       sync.Mutex
 	imported metric.Fuzz
 	exported metric.Fuzz
 }
@@ -77,82 +92,150 @@ type Event struct {
 	Cost metric.Fuzz
 }
 
+// acctShard is one shard of the owner→account map.
+type acctShard struct {
+	mu sync.RWMutex
+	m  map[lock.Owner]*account
+}
+
+// shardCount is the owner→account shard count (power of two).
+const shardCount = 32
+
 // Controller is a divergence controller: a lock.Arbiter with fuzziness
 // accounts.
 type Controller struct {
-	mu       sync.Mutex
-	accounts map[lock.Owner]*account
-	stats    Stats
-	observer func(Event)
+	shards [shardCount]*acctShard
+
+	absorbed     atomic.Uint64
+	refused      atomic.Uint64
+	totalCharged atomic.Int64
+
+	// observer is consulted with a single atomic load on the arbitration
+	// path; nil (the default) costs nothing beyond that load.
+	observer atomic.Pointer[func(Event)]
+	// obsMu serializes observer callbacks so a conformance logger sees
+	// decisions one at a time.
+	obsMu sync.Mutex
 }
 
 var _ lock.Arbiter = (*Controller)(nil)
 
 // NewController returns an empty controller.
 func NewController() *Controller {
-	return &Controller{accounts: make(map[lock.Owner]*account)}
+	c := &Controller{}
+	for i := range c.shards {
+		c.shards[i] = &acctShard{m: make(map[lock.Owner]*account)}
+	}
+	return c
+}
+
+// shardFor returns owner's shard.
+func (c *Controller) shardFor(owner lock.Owner) *acctShard {
+	return c.shards[uint64(owner)%shardCount]
+}
+
+// lookup returns owner's account or nil.
+func (c *Controller) lookup(owner lock.Owner) *account {
+	sh := c.shardFor(owner)
+	sh.mu.RLock()
+	acct := sh.m[owner]
+	sh.mu.RUnlock()
+	return acct
 }
 
 // SetObserver installs a callback invoked on every arbitration decision,
 // in the hook style of the fault package: conformance tooling uses it to
 // log exactly which conflict windows were fuzzily granted. The callback
-// runs with the controller's mutex held and must not call back into the
-// controller or the lock manager. Nil (the default) disables it.
+// runs while the decision's account locks are held and must not call
+// back into the controller or the lock manager; callbacks are serialized.
+// Nil (the default) disables it at the cost of one atomic load.
 func (c *Controller) SetObserver(fn func(Event)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.observer = fn
+	if fn == nil {
+		c.observer.Store(nil)
+		return
+	}
+	c.observer.Store(&fn)
 }
 
-// notifyLocked reports one decision to the observer.
-func (c *Controller) notifyLocked(ev Event) {
-	if c.observer != nil {
-		c.observer(ev)
+// notify reports one decision to the observer (fast path: no observer).
+func (c *Controller) notify(ev Event) {
+	fn := c.observer.Load()
+	if fn == nil {
+		return
 	}
+	c.obsMu.Lock()
+	(*fn)(ev)
+	c.obsMu.Unlock()
 }
+
+// observing reports whether an observer is installed.
+func (c *Controller) observing() bool { return c.observer.Load() != nil }
 
 // Register adds owner's account before it starts executing.
 func (c *Controller) Register(owner lock.Owner, info Info) error {
 	if info.Class == txn.Update && info.Program == nil {
 		return fmt.Errorf("dc: update ET %d registered without program", owner)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.accounts[owner]; dup {
+	sh := c.shardFor(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.m[owner]; dup {
 		return fmt.Errorf("dc: owner %d already registered", owner)
 	}
-	c.accounts[owner] = &account{info: info}
+	sh.m[owner] = &account{owner: owner, info: info}
 	return nil
 }
 
 // Unregister removes owner's account after it finishes. It returns the
 // final (imported, exported) fuzziness, both zero if owner was unknown.
+//
+// The caller must have released owner's locks-layer presence first (the
+// executor unregisters only after ReleaseAll), so no concurrent Absorb
+// can still involve the account.
 func (c *Controller) Unregister(owner lock.Owner) (imported, exported metric.Fuzz) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	acct := c.accounts[owner]
+	sh := c.shardFor(owner)
+	sh.mu.Lock()
+	acct := sh.m[owner]
 	if acct == nil {
+		sh.mu.Unlock()
 		return 0, 0
 	}
-	delete(c.accounts, owner)
+	delete(sh.m, owner)
+	sh.mu.Unlock()
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
 	return acct.imported, acct.exported
 }
 
 // Fuzz returns owner's current (imported, exported) fuzziness.
 func (c *Controller) Fuzz(owner lock.Owner) (imported, exported metric.Fuzz) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if acct := c.accounts[owner]; acct != nil {
-		return acct.imported, acct.exported
+	acct := c.lookup(owner)
+	if acct == nil {
+		return 0, 0
 	}
-	return 0, 0
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
+	return acct.imported, acct.exported
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Absorbed:     c.absorbed.Load(),
+		Refused:      c.refused.Load(),
+		TotalCharged: metric.Fuzz(c.totalCharged.Load()),
+	}
+}
+
+// addCharged accumulates TotalCharged, saturating like metric.Fuzz.Add.
+func (c *Controller) addCharged(f metric.Fuzz) {
+	for {
+		old := c.totalCharged.Load()
+		next := int64(metric.Fuzz(old).Add(f))
+		if c.totalCharged.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // pairing is one query/update pair a conflict decomposes into.
@@ -162,31 +245,38 @@ type pairing struct {
 	cost   metric.Fuzz
 }
 
+// refuse counts a refusal and notifies any observer.
+func (c *Controller) refuse(ci lock.ConflictInfo) bool {
+	c.refused.Add(1)
+	if c.observing() {
+		c.notify(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: false})
+	}
+	return false
+}
+
 // Absorb implements lock.Arbiter. It is all-or-nothing: either every
 // conflicting pair is priced, affordable, and charged, or nothing changes
 // and the requester blocks.
+//
+// Only the accounts the conflict involves are locked (in owner order),
+// so arbitrations of unrelated ETs proceed in parallel. The invariant
+// that makes the lookup safe without a global lock: Absorb runs while
+// the requester's stripe mutex is held and every holder still holds the
+// conflicted key, and an owner is unregistered only after ReleaseAll —
+// which needs that same stripe mutex — completes. Involved accounts are
+// therefore always registered for the duration of the call.
 func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ok, cost := c.absorbLocked(ci)
-	c.notifyLocked(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: ok, Cost: cost})
-	return ok
-}
-
-// absorbLocked performs the arbitration and returns the decision plus the
-// total fuzziness charged.
-func (c *Controller) absorbLocked(ci lock.ConflictInfo) (bool, metric.Fuzz) {
-	req := c.accounts[ci.Requester]
+	req := c.lookup(ci.Requester)
 	if req == nil {
-		c.stats.Refused++
-		return false, 0 // unregistered transactions run plain 2PL
+		return c.refuse(ci) // unregistered transactions run plain 2PL
 	}
 	pairs := make([]pairing, 0, len(ci.Holders))
+	involved := make([]*account, 0, len(ci.Holders)+1)
+	involved = append(involved, req)
 	for _, h := range ci.Holders {
-		holder := c.accounts[h.Owner]
+		holder := c.lookup(h.Owner)
 		if holder == nil {
-			c.stats.Refused++
-			return false, 0
+			return c.refuse(ci)
 		}
 		var p pairing
 		switch {
@@ -197,17 +287,36 @@ func (c *Controller) absorbLocked(ci lock.ConflictInfo) (bool, metric.Fuzz) {
 		default:
 			// update-update (or an impossible query-query conflict):
 			// never absorbed.
-			c.stats.Refused++
-			return false, 0
+			return c.refuse(ci)
 		}
 		bound := p.update.info.Program.WriteBound(ci.Key)
 		if bound.IsInfinite() {
-			c.stats.Refused++
-			return false, 0
+			return c.refuse(ci)
 		}
 		p.cost = bound.Bound()
 		pairs = append(pairs, p)
+		involved = append(involved, holder)
 	}
+
+	// Lock the involved accounts in owner order (deduplicated) so that
+	// concurrent multi-account arbitrations cannot deadlock.
+	sort.Slice(involved, func(i, j int) bool { return involved[i].owner < involved[j].owner })
+	locked := involved[:0]
+	var prev *account
+	for _, a := range involved {
+		if a == prev {
+			continue
+		}
+		a.mu.Lock()
+		locked = append(locked, a)
+		prev = a
+	}
+	unlock := func() {
+		for _, a := range locked {
+			a.mu.Unlock()
+		}
+	}
+
 	// Affordability check with per-account aggregation: charging is
 	// simulated first so that two pairs hitting the same account within
 	// one conflict are summed before comparing with the limit.
@@ -219,27 +328,31 @@ func (c *Controller) absorbLocked(ci lock.ConflictInfo) (bool, metric.Fuzz) {
 	}
 	for acct, add := range pendImport {
 		if !acct.info.Import.Allows(acct.imported.Add(add)) {
-			c.stats.Refused++
-			return false, 0
+			unlock()
+			return c.refuse(ci)
 		}
 	}
 	for acct, add := range pendExport {
 		if !acct.info.Export.Allows(acct.exported.Add(add)) {
-			c.stats.Refused++
-			return false, 0
+			unlock()
+			return c.refuse(ci)
 		}
 	}
 	var total metric.Fuzz
 	for acct, add := range pendImport {
 		acct.imported = acct.imported.Add(add)
-		c.stats.TotalCharged = c.stats.TotalCharged.Add(add)
+		c.addCharged(add)
 		total = total.Add(add)
 	}
 	for acct, add := range pendExport {
 		acct.exported = acct.exported.Add(add)
 	}
-	c.stats.Absorbed++
-	return true, total
+	c.absorbed.Add(1)
+	if c.observing() {
+		c.notify(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: true, Cost: total})
+	}
+	unlock()
+	return true
 }
 
 // ChargeImport adds fuzziness directly to owner's import account. The
@@ -247,12 +360,12 @@ func (c *Controller) absorbLocked(ci lock.ConflictInfo) (bool, metric.Fuzz) {
 // piece's inputs (the paper's "distribution of actual inconsistency").
 // It reports whether the account stays within its limit.
 func (c *Controller) ChargeImport(owner lock.Owner, f metric.Fuzz) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	acct := c.accounts[owner]
+	acct := c.lookup(owner)
 	if acct == nil {
 		return false
 	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
 	acct.imported = acct.imported.Add(f)
 	return acct.info.Import.Allows(acct.imported)
 }

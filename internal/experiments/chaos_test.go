@@ -51,6 +51,13 @@ func TestChaosCrashStormSoak(t *testing.T) {
 			t.Errorf("run %d: audit deviation %d exceeds ε bound %d",
 				run, chop.MaxAuditDev, epsilon)
 		}
+		// Memory stays flat: the post-quiescence checkpoint folds each
+		// site's journal down to (at most) one checkpoint entry plus any
+		// batch that raced the fold.
+		if chop.MaxJournalLen > 2 {
+			t.Errorf("run %d: post-checkpoint journal length %d, want <= 2",
+				run, chop.MaxJournalLen)
+		}
 
 		tpc, err := RunChaosScenario(site.TwoPhaseCommit, ScenarioCrashStorm, cfg)
 		if err != nil {

@@ -31,6 +31,11 @@ type Scenario struct {
 	Engine       core.EngineKind
 	// BudgetScale is the test-only mis-budget knob (core.Config).
 	BudgetScale int
+	// LockStripes overrides the lock manager's stripe count
+	// (core.Config.LockStripes). Zero uses the default. The determinism
+	// regression sweep runs the same seeds at 1 and at many stripes and
+	// requires byte-identical fingerprints.
+	LockStripes int
 }
 
 // Result is one explored run, fully checked.
@@ -95,6 +100,7 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 		WaitObserver:     sched,
 		SequentialPieces: true,
 		BudgetScale:      sc.BudgetScale,
+		LockStripes:      sc.LockStripes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("explore: %s: %w", sc.Name, err)

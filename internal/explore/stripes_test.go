@@ -1,0 +1,33 @@
+package explore
+
+import (
+	"testing"
+
+	"asynctp/internal/core"
+)
+
+// TestStripingPreservesDeterminism is the E8 striping regression: the
+// same (scenario, seed, strategy) triple must produce a byte-identical
+// fingerprint whether the lock table runs as a single-mutex table
+// (stripes=1) or fully striped (stripes=16). The explorer runs exactly
+// one worker at a time, so per-stripe locking may never change which
+// conflicts arise, who blocks, or who is picked as deadlock victim.
+func TestStripingPreservesDeterminism(t *testing.T) {
+	for _, method := range []core.Method{core.BaselineSRCC, core.Method1SRChopDC, core.Method3ESRChopDC} {
+		for _, strategy := range []Strategy{StrategyConflict, StrategyRandom} {
+			for seed := int64(1); seed <= 6; seed++ {
+				one := BankScenario(method, core.EngineLocking, core.Static, 600)
+				one.LockStripes = 1
+				many := BankScenario(method, core.EngineLocking, core.Static, 600)
+				many.LockStripes = 16
+
+				resOne := run(t, one, seed, strategy)
+				resMany := run(t, many, seed, strategy)
+				if resOne.Fingerprint() != resMany.Fingerprint() {
+					t.Errorf("%s/%s seed %d: stripes=1 and stripes=16 diverged:\n  1:  %s\n  16: %s",
+						method, strategy, seed, resOne.Fingerprint(), resMany.Fingerprint())
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
@@ -78,45 +79,90 @@ type Txn struct {
 	AbortReason error
 }
 
-// Recorder accumulates a history. It is safe for concurrent use and
-// implements txn.Observer.
-type Recorder struct {
+// txnRec is one transaction's record plus its private op buffer. Ops
+// land here under the record's own mutex, so transactions recording
+// concurrently never share a lock; the global total order comes from
+// the recorder's atomic sequence counter and is reassembled by merging
+// the buffers at Snapshot.
+type txnRec struct {
+	mu          sync.Mutex
+	owner       lock.Owner
+	name        string
+	class       txn.Class
+	status      Status
+	abortReason error
+	ops         []Op
+}
+
+// recShard is one shard of the owner→record map.
+type recShard struct {
 	mu   sync.Mutex
-	seq  uint64
-	ops  []Op
-	txns map[lock.Owner]*Txn
+	txns map[lock.Owner]*txnRec
+}
+
+// recShardCount is the recorder's shard count.
+const recShardCount = 32
+
+// Recorder accumulates a history. It is safe for concurrent use and
+// implements txn.Observer. Sequence numbers come from one atomic
+// counter while each transaction's operations buffer under a per-owner
+// lock, so recording is low-contention; Snapshot merges the buffers by
+// sequence number into the familiar single total order.
+type Recorder struct {
+	seq    atomic.Uint64
+	shards [recShardCount]*recShard
 }
 
 var _ txn.Observer = (*Recorder)(nil)
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{txns: make(map[lock.Owner]*Txn)}
+	r := &Recorder{}
+	for i := range r.shards {
+		r.shards[i] = &recShard{txns: make(map[lock.Owner]*txnRec)}
+	}
+	return r
+}
+
+// shardFor returns owner's shard.
+func (r *Recorder) shardFor(owner lock.Owner) *recShard {
+	return r.shards[uint64(owner)%recShardCount]
+}
+
+// rec returns owner's record, creating it (with the given hint) if
+// absent.
+func (r *Recorder) rec(owner lock.Owner, create func() *txnRec) *txnRec {
+	sh := r.shardFor(owner)
+	sh.mu.Lock()
+	t := sh.txns[owner]
+	if t == nil && create != nil {
+		t = create()
+		sh.txns[owner] = t
+	}
+	sh.mu.Unlock()
+	return t
 }
 
 // Begin implements txn.Observer.
 func (r *Recorder) Begin(owner lock.Owner, name string, class txn.Class) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.txns[owner] = &Txn{Owner: owner, Name: name, Class: class, Status: Active}
+	sh := r.shardFor(owner)
+	sh.mu.Lock()
+	sh.txns[owner] = &txnRec{owner: owner, name: name, class: class, status: Active}
+	sh.mu.Unlock()
 }
 
 func (r *Recorder) record(owner lock.Owner, kind OpKind, key storage.Key, value, old metric.Value, commutative bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.txns[owner]
-	if t == nil {
+	t := r.rec(owner, func() *txnRec {
 		// An operation without Begin: synthesize the transaction so the
 		// history stays checkable rather than panicking mid-run.
-		t = &Txn{Owner: owner, Name: fmt.Sprintf("anon-%d", owner), Status: Active}
-		r.txns[owner] = t
-	}
-	r.seq++
-	r.ops = append(r.ops, Op{
-		Seq: r.seq, Owner: owner, Kind: kind, Key: key,
+		return &txnRec{owner: owner, name: fmt.Sprintf("anon-%d", owner), status: Active}
+	})
+	t.mu.Lock()
+	t.ops = append(t.ops, Op{
+		Seq: r.seq.Add(1), Owner: owner, Kind: kind, Key: key,
 		Value: value, Old: old, Commutative: commutative,
 	})
-	t.Ops = append(t.Ops, len(r.ops)-1)
+	t.mu.Unlock()
 }
 
 // Read implements txn.Observer.
@@ -131,36 +177,76 @@ func (r *Recorder) Write(owner lock.Owner, key storage.Key, old, new metric.Valu
 
 // Commit implements txn.Observer.
 func (r *Recorder) Commit(owner lock.Owner) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if t := r.txns[owner]; t != nil {
-		t.Status = Committed
+	if t := r.rec(owner, nil); t != nil {
+		t.mu.Lock()
+		t.status = Committed
+		t.mu.Unlock()
 	}
 }
 
 // Abort implements txn.Observer.
 func (r *Recorder) Abort(owner lock.Owner, reason error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if t := r.txns[owner]; t != nil {
-		t.Status = Aborted
-		t.AbortReason = reason
+	if t := r.rec(owner, nil); t != nil {
+		t.mu.Lock()
+		t.status = Aborted
+		t.abortReason = reason
+		t.mu.Unlock()
 	}
 }
 
-// Snapshot returns copies of the recorded transactions and operations.
+// Snapshot returns copies of the recorded transactions and operations:
+// operations in one total order (ascending Seq) and each transaction's
+// Ops holding indices into it, exactly as the single-buffer recorder
+// produced. Snapshot is intended for quiescent points (between runs);
+// concurrent recording is safe but a racing op may or may not be
+// included.
 func (r *Recorder) Snapshot() ([]Txn, []Op) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	txns := make([]Txn, 0, len(r.txns))
-	for _, t := range r.txns {
-		cp := *t
-		cp.Ops = append([]int(nil), t.Ops...)
-		txns = append(txns, cp)
+	type frozen struct {
+		t   Txn
+		ops []Op
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i].Owner < txns[j].Owner })
-	ops := make([]Op, len(r.ops))
-	copy(ops, r.ops)
+	var frz []frozen
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, t := range sh.txns {
+			t.mu.Lock()
+			frz = append(frz, frozen{
+				t: Txn{
+					Owner: t.owner, Name: t.name, Class: t.class,
+					Status: t.status, AbortReason: t.abortReason,
+				},
+				ops: append([]Op(nil), t.ops...),
+			})
+			t.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(frz, func(i, j int) bool { return frz[i].t.Owner < frz[j].t.Owner })
+
+	total := 0
+	for _, f := range frz {
+		total += len(f.ops)
+	}
+	ops := make([]Op, 0, total)
+	for _, f := range frz {
+		ops = append(ops, f.ops...)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+	index := make(map[uint64]int, len(ops))
+	for i, op := range ops {
+		index[op.Seq] = i
+	}
+	txns := make([]Txn, 0, len(frz))
+	for _, f := range frz {
+		t := f.t
+		if len(f.ops) > 0 {
+			t.Ops = make([]int, len(f.ops))
+			for i, op := range f.ops {
+				t.Ops[i] = index[op.Seq]
+			}
+		}
+		txns = append(txns, t)
+	}
 	return txns, ops
 }
 
@@ -170,26 +256,31 @@ func (r *Recorder) Snapshot() ([]Txn, []Op) {
 // one. Sweep harnesses reuse one recorder across runs instead of
 // allocating per seed.
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seq = 0
-	r.ops = nil
-	r.txns = make(map[lock.Owner]*Txn)
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		sh.txns = make(map[lock.Owner]*txnRec)
+		sh.mu.Unlock()
+	}
+	r.seq.Store(0)
 }
 
 // Counts returns (committed, aborted, active) transaction counts.
 func (r *Recorder) Counts() (committed, aborted, active int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, t := range r.txns {
-		switch t.Status {
-		case Committed:
-			committed++
-		case Aborted:
-			aborted++
-		default:
-			active++
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, t := range sh.txns {
+			t.mu.Lock()
+			switch t.status {
+			case Committed:
+				committed++
+			case Aborted:
+				aborted++
+			default:
+				active++
+			}
+			t.mu.Unlock()
 		}
+		sh.mu.Unlock()
 	}
 	return committed, aborted, active
 }

@@ -1,0 +1,104 @@
+package lock
+
+import "sync"
+
+// detector is the dedicated waits-for deadlock detector shared by every
+// stripe of the lock table.
+//
+// Each stripe pushes an owner's outgoing waits-for edges into the
+// detector synchronously, while holding that stripe's mutex, at the
+// moment the owner is about to wait (Acquire) or stays waiting after a
+// re-evaluation (wake). The detector therefore always holds the union
+// of the per-stripe ground truth: an edge o→h exists iff o is enqueued
+// behind holder h on some key right now.
+//
+// Correctness of cycle detection over this snapshot-by-construction
+// graph: a real deadlock is a cycle o1→o2→…→o1 in the waits-for
+// relation. Edges are only added by setEdges, which runs under the
+// detector mutex and checks reachability immediately. Consider the last
+// edge set that completes the cycle: at that moment every other edge of
+// the cycle is already present (their owners are still blocked — a
+// blocked owner's edges are only removed by the stripe that wakes or
+// cancels it, and waking requires the holder to release, which a
+// deadlocked holder never does). The completing setEdges call therefore
+// observes the full cycle and reports it, and its caller aborts the
+// requester — the same "victim is the requester closing the cycle"
+// policy the process-global manager had. Conversely, a reported cycle
+// consists only of currently-live edges, so there are no false victims
+// from stale edges: edges are replaced atomically per owner and removed
+// before the owner's wait ends.
+//
+// Lock ordering: stripe.mu → detector.mu. The detector never calls back
+// into any stripe.
+type detector struct {
+	mu    sync.Mutex
+	waits map[Owner]map[Owner]struct{}
+}
+
+func newDetector() *detector {
+	return &detector{waits: make(map[Owner]map[Owner]struct{})}
+}
+
+// setEdges replaces owner's outgoing waits-for edges and reports whether
+// the new edges close a cycle back to owner. On a cycle all of owner's
+// edges are dropped: the caller aborts the requester as the deadlock
+// victim, so it stops waiting entirely.
+func (d *detector) setEdges(owner Owner, targets []HolderInfo) bool {
+	edges := make(map[Owner]struct{}, len(targets))
+	for _, h := range targets {
+		edges[h.Owner] = struct{}{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.waits[owner] = edges
+	if d.cycleFromLocked(owner) {
+		delete(d.waits, owner)
+		return true
+	}
+	return false
+}
+
+// clear removes owner's outgoing edges (its wait ended or it released).
+func (d *detector) clear(owner Owner) {
+	d.mu.Lock()
+	delete(d.waits, owner)
+	d.mu.Unlock()
+}
+
+// cycleFromLocked reports whether owner can reach itself.
+func (d *detector) cycleFromLocked(owner Owner) bool {
+	seen := make(map[Owner]struct{})
+	var stack []Owner
+	for t := range d.waits[owner] {
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == owner {
+			return true
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		for t := range d.waits[v] {
+			stack = append(stack, t)
+		}
+	}
+	return false
+}
+
+// WaitGraph returns a copy of the current waits-for edges, for tests
+// and debugging.
+func (d *detector) WaitGraph() map[Owner][]Owner {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[Owner][]Owner, len(d.waits))
+	for o, es := range d.waits {
+		for t := range es {
+			out[o] = append(out[o], t)
+		}
+	}
+	return out
+}

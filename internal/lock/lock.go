@@ -10,6 +10,19 @@
 // locking divergence control (Wu-Yu-Pu) is exactly ordinary 2PL with an
 // arbiter that admits query/update read-write conflicts while the
 // import/export fuzziness accounts stay within their ε-specs.
+//
+// # Striping
+//
+// The lock table is sharded by key hash into N stripes, each with its
+// own mutex and wait queues, so requests on unrelated keys never touch
+// the same mutex. Per-owner held-key sets live in a separate shard
+// layer keyed by owner, and the waits-for deadlock detector is a
+// dedicated component (see detector.go) that stripes push edges into
+// synchronously. Counters are atomics. The observable semantics —
+// grant/block/absorb decisions, the deadlock victim policy, and the
+// WaitObserver event order under a serial scheduler — are identical to
+// the previous process-global implementation; only the contention
+// domain shrinks from "the whole manager" to "one key's stripe".
 package lock
 
 import (
@@ -17,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"asynctp/internal/storage"
 )
@@ -72,11 +86,11 @@ type ConflictInfo struct {
 // through, so that a deterministic scheduler can account for lock-blocked
 // transactions exactly.
 //
-// Blocked and Woken are called with the manager's internal mutex held and
+// Blocked and Woken are called with the key's stripe mutex held and
 // must not call back into the manager; they should only update scheduler
 // state. Woken runs on the *releasing* goroutine, synchronously with the
 // release, so a scheduler learns about the wakeup before the releaser's
-// turn ends. Resumed runs on the waiter's own goroutine, with no manager
+// turn ends. Resumed runs on the waiter's own goroutine, with no stripe
 // mutex held, immediately after it receives its grant and before it
 // executes anything else — it MAY block, which is exactly how a schedule
 // explorer turns lock wakeups into scheduling points.
@@ -94,8 +108,8 @@ type WaitObserver interface {
 //
 // Absorb must atomically account for the conflict (e.g. charge fuzziness
 // to both sides) and return true, or leave all state unchanged and return
-// false. It is called with the lock manager's internal mutex held and must
-// not call back into the manager.
+// false. It is called with the key's stripe mutex held and must not call
+// back into the manager.
 type Arbiter interface {
 	Absorb(ConflictInfo) bool
 }
@@ -124,15 +138,43 @@ type entry struct {
 	queue   []*waiter
 }
 
+// stripe is one shard of the lock table: the keys hashing to it, their
+// holders, and their wait queues, under one mutex.
+type stripe struct {
+	mu    sync.Mutex
+	table map[storage.Key]*entry
+}
+
+// ownerShard is one shard of the per-owner held-key index. Held keys
+// are kept as a sorted slice: transactions hold few keys, membership is
+// a binary search, and ReleaseAll walks the slice directly — no map
+// allocation per transaction and no sort at release time.
+type ownerShard struct {
+	mu   sync.Mutex
+	held map[Owner][]storage.Key
+}
+
+// DefaultStripes is the default lock-table stripe count.
+const DefaultStripes = 16
+
+// entryCacheCap bounds how many empty entries a stripe keeps cached to
+// avoid re-allocating the table row (and its holder map) for hot keys.
+// Beyond the cap, entries with no holders and no waiters are deleted,
+// so key-churn workloads do not grow the table without bound.
+const entryCacheCap = 1024
+
 // Manager is the lock manager.
 type Manager struct {
-	mu      sync.Mutex
-	table   map[storage.Key]*entry
-	held    map[Owner]map[storage.Key]struct{}
-	waits   map[Owner]map[Owner]struct{} // waits-for edges
+	stripes []*stripe
+	owners  []*ownerShard
+	det     *detector
 	arbiter Arbiter
 	waitObs WaitObserver
-	stats   Stats
+
+	grants      atomic.Uint64
+	fuzzyGrants atomic.Uint64
+	blocks      atomic.Uint64
+	deadlocks   atomic.Uint64
 }
 
 // Option configures a Manager.
@@ -148,26 +190,79 @@ func WithWaitObserver(o WaitObserver) Option {
 	return func(m *Manager) { m.waitObs = o }
 }
 
+// WithStripes sets the lock-table stripe count (n < 1 selects
+// DefaultStripes). The stripe count changes only the contention domain,
+// never the grant/block/victim decisions: a serial test driven with 1
+// stripe and with 64 stripes observes byte-identical histories.
+func WithStripes(n int) Option {
+	return func(m *Manager) {
+		if n < 1 {
+			n = DefaultStripes
+		}
+		m.stripes = make([]*stripe, n)
+	}
+}
+
 // NewManager returns a lock manager. With no options it implements plain
 // strict two-phase locking.
 func NewManager(opts ...Option) *Manager {
-	m := &Manager{
-		table: make(map[storage.Key]*entry),
-		held:  make(map[Owner]map[storage.Key]struct{}),
-		waits: make(map[Owner]map[Owner]struct{}),
-	}
+	m := &Manager{det: newDetector()}
 	for _, opt := range opts {
 		opt(m)
+	}
+	if m.stripes == nil {
+		m.stripes = make([]*stripe, DefaultStripes)
+	}
+	for i := range m.stripes {
+		m.stripes[i] = &stripe{table: make(map[storage.Key]*entry)}
+	}
+	// Owner shards track per-transaction held sets; size them with the
+	// stripe count (the two layers scale together).
+	m.owners = make([]*ownerShard, len(m.stripes))
+	for i := range m.owners {
+		m.owners[i] = &ownerShard{held: make(map[Owner][]storage.Key)}
 	}
 	return m
 }
 
+// Stripes returns the configured stripe count.
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// stripeFor returns key's stripe (FNV-1a over the key bytes).
+func (m *Manager) stripeFor(key storage.Key) *stripe {
+	if len(m.stripes) == 1 {
+		return m.stripes[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return m.stripes[h%uint64(len(m.stripes))]
+}
+
+// ownerShardFor returns owner's shard in the held-key index.
+func (m *Manager) ownerShardFor(owner Owner) *ownerShard {
+	return m.owners[uint64(owner)%uint64(len(m.owners))]
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Grants:      m.grants.Load(),
+		FuzzyGrants: m.fuzzyGrants.Load(),
+		Blocks:      m.blocks.Load(),
+		Deadlocks:   m.deadlocks.Load(),
+	}
 }
+
+// WaitGraph returns a copy of the current waits-for edges (tests and
+// debugging).
+func (m *Manager) WaitGraph() map[Owner][]Owner { return m.det.WaitGraph() }
 
 // conflicts returns the holders incompatible with owner requesting mode.
 func (e *entry) conflicts(owner Owner, mode Mode) []HolderInfo {
@@ -183,52 +278,37 @@ func (e *entry) conflicts(owner Owner, mode Mode) []HolderInfo {
 	return out
 }
 
-// grantLocked records owner holding key in at least mode.
+// grantLocked records owner holding key in at least mode. The key's
+// stripe mutex is held; the owner shard mutex nests inside it.
 func (m *Manager) grantLocked(e *entry, key storage.Key, owner Owner, mode Mode) {
 	if cur, ok := e.holders[owner]; !ok || mode > cur {
 		e.holders[owner] = mode
 	}
-	hs := m.held[owner]
-	if hs == nil {
-		hs = make(map[storage.Key]struct{})
-		m.held[owner] = hs
-	}
-	hs[key] = struct{}{}
+	os := m.ownerShardFor(owner)
+	os.mu.Lock()
+	os.held[owner] = insertKey(os.held[owner], key)
+	os.mu.Unlock()
 }
 
-// setWaitEdges replaces owner's outgoing waits-for edges and reports
-// whether the new edges close a cycle back to owner.
-func (m *Manager) setWaitEdges(owner Owner, targets []HolderInfo) bool {
-	edges := make(map[Owner]struct{}, len(targets))
-	for _, h := range targets {
-		edges[h.Owner] = struct{}{}
-	}
-	m.waits[owner] = edges
-	return m.cycleFrom(owner)
-}
-
-// cycleFrom reports whether owner can reach itself in the waits-for graph.
-func (m *Manager) cycleFrom(owner Owner) bool {
-	seen := make(map[Owner]struct{})
-	var stack []Owner
-	for t := range m.waits[owner] {
-		stack = append(stack, t)
-	}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if v == owner {
-			return true
-		}
-		if _, ok := seen[v]; ok {
-			continue
-		}
-		seen[v] = struct{}{}
-		for t := range m.waits[v] {
-			stack = append(stack, t)
+// insertKey inserts key into the sorted slice if absent.
+func insertKey(keys []storage.Key, key storage.Key) []storage.Key {
+	// Binary search for the insertion point (manual loop: no closure).
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	if lo < len(keys) && keys[lo] == key {
+		return keys // already held
+	}
+	keys = append(keys, "")
+	copy(keys[lo+1:], keys[lo:])
+	keys[lo] = key
+	return keys
 }
 
 // Acquire obtains key in mode for owner, blocking while conflicting locks
@@ -236,45 +316,48 @@ func (m *Manager) cycleFrom(owner Owner) bool {
 // waits-for cycle, or ctx.Err() if the context ends first. Re-acquiring a
 // held lock (including S→X upgrade) is supported.
 func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mode Mode) error {
-	m.mu.Lock()
-	e := m.table[key]
+	s := m.stripeFor(key)
+	s.mu.Lock()
+	e := s.table[key]
 	if e == nil {
 		e = &entry{holders: make(map[Owner]Mode)}
-		m.table[key] = e
+		s.table[key] = e
 	}
 	if cur, ok := e.holders[owner]; ok && cur >= mode {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return nil // already held in a sufficient mode
 	}
 	conf := e.conflicts(owner, mode)
 	if len(conf) == 0 {
 		m.grantLocked(e, key, owner, mode)
-		m.stats.Grants++
-		m.mu.Unlock()
+		m.grants.Add(1)
+		s.mu.Unlock()
 		return nil
 	}
 	if m.arbiter != nil && m.arbiter.Absorb(ConflictInfo{
 		Key: key, Requester: owner, Mode: mode, Holders: conf,
 	}) {
 		m.grantLocked(e, key, owner, mode)
-		m.stats.FuzzyGrants++
-		m.mu.Unlock()
+		m.fuzzyGrants.Add(1)
+		s.mu.Unlock()
 		return nil
 	}
-	// Must wait. Check for a deadlock the new edges would create.
-	if m.setWaitEdges(owner, conf) {
-		delete(m.waits, owner)
-		m.stats.Deadlocks++
-		m.mu.Unlock()
+	// Must wait. Push the new waits-for edges into the detector; if they
+	// close a cycle the requester is the victim. The holders cannot
+	// release key concurrently (that needs this stripe's mutex), so the
+	// edges are live when set.
+	if m.det.setEdges(owner, conf) {
+		m.deadlocks.Add(1)
+		s.mu.Unlock()
 		return ErrDeadlock
 	}
 	w := &waiter{owner: owner, mode: mode, grant: make(chan error, 1)}
 	e.queue = append(e.queue, w)
-	m.stats.Blocks++
+	m.blocks.Add(1)
 	if m.waitObs != nil {
 		m.waitObs.Blocked(owner, key)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	select {
 	case err := <-w.grant:
@@ -283,21 +366,21 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mod
 		}
 		return err
 	case <-ctx.Done():
-		m.mu.Lock()
+		s.mu.Lock()
 		if !w.done {
 			w.done = true
-			m.removeWaiterLocked(e, w)
-			delete(m.waits, owner)
+			removeWaiter(e, w)
+			m.det.clear(owner)
 			if m.waitObs != nil {
 				m.waitObs.Woken(owner)
 			}
-			m.mu.Unlock()
+			s.mu.Unlock()
 			if m.waitObs != nil {
 				m.waitObs.Resumed(owner)
 			}
 			return ctx.Err()
 		}
-		m.mu.Unlock()
+		s.mu.Unlock()
 		// Resolved concurrently with cancellation: honor the resolution.
 		err := <-w.grant
 		if m.waitObs != nil {
@@ -307,8 +390,8 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, key storage.Key, mod
 	}
 }
 
-// removeWaiterLocked drops w from e's queue.
-func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
+// removeWaiter drops w from e's queue (the stripe mutex is held).
+func removeWaiter(e *entry, w *waiter) {
 	for i, q := range e.queue {
 		if q == w {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -319,30 +402,40 @@ func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
 
 // ReleaseAll releases every lock owner holds and wakes whatever can now
 // run. It is the "end of transaction" of strict two-phase locking.
+//
+// Keys are processed in sorted order (the held slice's invariant), one
+// stripe lock at a time, so the wake/absorb sequence a release triggers
+// is a deterministic function of the held set (the process-global
+// implementation iterated a map).
 func (m *Manager) ReleaseAll(owner Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := m.held[owner]
-	delete(m.held, owner)
-	delete(m.waits, owner)
-	for key := range keys {
-		e := m.table[key]
+	os := m.ownerShardFor(owner)
+	os.mu.Lock()
+	keys := os.held[owner]
+	delete(os.held, owner)
+	os.mu.Unlock()
+	m.det.clear(owner)
+	for _, key := range keys {
+		s := m.stripeFor(key)
+		s.mu.Lock()
+		e := s.table[key]
 		if e == nil {
+			s.mu.Unlock()
 			continue
 		}
 		delete(e.holders, owner)
-		m.wakeLocked(e, key)
-		if len(e.holders) == 0 && len(e.queue) == 0 {
-			delete(m.table, key)
+		m.wakeLocked(s, e, key)
+		if len(e.holders) == 0 && len(e.queue) == 0 && len(s.table) > entryCacheCap {
+			delete(s.table, key)
 		}
+		s.mu.Unlock()
 	}
 }
 
 // wakeLocked re-evaluates e's wait queue in order, granting every waiter
 // that is now compatible (or absorbed), and refreshing waits-for edges for
 // those that remain blocked. A waiter whose refreshed edges close a cycle
-// is aborted as a deadlock victim.
-func (m *Manager) wakeLocked(e *entry, key storage.Key) {
+// is aborted as a deadlock victim. The stripe mutex is held.
+func (m *Manager) wakeLocked(s *stripe, e *entry, key storage.Key) {
 	var remaining []*waiter
 	for _, w := range e.queue {
 		if w.done {
@@ -352,7 +445,7 @@ func (m *Manager) wakeLocked(e *entry, key storage.Key) {
 		switch {
 		case len(conf) == 0:
 			m.grantLocked(e, key, w.owner, w.mode)
-			delete(m.waits, w.owner)
+			m.det.clear(w.owner)
 			w.done = true
 			if m.waitObs != nil {
 				m.waitObs.Woken(w.owner)
@@ -362,17 +455,16 @@ func (m *Manager) wakeLocked(e *entry, key storage.Key) {
 			Key: key, Requester: w.owner, Mode: w.mode, Holders: conf,
 		}):
 			m.grantLocked(e, key, w.owner, w.mode)
-			m.stats.FuzzyGrants++
-			delete(m.waits, w.owner)
+			m.fuzzyGrants.Add(1)
+			m.det.clear(w.owner)
 			w.done = true
 			if m.waitObs != nil {
 				m.waitObs.Woken(w.owner)
 			}
 			w.grant <- nil
 		default:
-			if m.setWaitEdges(w.owner, conf) {
-				delete(m.waits, w.owner)
-				m.stats.Deadlocks++
+			if m.det.setEdges(w.owner, conf) {
+				m.deadlocks.Add(1)
 				w.done = true
 				if m.waitObs != nil {
 					m.waitObs.Woken(w.owner)
@@ -388,9 +480,10 @@ func (m *Manager) wakeLocked(e *entry, key storage.Key) {
 
 // HoldsLock reports whether owner currently holds key in at least mode.
 func (m *Manager) HoldsLock(owner Owner, key storage.Key, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.table[key]
+	s := m.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.table[key]
 	if e == nil {
 		return false
 	}
@@ -400,11 +493,11 @@ func (m *Manager) HoldsLock(owner Owner, key storage.Key, mode Mode) bool {
 
 // HeldKeys returns the keys owner currently holds (any mode).
 func (m *Manager) HeldKeys(owner Owner) []storage.Key {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []storage.Key
-	for k := range m.held[owner] {
-		out = append(out, k)
-	}
+	os := m.ownerShardFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	held := os.held[owner]
+	out := make([]storage.Key, len(held))
+	copy(out, held)
 	return out
 }

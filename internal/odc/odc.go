@@ -166,7 +166,7 @@ func (e *Engine) Run(
 			})
 		}
 		if e.opDelay > 0 {
-			time.Sleep(e.opDelay)
+			txn.SimWork(e.opDelay)
 		}
 		observe := op.Kind == txn.OpRead || op.AbortIf != nil ||
 			(op.Kind == txn.OpWrite && !op.Commutative)

@@ -1,0 +1,84 @@
+// Package profiling wires the standard pprof profiles into the bench
+// CLIs. Each command exposes -cpuprofile, -memprofile, and -mutexprofile
+// flags; Start begins collection and the returned stop function writes
+// whatever was requested. Empty paths disable the corresponding profile
+// at zero cost, so the flags are always safe to plumb through.
+package profiling
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the three profile destinations.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Mutex string
+}
+
+// Register adds the standard -cpuprofile/-memprofile/-mutexprofile flags
+// to fs and returns the struct they populate.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write CPU profile to file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write heap profile to file")
+	fs.StringVar(&f.Mutex, "mutexprofile", "", "write mutex-contention profile to file")
+	return f
+}
+
+// mutexFraction is the sampling rate handed to SetMutexProfileFraction
+// while a mutex profile is requested: 1-in-5 contention events.
+const mutexFraction = 5
+
+// Start begins the requested profiles. The returned stop function
+// finishes the CPU profile and writes the heap and mutex profiles; call
+// it exactly once, after the measured work.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuF *os.File
+	if f.CPU != "" {
+		cpuF, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	if f.Mutex != "" {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if f.Mutex != "" {
+			out, err := os.Create(f.Mutex)
+			if err != nil {
+				return err
+			}
+			defer out.Close()
+			if err := pprof.Lookup("mutex").WriteTo(out, 0); err != nil {
+				return err
+			}
+		}
+		if f.Mem != "" {
+			out, err := os.Create(f.Mem)
+			if err != nil {
+				return err
+			}
+			defer out.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -427,7 +427,7 @@ func (s *Site) prepare2PC(ctx context.Context, txid string, payload any) (any, e
 			return fail(err)
 		}
 		if s.opDelay > 0 {
-			time.Sleep(s.opDelay)
+			txn.SimWork(s.opDelay)
 		}
 		old := store.Get(op.Key)
 		if op.AbortIf != nil && op.AbortIf(old) {

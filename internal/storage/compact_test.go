@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"asynctp/internal/metric"
+)
+
+// TestCompactJournalPreservesRecovery folds a prefix and checks the
+// recovered state is byte-identical to recovery from the uncompacted
+// journal, with the tail entries untouched.
+func TestCompactJournalPreservesRecovery(t *testing.T) {
+	s := New()
+	for i := 1; i <= 20; i++ {
+		k := Key(fmt.Sprintf("k%d", i%5))
+		if err := s.Apply([]Write{{Key: k, Value: metric.Value(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Recover().Snapshot()
+	wantLen := s.JournalLen()
+
+	removed := s.CompactJournal(12)
+	if removed != 11 { // 12 folded entries became 1 checkpoint
+		t.Fatalf("removed = %d, want 11", removed)
+	}
+	if got := s.JournalLen(); got != wantLen-removed {
+		t.Fatalf("journal len = %d, want %d", got, wantLen-removed)
+	}
+	j := s.Journal()
+	if !j[0].Checkpoint || j[0].LSN != 12 {
+		t.Fatalf("first entry = %+v, want checkpoint at LSN 12", j[0])
+	}
+	for _, e := range j[1:] {
+		if e.Checkpoint || e.LSN <= 12 {
+			t.Fatalf("tail entry %+v should be an untouched post-fold batch", e)
+		}
+	}
+	if got := s.Recover().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state changed by compaction:\n got %v\nwant %v", got, want)
+	}
+	// LSNs keep ascending after compaction.
+	if err := s.Apply([]Write{{Key: "k0", Value: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	j = s.Journal()
+	if last := j[len(j)-1]; last.LSN != 21 {
+		t.Fatalf("post-compaction LSN = %d, want 21", last.LSN)
+	}
+}
+
+// TestCompactJournalNoop: folding zero or one entry changes nothing.
+func TestCompactJournalNoop(t *testing.T) {
+	s := New()
+	if removed := s.CompactJournal(100); removed != 0 {
+		t.Fatalf("empty journal: removed %d", removed)
+	}
+	if err := s.Apply([]Write{{Key: "a", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if removed := s.CompactJournal(1); removed != 0 {
+		t.Fatalf("single entry: removed %d", removed)
+	}
+	if j := s.Journal(); len(j) != 1 || j[0].Checkpoint {
+		t.Fatalf("journal mutated by no-op compaction: %+v", j)
+	}
+}
+
+// TestAutoCompactBoundsJournal: the soft cap keeps the journal length
+// flat across a long run without changing the recovered state.
+func TestAutoCompactBoundsJournal(t *testing.T) {
+	s := New()
+	const limit = 32
+	s.SetJournalLimit(limit)
+	for i := 1; i <= 10*limit; i++ {
+		k := Key(fmt.Sprintf("k%d", i%7))
+		if err := s.Apply([]Write{{Key: k, Value: metric.Value(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.JournalLen(); got > limit+1 {
+		t.Fatalf("journal len = %d, want <= %d (soft cap + checkpoint)", got, limit+1)
+	}
+	if got, want := s.Recover().Snapshot(), s.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverged under auto-compaction:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCompactConcurrentWithApply hammers Apply from many goroutines
+// (disjoint keys, as the lock manager guarantees for conflicting
+// batches) while compactions run, then checks recovery still reproduces
+// the live state. Run under -race this is the journal-striping
+// contention test.
+func TestCompactConcurrentWithApply(t *testing.T) {
+	s := New()
+	s.SetJournalLimit(16)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := Key(fmt.Sprintf("w%d", w))
+			for i := 1; i <= perWriter; i++ {
+				if err := s.Apply([]Write{{Key: k, Value: metric.Value(i)}}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					s.CompactJournal(s.Journal()[0].LSN)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := s.Snapshot()
+	if len(want) != writers {
+		t.Fatalf("snapshot has %d keys, want %d", len(want), writers)
+	}
+	for k, v := range want {
+		if v != perWriter {
+			t.Fatalf("%s = %d, want %d (last write must win in LSN order)", k, v, perWriter)
+		}
+	}
+	if got := s.Recover().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state != live state:\n got %v\nwant %v", got, want)
+	}
+}

@@ -7,12 +7,27 @@
 // plain concurrent map plus a committed-write journal. The journal gives
 // sites a durable-state notion for crash/restore simulation: state
 // reconstructed from the journal is exactly the committed state.
+//
+// # Striping
+//
+// The live map is sharded by key hash; the journal is sharded
+// round-robin with per-entry LSN assignment from an atomic counter, and
+// merged by LSN on read (Journal, Recover). Unrelated keys therefore
+// never contend on a mutex. Whole-store reads (Snapshot, Sum, Keys …)
+// take every data-shard read lock in index order, which still yields a
+// consistent cut. LSNs are assigned while holding the target journal
+// shard's mutex, so any reader holding all journal-shard mutexes sees a
+// gap-free prefix: every assigned LSN is already appended. Replaying
+// the merged journal in LSN order reproduces the committed state —
+// conflicting batches are ordered by the lock manager (writers hold
+// exclusive locks through Apply), so LSN order is a valid serialization.
 package storage
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"asynctp/internal/metric"
 )
@@ -27,25 +42,66 @@ type Write struct {
 	Value metric.Value
 }
 
-// JournalEntry is one committed atomic batch, in commit order.
+// JournalEntry is one committed atomic batch.
 type JournalEntry struct {
-	// LSN is the log sequence number, dense from 1.
+	// LSN is the log sequence number, ascending from 1. LSNs are dense
+	// until the first CompactJournal, which folds a prefix of entries
+	// into one checkpoint entry.
 	LSN uint64
 	// Writes are the batch's assignments.
 	Writes []Write
+	// Checkpoint marks an entry produced by CompactJournal: its writes
+	// are the folded state of every entry it replaced.
+	Checkpoint bool
 }
+
+// dataShard is one shard of the live map.
+type dataShard struct {
+	mu   sync.RWMutex
+	data map[Key]metric.Value
+}
+
+// journalShard is one shard of the committed-batch journal.
+type journalShard struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+}
+
+// DefaultShards is the default data/journal shard count.
+const DefaultShards = 16
+
+// DefaultJournalLimit is the default soft cap on journal entries: when
+// an append pushes the total past the cap the journal auto-compacts its
+// full prefix into one checkpoint entry. Recovery semantics are
+// unchanged (the checkpoint replays to the identical state); the cap
+// only bounds memory in long soaks. SetJournalLimit(0) disables it.
+const DefaultJournalLimit = 1 << 16
 
 // Store is a concurrent key-value store over the metric value space.
 type Store struct {
-	mu      sync.RWMutex
-	data    map[Key]metric.Value
-	journal []JournalEntry
-	nextLSN uint64
+	shards  []*dataShard
+	jshards []*journalShard
+	nextLSN atomic.Uint64
+	nextJS  atomic.Uint64 // round-robin journal shard cursor
+	jcount  atomic.Int64  // total journal entries across shards
+	jlimit  atomic.Int64  // soft cap (0 = unlimited)
+	compact sync.Mutex    // serializes compactions
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{data: make(map[Key]metric.Value), nextLSN: 1}
+	s := &Store{
+		shards:  make([]*dataShard, DefaultShards),
+		jshards: make([]*journalShard, DefaultShards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &dataShard{data: make(map[Key]metric.Value)}
+	}
+	for i := range s.jshards {
+		s.jshards[i] = &journalShard{}
+	}
+	s.jlimit.Store(DefaultJournalLimit)
+	return s
 }
 
 // NewFrom returns a store seeded with the given contents. The initial load
@@ -67,20 +123,37 @@ func NewFrom(init map[Key]metric.Value) *Store {
 	return s
 }
 
+// shardFor returns k's data shard (FNV-1a over the key bytes).
+func (s *Store) shardFor(k Key) *dataShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
 // Get returns the current value of k. Missing keys read as 0, matching the
 // metric space's natural zero (an account that does not exist holds no
 // money).
 func (s *Store) Get(k Key) metric.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.data[k]
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	v := sh.data[k]
+	sh.mu.RUnlock()
+	return v
 }
 
 // Has reports whether k has ever been written.
 func (s *Store) Has(k Key) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.data[k]
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	_, ok := sh.data[k]
+	sh.mu.RUnlock()
 	return ok
 }
 
@@ -88,9 +161,10 @@ func (s *Store) Has(k Key) bool {
 // in-flight transactions; the transaction layer journals the final batch at
 // commit via Apply, and undoes via Set on abort.
 func (s *Store) Set(k Key, v metric.Value) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data[k] = v
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	sh.data[k] = v
+	sh.mu.Unlock()
 }
 
 // Apply journals an atomic committed batch. Values must already be present
@@ -101,44 +175,82 @@ func (s *Store) Apply(writes []Write) error {
 	if len(writes) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp := make([]Write, len(writes))
 	copy(cp, writes)
 	for _, w := range cp {
-		s.data[w.Key] = w.Value
+		s.Set(w.Key, w.Value)
 	}
-	s.journal = append(s.journal, JournalEntry{LSN: s.nextLSN, Writes: cp})
-	s.nextLSN++
+	js := s.jshards[s.nextJS.Add(1)%uint64(len(s.jshards))]
+	js.mu.Lock()
+	// The LSN is assigned under the shard mutex so that a reader holding
+	// every journal-shard mutex observes a gap-free LSN prefix.
+	lsn := s.nextLSN.Add(1)
+	js.entries = append(js.entries, JournalEntry{LSN: lsn, Writes: cp})
+	js.mu.Unlock()
+	if n := s.jcount.Add(1); n > s.jlimit.Load() && s.jlimit.Load() > 0 {
+		s.autoCompact()
+	}
 	return nil
+}
+
+// SetJournalLimit sets the soft cap on journal entries (0 disables
+// auto-compaction). The cap bounds memory, not durability: compaction
+// preserves the recovered state exactly.
+func (s *Store) SetJournalLimit(n int) {
+	s.jlimit.Store(int64(n))
+}
+
+// JournalLen returns the number of journal entries currently held.
+func (s *Store) JournalLen() int { return int(s.jcount.Load()) }
+
+// lockAllData read-locks every data shard in index order.
+func (s *Store) lockAllData() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) unlockAllData() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
 }
 
 // Len returns the number of keys present.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
+	s.lockAllData()
+	defer s.unlockAllData()
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.data)
+	}
+	return n
 }
 
 // Keys returns all keys in sorted order.
 func (s *Store) Keys() []Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]Key, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
+	s.lockAllData()
+	var keys []Key
+	for _, sh := range s.shards {
+		for k := range sh.data {
+			keys = append(keys, k)
+		}
 	}
+	s.unlockAllData()
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
 }
 
-// Snapshot returns a copy of the full current state.
+// Snapshot returns a copy of the full current state (a consistent cut:
+// every data shard is read-locked while copying).
 func (s *Store) Snapshot() map[Key]metric.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := make(map[Key]metric.Value, len(s.data))
-	for k, v := range s.data {
-		snap[k] = v
+	s.lockAllData()
+	defer s.unlockAllData()
+	snap := make(map[Key]metric.Value)
+	for _, sh := range s.shards {
+		for k, v := range sh.data {
+			snap[k] = v
+		}
 	}
 	return snap
 }
@@ -146,21 +258,47 @@ func (s *Store) Snapshot() map[Key]metric.Value {
 // Restore replaces the live state with snap, keeping the journal. It is
 // the test hook for "reset to a known state".
 func (s *Store) Restore(snap map[Key]metric.Value) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = make(map[Key]metric.Value, len(snap))
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.data = make(map[Key]metric.Value)
+	}
 	for k, v := range snap {
-		s.data[k] = v
+		s.shardFor(k).data[k] = v
+	}
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
 	}
 }
 
-// Journal returns a copy of the committed-batch journal.
-func (s *Store) Journal() []JournalEntry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]JournalEntry, len(s.journal))
-	copy(out, s.journal)
+// mergedJournalLocked collects every entry sorted by LSN. Callers hold
+// all journal-shard mutexes.
+func (s *Store) mergedJournalLocked() []JournalEntry {
+	var out []JournalEntry
+	for _, js := range s.jshards {
+		out = append(out, js.entries...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
 	return out
+}
+
+// lockAllJournal locks every journal shard in index order.
+func (s *Store) lockAllJournal() {
+	for _, js := range s.jshards {
+		js.mu.Lock()
+	}
+}
+
+func (s *Store) unlockAllJournal() {
+	for _, js := range s.jshards {
+		js.mu.Unlock()
+	}
+}
+
+// Journal returns a copy of the committed-batch journal in LSN order.
+func (s *Store) Journal() []JournalEntry {
+	s.lockAllJournal()
+	defer s.unlockAllJournal()
+	return s.mergedJournalLocked()
 }
 
 // Recover builds a fresh store whose state replays the journal: the
@@ -168,39 +306,142 @@ func (s *Store) Journal() []JournalEntry {
 // in-flight transactions are lost, exactly as a write-ahead-logged store
 // would lose dirty pages whose transactions never committed.
 func (s *Store) Recover() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	entries := s.Journal()
 	r := New()
-	for _, entry := range s.journal {
+	r.jlimit.Store(s.jlimit.Load())
+	var maxLSN uint64
+	for _, entry := range entries {
 		for _, w := range entry.Writes {
-			r.data[w.Key] = w.Value
+			r.shardFor(w.Key).data[w.Key] = w.Value
 		}
-		r.journal = append(r.journal, entry)
-		r.nextLSN = entry.LSN + 1
+		js := r.jshards[r.nextJS.Add(1)%uint64(len(r.jshards))]
+		js.entries = append(js.entries, entry)
+		r.jcount.Add(1)
+		if entry.LSN > maxLSN {
+			maxLSN = entry.LSN
+		}
 	}
+	r.nextLSN.Store(maxLSN)
 	return r
+}
+
+// CompactJournal folds every journal entry with LSN <= keepLSN into a
+// single checkpoint entry carrying the folded state, and keeps later
+// entries untouched. It returns the number of entries removed (folded
+// entries minus the checkpoint). Recovery from a compacted journal
+// reproduces exactly the state of the uncompacted one: the checkpoint
+// replays the folded prefix's final values, then later entries replay
+// in LSN order as before. Long soaks call it to keep memory flat.
+func (s *Store) CompactJournal(keepLSN uint64) int {
+	s.compact.Lock()
+	defer s.compact.Unlock()
+	return s.compactJournal(keepLSN)
+}
+
+// compactJournal is CompactJournal's body; callers hold s.compact.
+//
+// Each shard's entries are in ascending LSN order by construction (the
+// LSN is assigned under the shard mutex just before the append), so the
+// folded region of every shard is a plain slice prefix: no global
+// merge-and-sort is needed. Folding tracks per-key the highest folded
+// LSN so last-writer-wins holds across shards, the prefixes are trimmed
+// in place (keeping each shard's capacity for the next fill cycle), and
+// the checkpoint — whose LSN precedes every kept entry — is prepended
+// to shard 0, preserving per-shard LSN order. This keeps auto-compaction
+// O(folded entries) with no large transient allocation, which matters
+// because it runs on the commit path of long benchmarks and soaks.
+func (s *Store) compactJournal(keepLSN uint64) int {
+	s.lockAllJournal()
+	defer s.unlockAllJournal()
+	type foldVal struct {
+		lsn uint64
+		v   metric.Value
+	}
+	fold := make(map[Key]foldVal)
+	cuts := make([]int, len(s.jshards))
+	folded := 0
+	var maxFolded uint64
+	for si, js := range s.jshards {
+		entries := js.entries
+		cut := sort.Search(len(entries), func(i int) bool { return entries[i].LSN > keepLSN })
+		cuts[si] = cut
+		for _, e := range entries[:cut] {
+			for _, w := range e.Writes {
+				// >= lets a later write in the same batch win too.
+				if fv, ok := fold[w.Key]; !ok || e.LSN >= fv.lsn {
+					fold[w.Key] = foldVal{lsn: e.LSN, v: w.Value}
+				}
+			}
+			if e.LSN > maxFolded {
+				maxFolded = e.LSN
+			}
+		}
+		folded += cut
+	}
+	if folded <= 1 {
+		return 0 // nothing to gain
+	}
+	writes := make([]Write, 0, len(fold))
+	for k, fv := range fold {
+		writes = append(writes, Write{Key: k, Value: fv.v})
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Key < writes[j].Key })
+	ck := JournalEntry{LSN: maxFolded, Writes: writes, Checkpoint: true}
+	total := 1 // the checkpoint
+	for si, js := range s.jshards {
+		if cut := cuts[si]; cut > 0 {
+			js.entries = append(js.entries[:0], js.entries[cut:]...)
+		}
+		total += len(js.entries)
+	}
+	// maxFolded <= keepLSN < every kept LSN, so prepending the checkpoint
+	// keeps shard 0 sorted.
+	js0 := s.jshards[0]
+	js0.entries = append(js0.entries, JournalEntry{})
+	copy(js0.entries[1:], js0.entries)
+	js0.entries[0] = ck
+	s.jcount.Store(int64(total))
+	return folded - 1
+}
+
+// autoCompact folds the entire current journal into one checkpoint.
+// It runs at most one compaction at a time; concurrent appends simply
+// land after the fold point and are kept.
+func (s *Store) autoCompact() {
+	if !s.compact.TryLock() {
+		return // a compaction is already running
+	}
+	defer s.compact.Unlock()
+	s.compactJournal(s.nextLSN.Load())
 }
 
 // Sum returns the total of the given keys (missing keys count 0). It is
 // the consistency invariant of the banking workloads: transfers conserve
 // the sum.
 func (s *Store) Sum(keys []Key) metric.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.lockAllData()
+	defer s.unlockAllData()
 	var total metric.Value
 	for _, k := range keys {
-		total += s.data[k]
+		total += s.shardForNoLock(k)[k]
 	}
 	return total
 }
 
+// shardForNoLock returns k's shard map; callers hold the shard locks.
+func (s *Store) shardForNoLock(k Key) map[Key]metric.Value {
+	return s.shardFor(k).data
+}
+
 // SumAll returns the total over every key present.
 func (s *Store) SumAll() metric.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.lockAllData()
+	defer s.unlockAllData()
 	var total metric.Value
-	for _, v := range s.data {
-		total += v
+	for _, sh := range s.shards {
+		for _, v := range sh.data {
+			total += v
+		}
 	}
 	return total
 }

@@ -194,7 +194,7 @@ func (e *Engine) Run(
 			})
 		}
 		if e.opDelay > 0 {
-			time.Sleep(e.opDelay)
+			txn.SimWork(e.opDelay)
 		}
 		// Read the current value (own buffered write wins).
 		cur, buffered := values[op.Key]

@@ -1,0 +1,33 @@
+package txn
+
+import "time"
+
+// spinThreshold is the delay below which SimWork busy-spins instead of
+// sleeping. On mainstream Linux kernels time.Sleep has ~1ms of timer
+// slack, so a "50µs" simulated operation would actually park the
+// goroutine for 1–3ms — while it holds locks. Benchmarks that model
+// per-operation work (the paper's environment, where blocking on locks
+// is what limits throughput) then measure kernel timer granularity
+// convoys instead of the concurrency control under test. Spinning burns
+// one core for the duration, which is exactly the semantics "this
+// operation performs d of CPU work".
+const spinThreshold = time.Millisecond
+
+// SimWork simulates d of per-operation work. Sub-millisecond delays
+// busy-spin (accurate to the scheduler quantum, preemptible since Go
+// 1.14's async preemption); longer delays sleep, since at that scale
+// timer slack no longer distorts the measurement and burning a core
+// would. Zero and negative delays return immediately.
+func SimWork(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= spinThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		// Busy-spin: the point is to occupy the CPU like real work would.
+	}
+}

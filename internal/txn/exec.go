@@ -96,7 +96,9 @@ func NewExec(store *storage.Store, locks *lock.Manager, obs Observer) *Exec {
 // SetOpDelay makes every operation take d of simulated work while its
 // lock is held. Zero (the default) disables it. Benchmarks use it to
 // model the paper's environment, where operations take real time and
-// blocking on locks is what limits throughput.
+// blocking on locks is what limits throughput. Sub-millisecond delays
+// busy-spin instead of sleeping (see SimWork) so the simulated work is
+// actually d, not d plus kernel timer slack.
 func (e *Exec) SetOpDelay(d time.Duration) { e.opDelay = d }
 
 // SetStepHook installs a step hook consulted before every lock request,
@@ -117,6 +119,36 @@ func (e *Exec) Store() *storage.Store { return e.store }
 // Locks returns the lock manager.
 func (e *Exec) Locks() *lock.Manager { return e.locks }
 
+// writeRec tracks one written key: its before-image (first write) and
+// its latest value. A small slice with linear lookup beats two maps for
+// the handful of keys a piece writes, and doubles as the commit batch.
+type writeRec struct {
+	key        storage.Key
+	old, final metric.Value
+}
+
+// findWrite returns the index of key in recs, or -1.
+func findWrite(recs []writeRec, key storage.Key) int {
+	for i := range recs {
+		if recs[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// abort undoes writes (last before-images win in reverse), releases
+// owner's locks, and reports the abort.
+func (e *Exec) abort(owner lock.Owner, writes []writeRec, reason error) {
+	for i := len(writes) - 1; i >= 0; i-- {
+		e.store.Set(writes[i].key, writes[i].old)
+	}
+	e.locks.ReleaseAll(owner)
+	if e.obs != nil {
+		e.obs.Abort(owner, reason)
+	}
+}
+
 // Run executes p atomically as owner. On success the outcome is committed
 // and journaled. On failure all effects are undone and the error tells the
 // caller whether to retry: lock.ErrDeadlock and context errors are system
@@ -129,18 +161,9 @@ func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome,
 		e.obs.Begin(owner, p.Name, p.Class())
 	}
 	out := &Outcome{Owner: owner}
-	undo := make(map[storage.Key]metric.Value) // before-images, first write only
-	finals := make(map[storage.Key]metric.Value)
-
-	abort := func(reason error) {
-		for k, v := range undo {
-			e.store.Set(k, v)
-		}
-		e.locks.ReleaseAll(owner)
-		if e.obs != nil {
-			e.obs.Abort(owner, reason)
-		}
-	}
+	// Per-key write records (before-image + final value), allocated on
+	// the first write so read-only transactions stay allocation-light.
+	var writes []writeRec
 
 	for i, op := range p.Ops {
 		mode := lock.Shared
@@ -149,31 +172,38 @@ func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome,
 		}
 		e.stepTo(owner, p, i, StepAcquire, op.Key, op.Kind == OpWrite)
 		if err := e.locks.Acquire(ctx, owner, op.Key, mode); err != nil {
-			abort(err)
+			e.abort(owner, writes, err)
 			return out, fmt.Errorf("op %d on %q: %w", i, op.Key, err)
 		}
 		e.stepTo(owner, p, i, StepApply, op.Key, op.Kind == OpWrite)
 		if e.opDelay > 0 {
-			time.Sleep(e.opDelay)
+			SimWork(e.opDelay)
 		}
 		old := e.store.Get(op.Key)
 		if op.AbortIf != nil && op.AbortIf(old) {
-			abort(ErrRollback)
+			e.abort(owner, writes, ErrRollback)
 			return out, fmt.Errorf("op %d on %q: %w", i, op.Key, ErrRollback)
 		}
 		switch op.Kind {
 		case OpRead:
+			if out.Reads == nil {
+				out.Reads = make([]ReadRec, 0, len(p.Ops)-i)
+			}
 			out.Reads = append(out.Reads, ReadRec{Key: op.Key, Value: old})
 			if e.obs != nil {
 				e.obs.Read(owner, op.Key, old)
 			}
 		case OpWrite:
-			if _, seen := undo[op.Key]; !seen {
-				undo[op.Key] = old
+			if writes == nil {
+				writes = make([]writeRec, 0, len(p.Ops)-i)
 			}
 			val := op.Update(old)
 			e.store.Set(op.Key, val)
-			finals[op.Key] = val
+			if j := findWrite(writes, op.Key); j >= 0 {
+				writes[j].final = val // keep the first before-image
+			} else {
+				writes = append(writes, writeRec{key: op.Key, old: old, final: val})
+			}
 			if e.obs != nil {
 				e.obs.Write(owner, op.Key, old, val, op.Commutative)
 			}
@@ -183,12 +213,15 @@ func (e *Exec) Run(ctx context.Context, owner lock.Owner, p *Program) (*Outcome,
 	// Commit: journal the batch, then release (strict 2PL holds all locks
 	// to this point).
 	e.stepTo(owner, p, -1, StepCommit, "", false)
-	batch := make([]storage.Write, 0, len(finals))
-	for k, v := range finals {
-		batch = append(batch, storage.Write{Key: k, Value: v})
+	var batch []storage.Write
+	if len(writes) > 0 {
+		batch = make([]storage.Write, len(writes))
+		for i, w := range writes {
+			batch[i] = storage.Write{Key: w.key, Value: w.final}
+		}
 	}
 	if err := e.store.Apply(batch); err != nil {
-		abort(err)
+		e.abort(owner, writes, err)
 		return out, fmt.Errorf("commit %q: %w", p.Name, err)
 	}
 	out.Writes = batch
