@@ -49,6 +49,10 @@ type ChaosConfig struct {
 	Seed int64
 	// Stagger paces chain submissions so they overlap the fault window.
 	Stagger time.Duration
+	// Workers sizes each site's piece-worker pool (0 keeps the site
+	// default). Conservation and the fired-fault timeline must not
+	// depend on it — the soak test runs the storm at 1 and 8.
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -119,7 +123,7 @@ var chaosSites = []simnet.SiteID{"NY", "LA", "CHI"}
 // Both strategies get bounded-wait commit timeouts: they are inert for
 // chopped queues and are what lets 2PC presume abort instead of
 // blocking forever when the schedule crashes a participant.
-func chaosCluster(strategy site.Strategy, seed int64) (*site.Cluster, error) {
+func chaosCluster(strategy site.Strategy, seed int64, opts ...site.Option) (*site.Cluster, error) {
 	return site.NewCluster(site.Config{
 		Strategy:  strategy,
 		Latency:   500 * time.Microsecond,
@@ -136,7 +140,7 @@ func chaosCluster(strategy site.Strategy, seed int64) (*site.Cluster, error) {
 			VoteWait:   20 * time.Millisecond,
 			MaxRetries: 2,
 		},
-	})
+	}, opts...)
 }
 
 // chaosPrograms returns the NY→LA→CHI chain transfer (three pieces at
@@ -189,7 +193,11 @@ func ChaosSchedule(scenario string, seed int64) (*fault.Schedule, error) {
 // quiescence, and checks conservation.
 func RunChaosScenario(strategy site.Strategy, scenario string, cfg ChaosConfig) (*ChaosOutcome, error) {
 	cfg = cfg.withDefaults()
-	c, err := chaosCluster(strategy, cfg.Seed)
+	var siteOpts []site.Option
+	if cfg.Workers > 0 {
+		siteOpts = append(siteOpts, site.WithWorkers(cfg.Workers))
+	}
+	c, err := chaosCluster(strategy, cfg.Seed, siteOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"asynctp/internal/site"
+)
+
+// TestDistBenchSmokeBothVariants runs a tiny distbench in each
+// transport variant: both must settle every chain, conserve money, and
+// the batched variant must pay fewer network frames per chain than the
+// legacy wire on the identical workload.
+func TestDistBenchSmokeBothVariants(t *testing.T) {
+	cfg := DistBenchConfig{
+		Latency:    200 * time.Microsecond,
+		Seed:       9,
+		Submitters: 8,
+		Txns:       64,
+		Families:   8,
+	}
+	results := map[string]*DistBenchResult{}
+	for _, variant := range []string{VariantBatched, VariantUnbatched} {
+		cfg.Variant = variant
+		res, err := RunDistBench(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if res.Txns != cfg.Txns {
+			t.Errorf("%s: txns = %d, want %d", variant, res.Txns, cfg.Txns)
+		}
+		if !res.Conserved {
+			t.Errorf("%s: money not conserved", variant)
+		}
+		if res.TPS <= 0 || res.PiecesPerSec <= 0 {
+			t.Errorf("%s: degenerate throughput %+v", variant, res)
+		}
+		if res.SettleP50 < res.InitP50 {
+			t.Errorf("%s: settlement p50 %v < initiation p50 %v",
+				variant, res.SettleP50, res.InitP50)
+		}
+		results[variant] = res
+	}
+	b, u := results[VariantBatched], results[VariantUnbatched]
+	if b.FramesPerTxn >= u.FramesPerTxn {
+		t.Errorf("batched frames/txn %.1f >= unbatched %.1f: coalescing bought nothing",
+			b.FramesPerTxn, u.FramesPerTxn)
+	}
+}
+
+// TestDistBenchRejectsUnknownVariant keeps the CLI surface honest.
+func TestDistBenchRejectsUnknownVariant(t *testing.T) {
+	if _, err := RunDistBench(DistBenchConfig{Variant: "turbo", Txns: 1}); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+}
+
+// TestChaosStormAcrossWorkerPools reruns the crash-storm scenario with
+// the worker pool squeezed to 1 and widened to 8: the paper's safety
+// argument is scheduling-independent, so both must settle every chain
+// and conserve money, and the seeded fault timeline must be identical
+// (satellite: WithWorkers under chaos).
+func TestChaosStormAcrossWorkerPools(t *testing.T) {
+	var refFired []string
+	for _, workers := range []int{1, 8} {
+		cfg := soakCfg()
+		cfg.Workers = workers
+		out, err := RunChaosScenario(site.ChoppedQueues, ScenarioCrashStorm, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if out.Settled != cfg.Chains {
+			t.Errorf("workers=%d: settled %d/%d (failed %d)",
+				workers, out.Settled, cfg.Chains, out.Failed)
+		}
+		if !out.Conserved {
+			t.Errorf("workers=%d: money not conserved", workers)
+		}
+		if refFired == nil {
+			refFired = out.Fired
+			continue
+		}
+		if len(out.Fired) != len(refFired) {
+			t.Fatalf("workers=8 fired %v, workers=1 fired %v", out.Fired, refFired)
+		}
+		for i := range refFired {
+			if out.Fired[i] != refFired[i] {
+				t.Errorf("fired[%d] = %q with workers=8, %q with workers=1",
+					i, out.Fired[i], refFired[i])
+			}
+		}
+	}
+}

@@ -23,6 +23,13 @@ const (
 	// settlement report and successor activations are staged. A crash
 	// here forces the redelivered activation to re-stage them.
 	PointPreReport
+	// PointPreBatchFlush fires inside the queue layer: the flushed
+	// messages are already durable in the outbox, but the coalesced
+	// batch frame has not reached the network. A crash here loses the
+	// volatile coalescing buffer; recovery must replay the staged batch
+	// from the durable outbox via retransmission. Consulted with
+	// inst = 0 and piece = -1 (the queue layer is below piece identity).
+	PointPreBatchFlush
 )
 
 // String renders the injection point.
@@ -32,6 +39,8 @@ func (p Point) String() string {
 		return "pre-ack"
 	case PointPreReport:
 		return "pre-report"
+	case PointPreBatchFlush:
+		return "pre-batch-flush"
 	default:
 		return "point(?)"
 	}

@@ -10,18 +10,32 @@
 //     delivers nothing (the buffer is simply dropped).
 //   - A committed message survives site and link failures: it sits in a
 //     durable outbox and is retransmitted until the destination
-//     acknowledges it; receivers deduplicate by message ID.
+//     acknowledges it; receivers deduplicate by per-sender sequence
+//     number.
 //   - A delivered message must be consumed by a transaction that
 //     eventually commits: Dequeue hands out a Delivery that the consumer
 //     Acks on commit or Nacks on abort, which puts the message back.
 //   - Crash recovery (Snapshot/Restore) returns in-flight deliveries to
 //     the queue — at-least-once consumption, which is exactly what makes
 //     resubmit-until-commit of rollback-safe pieces sound.
+//
+// Transport: the endpoint is batch-first. Committed sends coalesce per
+// destination (size- and delay-bounded) into a single queue.enq.batch
+// frame; receivers acknowledge a whole frame with one cumulative
+// queue.ack.batch and piggyback pending acks on outgoing data frames.
+// Unacknowledged messages are retransmitted per-message on a deadline
+// with exponential backoff (batched by destination when due), instead
+// of re-sending the entire outbox every tick. WithLegacyWire restores
+// the pre-batching transport — one frame per message, one ack per
+// frame, full-outbox retransmission — as an A/B baseline for distbench.
 package queue
 
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,8 +44,14 @@ import (
 
 // Msg is one queued message.
 type Msg struct {
-	// ID is globally unique (site-qualified); receivers dedupe on it.
+	// ID is globally unique (site- and destination-qualified); acks and
+	// the outbox are keyed on it.
 	ID string
+	// Seq is the per-(sender, destination) sequence number, 1-based and
+	// gapless in commit order. Receivers dedup on (From, Seq) with a
+	// contiguous-prefix watermark, which is what lets them retire old
+	// entries instead of remembering every ID forever.
+	Seq uint64
 	// From is the sending site.
 	From simnet.SiteID
 	// Queue names the destination queue at the receiving site.
@@ -42,16 +62,79 @@ type Msg struct {
 
 // Message kinds on the wire.
 const (
-	// KindEnqueue carries a Msg to the destination queue.
+	// KindEnqueue carries a single Msg to the destination queue (legacy
+	// wire format; still accepted by every endpoint).
 	KindEnqueue = "queue.enq"
-	// KindAck acknowledges a received Msg ID back to the sender.
+	// KindAck acknowledges a single received Msg ID back to the sender
+	// (legacy wire format).
 	KindAck = "queue.ack"
+	// KindEnqueueBatch carries a BatchFrame: the coalesced committed
+	// sends for one destination plus piggybacked acks.
+	KindEnqueueBatch = "queue.enq.batch"
+	// KindAckBatch carries an AckFrame: one cumulative acknowledgement
+	// of many received Msg IDs.
+	KindAckBatch = "queue.ack.batch"
 )
 
-// outMsg is a committed, not-yet-acknowledged outgoing message.
+// IsQueueKind reports whether a message kind belongs to the queue layer
+// (site dispatch loops route these to Manager.Handle).
+func IsQueueKind(kind string) bool {
+	switch kind {
+	case KindEnqueue, KindAck, KindEnqueueBatch, KindAckBatch:
+		return true
+	}
+	return false
+}
+
+// IsEnqueueKind reports whether the kind carries queue messages (as
+// opposed to pure acknowledgements); sites persist their durable queue
+// image after handling one.
+func IsEnqueueKind(kind string) bool {
+	return kind == KindEnqueue || kind == KindEnqueueBatch
+}
+
+// BatchFrame is the wire payload of one batched transfer: every
+// committed message coalesced for one destination since the last flush,
+// plus piggybacked cumulative acks for traffic in the opposite
+// direction. The network treats the frame as a unit (one loss/latency
+// draw — see simnet.Frame), so a frame is lost or delivered whole.
+type BatchFrame struct {
+	Msgs []Msg
+	// Acks acknowledges messages previously received FROM the frame's
+	// destination — the piggyback path that makes steady bidirectional
+	// piece traffic ack itself for free.
+	Acks []string
+}
+
+// FrameLen implements simnet.Frame.
+func (f BatchFrame) FrameLen() int {
+	if n := len(f.Msgs); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// AckFrame is the wire payload of a standalone cumulative
+// acknowledgement (sent when there is no reverse traffic to piggyback
+// on).
+type AckFrame struct {
+	IDs []string
+}
+
+// outMsg is a committed, not-yet-acknowledged outgoing message plus its
+// volatile retransmission state.
 type outMsg struct {
 	msg Msg
 	to  simnet.SiteID
+	// nextSend is the retransmission deadline: the message is re-sent
+	// when it passes without an ack.
+	nextSend time.Time
+	// backoff is the current deadline increment; it doubles per attempt
+	// up to the manager's cap, so a long-unreachable destination costs
+	// O(log) retransmissions instead of one per tick.
+	backoff time.Duration
+	// attempts counts (re)transmissions after the first flush.
+	attempts int
 }
 
 // TxBuffer stages messages inside a transaction. It is not safe for
@@ -69,43 +152,163 @@ func (b *TxBuffer) Enqueue(to simnet.SiteID, queueName string, payload any) {
 // Len returns the number of staged messages.
 func (b *TxBuffer) Len() int { return len(b.staged) }
 
+// seenSet is the per-sender dedup state: a contiguous-prefix watermark
+// plus a sparse set for out-of-order arrivals beyond it. Because a
+// sender numbers each destination's messages gaplessly and retransmits
+// until acked, every gap eventually fills, the prefix advances, and the
+// sparse set drains — memory stays bounded by the in-flight window, not
+// by the lifetime message count.
+type seenSet struct {
+	prefix uint64
+	sparse map[uint64]bool
+}
+
+// has reports whether seq was already delivered here.
+func (s *seenSet) has(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	return seq <= s.prefix || s.sparse[seq]
+}
+
+// add records seq, advancing the watermark over any contiguous run.
+func (s *seenSet) add(seq uint64) {
+	if seq == 0 || s.has(seq) {
+		return
+	}
+	if seq == s.prefix+1 {
+		s.prefix++
+		for s.sparse[s.prefix+1] {
+			delete(s.sparse, s.prefix+1)
+			s.prefix++
+		}
+		return
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[uint64]bool)
+	}
+	s.sparse[seq] = true
+}
+
+// Option tunes a Manager.
+type Option func(*Manager)
+
+// WithMaxBatch caps the number of messages coalesced into one
+// queue.enq.batch frame (default 64).
+func WithMaxBatch(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.maxBatch = n
+		}
+	}
+}
+
+// WithFlushDelay sets the coalescing window: committed sends and
+// pending acks wait up to d for company before the buffer flushes
+// (default 200µs). d <= 0 flushes synchronously on every commit and
+// receipt — no added latency, no coalescing beyond what one CommitSend
+// carries.
+func WithFlushDelay(d time.Duration) Option {
+	return func(m *Manager) { m.flushDelay = d }
+}
+
+// WithMaxBackoff caps the per-message retransmission backoff (default
+// 16x the retransmit interval).
+func WithMaxBackoff(d time.Duration) Option {
+	return func(m *Manager) {
+		if d > 0 {
+			m.maxBackoff = d
+		}
+	}
+}
+
+// WithLegacyWire selects the pre-batching transport: one KindEnqueue
+// frame per message, an immediate KindAck per receipt, and
+// full-outbox retransmission every tick with no backoff. Kept as the
+// measured baseline for the batched pipeline (cmd/distbench) and as a
+// compatibility reference — every endpoint accepts both dialects.
+func WithLegacyWire() Option {
+	return func(m *Manager) { m.legacy = true }
+}
+
+// WithFlushCrash installs a fault-injection hook consulted once per
+// batch flush, after the flushed messages are durable in the outbox but
+// before any frame reaches the network (fault.PointPreBatchFlush). A
+// true answer drops the flush on the floor — the volatile coalescing
+// buffers are cleared, simulating a site that fail-stopped mid-flush —
+// and the caller is expected to crash the site; recovery replays the
+// staged messages from the durable outbox via retransmission.
+func WithFlushCrash(hook func() bool) Option {
+	return func(m *Manager) { m.flushCrash = hook }
+}
+
 // Manager is the per-site recoverable-queue endpoint.
 type Manager struct {
 	site simnet.SiteID
 	net  *simnet.Network
 
-	mu       sync.Mutex
-	nextID   uint64
-	outbox   map[string]outMsg // committed, unacked
-	queues   map[string][]Msg  // deliverable, arrival order
-	inflight map[string]Msg    // dequeued, not yet acked by consumer
-	seen     map[string]bool   // IDs ever enqueued here (dedup)
-	// notify is closed and replaced whenever a queue gains a message — a
-	// broadcast that cannot lose wakeups across waiters on different
-	// queues.
-	notify chan struct{}
+	interval   time.Duration // base retransmit interval
+	maxBatch   int
+	flushDelay time.Duration
+	maxBackoff time.Duration
+	legacy     bool
+	flushCrash func() bool
+
+	mu      sync.Mutex
+	closed  bool
+	nextSeq map[simnet.SiteID]uint64
+	outbox  map[string]*outMsg // committed, unacked
+	queues  map[string][]Msg   // deliverable, arrival order
+	// inflight holds dequeued, not yet consumer-acked messages.
+	inflight map[string]Msg
+	// seen is the per-sender watermark dedup state.
+	seen map[simnet.SiteID]*seenSet
+	// notify holds one wakeup channel per queue with blocked Dequeue
+	// waiters; closing it (and deleting the entry) wakes exactly that
+	// queue's waiters, so done-queue consumers stop paying for pieces
+	// traffic.
+	notify map[string]chan struct{}
+	// pendingOut is the per-destination coalescing buffer: IDs committed
+	// to the outbox but not yet flushed into a first frame. Volatile —
+	// a crash loses it and retransmission recovers from the outbox.
+	pendingOut map[simnet.SiteID][]string
+	// pendingAcks is the per-destination cumulative-ack buffer.
+	pendingAcks map[simnet.SiteID][]string
+	flushArmed  bool
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// NewManager builds the endpoint for site and starts the retransmitter,
-// which resends unacknowledged outbox messages every interval until
-// acked. Close must be called to stop it.
-func NewManager(site simnet.SiteID, net *simnet.Network, retransmitEvery time.Duration) *Manager {
+// NewManager builds the endpoint for site and starts the retransmitter.
+// retransmitEvery is both the tick granularity and the initial
+// per-message retransmission deadline. Close must be called to stop it.
+func NewManager(site simnet.SiteID, net *simnet.Network, retransmitEvery time.Duration, opts ...Option) *Manager {
 	if retransmitEvery <= 0 {
 		retransmitEvery = 50 * time.Millisecond
 	}
 	m := &Manager{
-		site:     site,
-		net:      net,
-		outbox:   make(map[string]outMsg),
-		queues:   make(map[string][]Msg),
-		inflight: make(map[string]Msg),
-		seen:     make(map[string]bool),
-		notify:   make(chan struct{}),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		site:        site,
+		net:         net,
+		interval:    retransmitEvery,
+		maxBatch:    64,
+		flushDelay:  200 * time.Microsecond,
+		nextSeq:     make(map[simnet.SiteID]uint64),
+		outbox:      make(map[string]*outMsg),
+		queues:      make(map[string][]Msg),
+		inflight:    make(map[string]Msg),
+		seen:        make(map[simnet.SiteID]*seenSet),
+		notify:      make(map[string]chan struct{}),
+		pendingOut:  make(map[simnet.SiteID][]string),
+		pendingAcks: make(map[simnet.SiteID][]string),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.maxBackoff <= 0 {
+		m.maxBackoff = 16 * m.interval
 	}
 	go m.retransmitLoop(retransmitEvery)
 	return m
@@ -113,11 +316,19 @@ func NewManager(site simnet.SiteID, net *simnet.Network, retransmitEvery time.Du
 
 // Close stops the retransmitter and waits for it to exit.
 func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.done
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
 	close(m.stop)
 	<-m.done
 }
 
-// retransmitLoop periodically resends every unacked outbox message.
+// retransmitLoop periodically re-sends due unacked outbox messages.
 func (m *Manager) retransmitLoop(every time.Duration) {
 	defer close(m.done)
 	ticker := time.NewTicker(every)
@@ -125,20 +336,24 @@ func (m *Manager) retransmitLoop(every time.Duration) {
 	for {
 		select {
 		case <-ticker.C:
-			m.transmitOutbox()
+			if m.legacy {
+				m.legacyTransmitOutbox()
+			} else {
+				m.retransmitDue()
+			}
 		case <-m.stop:
 			return
 		}
 	}
 }
 
-// transmitOutbox sends every unacked message once; unreachable
-// destinations are retried on the next tick.
-func (m *Manager) transmitOutbox() {
+// legacyTransmitOutbox is the pre-batching retransmitter: every unacked
+// message, one frame each, every tick.
+func (m *Manager) legacyTransmitOutbox() {
 	m.mu.Lock()
 	pending := make([]outMsg, 0, len(m.outbox))
 	for _, om := range m.outbox {
-		pending = append(pending, om)
+		pending = append(pending, *om)
 	}
 	m.mu.Unlock()
 	for _, om := range pending {
@@ -149,28 +364,210 @@ func (m *Manager) transmitOutbox() {
 	}
 }
 
+// retransmitDue re-sends exactly the outbox messages whose deadline
+// passed, coalesced per destination, and pushes their deadlines out
+// with exponential backoff. An n-message soak therefore costs O(due)
+// per tick, not O(n) — and a crashed destination converges to one
+// batched resend per maxBackoff instead of hammering every tick.
+func (m *Manager) retransmitDue() {
+	now := time.Now()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	byDest := make(map[simnet.SiteID][]Msg)
+	for _, om := range m.outbox {
+		if om.nextSend.After(now) {
+			continue
+		}
+		om.attempts++
+		om.backoff *= 2
+		if om.backoff > m.maxBackoff {
+			om.backoff = m.maxBackoff
+		}
+		om.nextSend = now.Add(om.backoff)
+		byDest[om.to] = append(byDest[om.to], om.msg)
+	}
+	frames := make([]simnet.Message, 0, len(byDest))
+	for to, msgs := range byDest {
+		// Stable resend order (by sequence) keeps seeded runs reproducible
+		// and helps the receiver's watermark advance contiguously.
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+		acks := m.pendingAcks[to]
+		delete(m.pendingAcks, to)
+		frames = append(frames, m.framesForLocked(to, msgs, acks)...)
+	}
+	m.mu.Unlock()
+	for _, f := range frames {
+		_ = m.net.Send(f)
+	}
+}
+
+// framesForLocked chunks msgs (plus piggybacked acks on the first
+// chunk) into wire frames for destination to. Callers hold m.mu.
+func (m *Manager) framesForLocked(to simnet.SiteID, msgs []Msg, acks []string) []simnet.Message {
+	var frames []simnet.Message
+	for len(msgs) > 0 || len(acks) > 0 {
+		if len(msgs) == 0 {
+			frames = append(frames, simnet.Message{
+				From: m.site, To: to, Kind: KindAckBatch, Payload: AckFrame{IDs: acks},
+			})
+			break
+		}
+		n := len(msgs)
+		if n > m.maxBatch {
+			n = m.maxBatch
+		}
+		frames = append(frames, simnet.Message{
+			From: m.site, To: to, Kind: KindEnqueueBatch,
+			Payload: BatchFrame{Msgs: msgs[:n:n], Acks: acks},
+		})
+		msgs = msgs[n:]
+		acks = nil
+	}
+	return frames
+}
+
 // Buffer returns a fresh transactional staging buffer.
 func (m *Manager) Buffer() *TxBuffer { return &TxBuffer{} }
 
 // CommitSend makes the buffer's messages durable and deliverable: the
 // moment the sending piece commits. The messages enter the outbox (they
-// now survive crashes via Snapshot/Restore) and a first transmission is
-// attempted immediately.
+// now survive crashes via Snapshot/Restore) and the per-destination
+// coalescing buffer; the buffer flushes immediately when a destination
+// reaches the batch cap (or the flush delay is zero), else after the
+// coalescing window.
 func (m *Manager) CommitSend(b *TxBuffer) {
 	m.mu.Lock()
+	now := time.Now()
+	flushNow := m.flushDelay <= 0
 	for _, om := range b.staged {
-		m.nextID++
-		om.msg.ID = fmt.Sprintf("%s-%d", m.site, m.nextID)
+		m.nextSeq[om.to]++
+		seq := m.nextSeq[om.to]
+		om.msg.Seq = seq
+		om.msg.ID = fmt.Sprintf("%s>%s-%d", m.site, om.to, seq)
 		om.msg.From = m.site
-		m.outbox[om.msg.ID] = om
+		o := &outMsg{msg: om.msg, to: om.to, nextSend: now.Add(m.interval), backoff: m.interval}
+		m.outbox[o.msg.ID] = o
+		if m.legacy {
+			continue
+		}
+		m.pendingOut[om.to] = append(m.pendingOut[om.to], o.msg.ID)
+		if len(m.pendingOut[om.to]) >= m.maxBatch {
+			flushNow = true
+		}
+	}
+	if !m.legacy && !flushNow {
+		m.armFlushLocked()
 	}
 	m.mu.Unlock()
 	b.staged = nil
-	m.transmitOutbox()
+	if m.legacy {
+		// Pre-batching behavior, preserved for the A/B baseline: every
+		// commit re-sends the entire unacked outbox, one frame each.
+		m.legacyTransmitOutbox()
+		return
+	}
+	if flushNow {
+		m.flush()
+	}
+}
+
+// armFlushLocked schedules a flush after the coalescing window unless
+// one is already pending. Callers hold m.mu.
+func (m *Manager) armFlushLocked() {
+	if m.flushArmed || m.closed {
+		return
+	}
+	m.flushArmed = true
+	time.AfterFunc(m.flushDelay, func() {
+		m.mu.Lock()
+		m.flushArmed = false
+		m.mu.Unlock()
+		m.flush()
+	})
+}
+
+// flush drains the coalescing buffers into wire frames and sends them.
+// In legacy mode it degenerates to one frame per pending message with
+// immediate single acks.
+func (m *Manager) flush() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.flushCrash != nil &&
+		(len(m.pendingOut) > 0 || len(m.pendingAcks) > 0) && m.flushCrash() {
+		// Injected crash mid-flush: the volatile coalescing buffers die
+		// with the site. The messages themselves stay durable in the
+		// outbox; after Restore the retransmitter replays them.
+		m.pendingOut = make(map[simnet.SiteID][]string)
+		m.pendingAcks = make(map[simnet.SiteID][]string)
+		m.mu.Unlock()
+		return
+	}
+	var frames []simnet.Message
+	for to, ids := range m.pendingOut {
+		msgs := make([]Msg, 0, len(ids))
+		for _, id := range ids {
+			if om, ok := m.outbox[id]; ok { // acked-before-flush entries skip
+				msgs = append(msgs, om.msg)
+			}
+		}
+		delete(m.pendingOut, to)
+		acks := m.pendingAcks[to]
+		delete(m.pendingAcks, to)
+		frames = append(frames, m.framesForLocked(to, msgs, acks)...)
+	}
+	for to, acks := range m.pendingAcks {
+		delete(m.pendingAcks, to)
+		frames = append(frames, simnet.Message{
+			From: m.site, To: to, Kind: KindAckBatch, Payload: AckFrame{IDs: acks},
+		})
+	}
+	m.mu.Unlock()
+	for _, f := range frames {
+		// Errors are expected while partitioned/down; retransmit retries.
+		_ = m.net.Send(f)
+	}
+}
+
+// seqOf recovers a message's dedup sequence, falling back to the ID
+// suffix for messages minted before the Seq field existed.
+func seqOf(qm Msg) uint64 {
+	if qm.Seq != 0 {
+		return qm.Seq
+	}
+	if i := strings.LastIndexByte(qm.ID, '-'); i >= 0 {
+		if n, err := strconv.ParseUint(qm.ID[i+1:], 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// admitLocked dedups and enqueues one received message, waking that
+// queue's waiters on first delivery. Callers hold m.mu.
+func (m *Manager) admitLocked(qm Msg) {
+	ss := m.seen[qm.From]
+	if ss == nil {
+		ss = &seenSet{}
+		m.seen[qm.From] = ss
+	}
+	seq := seqOf(qm)
+	if ss.has(seq) {
+		return
+	}
+	ss.add(seq)
+	m.queues[qm.Queue] = append(m.queues[qm.Queue], qm)
+	m.wakeLocked(qm.Queue)
 }
 
 // Handle processes a network message addressed to this site; the site's
-// dispatch loop routes Kind == queue.* here. Unknown kinds are ignored.
+// dispatch loop routes Kind == queue.* here (see IsQueueKind). Unknown
+// kinds are ignored.
 func (m *Manager) Handle(msg simnet.Message) {
 	switch msg.Kind {
 	case KindEnqueue:
@@ -179,16 +576,44 @@ func (m *Manager) Handle(msg simnet.Message) {
 			return
 		}
 		m.mu.Lock()
-		if !m.seen[qm.ID] {
-			m.seen[qm.ID] = true
-			m.queues[qm.Queue] = append(m.queues[qm.Queue], qm)
-			m.broadcastLocked()
-		}
+		m.admitLocked(qm)
 		m.mu.Unlock()
-		// Always ack, even duplicates: the first ack may have been lost.
+		// Legacy dialect: always ack immediately and individually, even
+		// duplicates — the first ack may have been lost.
 		_ = m.net.Send(simnet.Message{
 			From: m.site, To: msg.From, Kind: KindAck, Payload: qm.ID,
 		})
+	case KindEnqueueBatch:
+		frame, ok := msg.Payload.(BatchFrame)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		for _, qm := range frame.Msgs {
+			m.admitLocked(qm)
+		}
+		for _, id := range frame.Acks {
+			delete(m.outbox, id)
+		}
+		// One cumulative ack covers the whole frame — duplicates
+		// included, since the previous ack may have been lost. It rides
+		// the next outgoing batch to msg.From if one is pending, else a
+		// standalone ack frame after the coalescing window.
+		if len(frame.Msgs) > 0 {
+			ids := make([]string, len(frame.Msgs))
+			for i, qm := range frame.Msgs {
+				ids[i] = qm.ID
+			}
+			m.pendingAcks[msg.From] = append(m.pendingAcks[msg.From], ids...)
+		}
+		flushNow := m.flushDelay <= 0
+		if !flushNow {
+			m.armFlushLocked()
+		}
+		m.mu.Unlock()
+		if flushNow {
+			m.flush()
+		}
 	case KindAck:
 		id, ok := msg.Payload.(string)
 		if !ok {
@@ -196,6 +621,16 @@ func (m *Manager) Handle(msg simnet.Message) {
 		}
 		m.mu.Lock()
 		delete(m.outbox, id)
+		m.mu.Unlock()
+	case KindAckBatch:
+		frame, ok := msg.Payload.(AckFrame)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		for _, id := range frame.IDs {
+			delete(m.outbox, id)
+		}
 		m.mu.Unlock()
 	}
 }
@@ -219,8 +654,8 @@ func (d *Delivery) Ack() {
 	delete(d.mgr.inflight, d.Msg.ID)
 }
 
-// Nack returns the message to its queue: the receiving transaction
-// aborted and the message remains deliverable.
+// Nack returns the message to the front of its queue: the receiving
+// transaction aborted and the message remains deliverable.
 func (d *Delivery) Nack() {
 	d.mgr.mu.Lock()
 	defer d.mgr.mu.Unlock()
@@ -230,28 +665,97 @@ func (d *Delivery) Nack() {
 	d.settled = true
 	delete(d.mgr.inflight, d.Msg.ID)
 	d.mgr.queues[d.Msg.Queue] = append([]Msg{d.Msg}, d.mgr.queues[d.Msg.Queue]...)
-	d.mgr.broadcastLocked()
+	d.mgr.wakeLocked(d.Msg.Queue)
 }
 
-// broadcastLocked wakes every Dequeue waiter; callers hold m.mu.
-func (m *Manager) broadcastLocked() {
-	close(m.notify)
-	m.notify = make(chan struct{})
+// Batch is a group of deliveries dequeued together from one queue; the
+// site worker pool drains activations in batches to amortize per-wakeup
+// and per-persist costs. Ack and Nack settle every delivery in the
+// group (Nack restores original front-of-queue order); individual
+// deliveries may also be settled one by one.
+type Batch struct {
+	Deliveries []*Delivery
+}
+
+// Len returns the number of deliveries in the batch.
+func (b *Batch) Len() int { return len(b.Deliveries) }
+
+// Ack acks every unsettled delivery in the batch.
+func (b *Batch) Ack() {
+	for _, d := range b.Deliveries {
+		d.Ack()
+	}
+}
+
+// Nack returns every unsettled delivery to the queue, preserving their
+// original order at the front.
+func (b *Batch) Nack() {
+	for i := len(b.Deliveries) - 1; i >= 0; i-- {
+		b.Deliveries[i].Nack()
+	}
+}
+
+// wakeLocked wakes the named queue's Dequeue waiters; callers hold m.mu.
+func (m *Manager) wakeLocked(queueName string) {
+	if ch, ok := m.notify[queueName]; ok {
+		close(ch)
+		delete(m.notify, queueName)
+	}
+}
+
+// wakeAllLocked wakes every waiter (Restore); callers hold m.mu.
+func (m *Manager) wakeAllLocked() {
+	for q, ch := range m.notify {
+		close(ch)
+		delete(m.notify, q)
+	}
+}
+
+// waitChanLocked returns the named queue's wakeup channel, creating it
+// on first use. Callers hold m.mu.
+func (m *Manager) waitChanLocked(queueName string) chan struct{} {
+	ch, ok := m.notify[queueName]
+	if !ok {
+		ch = make(chan struct{})
+		m.notify[queueName] = ch
+	}
+	return ch
 }
 
 // Dequeue blocks until a message is available on queueName and returns
 // it as an in-flight Delivery.
 func (m *Manager) Dequeue(ctx context.Context, queueName string) (*Delivery, error) {
+	b, err := m.DequeueBatch(ctx, queueName, 1)
+	if err != nil {
+		return nil, err
+	}
+	return b.Deliveries[0], nil
+}
+
+// DequeueBatch blocks until at least one message is available on
+// queueName, then returns up to max of them (in delivery order) as a
+// Batch of in-flight Deliveries.
+func (m *Manager) DequeueBatch(ctx context.Context, queueName string, max int) (*Batch, error) {
+	if max < 1 {
+		max = 1
+	}
 	for {
 		m.mu.Lock()
 		if q := m.queues[queueName]; len(q) > 0 {
-			msg := q[0]
-			m.queues[queueName] = q[1:]
-			m.inflight[msg.ID] = msg
+			n := len(q)
+			if n > max {
+				n = max
+			}
+			batch := &Batch{Deliveries: make([]*Delivery, 0, n)}
+			for i := 0; i < n; i++ {
+				m.inflight[q[i].ID] = q[i]
+				batch.Deliveries = append(batch.Deliveries, &Delivery{Msg: q[i], mgr: m})
+			}
+			m.queues[queueName] = q[n:]
 			m.mu.Unlock()
-			return &Delivery{Msg: msg, mgr: m}, nil
+			return batch, nil
 		}
-		wait := m.notify
+		wait := m.waitChanLocked(queueName)
 		m.mu.Unlock()
 		select {
 		case <-wait:
@@ -275,13 +779,39 @@ func (m *Manager) OutboxLen() int {
 	return len(m.outbox)
 }
 
+// DedupPrefix returns the contiguous-prefix watermark for sender from:
+// every sequence number at or below it has been delivered and retired
+// from memory.
+func (m *Manager) DedupPrefix(from simnet.SiteID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ss := m.seen[from]; ss != nil {
+		return ss.prefix
+	}
+	return 0
+}
+
+// DedupSparseLen returns the number of out-of-order dedup entries held
+// for sender from — the only part of the dedup state that costs memory
+// per entry. Tests bound it to prove long soaks don't leak.
+func (m *Manager) DedupSparseLen(from simnet.SiteID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ss := m.seen[from]; ss != nil {
+		return len(ss.sparse)
+	}
+	return 0
+}
+
 // State is the durable image of a Manager for crash simulation.
+// Retransmission deadlines and the coalescing buffers are volatile and
+// deliberately absent: recovery marks everything due immediately.
 type State struct {
-	NextID   uint64
+	NextSeq  map[simnet.SiteID]uint64
 	Outbox   map[string]outMsgState
 	Queues   map[string][]Msg
 	Inflight map[string]Msg
-	Seen     map[string]bool
+	Seen     map[simnet.SiteID]SeenState
 }
 
 // outMsgState mirrors outMsg for the exported State.
@@ -290,17 +820,28 @@ type outMsgState struct {
 	To  simnet.SiteID
 }
 
+// SeenState is the durable form of one sender's dedup watermark.
+type SeenState struct {
+	Prefix uint64
+	Sparse []uint64
+}
+
 // Snapshot captures the durable state: committed outbox, deliverable
-// queues, in-flight deliveries, and the dedup set.
+// queues, in-flight deliveries, and the dedup watermarks. Cost is
+// proportional to live state — the watermark keeps the dedup component
+// O(in-flight window) rather than O(messages ever received).
 func (m *Manager) Snapshot() State {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := State{
-		NextID:   m.nextID,
+		NextSeq:  make(map[simnet.SiteID]uint64, len(m.nextSeq)),
 		Outbox:   make(map[string]outMsgState, len(m.outbox)),
 		Queues:   make(map[string][]Msg, len(m.queues)),
 		Inflight: make(map[string]Msg, len(m.inflight)),
-		Seen:     make(map[string]bool, len(m.seen)),
+		Seen:     make(map[simnet.SiteID]SeenState, len(m.seen)),
+	}
+	for to, seq := range m.nextSeq {
+		st.NextSeq[to] = seq
 	}
 	for id, om := range m.outbox {
 		st.Outbox[id] = outMsgState{Msg: om.msg, To: om.to}
@@ -311,22 +852,31 @@ func (m *Manager) Snapshot() State {
 	for id, msg := range m.inflight {
 		st.Inflight[id] = msg
 	}
-	for id := range m.seen {
-		st.Seen[id] = true
+	for from, ss := range m.seen {
+		snap := SeenState{Prefix: ss.prefix}
+		for seq := range ss.sparse {
+			snap.Sparse = append(snap.Sparse, seq)
+		}
+		st.Seen[from] = snap
 	}
 	return st
 }
 
 // Restore reloads a snapshot after a crash. In-flight deliveries whose
 // consumers never committed return to the front of their queues
-// (at-least-once).
+// (at-least-once); restored outbox messages are due for immediate
+// retransmission on the next tick.
 func (m *Manager) Restore(st State) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nextID = st.NextID
-	m.outbox = make(map[string]outMsg, len(st.Outbox))
+	now := time.Now()
+	m.nextSeq = make(map[simnet.SiteID]uint64, len(st.NextSeq))
+	for to, seq := range st.NextSeq {
+		m.nextSeq[to] = seq
+	}
+	m.outbox = make(map[string]*outMsg, len(st.Outbox))
 	for id, om := range st.Outbox {
-		m.outbox[id] = outMsg{msg: om.Msg, to: om.To}
+		m.outbox[id] = &outMsg{msg: om.Msg, to: om.To, nextSend: now, backoff: m.interval}
 	}
 	m.queues = make(map[string][]Msg, len(st.Queues))
 	for q, msgs := range st.Queues {
@@ -336,9 +886,17 @@ func (m *Manager) Restore(st State) {
 		m.queues[msg.Queue] = append([]Msg{msg}, m.queues[msg.Queue]...)
 	}
 	m.inflight = make(map[string]Msg)
-	m.seen = make(map[string]bool, len(st.Seen))
-	for id := range st.Seen {
-		m.seen[id] = true
+	m.seen = make(map[simnet.SiteID]*seenSet, len(st.Seen))
+	for from, snap := range st.Seen {
+		ss := &seenSet{prefix: snap.Prefix}
+		for _, seq := range snap.Sparse {
+			ss.add(seq)
+		}
+		m.seen[from] = ss
 	}
-	m.broadcastLocked()
+	// The coalescing buffers are volatile: whatever was pending either
+	// made it to the wire or is replayed from the outbox.
+	m.pendingOut = make(map[simnet.SiteID][]string)
+	m.pendingAcks = make(map[simnet.SiteID][]string)
+	m.wakeAllLocked()
 }

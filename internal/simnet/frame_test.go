@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeFrame is a batch payload carrying several application messages.
+type fakeFrame struct{ n int }
+
+func (f fakeFrame) FrameLen() int { return f.n }
+
+// TestFramePayloadCounting checks the Stats split: Delivered counts
+// frames (one per Send), Payloads counts the application messages they
+// carried.
+func TestFramePayloadCounting(t *testing.T) {
+	n := New()
+	defer n.Close()
+	inbox, err := n.AddSite("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "b", Kind: "batch", Payload: fakeFrame{n: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "b", Kind: "plain", Payload: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := Recv(ctxT(t), inbox); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2 frames", st.Delivered)
+	}
+	if st.Payloads != 6 {
+		t.Errorf("Payloads = %d, want 6 (5 batched + 1 plain)", st.Payloads)
+	}
+}
+
+// TestFrameIsOneLossDraw pins the determinism contract: a frame of N
+// messages consumes exactly one RNG draw, same as a plain message, so
+// the drop/jitter pattern is a function of the frame sequence alone.
+// Re-grouping traffic into frames must not shift later draws.
+func TestFrameIsOneLossDraw(t *testing.T) {
+	pattern := func(batched bool) []bool {
+		n := New(WithLossRate(0.5), WithSeed(7))
+		defer n.Close()
+		if _, err := n.AddSite("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.AddSite("b"); err != nil {
+			t.Fatal(err)
+		}
+		var drops []bool
+		var prev uint64
+		for i := 0; i < 32; i++ {
+			var payload any = i
+			if batched {
+				payload = fakeFrame{n: 10} // 10 messages, still one draw
+			}
+			if err := n.Send(Message{From: "a", To: "b", Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			d := n.Stats().Dropped
+			drops = append(drops, d > prev)
+			prev = d
+		}
+		return drops
+	}
+	plain, batched := pattern(false), pattern(true)
+	for i := range plain {
+		if plain[i] != batched[i] {
+			t.Fatalf("draw pattern diverged at send %d: frames must cost one draw", i)
+		}
+	}
+}
+
+// TestFrameLossIsAllOrNothing sends frames through a partitioned link:
+// a lost frame loses every payload it carried (no partial frames), and
+// Payloads counts only delivered ones.
+func TestFrameLossIsAllOrNothing(t *testing.T) {
+	n := New()
+	defer n.Close()
+	inbox, err := n.AddSite("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSite("a"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetPartitioned("a", "b", true)
+	_ = n.Send(Message{From: "a", To: "b", Payload: fakeFrame{n: 4}})
+	n.SetPartitioned("a", "b", false)
+	if err := n.Send(Message{From: "a", To: "b", Payload: fakeFrame{n: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recv(ctxT(t), inbox); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	st := n.Stats()
+	if st.Dropped != 1 || st.Delivered != 1 {
+		t.Errorf("dropped/delivered = %d/%d, want 1/1", st.Dropped, st.Delivered)
+	}
+	if st.Payloads != 3 {
+		t.Errorf("Payloads = %d, want 3 (lost frame contributes nothing)", st.Payloads)
+	}
+}

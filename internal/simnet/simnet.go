@@ -32,6 +32,31 @@ type Message struct {
 	Payload  any
 }
 
+// Frame is implemented by payloads that carry several application
+// messages coalesced into a single network frame (e.g. a batched
+// recoverable-queue transfer). The network treats a frame exactly like
+// any other message — one loss draw, one jitter draw, one delivery —
+// so batching N messages into a frame costs a single RNG draw instead
+// of N. That is what keeps seeded runs deterministic as the batching
+// layer regroups traffic: the draw sequence is a function of the frame
+// sequence, and a frame is lost or delayed as a unit, never partially.
+// FrameLen only feeds the Stats.Payloads counter.
+type Frame interface {
+	// FrameLen reports how many application messages the frame carries.
+	FrameLen() int
+}
+
+// payloadCount returns the number of application messages msg carries:
+// FrameLen for batch frames, 1 for everything else.
+func payloadCount(msg Message) uint64 {
+	if f, ok := msg.Payload.(Frame); ok {
+		if n := f.FrameLen(); n > 0 {
+			return uint64(n)
+		}
+	}
+	return 1
+}
+
 // Errors returned by Send.
 var (
 	// ErrUnknownSite is returned for a destination never added.
@@ -41,11 +66,17 @@ var (
 	ErrUnreachable = errors.New("simnet: unreachable")
 )
 
-// Stats are cumulative network counters.
+// Stats are cumulative network counters. Sent/Delivered/Dropped count
+// frames (one Send call each); Payloads counts the application messages
+// those delivered frames carried, so Payloads/Delivered is the mean
+// coalescing factor of the batching layer above.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+	// Payloads counts delivered application messages: batch frames
+	// contribute their FrameLen, plain messages contribute 1.
+	Payloads uint64
 	// PerLink counts delivered messages per (from, to) link.
 	PerLink map[string]uint64
 }
@@ -228,6 +259,7 @@ func (n *Network) Send(msg Message) error {
 			return
 		}
 		n.stats.Delivered++
+		n.stats.Payloads += payloadCount(msg)
 		n.stats.PerLink[string(msg.From)+"->"+string(msg.To)]++
 		n.mu.Unlock()
 		inbox <- msg

@@ -13,7 +13,6 @@ import (
 	"asynctp/internal/fault"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
-	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
 	"asynctp/internal/txn"
@@ -55,6 +54,13 @@ type activation struct {
 	TxType     int
 	Piece      int
 	Compensate bool
+}
+
+// doneBatch coalesces the settlement reports one worker produced for a
+// single origin while draining one activation batch: one done-queue
+// message (and so one wire payload) instead of one per piece.
+type doneBatch struct {
+	Reports []pieceDone
 }
 
 // pieceDone reports progress back to the origin: a committed piece, a
@@ -681,15 +687,14 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 	}
 }
 
-// startWorkers launches the piece-consuming workers and the settlement
-// report consumer.
+// startWorkers launches the piece-consuming worker pool (sized by
+// WithWorkers) and the settlement report consumer.
 func (s *Site) startWorkers() {
 	s.mu.Lock()
 	s.stopWorkers = make(chan struct{})
 	stop := s.stopWorkers
 	s.mu.Unlock()
-	const workers = 4
-	for i := 0; i < workers; i++ {
+	for i := 0; i < s.workers; i++ {
 		s.workerWG.Add(1)
 		go s.workerLoop(stop)
 	}
@@ -698,7 +703,8 @@ func (s *Site) startWorkers() {
 }
 
 // doneLoop consumes settlement reports addressed to this site's
-// submissions.
+// submissions, draining them in batches (reports arrive both singly and
+// as coalesced doneBatch payloads).
 func (s *Site) doneLoop(stop <-chan struct{}) {
 	defer s.workerWG.Done()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -711,14 +717,21 @@ func (s *Site) doneLoop(stop <-chan struct{}) {
 		}
 	}()
 	for {
-		d, err := s.queues.Dequeue(ctx, doneQueue)
+		batch, err := s.queues.DequeueBatch(ctx, doneQueue, s.actBatch)
 		if err != nil {
 			return
 		}
-		if done, ok := d.Msg.Payload.(pieceDone); ok {
-			s.cluster.recordDone(done)
+		for _, d := range batch.Deliveries {
+			switch p := d.Msg.Payload.(type) {
+			case pieceDone:
+				s.cluster.recordDone(p)
+			case doneBatch:
+				for _, done := range p.Reports {
+					s.cluster.recordDone(done)
+				}
+			}
 		}
-		d.Ack()
+		batch.Ack()
 	}
 }
 
@@ -736,7 +749,26 @@ func (s *Site) stopWorkersAndWait() {
 	s.workerWG.Wait()
 }
 
-// workerLoop consumes piece activations until stopped.
+// actStatus is the outcome of processing one activation from a batch.
+type actStatus int
+
+const (
+	// actDone: the activation's effects and reports are staged; its
+	// delivery may be acknowledged.
+	actDone actStatus = iota
+	// actCrashed: a fault hook fail-stopped the site mid-activation
+	// (fault.PointPreReport); nothing after it was staged and no
+	// delivery in the batch may be acknowledged.
+	actCrashed
+	// actFailed: the piece could not run (worker stopped / crash-stop);
+	// the activation must be redelivered.
+	actFailed
+)
+
+// workerLoop consumes piece activations until stopped, draining them in
+// batches of up to s.actBatch to amortize wakeups, settlement reports
+// (one coalesced done-queue message per origin per batch), and the
+// per-consume durable queue snapshot.
 func (s *Site) workerLoop(stop <-chan struct{}) {
 	defer s.workerWG.Done()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -749,68 +781,96 @@ func (s *Site) workerLoop(stop <-chan struct{}) {
 		}
 	}()
 	for {
-		d, err := s.queues.Dequeue(ctx, pieceQueue)
+		batch, err := s.queues.DequeueBatch(ctx, pieceQueue, s.actBatch)
 		if err != nil {
 			return // stopped
 		}
-		act, ok := d.Msg.Payload.(activation)
-		if !ok {
-			d.Ack()
-			continue
-		}
-		s.cluster.dist.mu.Lock()
-		dp := s.cluster.dist.programs[act.TxType]
-		s.cluster.dist.mu.Unlock()
-		// A durably recorded rollback decision from a previous delivery:
-		// re-stage the compensations and report without re-running the
-		// piece (compensation itself may have flipped its predicate).
-		if !act.Compensate && s.Store.Has(rolledMarker(act.Inst, act.Piece)) {
-			s.stageRollback(act, dp)
-			if s.preAckCrash(act) {
-				return
-			}
-			d.Ack()
-			s.persistQueues()
-			continue
-		}
-		done, err := s.runPiece(ctx, act, dp)
-		if err != nil {
-			if errors.Is(err, errInjectedCrash) {
-				// PointPreReport: the piece committed but nothing was
-				// staged and the delivery stays unacked — only the
-				// redelivery after Recover resurrects the lost staging.
-				s.crashFromWorker()
-				return
-			}
-			if errors.Is(err, txn.ErrRollback) && dp.compensable && !act.Compensate {
-				// A later piece hit its rollback statement: record the
-				// decision durably, then compensate every committed
-				// predecessor (the chain guarantees they are exactly
-				// pieces 0..Piece-1) and report the rollback.
-				_ = s.Store.Apply([]storage.Write{{Key: rolledMarker(act.Inst, act.Piece), Value: 1}})
-				s.stageRollback(act, dp)
-				if s.preAckCrash(act) {
-					return
-				}
-				d.Ack()
-				s.persistQueues()
+		reports := make(map[simnet.SiteID][]pieceDone)
+		processed := 0
+		status := actDone
+		for _, d := range batch.Deliveries {
+			act, ok := d.Msg.Payload.(activation)
+			if !ok {
+				processed++
 				continue
 			}
-			// Crash/stop mid-piece: redeliver after recovery.
-			d.Nack()
+			if status = s.processActivation(ctx, act, reports); status != actDone {
+				break
+			}
+			processed++
+		}
+		if status == actCrashed {
+			// PointPreReport: the faulted piece committed but nothing was
+			// staged for it — and the reports accumulated for earlier
+			// activations in this batch die with the site too. Every
+			// unacked delivery is redelivered after Recover; the dedup
+			// table turns the re-executions into report resends.
+			s.crashFromWorker()
 			return
 		}
-		// Stage the settlement report BEFORE acking the delivery: a crash
-		// between the two redelivers the activation, and dedup turns the
-		// re-execution into a report resend — at-least-once reports,
-		// collapsed at the origin's per-piece tracker.
-		s.stageReport(act.Origin, done)
-		if s.preAckCrash(act) {
+		// Stage the settlement reports BEFORE acking the deliveries: a
+		// crash between the two redelivers the activations, and dedup
+		// turns the re-executions into report resends — at-least-once
+		// reports, collapsed at the origin's per-piece tracker.
+		s.flushReports(reports)
+		for i := 0; i < processed; i++ {
+			d := batch.Deliveries[i]
+			if act, ok := d.Msg.Payload.(activation); ok && s.preAckCrash(act) {
+				// Fail-stop before this ack: everything from here on in the
+				// batch (acked or not) is recovered from the durable
+				// snapshot; redeliveries dedup.
+				return
+			}
+			d.Ack()
+		}
+		if status == actFailed {
+			// Worker stopped or crash-stop mid-piece: return the
+			// unprocessed tail (failed activation included) to the queue
+			// front for redelivery after recovery.
+			for i := len(batch.Deliveries) - 1; i >= processed; i-- {
+				batch.Deliveries[i].Nack()
+			}
+			s.persistQueues()
 			return
 		}
-		d.Ack()
 		s.persistQueues()
 	}
+}
+
+// processActivation runs one activation, appending any settlement
+// reports it produces to the per-origin accumulator (flushed once per
+// batch by flushReports).
+func (s *Site) processActivation(ctx context.Context, act activation, reports map[simnet.SiteID][]pieceDone) actStatus {
+	s.cluster.dist.mu.Lock()
+	dp := s.cluster.dist.programs[act.TxType]
+	s.cluster.dist.mu.Unlock()
+	// A durably recorded rollback decision from a previous delivery:
+	// re-stage the compensations and report without re-running the
+	// piece (compensation itself may have flipped its predicate).
+	if !act.Compensate && s.Store.Has(rolledMarker(act.Inst, act.Piece)) {
+		s.stageRollback(act, dp, reports)
+		return actDone
+	}
+	done, err := s.runPiece(ctx, act, dp)
+	if err == nil {
+		reports[act.Origin] = append(reports[act.Origin], done)
+		return actDone
+	}
+	if errors.Is(err, errInjectedCrash) {
+		// PointPreReport: the piece committed but nothing was staged —
+		// only the redelivery after Recover resurrects the lost staging.
+		return actCrashed
+	}
+	if errors.Is(err, txn.ErrRollback) && dp.compensable && !act.Compensate {
+		// A later piece hit its rollback statement: record the decision
+		// durably, then compensate every committed predecessor (the
+		// chain guarantees they are exactly pieces 0..Piece-1) and
+		// report the rollback.
+		_ = s.Store.Apply([]storage.Write{{Key: rolledMarker(act.Inst, act.Piece), Value: 1}})
+		s.stageRollback(act, dp, reports)
+		return actDone
+	}
+	return actFailed
 }
 
 // rolledMarker is the durable record of a business-rollback decision at
@@ -826,7 +886,7 @@ func rolledMarker(inst uint64, piece int) storage.Key {
 // report to the origin. Safe to repeat after a redelivery: compensation
 // application dedups on (inst, piece, comp) and the tracker collapses
 // duplicate reports.
-func (s *Site) stageRollback(act activation, dp *distProgram) {
+func (s *Site) stageRollback(act activation, dp *distProgram, reports map[simnet.SiteID][]pieceDone) {
 	buf := s.queues.Buffer()
 	for pi := 0; pi < act.Piece; pi++ {
 		buf.Enqueue(dp.pieceSite[pi], pieceQueue, activation{
@@ -838,20 +898,38 @@ func (s *Site) stageRollback(act activation, dp *distProgram) {
 		s.queues.CommitSend(buf)
 		s.persistQueues()
 	}
-	s.stageReport(act.Origin, pieceDone{Inst: act.Inst, RolledAt: act.Piece})
+	reports[act.Origin] = append(reports[act.Origin], pieceDone{Inst: act.Inst, RolledAt: act.Piece})
 }
 
-// stageReport delivers a settlement report to the origin: locally when
-// the origin is this site, else through the recoverable done queue.
-func (s *Site) stageReport(origin simnet.SiteID, done pieceDone) {
-	if origin == s.ID {
-		s.cluster.recordDone(done)
+// flushReports stages the settlement reports a worker accumulated while
+// draining one batch: local reports fold straight into their trackers;
+// remote origins each get ONE done-queue message — a bare pieceDone for
+// a single report, a doneBatch for several — so a drained batch costs
+// one wire payload per origin instead of one per piece. Reports ride
+// the recoverable queue (at-least-once) and the origin's tracker
+// collapses duplicates.
+func (s *Site) flushReports(reports map[simnet.SiteID][]pieceDone) {
+	if len(reports) == 0 {
 		return
 	}
 	buf := s.queues.Buffer()
-	buf.Enqueue(origin, doneQueue, done)
-	s.queues.CommitSend(buf)
-	s.persistQueues()
+	for origin, list := range reports {
+		if origin == s.ID {
+			for _, done := range list {
+				s.cluster.recordDone(done)
+			}
+			continue
+		}
+		if len(list) == 1 {
+			buf.Enqueue(origin, doneQueue, list[0])
+		} else {
+			buf.Enqueue(origin, doneQueue, doneBatch{Reports: append([]pieceDone(nil), list...)})
+		}
+	}
+	if buf.Len() > 0 {
+		s.queues.CommitSend(buf)
+		s.persistQueues()
+	}
 }
 
 // preAckCrash consults the fault hook at PointPreAck — the piece is
@@ -898,9 +976,4 @@ func (c *Cluster) handleDone(msg simnet.Message) {
 	if done, ok := msg.Payload.(pieceDone); ok {
 		c.recordDone(done)
 	}
-}
-
-// queueKindOf reports whether a message kind belongs to the queue layer.
-func queueKindOf(kind string) bool {
-	return kind == queue.KindEnqueue || kind == queue.KindAck
 }

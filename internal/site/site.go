@@ -60,6 +60,74 @@ func (s Strategy) String() string {
 	}
 }
 
+// Option tunes cluster construction beyond Config — functional options
+// for the pipeline knobs that default sensibly and rarely change.
+type Option func(*tuning)
+
+// tuning collects the option-settable knobs.
+type tuning struct {
+	workers    int
+	actBatch   int
+	queueOpts  []queue.Option
+	legacyWire bool
+}
+
+// defaultWorkers is the per-site piece-worker pool size (the historical
+// hard-coded value, now the WithWorkers default).
+const defaultWorkers = 4
+
+// defaultActivationBatch caps how many queued activations one worker
+// drains per wakeup (and therefore how many settlement reports coalesce
+// into one done-queue message).
+const defaultActivationBatch = 32
+
+// WithWorkers sizes each site's piece-worker pool (default 4). One
+// worker serializes all piece execution at the site; more workers
+// overlap independent pieces at the cost of more lock contention.
+func WithWorkers(n int) Option {
+	return func(t *tuning) {
+		if n > 0 {
+			t.workers = n
+		}
+	}
+}
+
+// WithActivationBatch caps the number of activations a worker drains
+// per dequeue (default 32); settlement reports for the drained batch
+// coalesce into one done-queue message per origin.
+func WithActivationBatch(n int) Option {
+	return func(t *tuning) {
+		if n > 0 {
+			t.actBatch = n
+		}
+	}
+}
+
+// WithQueueBatching tunes the recoverable-queue wire batching: maxBatch
+// messages per frame (0 keeps the default) and the coalescing window
+// flushDelay (<= 0 flushes synchronously on every commit).
+func WithQueueBatching(maxBatch int, flushDelay time.Duration) Option {
+	return func(t *tuning) {
+		if maxBatch > 0 {
+			t.queueOpts = append(t.queueOpts, queue.WithMaxBatch(maxBatch))
+		}
+		t.queueOpts = append(t.queueOpts, queue.WithFlushDelay(flushDelay))
+	}
+}
+
+// WithLegacyWire restores the pre-batching pipeline end to end: one
+// network frame per queue message, one ack per frame, full-outbox
+// retransmission every tick, per-activation dequeue, and one settlement
+// report message per piece. It exists as the measured A/B baseline for
+// cmd/distbench.
+func WithLegacyWire() Option {
+	return func(t *tuning) {
+		t.legacyWire = true
+		t.actBatch = 1
+		t.queueOpts = append(t.queueOpts, queue.WithLegacyWire())
+	}
+}
+
 // Site is one simulated site.
 type Site struct {
 	ID    simnet.SiteID
@@ -68,6 +136,8 @@ type Site struct {
 	cluster     *Cluster
 	opDelay     time.Duration
 	lockTimeout time.Duration
+	workers     int
+	actBatch    int
 	mu          sync.Mutex
 	locks       *lock.Manager
 	exec        *txn.Exec
@@ -170,7 +240,11 @@ type Cluster struct {
 }
 
 // NewCluster builds and starts a cluster.
-func NewCluster(cfg Config) (*Cluster, error) {
+func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
+	tune := tuning{workers: defaultWorkers, actBatch: defaultActivationBatch}
+	for _, opt := range opts {
+		opt(&tune)
+	}
 	if cfg.Placement == nil {
 		return nil, errors.New("site: config needs a placement function")
 	}
@@ -180,15 +254,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Strategy == 0 {
 		cfg.Strategy = TwoPhaseCommit
 	}
-	opts := []simnet.Option{simnet.WithLatency(cfg.Latency), simnet.WithJitter(cfg.Jitter)}
+	netOpts := []simnet.Option{simnet.WithLatency(cfg.Latency), simnet.WithJitter(cfg.Jitter)}
 	if cfg.Seed != 0 {
-		opts = append(opts, simnet.WithSeed(cfg.Seed))
+		netOpts = append(netOpts, simnet.WithSeed(cfg.Seed))
 	}
 	if cfg.LossRate > 0 {
-		opts = append(opts, simnet.WithLossRate(cfg.LossRate))
+		netOpts = append(netOpts, simnet.WithLossRate(cfg.LossRate))
 	}
 	c := &Cluster{
-		Net:        simnet.New(opts...),
+		Net:        simnet.New(netOpts...),
 		Strategy:   cfg.Strategy,
 		UseDC:      cfg.UseDC,
 		placement:  cfg.Placement,
@@ -213,6 +287,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			cluster:     c,
 			opDelay:     cfg.OpDelay,
 			lockTimeout: lockTimeout,
+			workers:     tune.workers,
+			actBatch:    tune.actBatch,
 			prepared:    make(map[string]*preparedTxn),
 		}
 		if cfg.UseDC {
@@ -227,7 +303,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		s.exec = txn.NewExec(s.Store, s.locks, obs)
 		s.exec.SetOpDelay(cfg.OpDelay)
-		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery)
+		qOpts := append([]queue.Option(nil), tune.queueOpts...)
+		if cfg.FaultHook != nil {
+			// Wire the queue layer's batch-flush crash point: when the
+			// hook fires, the flush is dropped (its messages stay durable
+			// in the outbox) and the site fail-stops right there.
+			hook := cfg.FaultHook
+			sRef := s
+			qOpts = append(qOpts, queue.WithFlushCrash(func() bool {
+				if !hook.ShouldCrash(fault.PointPreBatchFlush, sRef.ID, 0, -1, false) {
+					return false
+				}
+				sRef.crashFromWorker()
+				return true
+			}))
+		}
+		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery, qOpts...)
 		s.applied = newDedupTable(s.Store)
 		var nodeOpts []commit.Option
 		if cfg.CommitTimeouts.VoteWait > 0 {
@@ -277,9 +368,12 @@ func (c *Cluster) dispatch(s *Site, inbox <-chan simnet.Message) {
 				continue // a crashed site processes nothing
 			}
 			switch {
-			case queueKindOf(msg.Kind):
+			case queue.IsQueueKind(msg.Kind):
 				s.queues.Handle(msg)
-				if msg.Kind == queue.KindEnqueue {
+				if queue.IsEnqueueKind(msg.Kind) {
+					// One durable-image refresh per frame: batching
+					// amortizes the snapshot over every message it
+					// carried.
 					s.persistQueues()
 				}
 			case msg.Kind == KindPieceDone:
