@@ -4,6 +4,8 @@
 // Usage:
 //
 //	bankbench [-run t1,f1,f2,f3,e1] [-seed N] [-eps 1000,4000,16000]
+//	          [-trace f] [-tracewall f] [-tracetext f]
+//	          [-metrics addr] [-metricsdump f]
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"asynctp/internal/experiments"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/profiling"
 )
 
@@ -32,6 +35,7 @@ func run(args []string) error {
 	epsArg := fs.String("eps", "1000,4000,16000", "ε sweep for e1 (comma-separated)")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
 	prof := profiling.Register(fs)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +46,21 @@ func run(args []string) error {
 	defer func() {
 		if perr := stopProfiles(); perr != nil {
 			fmt.Fprintln(os.Stderr, "bankbench: profile:", perr)
+		}
+	}()
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	experiments.SetObsPlane(plane)
+	defer func() {
+		if plane != nil {
+			for _, line := range plane.Summary() {
+				fmt.Fprintln(os.Stderr, "obs:", line)
+			}
+		}
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(os.Stderr, "bankbench: obs:", oerr)
 		}
 	}()
 	var epsilons []metric.Fuzz

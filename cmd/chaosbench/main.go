@@ -10,6 +10,8 @@
 //
 //	chaosbench [-scenarios baseline,degraded,partition,crash-storm]
 //	           [-chains 16] [-amount 5] [-seed 42] [-stagger 10ms] [-json]
+//	           [-trace f] [-tracewall f] [-tracetext f]
+//	           [-metrics addr] [-metricsdump f]
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"asynctp/internal/experiments"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/profiling"
 )
 
@@ -42,6 +45,7 @@ func run(args []string) error {
 		"pacing between chain submissions")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	prof := profiling.Register(fs)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +56,15 @@ func run(args []string) error {
 	defer func() {
 		if perr := stopProfiles(); perr != nil {
 			fmt.Fprintln(os.Stderr, "chaosbench: profile:", perr)
+		}
+	}()
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench: obs:", oerr)
 		}
 	}()
 	var scenarios []string
@@ -66,6 +79,7 @@ func run(args []string) error {
 		Amount:    metric.Value(*amount),
 		Seed:      *seed,
 		Stagger:   *stagger,
+		Plane:     plane,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,8 @@
 //
 //	conformance [-seed 1] [-budget 200] [-seeds 5]
 //	            [-fuzz-choppings 1000] [-fuzz-runs 40] [-json]
+//	            [-trace f] [-tracewall f] [-tracetext f]
+//	            [-metrics addr] [-metricsdump f]
 //
 // Exits non-zero when any conformance claim fails.
 package main
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"asynctp/internal/experiments"
+	"asynctp/internal/obs"
 )
 
 func main() {
@@ -40,15 +43,26 @@ func run(args []string) error {
 	fuzzChoppings := fs.Int("fuzz-choppings", 1000, "random choppings cross-checked vs brute force")
 	fuzzRuns := fs.Int("fuzz-runs", 40, "random end-to-end conformance runs")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(os.Stderr, "conformance: obs:", oerr)
+		}
+	}()
 	rep, err := experiments.Conformance(experiments.ConformanceConfig{
 		Seed:          *seed,
 		Seeds:         *seeds,
 		Budget:        *budget,
 		FuzzChoppings: *fuzzChoppings,
 		FuzzRuns:      *fuzzRuns,
+		Plane:         plane,
 	})
 	if err != nil {
 		return err

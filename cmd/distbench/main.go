@@ -21,6 +21,7 @@
 //	distbench -quick -out dist.json
 //	distbench -suites pieces -variants batched,unbatched -latency 1ms
 //	distbench -minspeedup 3.0        # fail unless batched ≥ 3x legacy
+//	distbench -quick -dc -trace trace.json -metricsdump prom.txt
 //	perfbench -compare BENCH_4.json dist.json
 package main
 
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"asynctp/internal/experiments"
+	"asynctp/internal/obs"
 	"asynctp/internal/profiling"
 )
 
@@ -92,8 +94,11 @@ func run(args []string) error {
 	submitters := fs.Int("submitters", 0, "closed-loop submitters (0 = 64, or 48 with -quick)")
 	quick := fs.Bool("quick", false, "CI mode: smaller stream")
 	minSpeedup := fs.Float64("minspeedup", 0, "fail unless batched pieces/s >= this multiple of unbatched (0 disables)")
+	useDC := fs.Bool("dc", false, "run sites under divergence control and interleave ε-audits")
+	audits := fs.Int("audits", 0, "audit transactions to interleave with -dc (0 = txns/10)")
 	out := fs.String("out", "", "write JSON report to this file (default stdout)")
 	prof := profiling.Register(fs)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +139,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
 
 	file := &File{
 		Schema:  "asynctp/perfbench/v1",
@@ -162,6 +171,9 @@ func run(args []string) error {
 				Workers:    w,
 				Submitters: nSub,
 				Txns:       nTxns,
+				UseDC:      *useDC,
+				Audits:     *audits,
+				Plane:      plane,
 			})
 			if err != nil {
 				return fmt.Errorf("%s/workers=%d: %w", variant, w, err)
@@ -219,6 +231,14 @@ func run(args []string) error {
 		}
 	}
 	if err := stopProfiles(); err != nil {
+		return err
+	}
+	if plane != nil {
+		for _, line := range plane.Summary() {
+			fmt.Fprintln(os.Stderr, "obs:", line)
+		}
+	}
+	if err := stopObs(); err != nil {
 		return err
 	}
 

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	distsim [-run e2,e2b,e3] [-latencies 1ms,10ms,40ms] [-n 5]
+//	        [-trace f] [-tracewall f] [-tracetext f]
+//	        [-metrics addr] [-metricsdump f]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"asynctp/internal/experiments"
+	"asynctp/internal/obs"
 )
 
 func main() {
@@ -31,9 +34,25 @@ func run(args []string) error {
 	latArg := fs.String("latencies", "1ms,10ms,40ms", "one-way latencies for e2")
 	n := fs.Int("n", 5, "transactions per latency point (e2)")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	experiments.SetObsPlane(plane)
+	defer func() {
+		if plane != nil {
+			for _, line := range plane.Summary() {
+				fmt.Fprintln(os.Stderr, "obs:", line)
+			}
+		}
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(os.Stderr, "distsim: obs:", oerr)
+		}
+	}()
 	var lats []time.Duration
 	for _, part := range strings.Split(*latArg, ",") {
 		d, err := time.ParseDuration(strings.TrimSpace(part))

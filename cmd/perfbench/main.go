@@ -10,6 +10,8 @@
 //	perfbench [-suites e1,e5,absorb] [-workers 1,4,8,16] [-quick]
 //	          [-out BENCH.json] [-opdelay 50us] [-seed N]
 //	          [-cpuprofile f] [-memprofile f] [-mutexprofile f]
+//	          [-trace f] [-tracewall f] [-tracetext f]
+//	          [-metrics addr] [-metricsdump f]
 //	perfbench -compare BENCH_baseline.json BENCH_new.json
 //
 // Compare mode exits non-zero only on a ≥2× throughput regression; drift
@@ -32,6 +34,7 @@ import (
 
 	"asynctp"
 	"asynctp/internal/core"
+	"asynctp/internal/obs"
 	"asynctp/internal/profiling"
 	"asynctp/internal/stats"
 	"asynctp/internal/workload"
@@ -86,6 +89,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	compare := fs.Bool("compare", false, "compare two report files: perfbench -compare old.json new.json")
 	prof := profiling.Register(fs)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +118,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
 
 	file := &File{
 		Schema:  "asynctp/perfbench/v1",
@@ -133,11 +141,11 @@ func run(args []string) error {
 			)
 			switch suite {
 			case "e1":
-				res, err = runE1(w, *quick, *opDelay, *seed)
+				res, err = runE1(w, *quick, *opDelay, *seed, plane)
 			case "e5":
-				res, err = runE5(w, *quick, *opDelay, *seed)
+				res, err = runE5(w, *quick, *opDelay, *seed, plane)
 			case "absorb":
-				res, err = runAbsorb(w, *quick)
+				res, err = runAbsorb(w, *quick, plane)
 			default:
 				err = fmt.Errorf("unknown suite %q", suite)
 			}
@@ -152,6 +160,14 @@ func run(args []string) error {
 		}
 	}
 	if err := stopProfiles(); err != nil {
+		return err
+	}
+	if plane != nil {
+		for _, line := range plane.Summary() {
+			fmt.Fprintln(os.Stderr, "obs:", line)
+		}
+	}
+	if err := stopObs(); err != nil {
 		return err
 	}
 
@@ -195,10 +211,11 @@ func bankFor(quick bool, seed int64) (*workload.Workload, error) {
 // measureWorkload runs one (method, engine) bank configuration and
 // converts the workload result plus alloc counters into a Result.
 func measureWorkload(suite, variant string, method core.Method, engine core.EngineKind,
-	w *workload.Workload, workers int, opDelay time.Duration, seed int64) (Result, error) {
+	w *workload.Workload, workers int, opDelay time.Duration, seed int64, plane *obs.Plane) (Result, error) {
 	cfg := workload.ConfigFor(w, method, core.Static, false)
 	cfg.OpDelay = opDelay
 	cfg.Engine = engine
+	cfg.Obs = plane
 	r, err := core.NewRunner(cfg)
 	if err != nil {
 		return Result{}, err
@@ -230,7 +247,7 @@ func measureWorkload(suite, variant string, method core.Method, engine core.Engi
 
 // runE1 is the Section 5 method comparison: the three headline methods
 // on the contended bank stream.
-func runE1(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result, error) {
+func runE1(workers int, quick bool, opDelay time.Duration, seed int64, plane *obs.Plane) ([]Result, error) {
 	methods := []core.Method{core.BaselineSRCC, core.BaselineESRDC, core.Method1SRChopDC}
 	var out []Result
 	for _, m := range methods {
@@ -238,7 +255,7 @@ func runE1(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result
 		if err != nil {
 			return nil, err
 		}
-		r, err := measureWorkload("e1", m.String(), m, core.EngineLocking, w, workers, opDelay, seed)
+		r, err := measureWorkload("e1", m.String(), m, core.EngineLocking, w, workers, opDelay, seed, plane)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m, err)
 		}
@@ -249,7 +266,7 @@ func runE1(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result
 
 // runE5 is the engine-family comparison: locking vs optimistic vs
 // timestamp divergence control on the same stream.
-func runE5(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result, error) {
+func runE5(workers int, quick bool, opDelay time.Duration, seed int64, plane *obs.Plane) ([]Result, error) {
 	engines := []core.EngineKind{core.EngineLocking, core.EngineOptimistic, core.EngineTimestamp}
 	var out []Result
 	for _, e := range engines {
@@ -257,7 +274,7 @@ func runE5(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result
 		if err != nil {
 			return nil, err
 		}
-		r, err := measureWorkload("e5", e.String(), core.BaselineESRDC, e, w, workers, opDelay, seed)
+		r, err := measureWorkload("e5", e.String(), core.BaselineESRDC, e, w, workers, opDelay, seed, plane)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e, err)
 		}
@@ -278,14 +295,14 @@ func runE5(workers int, quick bool, opDelay time.Duration, seed int64) ([]Result
 // (a real regression slows every repetition).
 const absorbReps = 3
 
-func runAbsorb(workers int, quick bool) ([]Result, error) {
+func runAbsorb(workers int, quick bool, plane *obs.Plane) ([]Result, error) {
 	total := 200000
 	if quick {
 		total = 50000
 	}
 	best := Result{}
 	for rep := 0; rep < absorbReps; rep++ {
-		res, err := runAbsorbOnce(workers, total)
+		res, err := runAbsorbOnce(workers, total, plane)
 		if err != nil {
 			return nil, err
 		}
@@ -296,11 +313,12 @@ func runAbsorb(workers int, quick bool) ([]Result, error) {
 	return []Result{best}, nil
 }
 
-func runAbsorbOnce(workers, total int) (Result, error) {
+func runAbsorbOnce(workers, total int, plane *obs.Plane) (Result, error) {
 	store := asynctp.NewStoreFrom(map[asynctp.Key]asynctp.Value{"x": 1 << 40, "y": 0})
 	r, err := asynctp.NewRunner(asynctp.Config{
 		Method: asynctp.BaselineESRDC,
 		Store:  store,
+		Obs:    plane,
 		Programs: []*asynctp.Program{
 			asynctp.MustProgram("xfer",
 				asynctp.AddOp("x", -1), asynctp.AddOp("y", 1)).WithSpec(asynctp.Unbounded),

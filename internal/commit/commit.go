@@ -116,6 +116,21 @@ func WithTimeouts(t Timeouts) Option {
 	return func(n *Node) { n.timeouts = t.withDefaults() }
 }
 
+// Observer receives coordinator-side protocol progress: one Round call
+// per completed message round (kind "vote" or "ack", with the attempt
+// count and the round's wall-clock duration) and one Decision call per
+// logged decision. Implementations must be fast and must not call back
+// into the node. Nil (the default) disables it.
+type Observer interface {
+	Round(txid, kind string, attempts int, d time.Duration)
+	Decision(txid string, commit bool)
+}
+
+// WithObserver installs a protocol observer (see Observer).
+func WithObserver(o Observer) Option {
+	return func(n *Node) { n.obs = o }
+}
+
 // prepareMsg is the PREPARE payload.
 type prepareMsg struct {
 	TxID    string
@@ -191,6 +206,7 @@ type Node struct {
 	net      *simnet.Network
 	hooks    Hooks
 	timeouts Timeouts
+	obs      Observer
 
 	mu       sync.Mutex
 	coords   map[string]*coordState
@@ -280,11 +296,14 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 	}()
 
 	// Phase 1: PREPARE round.
-	if n.timeouts.enabled() {
-		if err := n.voteRoundBounded(ctx, txid, st, payloads); err != nil {
-			return nil, err
+	voteStart := time.Now()
+	voteAttempts := 1
+	voteErr := func() error {
+		if n.timeouts.enabled() {
+			var err error
+			voteAttempts, err = n.voteRoundBounded(ctx, txid, st, payloads)
+			return err
 		}
-	} else {
 		for site, payload := range payloads {
 			err := n.net.Send(simnet.Message{
 				From: n.site, To: site, Kind: KindPrepare,
@@ -296,29 +315,42 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 				// not run, which is different from a NO vote.
 				n.logDecision(txid, false)
 				n.decide(txid, st, false)
-				return nil, fmt.Errorf("commit: prepare %s unreachable: %w", site, err)
+				return fmt.Errorf("commit: prepare %s unreachable: %w", site, err)
 			}
 		}
 		select {
 		case <-st.votesDone:
+			return nil
 		case <-ctx.Done():
 			n.logDecision(txid, false)
 			n.decide(txid, st, false)
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
+	}()
+	if n.obs != nil {
+		n.obs.Round(txid, "vote", voteAttempts, time.Since(voteStart))
+	}
+	if voteErr != nil {
+		return nil, voteErr
 	}
 
 	doCommit := !st.votedNo
 	// Phase 2: DECISION round. The decision is logged before the first
 	// broadcast so stale-decision queries always see it.
 	n.logDecision(txid, doCommit)
+	if n.obs != nil {
+		n.obs.Decision(txid, doCommit)
+	}
 	n.decide(txid, st, doCommit)
+	ackStart := time.Now()
+	ackAttempts := 1
 	if n.timeouts.enabled() {
 		// Bounded ack wait with retransmission. Exhausting the retries is
 		// not a failure: the decision is logged, so in-doubt participants
 		// resolve themselves through KindQuery once reachable.
 		wait := n.timeouts.AckWait
 		for attempt := 0; ; attempt++ {
+			ackAttempts = attempt + 1
 			timer := time.NewTimer(wait)
 			select {
 			case <-st.acksDone:
@@ -340,6 +372,9 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+	if n.obs != nil {
+		n.obs.Round(txid, "ack", ackAttempts, time.Since(ackStart))
 	}
 	if !doCommit {
 		n.mu.Lock()
@@ -363,8 +398,9 @@ func (n *Node) Execute(ctx context.Context, txid string, payloads map[simnet.Sit
 // each attempt (re)sends every prepare — send errors are just another
 // way a vote fails to arrive — and waits VoteWait (doubling per retry).
 // After MaxRetries the coordinator presumes abort, logs it, broadcasts
-// it to whoever prepared, and returns ErrTimeoutAbort.
-func (n *Node) voteRoundBounded(ctx context.Context, txid string, st *coordState, payloads map[simnet.SiteID]any) error {
+// it to whoever prepared, and returns ErrTimeoutAbort. The attempt
+// count is returned either way (observer accounting).
+func (n *Node) voteRoundBounded(ctx context.Context, txid string, st *coordState, payloads map[simnet.SiteID]any) (int, error) {
 	wait := n.timeouts.VoteWait
 	for attempt := 0; ; attempt++ {
 		for site, payload := range payloads {
@@ -380,12 +416,12 @@ func (n *Node) voteRoundBounded(ctx context.Context, txid string, st *coordState
 		select {
 		case <-st.votesDone:
 			timer.Stop()
-			return nil
+			return attempt + 1, nil
 		case <-timer.C:
 			if attempt >= n.timeouts.MaxRetries {
 				n.logDecision(txid, false)
 				n.decide(txid, st, false)
-				return fmt.Errorf("%w: no unanimous vote after %d attempts",
+				return attempt + 1, fmt.Errorf("%w: no unanimous vote after %d attempts",
 					ErrTimeoutAbort, attempt+1)
 			}
 			wait *= 2
@@ -393,7 +429,7 @@ func (n *Node) voteRoundBounded(ctx context.Context, txid string, st *coordState
 			timer.Stop()
 			n.logDecision(txid, false)
 			n.decide(txid, st, false)
-			return ctx.Err()
+			return attempt + 1, ctx.Err()
 		}
 	}
 }

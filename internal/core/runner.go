@@ -13,6 +13,7 @@ import (
 	"asynctp/internal/history"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/odc"
 	"asynctp/internal/storage"
 	"asynctp/internal/tdc"
@@ -70,6 +71,12 @@ type Config struct {
 	// pieces concurrently. Budget distribution (Figure 2) is unchanged.
 	// The conformance explorer sets it so the worker set stays static.
 	SequentialPieces bool
+	// Obs, when non-nil, attaches the observability plane: trace spans,
+	// ε-provenance ledger pages, and metrics for every transaction,
+	// piece, lock wait, and DC debit the runner executes. The shims tee
+	// with StepHook/WaitObserver/Record, so the conformance explorer can
+	// trace its own runs. Nil keeps every engine fast path nil.
+	Obs *obs.Plane
 	// BudgetScale is a TEST-ONLY knob that multiplies every DC ε budget
 	// by the given factor after the off-line distribution (0 or 1 leaves
 	// budgets intact). The conformance harness uses it to mis-budget a
@@ -233,8 +240,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.Engine = EngineOptimistic
 	}
 	var lockOpts []lock.Option
-	if cfg.WaitObserver != nil {
-		lockOpts = append(lockOpts, lock.WithWaitObserver(cfg.WaitObserver))
+	if wo := obs.TeeWaitObserver(cfg.WaitObserver, cfg.Obs.WaitObserver()); wo != nil {
+		lockOpts = append(lockOpts, lock.WithWaitObserver(wo))
 	}
 	if cfg.LockStripes > 0 {
 		lockOpts = append(lockOpts, lock.WithStripes(cfg.LockStripes))
@@ -287,23 +294,31 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Record {
 		r.rec = history.NewRecorder()
 	}
-	// A nil *Recorder must not become a non-nil Observer interface.
-	var obs txn.Observer
+	// A nil *Recorder must not become a non-nil Observer interface, and
+	// the tee collapses back to nil when neither the recorder nor the
+	// plane is live, so engines keep their nil fast paths.
+	var recObs txn.Observer
 	if r.rec != nil {
-		obs = r.rec
+		recObs = r.rec
+	}
+	txnObs := obs.TeeTxnObserver(recObs, cfg.Obs.ExecObserver())
+	if r.ctl != nil {
+		if dcObs := cfg.Obs.DCObserver(); dcObs != nil {
+			r.ctl.SetObserver(dcObs)
+		}
 	}
 	switch cfg.Engine {
 	case EngineOptimistic:
-		r.odcEng = odc.NewEngine(cfg.Store, obs)
+		r.odcEng = odc.NewEngine(cfg.Store, txnObs)
 		r.engine = r.odcEng
 	case EngineTimestamp:
-		r.tdcEng = tdc.NewEngine(cfg.Store, obs)
+		r.tdcEng = tdc.NewEngine(cfg.Store, txnObs)
 		r.engine = r.tdcEng
 	}
 	if r.engine != nil {
 		r.engine.SetOpDelay(cfg.OpDelay)
 	}
-	r.exec = txn.NewExec(cfg.Store, r.locks, obs)
+	r.exec = txn.NewExec(cfg.Store, r.locks, txnObs)
 	r.exec.SetOpDelay(cfg.OpDelay)
 	if cfg.StepHook != nil {
 		r.exec.SetStepHook(cfg.StepHook)
@@ -381,18 +396,29 @@ func (r *Runner) Submit(ctx context.Context, ti int) (*InstanceResult, error) {
 		return nil, fmt.Errorf("core: program index %d out of range", ti)
 	}
 	group := history.Group(r.nextGroup.Add(1))
+	orig := r.set.Original(ti)
 	inst := &instance{
 		runner: r,
 		ti:     ti,
 		group:  group,
 		result: &InstanceResult{
-			Program:  r.set.Original(ti).Name,
+			Program:  orig.Name,
 			Outcomes: make([]*txn.Outcome, r.numPieces[ti]),
 		},
 	}
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.TxnBegin(int64(group), orig.Name)
+		// Ledger pages carry the ORIGINAL declared ε budget, not the
+		// (possibly BudgetScale-inflated) spec DC runs with — that gap is
+		// exactly what reconciliation must expose.
+		r.cfg.Obs.BindBudget(int64(group), orig.Name, orig.Class().String(),
+			r.cfg.Distribution.String(), orig.Spec.Import)
+	}
 	if err := inst.run(ctx); err != nil {
+		r.cfg.Obs.TxnEnd(int64(group), false)
 		return inst.result, err
 	}
+	r.cfg.Obs.TxnEnd(int64(group), inst.result.Committed)
 	return inst.result, nil
 }
 
@@ -545,6 +571,9 @@ func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) 
 	}
 	for {
 		owner := r.gen.Next()
+		if r.cfg.Obs != nil {
+			r.cfg.Obs.PieceBegin(int64(owner), int64(inst.group), pi, "", prog.Name, class)
+		}
 		if r.rec != nil {
 			// The owner→group map exists only for grouped history checks;
 			// without a recorder there is no history to group, and the
@@ -582,6 +611,12 @@ func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) 
 			if useDC {
 				imported, exported = r.ctl.Unregister(owner)
 			}
+		}
+		if r.cfg.Obs != nil {
+			// Settle every attempt (aborted ones included) so ledger
+			// piece binds never leak; canonical exports drop aborted
+			// owners' events anyway.
+			r.cfg.Obs.PieceSettle(int64(owner), imported, exported)
 		}
 		if err == nil {
 			if useDC {

@@ -80,6 +80,16 @@ type Stats struct {
 	TotalCharged metric.Fuzz
 }
 
+// Pair is one query/update decomposition of an absorbed conflict: the
+// query side imports Cost fuzziness, the update side exports it. A
+// provenance ledger uses the pairs to attribute every debit back to
+// both accounts it touched.
+type Pair struct {
+	Query  lock.Owner
+	Update lock.Owner
+	Cost   metric.Fuzz
+}
+
 // Event describes one arbitration decision, for observers.
 type Event struct {
 	// Key is the conflicted item.
@@ -90,6 +100,10 @@ type Event struct {
 	Absorbed bool
 	// Cost is the total fuzziness charged (absorbed events only).
 	Cost metric.Fuzz
+	// Pairs lists the query/update pairs the conflict decomposed into
+	// (absorbed events only). The slice is built only when an observer
+	// is installed and must not be retained past the callback.
+	Pairs []Pair
 }
 
 // acctShard is one shard of the owner→account map.
@@ -349,7 +363,13 @@ func (c *Controller) Absorb(ci lock.ConflictInfo) bool {
 	}
 	c.absorbed.Add(1)
 	if c.observing() {
-		c.notify(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: true, Cost: total})
+		// The pair list is materialized only on the observer path; the
+		// nil-observer fast path stays allocation-identical.
+		evPairs := make([]Pair, len(pairs))
+		for i, p := range pairs {
+			evPairs[i] = Pair{Query: p.query.owner, Update: p.update.owner, Cost: p.cost}
+		}
+		c.notify(Event{Key: ci.Key, Requester: ci.Requester, Absorbed: true, Cost: total, Pairs: evPairs})
 	}
 	unlock()
 	return true

@@ -11,6 +11,7 @@ import (
 	"asynctp/internal/commit"
 	"asynctp/internal/fault"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/simnet"
 	"asynctp/internal/site"
 	"asynctp/internal/storage"
@@ -53,6 +54,10 @@ type ChaosConfig struct {
 	// default). Conservation and the fired-fault timeline must not
 	// depend on it — the soak test runs the storm at 1 and 8.
 	Workers int
+	// Plane, when non-nil, observes every scenario cluster (trace spans,
+	// metrics, ε-ledger); cmd/chaosbench wires it from -trace/-metrics
+	// and Chaos folds its summary into the report notes.
+	Plane *obs.Plane
 }
 
 // withDefaults fills zero fields.
@@ -123,9 +128,10 @@ var chaosSites = []simnet.SiteID{"NY", "LA", "CHI"}
 // Both strategies get bounded-wait commit timeouts: they are inert for
 // chopped queues and are what lets 2PC presume abort instead of
 // blocking forever when the schedule crashes a participant.
-func chaosCluster(strategy site.Strategy, seed int64, opts ...site.Option) (*site.Cluster, error) {
+func chaosCluster(strategy site.Strategy, seed int64, plane *obs.Plane, opts ...site.Option) (*site.Cluster, error) {
 	return site.NewCluster(site.Config{
 		Strategy:  strategy,
+		Obs:       plane,
 		Latency:   500 * time.Microsecond,
 		Jitter:    0.2,
 		Seed:      seed,
@@ -197,7 +203,7 @@ func RunChaosScenario(strategy site.Strategy, scenario string, cfg ChaosConfig) 
 	if cfg.Workers > 0 {
 		siteOpts = append(siteOpts, site.WithWorkers(cfg.Workers))
 	}
-	c, err := chaosCluster(strategy, cfg.Seed, siteOpts...)
+	c, err := chaosCluster(strategy, cfg.Seed, cfg.Plane, siteOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +367,11 @@ func Chaos(cfg ChaosConfig) (*Report, error) {
 						scenario, tpc.TimeoutAborts, chop.Settled, cfg.Chains)),
 				fmt.Sprintf("%s schedule: %s", scenario, strings.Join(chop.Fired, "; ")),
 			)
+		}
+	}
+	if cfg.Plane != nil {
+		for _, line := range cfg.Plane.Summary() {
+			rep.Notes = append(rep.Notes, "obs: "+line)
 		}
 	}
 	return rep, nil

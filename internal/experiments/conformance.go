@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"asynctp/internal/core"
 	"asynctp/internal/explore"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/oracle"
 )
 
@@ -21,6 +23,10 @@ type ConformanceConfig struct {
 	// FuzzChoppings and FuzzRuns size the fuzz campaign.
 	FuzzChoppings int
 	FuzzRuns      int
+	// Plane, when non-nil, contributes a shared tracer and metrics
+	// registry to every swept run (cmd/conformance wires it from
+	// -trace/-metrics). Per-run ε-ledgers are independent of it.
+	Plane *obs.Plane
 }
 
 // withDefaults fills zero fields.
@@ -56,9 +62,24 @@ type sweepRow struct {
 	violations    int
 	namedAudit    bool
 	fingerprint   string
+	// ε-provenance reconciliation facts (Ledger scenarios only):
+	// ledgerOver counts runs where the ledger flagged at least one
+	// over-budget query; flaggedMissed counts oracle-flagged queries the
+	// ledger did NOT flag; uncovered counts explainable queries whose
+	// ledger charges fell short of the oracle's measured divergence.
+	ledgerOver    int
+	flaggedMissed int
+	uncovered     int
+	// recon is a representative (first violating, else first) run's
+	// per-query budgeted / charged / measured table.
+	recon *obs.Reconciliation
+	// reconViolating records whether recon came from an oracle-violating
+	// run (preferred: those rows show measured > ε next to the flag).
+	reconViolating bool
 }
 
 func sweepScenario(sc explore.Scenario, cfg ConformanceConfig) (*sweepRow, error) {
+	sc.Base = cfg.Plane
 	ocfg := oracle.Config{MaxOrders: cfg.Budget, Seed: cfg.Seed}
 	results, err := explore.Sweep(sc, cfg.Seeds, explore.StrategyConflict, ocfg)
 	if err != nil {
@@ -83,6 +104,23 @@ func sweepScenario(sc explore.Scenario, cfg ConformanceConfig) (*sweepRow, error
 		}
 		if !r.Report.Exhaustive {
 			row.allExhaustive = false
+		}
+		if rec := r.Reconciliation; rec != nil {
+			if len(rec.OverBudget) > 0 {
+				row.ledgerOver++
+			}
+			for _, rr := range rec.Rows {
+				if !rr.MeasuredOK && !rr.OverBudget {
+					row.flaggedMissed++
+				}
+				if rr.MeasuredOK && !rr.Covered {
+					row.uncovered++
+				}
+			}
+			if row.recon == nil || (!r.Report.OK && !row.reconViolating) {
+				row.recon = rec
+				row.reconViolating = !r.Report.OK
+			}
 		}
 	}
 	if len(results) > 0 {
@@ -119,8 +157,13 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 		stack{core.BaselineESRDC, core.EngineTimestamp},
 	)
 
+	cleanUncovered := 0
 	for _, st := range stacks {
 		sc := explore.BankScenario(st.method, st.engine, core.Static, conformanceEps)
+		// The ε-provenance ledger rides the locking stacks (the alt
+		// engines absorb inside their own validation layer, which the
+		// lock-arbiter ledger does not see).
+		sc.Ledger = st.engine == core.EngineLocking
 		row, err := sweepScenario(sc, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", sc.Name, err)
@@ -141,7 +184,12 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 			rep.Notes = append(rep.Notes, fmt.Sprintf(
 				"%s: oracle fell back to sampled orders within budget %d", sc.Name, cfg.Budget))
 		}
+		if sc.Ledger {
+			cleanUncovered += row.uncovered
+		}
 	}
+	rep.Notes = append(rep.Notes, check(cleanUncovered == 0,
+		"ε-ledger: charged fuzz covers the oracle's measured divergence on every conforming locking-stack query"))
 
 	// Determinism: the first scenario re-swept must reproduce its
 	// fingerprint exactly — one seed, one interleaving, one verdict.
@@ -158,8 +206,14 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 		fmt.Sprintf("deterministic replay: %s", first.fingerprint)))
 
 	// Control pair: correctly budgeted run must never be flagged;
-	// budget inflated 8× must be caught, naming the audit query.
-	good, err := sweepScenario(explore.MisbudgetScenario(1), cfg)
+	// budget inflated 8× must be caught, naming the audit query. Both
+	// carry the ε-provenance ledger: the clean control's accounts must
+	// stay within budget, the inflated control must be flagged by the
+	// ledger on (at least) every query the oracle flags — charged vs
+	// budgeted exposes the BudgetScale gap without replaying anything.
+	scGood := explore.MisbudgetScenario(1)
+	scGood.Ledger = true
+	good, err := sweepScenario(scGood, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("E8 misbudget/x1: %w", err)
 	}
@@ -168,12 +222,16 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 		map[bool]string{true: "conforms", false: "VIOLATION"}[good.allOK])
 	rep.Notes = append(rep.Notes, check(good.allOK,
 		"correctly budgeted DC run never flagged by the oracle"))
+	rep.Notes = append(rep.Notes, check(good.ledgerOver == 0,
+		"correctly budgeted control: ledger charges every query within its declared ε"))
 
 	// The mis-budgeted control sweeps more seeds: the violation needs a
 	// conflict-window interleaving to surface, not every seed finds one.
 	badCfg := cfg
 	badCfg.Seeds = 4 * cfg.Seeds
-	bad, err := sweepScenario(explore.MisbudgetScenario(8), badCfg)
+	scBad := explore.MisbudgetScenario(8)
+	scBad.Ledger = true
+	bad, err := sweepScenario(scBad, badCfg)
 	if err != nil {
 		return nil, fmt.Errorf("E8 misbudget/x8: %w", err)
 	}
@@ -183,6 +241,14 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 	rep.Notes = append(rep.Notes, check(!bad.allOK && bad.namedAudit,
 		fmt.Sprintf("mis-budgeted DC control caught: divergence %d > ε=100, violation names the audit query",
 			bad.maxDivergence)))
+	rep.Notes = append(rep.Notes, check(bad.ledgerOver > 0 && bad.flaggedMissed == 0,
+		"mis-budgeted control: ledger charges exceed the declared ε on every oracle-flagged query"))
+	if bad.recon != nil {
+		var b strings.Builder
+		b.WriteString("per-query ε reconciliation (representative mis-budgeted run):\n")
+		bad.recon.WriteTable(&b)
+		rep.Notes = append(rep.Notes, strings.TrimRight(b.String(), "\n"))
+	}
 
 	// Fuzz campaign: analyzer vs brute force, plus random end-to-end.
 	fz := explore.Fuzz(cfg.Seed, cfg.FuzzChoppings, cfg.FuzzRuns)
@@ -202,6 +268,11 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 	}
 	for _, f := range fz.Failures {
 		rep.Notes = append(rep.Notes, "failure: "+f)
+	}
+	if cfg.Plane != nil {
+		for _, line := range cfg.Plane.Summary() {
+			rep.Notes = append(rep.Notes, "obs: "+line)
+		}
 	}
 	return rep, nil
 }

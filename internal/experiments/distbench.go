@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/simnet"
 	"asynctp/internal/site"
 	"asynctp/internal/stats"
@@ -54,6 +55,19 @@ type DistBenchConfig struct {
 	// different families touch different keys, so the measured
 	// throughput is pipeline cost, not lock contention (default 16).
 	Families int
+	// UseDC runs every site's lock manager under divergence control and
+	// adds an ε-audit program per family (reading the family's three
+	// keys under a declared budget); submitter 0 spaces cfg.Audits audit
+	// submissions through its chain loop. Off by default so the
+	// committed BENCH_4.json baseline measures the unchanged pipeline.
+	UseDC bool
+	// Audits is how many audit transactions to interleave (UseDC only;
+	// default Txns/10).
+	Audits int
+	// Plane, when non-nil, observes the whole cluster: trace spans,
+	// metrics, and the ε-provenance ledger all hang off it
+	// (cmd/distbench wires it from -trace/-metrics/-ledger).
+	Plane *obs.Plane
 }
 
 // withDefaults fills zero fields.
@@ -75,6 +89,9 @@ func (cfg DistBenchConfig) withDefaults() DistBenchConfig {
 	}
 	if cfg.Families <= 0 {
 		cfg.Families = 16
+	}
+	if cfg.UseDC && cfg.Audits <= 0 {
+		cfg.Audits = cfg.Txns / 10
 	}
 	return cfg
 }
@@ -144,6 +161,22 @@ func RunDistBench(cfg DistBenchConfig) (*DistBenchResult, error) {
 			txn.AddOp(chi, 1),
 		))
 	}
+	if cfg.UseDC {
+		// Generous budgets: the workload measures pipeline cost with DC
+		// compiled in, not refusal behavior. Chains export, audits import.
+		eps := metric.Fuzz(4 * cfg.Txns)
+		spec := metric.Spec{Import: metric.LimitOf(eps), Export: metric.LimitOf(eps)}
+		for i, p := range programs {
+			programs[i] = p.WithSpec(spec)
+		}
+		for f := 0; f < cfg.Families; f++ {
+			programs = append(programs, txn.MustProgram(fmt.Sprintf("dist-audit-%d", f),
+				txn.ReadOp(storage.Key(fmt.Sprintf("ny:A%d", f))),
+				txn.ReadOp(storage.Key(fmt.Sprintf("la:B%d", f))),
+				txn.ReadOp(storage.Key(fmt.Sprintf("chi:C%d", f))),
+			).WithSpec(spec))
+		}
+	}
 
 	var opts []site.Option
 	switch cfg.Variant {
@@ -159,6 +192,7 @@ func RunDistBench(cfg DistBenchConfig) (*DistBenchResult, error) {
 	}
 	c, err := site.NewCluster(site.Config{
 		Strategy:        site.ChoppedQueues,
+		UseDC:           cfg.UseDC,
 		Latency:         cfg.Latency,
 		Jitter:          cfg.Jitter,
 		LossRate:        cfg.LossRate,
@@ -166,6 +200,7 @@ func RunDistBench(cfg DistBenchConfig) (*DistBenchResult, error) {
 		Placement:       distPlacement,
 		Initial:         initial,
 		RetransmitEvery: 5 * time.Millisecond,
+		Obs:             cfg.Plane,
 	}, opts...)
 	if err != nil {
 		return nil, err
@@ -192,11 +227,37 @@ func RunDistBench(cfg DistBenchConfig) (*DistBenchResult, error) {
 		if n == 0 {
 			continue
 		}
+		// Submitter 0 spaces the ε-audits through its chain loop; with one
+		// submitter the run stays sequential (and so trace-deterministic),
+		// with many the audits overlap foreign chains and exercise DC.
+		audits := 0
+		if sub == 0 && cfg.UseDC {
+			audits = cfg.Audits
+		}
 		wg.Add(1)
-		go func(sub, n int) {
+		go func(sub, n, audits int) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 			defer cancel()
+			auditStep := 1
+			if audits > 0 && n > audits {
+				auditStep = n / audits
+			}
+			submitAudit := func(i int) bool {
+				res, err := c.Submit(ctx, cfg.Families+i%cfg.Families)
+				if err != nil || !res.Committed {
+					mu.Lock()
+					if firstErr == nil {
+						if err == nil {
+							err = fmt.Errorf("audit did not commit: %+v", res)
+						}
+						firstErr = err
+					}
+					mu.Unlock()
+					return false
+				}
+				return true
+			}
 			for i := 0; i < n; i++ {
 				res, err := c.Submit(ctx, (sub+i)%cfg.Families)
 				if err != nil || !res.Committed {
@@ -214,8 +275,19 @@ func RunDistBench(cfg DistBenchConfig) (*DistBenchResult, error) {
 				initRec.Add(res.Initiation)
 				settleRec.Add(res.Settlement)
 				mu.Unlock()
+				if audits > 0 && i%auditStep == auditStep-1 {
+					if !submitAudit(i) {
+						return
+					}
+					audits--
+				}
 			}
-		}(sub, n)
+			for ; audits > 0; audits-- { // leftovers from integer spacing
+				if !submitAudit(audits) {
+					return
+				}
+			}
+		}(sub, n, audits)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

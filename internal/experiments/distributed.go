@@ -33,6 +33,7 @@ func newBranchClusterDelay(strategy site.Strategy, useDC bool, oneWay, opDelay t
 	return site.NewCluster(site.Config{
 		Strategy:  strategy,
 		UseDC:     useDC,
+		Obs:       obsPlane,
 		Latency:   oneWay,
 		Seed:      1,
 		Placement: nyLAPlacement,

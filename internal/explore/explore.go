@@ -8,6 +8,7 @@ import (
 	"asynctp/internal/core"
 	"asynctp/internal/history"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/oracle"
 	"asynctp/internal/storage"
 	"asynctp/internal/txn"
@@ -36,6 +37,15 @@ type Scenario struct {
 	// regression sweep runs the same seeds at 1 and at many stripes and
 	// requires byte-identical fingerprints.
 	LockStripes int
+	// Ledger attaches a per-run ε-provenance ledger (obs.Ledger) and
+	// reconciles it against the oracle's verdicts: Result.Reconciliation
+	// then carries the per-query budgeted / charged / measured rows.
+	Ledger bool
+	// Base, when non-nil, contributes a shared tracer and metrics
+	// registry to every run's plane (cmd/conformance wires it from
+	// -trace/-metrics). The ledger stays per-run: reconciliation needs
+	// one run's charges against that run's oracle verdicts.
+	Base *obs.Plane
 }
 
 // Result is one explored run, fully checked.
@@ -55,6 +65,9 @@ type Result struct {
 	Report *oracle.Report
 	// Grouped is the grouped conflict-graph analysis of the same history.
 	Grouped history.GroupedAnalysis
+	// Reconciliation is the ledger-vs-oracle per-query view (nil unless
+	// Scenario.Ledger).
+	Reconciliation *obs.Reconciliation
 	// fingerprint material
 	hash uint64
 }
@@ -88,6 +101,19 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 			counts[i] = 1 // declared but unsubmitted types still need a count
 		}
 	}
+	var plane *obs.Plane
+	if sc.Ledger || sc.Base != nil {
+		var tr *obs.Tracer
+		var reg *obs.Registry
+		if sc.Base != nil {
+			tr, reg = sc.Base.Tracer, sc.Base.Metrics
+		}
+		var lg *obs.Ledger
+		if sc.Ledger {
+			lg = obs.NewLedger()
+		}
+		plane = obs.NewPlane(tr, lg, reg)
+	}
 	runner, err := core.NewRunner(core.Config{
 		Method:           sc.Method,
 		Distribution:     sc.Distribution,
@@ -101,6 +127,7 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 		SequentialPieces: true,
 		BudgetScale:      sc.BudgetScale,
 		LockStripes:      sc.LockStripes,
+		Obs:              plane,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("explore: %s: %w", sc.Name, err)
@@ -151,6 +178,9 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 	}
 	res.Report = rep
 	res.Grouped = runner.Recorder().CheckGrouped(groupOf)
+	if plane != nil {
+		res.Reconciliation = plane.Ledger.Reconcile(rep)
+	}
 	res.hash = historyHash(ops)
 	return res, nil
 }

@@ -1,0 +1,53 @@
+package explore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asynctp/internal/core"
+	"asynctp/internal/obs"
+	"asynctp/internal/oracle"
+)
+
+// canonicalTrace runs the DC bank scenario over a few scheduler seeds
+// with a fresh tracer and returns the canonical Chrome trace-event
+// export. The canonical export is specified to be a pure function of
+// (scenario, seeds, strategy): logical events only, synthetic
+// timestamps, content-signature group identity.
+func canonicalTrace(t *testing.T, seeds int) []byte {
+	t.Helper()
+	tr := obs.NewTracer(0)
+	base := obs.NewPlane(tr, nil, nil)
+	sc := BankScenario(core.Method3ESRChopDC, core.EngineLocking, core.Static, 600)
+	sc.Ledger = true
+	sc.Base = base
+	for seed := 1; seed <= seeds; seed++ {
+		if _, err := Run(sc, int64(seed), StrategyConflict, oracle.Config{MaxOrders: 50, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.ExportCanonical(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCanonicalTraceDeterministic is the trace-determinism regression:
+// two complete runs of the same seeded scenario sweep must export
+// byte-identical canonical traces (CI repeats the same check end to
+// end through cmd/distbench and diffs the files).
+func TestCanonicalTraceDeterministic(t *testing.T) {
+	a := canonicalTrace(t, 3)
+	b := canonicalTrace(t, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical exports differ across identical seeded runs:\nlen %d vs %d", len(a), len(b))
+	}
+	s := string(a)
+	for _, want := range []string{`"cat":"txn"`, `"cat":"piece"`, `"cat":"lock"`, `"cat":"dc"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("canonical export missing %s events", want)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the trace exports.
+//
+// Two Chrome trace-event JSON modes exist:
+//
+//   - ExportCanonical: the seed-deterministic view. Only logical event
+//     kinds enter it, every aborted piece attempt's span is dropped
+//     (retries leave exactly the committed attempt), instances are
+//     re-identified by a content signature instead of their runtime
+//     group numbers, and timestamps are synthetic integer microseconds.
+//     Two runs of the same seeded scenario produce byte-identical
+//     output — this is what the determinism gate diffs.
+//
+//   - ExportWall: the debugging view. Every event (including waits,
+//     debits, flushes, retransmits and 2PC rounds) with its real
+//     wall-clock timestamp. Not deterministic, not gated.
+//
+// WriteText renders the raw event stream as a human text timeline in
+// arrival order.
+
+// category maps a kind to its Chrome "cat" field.
+func category(k Kind) string {
+	switch k {
+	case EvTxnBegin, EvTxnEnd:
+		return "txn"
+	case EvPieceBegin, EvPieceCommit, EvPieceAbort:
+		return "piece"
+	case EvLockAcquire, EvLockBlocked, EvLockResumed:
+		return "lock"
+	case EvDCDebit, EvDCRefuse, EvDCAccount:
+		return "dc"
+	case EvQueueSend, EvQueueFlush, EvQueueRetransmit, EvQueueDeliver:
+		return "queue"
+	case EvActivationBegin, EvActivationEnd:
+		return "site"
+	case EvCommitRound, EvCommitDecision:
+		return "2pc"
+	}
+	return "other"
+}
+
+// jargs renders alternating key, value pairs as a JSON object body
+// ("k":v,...) with deterministic ordering (the call-site order).
+func jargs(kv ...any) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		v := kv[i+1]
+		// Drop zero values so the export stays compact.
+		switch x := v.(type) {
+		case string:
+			if x == "" {
+				continue
+			}
+		case int64:
+			if x == 0 {
+				continue
+			}
+		case int:
+			if x == 0 {
+				continue
+			}
+		case uint64:
+			if x == 0 {
+				continue
+			}
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(kv[i].(string)))
+		b.WriteByte(':')
+		switch x := v.(type) {
+		case string:
+			b.WriteString(strconv.Quote(x))
+		case int64:
+			b.WriteString(strconv.FormatInt(x, 10))
+		case int:
+			b.WriteString(strconv.Itoa(x))
+		case uint64:
+			b.WriteString(strconv.FormatUint(x, 10))
+		case bool:
+			if x {
+				b.WriteString("true")
+			} else {
+				b.WriteString("false")
+			}
+		}
+	}
+	return b.String()
+}
+
+// emitter accumulates trace-event JSON objects.
+type emitter struct {
+	b     strings.Builder
+	first bool
+}
+
+func newEmitter() *emitter {
+	e := &emitter{first: true}
+	e.b.WriteString(`{"traceEvents":[`)
+	return e
+}
+
+func (e *emitter) raw(s string) {
+	if !e.first {
+		e.b.WriteByte(',')
+	}
+	e.first = false
+	e.b.WriteString(s)
+}
+
+// span emits one "X" complete event.
+func (e *emitter) span(name, cat string, pid, tid int, ts, dur int64, args string) {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(name))
+	b.WriteString(`,"cat":`)
+	b.WriteString(strconv.Quote(cat))
+	b.WriteString(`,"ph":"X","pid":`)
+	b.WriteString(strconv.Itoa(pid))
+	b.WriteString(`,"tid":`)
+	b.WriteString(strconv.Itoa(tid))
+	b.WriteString(`,"ts":`)
+	b.WriteString(strconv.FormatInt(ts, 10))
+	b.WriteString(`,"dur":`)
+	b.WriteString(strconv.FormatInt(dur, 10))
+	if args != "" {
+		b.WriteString(`,"args":{`)
+		b.WriteString(args)
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	e.raw(b.String())
+}
+
+// meta emits one "M" metadata event (process/thread naming).
+func (e *emitter) meta(kind string, pid, tid int, name string) {
+	e.raw(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":%q}}`,
+		pid, tid, kind, name))
+}
+
+func (e *emitter) finish(w io.Writer) error {
+	e.b.WriteString("]}\n")
+	_, err := io.WriteString(w, e.b.String())
+	return err
+}
+
+// cPiece is one canonical piece: its identity plus its leaf events in
+// per-owner arrival order (a piece executes on one goroutine, so this
+// order is a function of the seed).
+type cPiece struct {
+	index  int32
+	site   string
+	name   string
+	class  string
+	leaves []Event
+}
+
+// cGroup is one canonical transaction instance.
+type cGroup struct {
+	name      string
+	committed bool
+	hasEnd    bool
+	pieces    map[int32]*cPiece
+	sig       string
+}
+
+// cWire is one canonical queue track (sender→destination/queue), its
+// sends and first deliveries keyed by the gapless wire sequence number.
+type cWire struct {
+	key     string
+	send    map[int64]Event
+	deliver map[int64]Event
+}
+
+func (g *cGroup) sortedPieces() []*cPiece {
+	idx := make([]int32, 0, len(g.pieces))
+	for i := range g.pieces {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	out := make([]*cPiece, len(idx))
+	for i, ix := range idx {
+		out[i] = g.pieces[ix]
+	}
+	return out
+}
+
+// signature renders the group's full logical content; instances with
+// equal signatures are interchangeable, so sorting groups by signature
+// re-identifies them deterministically.
+func (g *cGroup) signature() string {
+	var b strings.Builder
+	b.WriteString(g.name)
+	if g.committed {
+		b.WriteString("|C")
+	} else if g.hasEnd {
+		b.WriteString("|A")
+	}
+	for _, p := range g.sortedPieces() {
+		fmt.Fprintf(&b, "|p%d@%s:%s:%s[", p.index, p.site, p.name, p.class)
+		for _, lv := range p.leaves {
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%d;", lv.Kind, lv.Key, lv.Arg, lv.Aux, lv.Aux2)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// canonicalize folds the raw event stream into deterministic group and
+// wire structures.
+func canonicalize(events []Event) ([]*cGroup, []*cWire) {
+	aborted := make(map[int64]bool)
+	for _, ev := range events {
+		if ev.Kind == EvPieceAbort && ev.Owner != 0 {
+			aborted[ev.Owner] = true
+		}
+	}
+	type oinfo struct {
+		group uint64
+		piece int32
+	}
+	ownerOf := make(map[int64]oinfo)
+	groups := make(map[uint64]*cGroup)
+	wires := make(map[string]*cWire)
+	getG := func(id uint64) *cGroup {
+		g := groups[id]
+		if g == nil {
+			g = &cGroup{pieces: make(map[int32]*cPiece)}
+			groups[id] = g
+		}
+		return g
+	}
+	getP := func(g *cGroup, idx int32) *cPiece {
+		p := g.pieces[idx]
+		if p == nil {
+			p = &cPiece{index: idx}
+			g.pieces[idx] = p
+		}
+		return p
+	}
+	getW := func(key string) *cWire {
+		wr := wires[key]
+		if wr == nil {
+			wr = &cWire{key: key, send: make(map[int64]Event), deliver: make(map[int64]Event)}
+			wires[key] = wr
+		}
+		return wr
+	}
+	for _, ev := range events {
+		if !ev.Kind.logical() {
+			continue
+		}
+		if ev.Owner != 0 && aborted[ev.Owner] {
+			continue
+		}
+		switch ev.Kind {
+		case EvTxnBegin:
+			getG(ev.Group).name = ev.Name
+		case EvTxnEnd:
+			g := getG(ev.Group)
+			g.hasEnd = true
+			g.committed = ev.Aux == 1
+		case EvPieceBegin:
+			ownerOf[ev.Owner] = oinfo{ev.Group, ev.Piece}
+			p := getP(getG(ev.Group), ev.Piece)
+			p.site, p.name, p.class = ev.Site, ev.Name, ev.Arg
+		case EvQueueSend:
+			getW(ev.Site + ">" + ev.Arg + "/" + ev.Name).send[ev.Aux] = ev
+		case EvQueueDeliver:
+			getW(ev.Arg + ">" + ev.Site + "/" + ev.Name).deliver[ev.Aux] = ev
+		case EvActivationBegin, EvActivationEnd:
+			p := getP(getG(ev.Group), ev.Piece)
+			p.leaves = append(p.leaves, ev)
+		default: // EvPieceCommit, EvLockAcquire, EvDCAccount: owner-joined.
+			oi, ok := ownerOf[ev.Owner]
+			if !ok {
+				continue
+			}
+			p := getP(getG(oi.group), oi.piece)
+			p.leaves = append(p.leaves, ev)
+		}
+	}
+	gs := make([]*cGroup, 0, len(groups))
+	for _, g := range groups {
+		g.sig = g.signature()
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(a, b int) bool { return gs[a].sig < gs[b].sig })
+	ws := make([]*cWire, 0, len(wires))
+	for _, wr := range wires {
+		ws = append(ws, wr)
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a].key < ws[b].key })
+	return gs, ws
+}
+
+// leafArgs renders the canonical args for a leaf event.
+func leafArgs(ev Event) string {
+	switch ev.Kind {
+	case EvLockAcquire:
+		return jargs("key", ev.Key, "write", ev.Aux)
+	case EvDCAccount:
+		return jargs("imported", ev.Aux, "exported", ev.Aux2)
+	case EvActivationBegin, EvActivationEnd:
+		return jargs("site", ev.Site)
+	}
+	return ""
+}
+
+// ExportCanonical writes the seed-deterministic Chrome trace-event JSON
+// view of the event stream: pid 1 carries one thread per transaction
+// instance (transaction → piece → lock/DC leaves), pid 2 one thread per
+// queue wire track (send → deliver per sequence number). Output is
+// byte-identical across runs of the same seeded scenario.
+func ExportCanonical(w io.Writer, events []Event) error {
+	groups, wires := canonicalize(events)
+	e := newEmitter()
+	e.meta("process_name", 1, 0, "transactions")
+	if len(wires) > 0 {
+		e.meta("process_name", 2, 0, "wire")
+	}
+	cur := int64(0)
+	for r, g := range groups {
+		tid := r + 1
+		name := g.name
+		if name == "" {
+			name = "txn"
+		}
+		e.meta("thread_name", 1, tid, fmt.Sprintf("%s #%d", name, tid))
+		gStart := cur
+		cur++
+		type laid struct {
+			ev Event
+			ts int64
+		}
+		type pl struct {
+			p      *cPiece
+			start  int64
+			end    int64
+			leaves []laid
+		}
+		var pieces []pl
+		for _, p := range g.sortedPieces() {
+			pStart := cur
+			cur++
+			var lv []laid
+			for _, l := range p.leaves {
+				lv = append(lv, laid{l, cur})
+				cur++
+			}
+			pieces = append(pieces, pl{p: p, start: pStart, end: cur, leaves: lv})
+			cur++
+		}
+		gEnd := cur
+		cur++
+		e.span("txn "+name, "txn", 1, tid, gStart, gEnd-gStart+1,
+			jargs("committed", g.committed, "pieces", len(g.pieces)))
+		for _, pp := range pieces {
+			e.span(fmt.Sprintf("piece %d", pp.p.index), "piece", 1, tid,
+				pp.start, pp.end-pp.start+1,
+				jargs("site", pp.p.site, "class", pp.p.class, "name", pp.p.name))
+			for _, l := range pp.leaves {
+				e.span(l.ev.Kind.String(), category(l.ev.Kind), 1, tid, l.ts, 1, leafArgs(l.ev))
+			}
+		}
+		cur += 4
+	}
+	for wi, wr := range wires {
+		tid := wi + 1
+		e.meta("thread_name", 2, tid, wr.key)
+		seqSet := make(map[int64]bool)
+		for s := range wr.send {
+			seqSet[s] = true
+		}
+		for s := range wr.deliver {
+			seqSet[s] = true
+		}
+		seqs := make([]int64, 0, len(seqSet))
+		for s := range seqSet {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+		for i, s := range seqs {
+			base := int64(i) * 3
+			if _, ok := wr.send[s]; ok {
+				e.span("queue.send", "queue", 2, tid, base, 1, jargs("seq", s))
+			}
+			if _, ok := wr.deliver[s]; ok {
+				e.span("queue.deliver", "queue", 2, tid, base+1, 1, jargs("seq", s))
+			}
+		}
+	}
+	return e.finish(w)
+}
+
+// ExportWall writes the wall-clock Chrome trace-event JSON view: every
+// event, real timestamps (microseconds since tracer start). Useful for
+// latency debugging; not deterministic.
+func ExportWall(w io.Writer, events []Event) error {
+	// Join owner-only events onto their instance for thread placement.
+	ownerGroup := make(map[int64]uint64)
+	for _, ev := range events {
+		if ev.Kind == EvPieceBegin && ev.Owner != 0 {
+			ownerGroup[ev.Owner] = ev.Group
+		}
+	}
+	siteTrack := make(map[string]int)
+	trackOf := func(site string) int {
+		if id, ok := siteTrack[site]; ok {
+			return id
+		}
+		id := len(siteTrack) + 1
+		siteTrack[site] = id
+		return id
+	}
+	e := newEmitter()
+	e.meta("process_name", 1, 0, "transactions")
+	e.meta("process_name", 2, 0, "sites")
+	for _, ev := range events {
+		pid, tid := 1, int(ev.Group)
+		if ev.Group == 0 {
+			if g, ok := ownerGroup[ev.Owner]; ok {
+				tid = int(g)
+			} else {
+				pid, tid = 2, trackOf(ev.Site)
+			}
+		}
+		ts := ev.TS / 1e3
+		dur := ev.Dur / 1e3
+		if dur < 1 {
+			dur = 1
+		}
+		e.span(ev.Kind.String(), category(ev.Kind), pid, tid, ts, dur,
+			jargs("owner", ev.Owner, "group", ev.Group, "piece", int64(ev.Piece),
+				"site", ev.Site, "key", ev.Key, "name", ev.Name, "arg", ev.Arg,
+				"aux", ev.Aux, "aux2", ev.Aux2))
+	}
+	return e.finish(w)
+}
+
+// WriteText renders the raw event stream as a human timeline in arrival
+// order, one line per event, zero-valued fields omitted.
+func WriteText(w io.Writer, events []Event) error {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "[%7d] %12.6f %-22s", ev.Seq, float64(ev.TS)/1e9, ev.Kind.String())
+		if ev.Owner != 0 {
+			fmt.Fprintf(&b, " owner=%d", ev.Owner)
+		}
+		if ev.Group != 0 {
+			fmt.Fprintf(&b, " group=%d", ev.Group)
+		}
+		if ev.Piece >= 0 && (ev.Kind == EvPieceBegin || ev.Kind == EvActivationBegin || ev.Kind == EvActivationEnd) {
+			fmt.Fprintf(&b, " piece=%d", ev.Piece)
+		}
+		if ev.Site != "" {
+			fmt.Fprintf(&b, " site=%s", ev.Site)
+		}
+		if ev.Key != "" {
+			fmt.Fprintf(&b, " key=%s", ev.Key)
+		}
+		if ev.Name != "" {
+			fmt.Fprintf(&b, " name=%s", ev.Name)
+		}
+		if ev.Arg != "" {
+			fmt.Fprintf(&b, " arg=%s", ev.Arg)
+		}
+		if ev.Aux != 0 {
+			fmt.Fprintf(&b, " aux=%d", ev.Aux)
+		}
+		if ev.Aux2 != 0 {
+			fmt.Fprintf(&b, " aux2=%d", ev.Aux2)
+		}
+		if ev.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", time.Duration(ev.Dur))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+// The whole observability plane is built to be compiled in but free
+// when disabled: a nil *Plane, a nil *Tracer, and nil metric handles
+// must all no-op without boxing an Event or capturing a closure. These
+// tests pin that contract with testing.AllocsPerRun so a refactor that
+// accidentally allocates on the disabled path fails CI, not a perf run.
+
+func TestNilPlaneSpanHooksZeroAlloc(t *testing.T) {
+	var p *Plane
+	end := p.ActivationBegin(1, 0, "NY")
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.TxnBegin(1, "xfer")
+		p.BindBudget(1, "xfer", "update", "static", metric.Infinite)
+		p.PieceBegin(2, 1, 0, "NY", "xfer/p1", txn.Update)
+		p.PieceSettle(2, 0, 0)
+		p.TxnEnd(1, true)
+		end()
+	})
+	if allocs > 0 {
+		t.Errorf("nil-plane span hooks: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilPlaneObserverConstructorsCollapse(t *testing.T) {
+	var p *Plane
+	if p.ExecObserver() != nil || p.WaitObserver() != nil || p.DCObserver() != nil ||
+		p.QueueObserver("NY") != nil || p.CommitObserver("NY") != nil {
+		t.Fatal("nil plane must hand out nil observers so call sites skip the hook entirely")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = p.ExecObserver()
+		_ = p.WaitObserver()
+		_ = p.DCObserver()
+		_ = p.QueueObserver("NY")
+		_ = p.CommitObserver("NY")
+	})
+	if allocs > 0 {
+		t.Errorf("nil-plane observer constructors: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestTeeHelpersCollapseToNil(t *testing.T) {
+	if TeeTxnObserver(nil, nil) != nil {
+		t.Error("TeeTxnObserver(nil, nil) must be nil")
+	}
+	if TeeWaitObserver(nil, nil) != nil {
+		t.Error("TeeWaitObserver(nil, nil) must be nil")
+	}
+	if TeeDCObserver(nil, nil) != nil {
+		t.Error("TeeDCObserver(nil, nil) must be nil")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = TeeTxnObserver(nil, nil)
+		_ = TeeWaitObserver(nil, nil)
+		_ = TeeDCObserver(nil, nil)
+	})
+	if allocs > 0 {
+		t.Errorf("collapsed tee helpers: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilTracerEmitZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: EvLockAcquire, Owner: 7, Key: "x"})
+	})
+	if allocs > 0 {
+		t.Errorf("nil tracer Emit: %.1f allocs/op, want 0", allocs)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer accessors must report empty")
+	}
+}
+
+func TestNilMetricHandlesZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.5)
+	})
+	if allocs > 0 {
+		t.Errorf("nil metric handles: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Enabled-tracer steady state: once the ring has grown, Emit is a slot
+// write behind a mutex — no per-event allocation.
+func TestEnabledTracerSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracer(1 << 16)
+	for i := 0; i < 4096; i++ { // pre-grow the buffer
+		tr.Emit(Event{Kind: EvLockAcquire, Owner: int64(i)})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: EvLockAcquire, Owner: 1, Key: "x"})
+	})
+	// Amortized slice growth can surface as <1 alloc/op; the guard is
+	// against per-event boxing (>=1 every call).
+	if allocs >= 1 {
+		t.Errorf("enabled tracer steady-state Emit: %.1f allocs/op, want < 1", allocs)
+	}
+}

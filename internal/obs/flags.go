@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the shared -trace/-metrics CLI surface every bench command
+// registers (cmd/perfbench, distbench, chaosbench, conformance,
+// bankbench, distsim). All destinations are optional; with none set,
+// Build returns a nil plane and the instrumented pipeline keeps its
+// zero-cost disabled paths.
+type Flags struct {
+	// Trace is the canonical (seed-deterministic) Chrome trace-event
+	// JSON destination.
+	Trace string
+	// TraceWall is the wall-clock Chrome trace-event JSON destination.
+	TraceWall string
+	// TraceText is the human text timeline destination.
+	TraceText string
+	// Metrics is the Prometheus exposition listen address (e.g.
+	// "127.0.0.1:9090"); empty disables the listener.
+	Metrics string
+	// MetricsDump is a file to write one final Prometheus exposition
+	// snapshot to at stop time (usable without the listener).
+	MetricsDump string
+	// Ledger forces the ε-provenance ledger on even when no trace
+	// destination is set (the conformance harness reads it directly).
+	Ledger bool
+}
+
+// Register adds the observability flags to fs and returns the struct
+// they populate.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write canonical (deterministic) Chrome trace-event JSON to file")
+	fs.StringVar(&f.TraceWall, "tracewall", "", "write wall-clock Chrome trace-event JSON to file")
+	fs.StringVar(&f.TraceText, "tracetext", "", "write human trace timeline to file")
+	fs.StringVar(&f.Metrics, "metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
+	fs.StringVar(&f.MetricsDump, "metricsdump", "", "write a final Prometheus exposition snapshot to file")
+	return f
+}
+
+// enabled reports whether any observability consumer was requested.
+func (f *Flags) enabled() bool {
+	return f.Trace != "" || f.TraceWall != "" || f.TraceText != "" ||
+		f.Metrics != "" || f.MetricsDump != "" || f.Ledger
+}
+
+// Build assembles the requested plane and starts the metrics listener
+// if one was asked for. It returns a nil plane (and a no-op stop) when
+// nothing was requested. The stop function writes the requested
+// exports and shuts the listener down; call it exactly once, after the
+// measured work.
+func (f *Flags) Build() (*Plane, func() error, error) {
+	if !f.enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	var tr *Tracer
+	if f.Trace != "" || f.TraceWall != "" || f.TraceText != "" {
+		tr = NewTracer(0)
+	}
+	var lg *Ledger
+	if f.Ledger || tr != nil {
+		lg = NewLedger()
+	}
+	var reg *Registry
+	var closeHTTP func() error
+	if f.Metrics != "" || f.MetricsDump != "" {
+		reg = NewRegistry()
+	}
+	if f.Metrics != "" {
+		addr, closeFn, err := reg.Serve(f.Metrics)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: metrics listener: %w", err)
+		}
+		closeHTTP = closeFn
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", addr)
+	}
+	p := NewPlane(tr, lg, reg)
+	stop := func() error {
+		var firstErr error
+		writeFile := func(path string, write func(f *os.File) error) {
+			if path == "" {
+				return
+			}
+			out, err := os.Create(path)
+			if err == nil {
+				err = write(out)
+				if cerr := out.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		events := tr.Events()
+		writeFile(f.Trace, func(out *os.File) error { return ExportCanonical(out, events) })
+		writeFile(f.TraceWall, func(out *os.File) error { return ExportWall(out, events) })
+		writeFile(f.TraceText, func(out *os.File) error { return WriteText(out, events) })
+		writeFile(f.MetricsDump, func(out *os.File) error { return reg.WriteProm(out) })
+		if tr != nil && tr.Dropped() > 0 {
+			fmt.Fprintf(os.Stderr, "obs: trace buffer overflow, %d events dropped\n", tr.Dropped())
+		}
+		if closeHTTP != nil {
+			if err := closeHTTP(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return p, stop, nil
+}

@@ -1,0 +1,399 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/oracle"
+)
+
+// Ledger is the ε-provenance ledger: it accounts every fuzziness debit
+// divergence control grants back to its source conflict, per epsilon
+// transaction (per submitted instance — the oracle's "group").
+//
+// The paper's correctness story is pure accounting — every query is
+// within Limit_t of a serializable result because each absorbed
+// read-write conflict debits its declared write bound from both sides —
+// but the dc controller only keeps per-piece running sums. The ledger
+// keeps the receipts: which key, which peer transaction, which piece,
+// which direction, under which budget-distribution policy. Reconcile
+// then lines the receipts up against the serial-replay oracle's
+// *measured* divergence, yielding the three-column
+// budgeted / charged / measured view the conformance report prints.
+//
+// Invariant on clean runs: measured ≤ charged (the oracle can never
+// measure more divergence than DC priced, because DC prices worst-case
+// write bounds) and charged is within budgeted. A mis-budgeted run
+// (core.Config.BudgetScale) breaks the second inequality on exactly the
+// queries whose inflated accounts let DC over-absorb — the ledger flags
+// them without needing the oracle.
+type Ledger struct {
+	mu       sync.Mutex
+	seq      int64
+	binds    map[int64]bindRef
+	accounts map[int64]*Account
+	// pending buffers each in-flight piece attempt's receipts, keyed by
+	// owner. They fold into the attempt's account only at Settle: an
+	// aborted attempt (deadlock, validation failure, rollback) never
+	// committed its reads, so its receipts are voided, not charged —
+	// otherwise retries would over-flag correctly budgeted runs.
+	pending map[int64][]pendingCharge
+}
+
+// bindRef locates a piece attempt inside its epsilon transaction.
+type bindRef struct {
+	group int64
+	piece int32
+}
+
+// pendingCharge is one buffered receipt awaiting its attempt's settle.
+// The peer is resolved at debit time, while both attempts are bound.
+type pendingCharge struct {
+	dir  Direction
+	key  string
+	cost metric.Fuzz
+	peer bindRef
+}
+
+// Direction distinguishes the two sides of an absorbed conflict.
+type Direction uint8
+
+// Charge directions.
+const (
+	// DirImport marks fuzziness observed by the charged account (it is
+	// the query side of the conflict).
+	DirImport Direction = iota + 1
+	// DirExport marks fuzziness the charged account caused others to
+	// observe (it is the update side).
+	DirExport
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	if d == DirExport {
+		return "export"
+	}
+	return "import"
+}
+
+// Charge is one fuzziness debit attributed to one account.
+type Charge struct {
+	// Seq orders charges ledger-wide (arrival order of debits).
+	Seq int64
+	// Dir is the charged side: import (query) or export (update).
+	Dir Direction
+	// Key is the conflicted storage key.
+	Key string
+	// Cost is the fuzziness charged (the update's declared write bound).
+	Cost metric.Fuzz
+	// Piece is the charged account's piece executing when the conflict
+	// was absorbed (-1 if unknown).
+	Piece int32
+	// Peer is the conflicting transaction's group (0 if unknown —
+	// e.g. an unregistered or already-settled peer).
+	Peer int64
+	// PeerPiece is the peer's piece (-1 if unknown).
+	PeerPiece int32
+}
+
+// Account is one epsilon transaction's ledger page.
+type Account struct {
+	// Group is the instance identity (matches oracle verdict groups).
+	Group int64
+	// Name is the original program name; Class its class; Mode the
+	// ε-budget distribution policy it ran under.
+	Name  string
+	Class string
+	Mode  string
+	// Budget is the ORIGINAL Limit_t of the program (never the
+	// BudgetScale-inflated runtime budget): the bound the user was
+	// promised, against which over-charging is flagged.
+	Budget metric.Limit
+	// Charged sums the import debits (fuzziness this instance observed,
+	// as priced conflict-by-conflict).
+	Charged metric.Fuzz
+	// Exported sums the export debits (fuzziness this instance caused).
+	Exported metric.Fuzz
+	// Settled and SettledExport sum the per-piece dc account totals at
+	// unregister; on a consistent run Settled == Charged (the ledger's
+	// conflict receipts add up to the controller's running sums).
+	Settled       metric.Fuzz
+	SettledExport metric.Fuzz
+	// Charges are the receipts, in debit order.
+	Charges []Charge
+}
+
+// DebitPair is one query/update decomposition of an absorbed conflict,
+// in owner terms (the dc observer's view).
+type DebitPair struct {
+	Query  int64
+	Update int64
+	Cost   metric.Fuzz
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		binds:    make(map[int64]bindRef),
+		accounts: make(map[int64]*Account),
+		pending:  make(map[int64][]pendingCharge),
+	}
+}
+
+// account returns (creating) group's page. Caller holds l.mu.
+func (l *Ledger) account(group int64) *Account {
+	a := l.accounts[group]
+	if a == nil {
+		a = &Account{Group: group}
+		l.accounts[group] = a
+	}
+	return a
+}
+
+// BindGroup declares one epsilon transaction: its identity, its
+// ORIGINAL budget (Limit_t), and the distribution policy in force.
+// Nil-safe.
+func (l *Ledger) BindGroup(group int64, name, class, mode string, budget metric.Limit) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	a := l.account(group)
+	a.Name, a.Class, a.Mode, a.Budget = name, class, mode, budget
+	l.mu.Unlock()
+}
+
+// BindPiece maps a piece attempt's owner onto its epsilon transaction,
+// so debits arriving in owner terms can be attributed. Nil-safe.
+func (l *Ledger) BindPiece(owner, group int64, piece int32) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.binds[owner] = bindRef{group: group, piece: piece}
+	l.mu.Unlock()
+}
+
+// resolve returns owner's bind (group 0, piece -1 when unknown).
+// Caller holds l.mu.
+func (l *Ledger) resolve(owner int64) bindRef {
+	if b, ok := l.binds[owner]; ok {
+		return b
+	}
+	return bindRef{group: 0, piece: -1}
+}
+
+// Debit buffers one absorbed conflict: every query/update pair pends an
+// import receipt on the query attempt and an export receipt on the
+// update attempt. The receipts charge their accounts only when the
+// attempt settles (Settle); an aborted attempt voids them. Nil-safe.
+func (l *Ledger) Debit(key string, pairs []DebitPair) {
+	if l == nil || len(pairs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pairs {
+		q, u := l.resolve(p.Query), l.resolve(p.Update)
+		l.pending[p.Query] = append(l.pending[p.Query],
+			pendingCharge{dir: DirImport, key: key, cost: p.Cost, peer: u})
+		l.pending[p.Update] = append(l.pending[p.Update],
+			pendingCharge{dir: DirExport, key: key, cost: p.Cost, peer: q})
+	}
+}
+
+// Settle folds a piece attempt's receipts and final dc account totals
+// into its epsilon transaction and retires the owner binding. Nil-safe.
+func (l *Ledger) Settle(owner int64, imported, exported metric.Fuzz) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pend := l.pending[owner]
+	delete(l.pending, owner)
+	b, ok := l.binds[owner]
+	if !ok {
+		return
+	}
+	delete(l.binds, owner)
+	a := l.account(b.group)
+	a.Settled = a.Settled.Add(imported)
+	a.SettledExport = a.SettledExport.Add(exported)
+	for _, pc := range pend {
+		l.seq++
+		ch := Charge{
+			Seq: l.seq, Dir: pc.dir, Key: pc.key, Cost: pc.cost,
+			Piece: b.piece, Peer: pc.peer.group, PeerPiece: pc.peer.piece,
+		}
+		if pc.dir == DirImport {
+			a.Charged = a.Charged.Add(pc.cost)
+		} else {
+			a.Exported = a.Exported.Add(pc.cost)
+		}
+		a.Charges = append(a.Charges, ch)
+	}
+}
+
+// Void discards a piece attempt's pending receipts and binding: the
+// attempt aborted, so its observed fuzziness never entered the
+// committed history. Nil-safe.
+func (l *Ledger) Void(owner int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	delete(l.pending, owner)
+	delete(l.binds, owner)
+	l.mu.Unlock()
+}
+
+// Accounts returns a deep copy of every page, sorted by group.
+func (l *Ledger) Accounts() []Account {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Account, 0, len(l.accounts))
+	for _, a := range l.accounts {
+		cp := *a
+		cp.Charges = append([]Charge(nil), a.Charges...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// OverBudget returns the accounts whose charged import fuzziness
+// exceeds their ORIGINAL budget — the ledger-side flag a mis-budgeted
+// run (BudgetScale) must raise. Accounts that never declared a budget
+// (group 0 fallthrough, CC methods) are skipped.
+func (l *Ledger) OverBudget() []Account {
+	var out []Account
+	for _, a := range l.Accounts() {
+		if a.Name == "" {
+			continue
+		}
+		if !a.Budget.Allows(a.Charged) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ReconRow is one query's budgeted / charged / measured line.
+type ReconRow struct {
+	// Group and Name identify the query instance.
+	Group int64
+	Name  string
+	// Budgeted is the declared Limit_t (original, unscaled).
+	Budgeted metric.Limit
+	// Charged is what DC's accounting debited (ledger import receipts).
+	Charged metric.Fuzz
+	// Measured is the oracle's replay divergence (distance to the
+	// nearest examined serial order; oracle.Unexplained if none fits).
+	Measured metric.Fuzz
+	// MeasuredOK is the oracle's verdict for the query.
+	MeasuredOK bool
+	// OverBudget reports Charged beyond Budgeted (ledger flag).
+	OverBudget bool
+	// Covered reports Charged ≥ Measured (accounting covers reality);
+	// vacuously false when Measured is Unexplained.
+	Covered bool
+}
+
+// Reconciliation is the ledger-vs-oracle view of one run.
+type Reconciliation struct {
+	// Rows holds one line per query group the oracle examined, sorted.
+	Rows []ReconRow
+	// AllCovered reports Charged ≥ Measured on every explainable row.
+	AllCovered bool
+	// OverBudget lists the rows the ledger flags (charged > budgeted).
+	OverBudget []ReconRow
+}
+
+// Reconcile lines the ledger's receipts up against the oracle's
+// measured divergences. Only query groups get rows; update groups are
+// accounting peers, not ε consumers. Nil-safe (nil ledger still
+// produces measured-only rows with zero charges).
+func (l *Ledger) Reconcile(rep *oracle.Report) *Reconciliation {
+	rec := &Reconciliation{AllCovered: true}
+	if rep == nil {
+		return rec
+	}
+	var pages map[int64]Account
+	if l != nil {
+		pages = make(map[int64]Account)
+		for _, a := range l.Accounts() {
+			pages[a.Group] = a
+		}
+	}
+	for _, v := range rep.Verdicts {
+		if v.Class.String() != "query" {
+			continue
+		}
+		row := ReconRow{
+			Group:      int64(v.Group),
+			Name:       v.Name,
+			Budgeted:   v.Limit,
+			Measured:   v.Divergence,
+			MeasuredOK: v.OK,
+		}
+		if a, ok := pages[int64(v.Group)]; ok {
+			row.Charged = a.Charged
+			if a.Name != "" {
+				row.Budgeted = a.Budget
+			}
+		}
+		row.OverBudget = !row.Budgeted.Allows(row.Charged)
+		row.Covered = v.Divergence != oracle.Unexplained && row.Charged >= v.Divergence
+		if !row.Covered {
+			rec.AllCovered = false
+		}
+		if row.OverBudget {
+			rec.OverBudget = append(rec.OverBudget, row)
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	sort.Slice(rec.Rows, func(i, j int) bool { return rec.Rows[i].Group < rec.Rows[j].Group })
+	return rec
+}
+
+// fuzzStr renders a fuzz value, with Unexplained as "?".
+func fuzzStr(f metric.Fuzz) string {
+	if f == oracle.Unexplained {
+		return "?"
+	}
+	return fmt.Sprintf("%d", int64(f))
+}
+
+// WriteTable renders the reconciliation as the conformance report's
+// per-query budgeted / charged / measured table.
+func (r *Reconciliation) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-6s %-24s %10s %10s %10s %-8s %s\n",
+		"group", "query", "budgeted", "charged", "measured", "oracle", "ledger"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		oracleCol := "ok"
+		if !row.MeasuredOK {
+			oracleCol = "VIOLATE"
+		}
+		ledgerCol := "ok"
+		if row.OverBudget {
+			ledgerCol = "OVER-BUDGET"
+		} else if !row.Covered {
+			ledgerCol = "uncovered"
+		}
+		if _, err := fmt.Fprintf(w, "%-6d %-24s %10s %10s %10s %-8s %s\n",
+			row.Group, row.Name, row.Budgeted.String(), fuzzStr(row.Charged),
+			fuzzStr(row.Measured), oracleCol, ledgerCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a lightweight metrics registry: counters, gauges (direct
+// and callback-backed), and fixed-bucket histograms, with Prometheus
+// text exposition. It is deliberately tiny — no dependency, no label
+// indexing machinery: a metric's identity is its family name plus a
+// canonical label block, rendered once at registration.
+//
+// Hot paths hold pre-registered *Counter / *Histogram handles, so an
+// observation is one or two atomic adds; the registry mutex is touched
+// only at registration and exposition time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric family: a type, a help string, and its series.
+type family struct {
+	name   string
+	kind   string // "counter", "gauge", "histogram"
+	help   string
+	series map[string]any // label block -> *Counter/*Gauge/gaugeFunc/*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelBlock renders alternating key,value pairs canonically:
+// {a="x",b="y"} with keys in the given order. Empty labels render "".
+func labelBlock(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register adds (or returns the existing) series for name+labels.
+func (r *Registry) register(kind, name, help string, labels []string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, kind: kind, help: help, series: make(map[string]any)}
+		r.families[name] = fam
+	}
+	lb := labelBlock(labels)
+	if s, ok := fam.series[lb]; ok {
+		return s
+	}
+	s := mk()
+	fam.series[lb] = s
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1. Nil-safe: a nil counter (metrics disabled) is a no-op.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n. Nil-safe.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value. Nil-safe (0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// gaugeFunc is a callback-backed gauge, sampled at exposition time.
+type gaugeFunc func() float64
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Int64 // micro-units (1e-6) to stay integral
+	count  atomic.Int64
+}
+
+// DefaultLatencyBuckets are seconds-scale bounds suited to the
+// simulation's µs..s latencies.
+var DefaultLatencyBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 1, 2.5,
+}
+
+// Observe records v (in the histogram's unit, conventionally seconds).
+// Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(v * 1e6))
+}
+
+// ObserveDuration records d in seconds. Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations. Nil-safe (0).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Counter registers (or fetches) a counter series. Nil-safe: a nil
+// registry returns a nil handle whose methods are no-ops.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register("counter", name, help, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) a gauge series. Nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register("gauge", name, help, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a callback-backed gauge series sampled at
+// exposition time; re-registering the same series replaces the
+// callback. Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, kind: "gauge", help: help, series: make(map[string]any)}
+		r.families[name] = fam
+	}
+	fam.series[labelBlock(labels)] = gaugeFunc(fn)
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// ascending upper bounds (nil selects DefaultLatencyBuckets). Nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return r.register("histogram", name, help, labels, func() any {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	}).(*Histogram)
+}
+
+// formatFloat renders a sample value without scientific notation noise.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// WriteProm writes the registry in Prometheus text exposition format,
+// families and series in sorted order so the output is stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type snap struct {
+		fam    *family
+		blocks []string
+	}
+	snaps := make([]snap, 0, len(names))
+	for _, name := range names {
+		fam := r.families[name]
+		blocks := make([]string, 0, len(fam.series))
+		for lb := range fam.series {
+			blocks = append(blocks, lb)
+		}
+		sort.Strings(blocks)
+		snaps = append(snaps, snap{fam: fam, blocks: blocks})
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, sn := range snaps {
+		fam := sn.fam
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, lb := range sn.blocks {
+			switch s := fam.series[lb].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, lb, s.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, lb, s.Value())
+			case gaugeFunc:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, lb, formatFloat(s()))
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range s.bounds {
+					cum += s.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name,
+						mergeLabels(lb, fmt.Sprintf("le=%q", formatFloat(bound))), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, mergeLabels(lb, `le="+Inf"`), s.count.Load())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, lb, formatFloat(float64(s.sum.Load())/1e6))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, lb, s.count.Load())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLabels inserts extra into an existing label block.
+func mergeLabels(lb, extra string) string {
+	if lb == "" {
+		return "{" + extra + "}"
+	}
+	return lb[:len(lb)-1] + "," + extra + "}"
+}
+
+// ServeHTTP implements http.Handler: GET anything returns the
+// exposition.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteProm(w)
+}
+
+// Serve starts an HTTP listener exposing the registry at /metrics (and
+// at /). It returns the bound address and a shutdown function.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/", r)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,581 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/commit"
+	"asynctp/internal/dc"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/queue"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// Plane bundles the three observability consumers — tracer, ε-ledger,
+// metrics registry — behind the hook shims the engine packages expose.
+// Any of the three may be nil; a nil *Plane disables everything, and
+// the engines keep their nil-observer fast paths because the wiring
+// layers (core, site, the bench CLIs) only install the shims when a
+// plane exists.
+type Plane struct {
+	Tracer  *Tracer
+	Ledger  *Ledger
+	Metrics *Registry
+
+	m planeMetrics
+
+	// waitMu/waitAt time lock waits for the wait-duration histogram.
+	waitMu sync.Mutex
+	waitAt map[int64]time.Time
+}
+
+// planeMetrics holds the pre-registered hot-path metric handles. All
+// handles are nil (no-op) when the registry is nil.
+type planeMetrics struct {
+	txnBegun     *Counter
+	txnCommitted *Counter
+	txnAborted   *Counter
+
+	pieceCommits       *Counter
+	pieceAbortDeadlock *Counter
+	pieceAbortRollback *Counter
+	pieceAbortOther    *Counter
+
+	lockWaits   *Counter
+	lockWaitDur *Histogram
+
+	dcAbsorbed *Counter
+	dcRefused  *Counter
+	dcCharged  *Counter
+	dcImported *Counter
+	dcExported *Counter
+
+	queueSent        *Counter
+	queueDelivered   *Counter
+	queueRetransmits *Counter
+	queueFlushes     *Counter
+	queueBatchSize   *Histogram
+
+	activations   *Counter
+	activationDur *Histogram
+
+	commitRoundVote *Histogram
+	commitRoundAck  *Histogram
+	commitCommits   *Counter
+	commitAborts    *Counter
+}
+
+// NewPlane assembles a plane from its (individually optional) parts.
+func NewPlane(tr *Tracer, lg *Ledger, reg *Registry) *Plane {
+	p := &Plane{Tracer: tr, Ledger: lg, Metrics: reg, waitAt: make(map[int64]time.Time)}
+	if reg != nil {
+		batchBuckets := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+		p.m = planeMetrics{
+			txnBegun:     reg.Counter("asynctp_txn_begun_total", "Transaction instances submitted."),
+			txnCommitted: reg.Counter("asynctp_txn_settled_total", "Transaction instances settled.", "outcome", "committed"),
+			txnAborted:   reg.Counter("asynctp_txn_settled_total", "Transaction instances settled.", "outcome", "aborted"),
+
+			pieceCommits:       reg.Counter("asynctp_piece_commits_total", "Piece attempts committed."),
+			pieceAbortDeadlock: reg.Counter("asynctp_piece_aborts_total", "Piece attempts aborted.", "reason", "deadlock"),
+			pieceAbortRollback: reg.Counter("asynctp_piece_aborts_total", "Piece attempts aborted.", "reason", "rollback"),
+			pieceAbortOther:    reg.Counter("asynctp_piece_aborts_total", "Piece attempts aborted.", "reason", "other"),
+
+			lockWaits:   reg.Counter("asynctp_lock_waits_total", "Lock requests that blocked."),
+			lockWaitDur: reg.Histogram("asynctp_lock_wait_seconds", "Lock wait durations.", nil),
+
+			dcAbsorbed: reg.Counter("asynctp_dc_absorbed_total", "Read-write conflicts absorbed by divergence control."),
+			dcRefused:  reg.Counter("asynctp_dc_refused_total", "Conflicts refused (fell back to blocking)."),
+			dcCharged:  reg.Counter("asynctp_dc_charged_fuzz_total", "Total fuzziness charged across absorbed conflicts."),
+			dcImported: reg.Counter("asynctp_dc_imported_fuzz_total", "Fuzziness imported, settled at piece unregister."),
+			dcExported: reg.Counter("asynctp_dc_exported_fuzz_total", "Fuzziness exported, settled at piece unregister."),
+
+			queueSent:        reg.Counter("asynctp_queue_sent_total", "Messages committed to durable outboxes."),
+			queueDelivered:   reg.Counter("asynctp_queue_delivered_total", "Messages first-delivered (post-dedup)."),
+			queueRetransmits: reg.Counter("asynctp_queue_retransmitted_total", "Messages retransmitted."),
+			queueFlushes:     reg.Counter("asynctp_queue_flushes_total", "Batch flushes."),
+			queueBatchSize:   reg.Histogram("asynctp_queue_batch_size", "Messages coalesced per flushed batch.", batchBuckets),
+
+			activations:   reg.Counter("asynctp_site_activations_total", "Piece activations processed by site workers."),
+			activationDur: reg.Histogram("asynctp_site_activation_seconds", "Activation processing durations (worker busy time).", nil),
+
+			commitRoundVote: reg.Histogram("asynctp_2pc_round_seconds", "2PC round latencies.", nil, "round", "vote"),
+			commitRoundAck:  reg.Histogram("asynctp_2pc_round_seconds", "2PC round latencies.", nil, "round", "ack"),
+			commitCommits:   reg.Counter("asynctp_2pc_decisions_total", "Logged 2PC decisions.", "decision", "commit"),
+			commitAborts:    reg.Counter("asynctp_2pc_decisions_total", "Logged 2PC decisions.", "decision", "abort"),
+		}
+		if lg != nil {
+			reg.GaugeFunc("asynctp_epsilon_charged_fuzz", "Ledger: total import fuzziness charged across accounts.",
+				func() float64 {
+					var total metric.Fuzz
+					for _, a := range lg.Accounts() {
+						total = total.Add(a.Charged)
+					}
+					return float64(total)
+				})
+			reg.GaugeFunc("asynctp_epsilon_remaining_fuzz", "Ledger: total unspent budget across bounded accounts.",
+				func() float64 {
+					var total float64
+					for _, a := range lg.Accounts() {
+						if a.Name == "" || a.Budget.IsInfinite() {
+							continue
+						}
+						if rem := a.Budget.Bound() - a.Charged; rem > 0 {
+							total += float64(rem)
+						}
+					}
+					return total
+				})
+		}
+	}
+	return p
+}
+
+// Summary renders the plane's headline counters as human lines for
+// folding into bench reports. Nil-safe (nil plane returns nil).
+func (p *Plane) Summary() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	if p.Metrics != nil {
+		m := &p.m
+		out = append(out,
+			fmt.Sprintf("txns: %d begun, %d committed, %d aborted",
+				m.txnBegun.Value(), m.txnCommitted.Value(), m.txnAborted.Value()),
+			fmt.Sprintf("pieces: %d commits, %d aborts (deadlock %d, rollback %d, other %d)",
+				m.pieceCommits.Value(),
+				m.pieceAbortDeadlock.Value()+m.pieceAbortRollback.Value()+m.pieceAbortOther.Value(),
+				m.pieceAbortDeadlock.Value(), m.pieceAbortRollback.Value(), m.pieceAbortOther.Value()),
+			fmt.Sprintf("locks: %d waits", m.lockWaits.Value()),
+			fmt.Sprintf("dc: %d absorbed, %d refused, %d fuzz charged",
+				m.dcAbsorbed.Value(), m.dcRefused.Value(), m.dcCharged.Value()),
+			fmt.Sprintf("queue: %d sent, %d delivered, %d retransmitted, %d flushes",
+				m.queueSent.Value(), m.queueDelivered.Value(),
+				m.queueRetransmits.Value(), m.queueFlushes.Value()),
+			fmt.Sprintf("2pc: %d commits, %d aborts",
+				m.commitCommits.Value(), m.commitAborts.Value()),
+		)
+	}
+	if p.Tracer != nil {
+		out = append(out, fmt.Sprintf("trace: %d events (%d dropped)",
+			p.Tracer.Len(), p.Tracer.Dropped()))
+	}
+	if p.Ledger != nil {
+		accts := p.Ledger.Accounts()
+		over := p.Ledger.OverBudget()
+		out = append(out, fmt.Sprintf("ledger: %d accounts, %d over budget",
+			len(accts), len(over)))
+	}
+	return out
+}
+
+// emit forwards one event to the tracer (nil-safe on both levels).
+func (p *Plane) emit(ev Event) {
+	if p == nil {
+		return
+	}
+	p.Tracer.Emit(ev)
+}
+
+// TxnBegin marks a transaction instance submission.
+func (p *Plane) TxnBegin(group int64, name string) {
+	if p == nil {
+		return
+	}
+	p.m.txnBegun.Inc()
+	p.emit(Event{Kind: EvTxnBegin, Group: uint64(group), Piece: -1, Name: name})
+}
+
+// TxnEnd marks an instance settlement.
+func (p *Plane) TxnEnd(group int64, committed bool) {
+	if p == nil {
+		return
+	}
+	if committed {
+		p.m.txnCommitted.Inc()
+	} else {
+		p.m.txnAborted.Inc()
+	}
+	aux := int64(0)
+	if committed {
+		aux = 1
+	}
+	p.emit(Event{Kind: EvTxnEnd, Group: uint64(group), Piece: -1, Aux: aux})
+}
+
+// BindBudget declares an instance's identity and ORIGINAL ε budget to
+// the ledger (see Ledger.BindGroup).
+func (p *Plane) BindBudget(group int64, name, class, mode string, budget metric.Limit) {
+	if p == nil {
+		return
+	}
+	p.Ledger.BindGroup(group, name, class, mode, budget)
+}
+
+// PieceBegin marks one piece execution attempt starting and binds the
+// attempt's owner to its instance for ledger attribution.
+func (p *Plane) PieceBegin(owner int64, group int64, piece int, site, name string, class txn.Class) {
+	if p == nil {
+		return
+	}
+	p.Ledger.BindPiece(owner, group, int32(piece))
+	p.emit(Event{
+		Kind: EvPieceBegin, Owner: owner, Group: uint64(group), Piece: int32(piece),
+		Site: site, Name: name, Arg: class.String(),
+	})
+}
+
+// PieceSettle marks a piece attempt's fuzziness account settling at
+// unregister (the DC level of the span hierarchy).
+func (p *Plane) PieceSettle(owner int64, imported, exported metric.Fuzz) {
+	if p == nil {
+		return
+	}
+	p.m.dcImported.Add(int64(imported))
+	p.m.dcExported.Add(int64(exported))
+	p.Ledger.Settle(owner, imported, exported)
+	p.emit(Event{Kind: EvDCAccount, Owner: owner, Piece: -1, Aux: int64(imported), Aux2: int64(exported)})
+}
+
+// ActivationBegin marks a site worker starting a queued piece
+// activation; the returned function marks it processed.
+func (p *Plane) ActivationBegin(group int64, piece int, site string) func() {
+	if p == nil {
+		return func() {}
+	}
+	p.emit(Event{Kind: EvActivationBegin, Group: uint64(group), Piece: int32(piece), Site: site})
+	start := time.Now()
+	return func() {
+		p.m.activations.Inc()
+		p.m.activationDur.ObserveDuration(time.Since(start))
+		p.emit(Event{Kind: EvActivationEnd, Group: uint64(group), Piece: int32(piece), Site: site})
+	}
+}
+
+// WatchQueue registers exposition-time gauges over a queue endpoint
+// (outbox depth, dedup sparse size toward its busiest peer is left to
+// tests). No-op without a registry.
+func (p *Plane) WatchQueue(site string, m *queue.Manager) {
+	if p == nil || p.Metrics == nil || m == nil {
+		return
+	}
+	p.Metrics.GaugeFunc("asynctp_queue_outbox_depth", "Committed, unacknowledged outbox messages.",
+		func() float64 { return float64(m.OutboxLen()) }, "site", site)
+}
+
+// --- txn.Observer shim -------------------------------------------------
+
+// execObserver adapts the plane to the executor's Observer seam: each
+// admitted operation becomes a lock.acquire leaf, commit/abort settle
+// the piece attempt.
+type execObserver struct{ p *Plane }
+
+// ExecObserver returns the txn.Observer shim (nil when disabled, so
+// callers can hand it straight to code with nil fast paths).
+func (p *Plane) ExecObserver() txn.Observer {
+	if p == nil {
+		return nil
+	}
+	return execObserver{p: p}
+}
+
+func (o execObserver) Begin(owner lock.Owner, name string, class txn.Class) {}
+
+func (o execObserver) Read(owner lock.Owner, key storage.Key, value metric.Value) {
+	o.p.emit(Event{Kind: EvLockAcquire, Owner: int64(owner), Piece: -1, Key: string(key)})
+}
+
+func (o execObserver) Write(owner lock.Owner, key storage.Key, old, new metric.Value, commutative bool) {
+	o.p.emit(Event{Kind: EvLockAcquire, Owner: int64(owner), Piece: -1, Key: string(key), Aux: 1})
+}
+
+func (o execObserver) Commit(owner lock.Owner) {
+	o.p.m.pieceCommits.Inc()
+	o.p.emit(Event{Kind: EvPieceCommit, Owner: int64(owner), Piece: -1})
+}
+
+func (o execObserver) Abort(owner lock.Owner, reason error) {
+	// An aborted attempt's fuzziness never committed: void its pending
+	// ledger receipts so retries don't over-charge the account.
+	o.p.Ledger.Void(int64(owner))
+	switch {
+	case errors.Is(reason, lock.ErrDeadlock):
+		o.p.m.pieceAbortDeadlock.Inc()
+		o.p.emit(Event{Kind: EvPieceAbort, Owner: int64(owner), Piece: -1, Arg: "deadlock"})
+	case errors.Is(reason, txn.ErrRollback):
+		o.p.m.pieceAbortRollback.Inc()
+		o.p.emit(Event{Kind: EvPieceAbort, Owner: int64(owner), Piece: -1, Arg: "rollback"})
+	default:
+		o.p.m.pieceAbortOther.Inc()
+		o.p.emit(Event{Kind: EvPieceAbort, Owner: int64(owner), Piece: -1, Arg: "other"})
+	}
+}
+
+// --- lock.WaitObserver shim --------------------------------------------
+
+type waitObserver struct{ p *Plane }
+
+// WaitObserver returns the lock.WaitObserver shim (nil when disabled).
+func (p *Plane) WaitObserver() lock.WaitObserver {
+	if p == nil {
+		return nil
+	}
+	return waitObserver{p: p}
+}
+
+func (o waitObserver) Blocked(owner lock.Owner, key storage.Key) {
+	o.p.m.lockWaits.Inc()
+	o.p.waitMu.Lock()
+	o.p.waitAt[int64(owner)] = time.Now()
+	o.p.waitMu.Unlock()
+	o.p.emit(Event{Kind: EvLockBlocked, Owner: int64(owner), Piece: -1, Key: string(key)})
+}
+
+func (o waitObserver) Woken(owner lock.Owner) {}
+
+func (o waitObserver) Resumed(owner lock.Owner) {
+	o.p.waitMu.Lock()
+	start, ok := o.p.waitAt[int64(owner)]
+	delete(o.p.waitAt, int64(owner))
+	o.p.waitMu.Unlock()
+	var d time.Duration
+	if ok {
+		d = time.Since(start)
+		o.p.m.lockWaitDur.ObserveDuration(d)
+	}
+	o.p.emit(Event{Kind: EvLockResumed, Owner: int64(owner), Piece: -1, Dur: int64(d)})
+}
+
+// --- dc observer shim --------------------------------------------------
+
+// DCObserver returns the divergence-control observer shim: debits feed
+// the trace, the metrics, and — pair by pair — the ε-provenance ledger.
+// Nil when disabled.
+func (p *Plane) DCObserver() func(dc.Event) {
+	if p == nil {
+		return nil
+	}
+	return func(ev dc.Event) {
+		if !ev.Absorbed {
+			p.m.dcRefused.Inc()
+			p.emit(Event{Kind: EvDCRefuse, Owner: int64(ev.Requester), Piece: -1, Key: string(ev.Key)})
+			return
+		}
+		p.m.dcAbsorbed.Inc()
+		p.m.dcCharged.Add(int64(ev.Cost))
+		p.emit(Event{Kind: EvDCDebit, Owner: int64(ev.Requester), Piece: -1, Key: string(ev.Key), Aux: int64(ev.Cost)})
+		if p.Ledger != nil && len(ev.Pairs) > 0 {
+			pairs := make([]DebitPair, len(ev.Pairs))
+			for i, pr := range ev.Pairs {
+				pairs[i] = DebitPair{Query: int64(pr.Query), Update: int64(pr.Update), Cost: pr.Cost}
+			}
+			p.Ledger.Debit(string(ev.Key), pairs)
+		}
+	}
+}
+
+// --- queue.Observer shim -----------------------------------------------
+
+type queueObserver struct {
+	p    *Plane
+	site string
+}
+
+// QueueObserver returns the transport observer shim for one site's
+// queue endpoint. Nil when disabled.
+func (p *Plane) QueueObserver(site simnet.SiteID) queue.Observer {
+	if p == nil {
+		return nil
+	}
+	return queueObserver{p: p, site: string(site)}
+}
+
+func (o queueObserver) Sent(to simnet.SiteID, msg queue.Msg) {
+	o.p.m.queueSent.Inc()
+	o.p.emit(Event{
+		Kind: EvQueueSend, Piece: -1, Site: string(msg.From), Arg: string(to),
+		Name: msg.Queue, Key: msg.ID, Aux: int64(msg.Seq),
+	})
+}
+
+func (o queueObserver) Flushed(to simnet.SiteID, msgs, acks int) {
+	o.p.m.queueFlushes.Inc()
+	if msgs > 0 {
+		o.p.m.queueBatchSize.Observe(float64(msgs))
+	}
+	o.p.emit(Event{
+		Kind: EvQueueFlush, Piece: -1, Site: o.site, Arg: string(to),
+		Aux: int64(msgs), Aux2: int64(acks),
+	})
+}
+
+func (o queueObserver) Retransmitted(to simnet.SiteID, msgs int) {
+	o.p.m.queueRetransmits.Add(int64(msgs))
+	o.p.emit(Event{Kind: EvQueueRetransmit, Piece: -1, Site: o.site, Arg: string(to), Aux: int64(msgs)})
+}
+
+func (o queueObserver) Delivered(msg queue.Msg) {
+	o.p.m.queueDelivered.Inc()
+	o.p.emit(Event{
+		Kind: EvQueueDeliver, Piece: -1, Site: o.site, Arg: string(msg.From),
+		Name: msg.Queue, Key: msg.ID, Aux: int64(msg.Seq),
+	})
+}
+
+// --- commit.Observer shim ----------------------------------------------
+
+type commitObserver struct {
+	p    *Plane
+	site string
+}
+
+// CommitObserver returns the 2PC protocol observer shim for one site's
+// coordinator endpoint. Nil when disabled.
+func (p *Plane) CommitObserver(site simnet.SiteID) commit.Observer {
+	if p == nil {
+		return nil
+	}
+	return commitObserver{p: p, site: string(site)}
+}
+
+func (o commitObserver) Round(txid, kind string, attempts int, d time.Duration) {
+	if kind == "vote" {
+		o.p.m.commitRoundVote.ObserveDuration(d)
+	} else {
+		o.p.m.commitRoundAck.ObserveDuration(d)
+	}
+	o.p.emit(Event{
+		Kind: EvCommitRound, Piece: -1, Site: o.site, Name: txid, Arg: kind,
+		Aux: int64(attempts), Dur: int64(d),
+	})
+}
+
+func (o commitObserver) Decision(txid string, committed bool) {
+	aux := int64(0)
+	if committed {
+		aux = 1
+		o.p.m.commitCommits.Inc()
+	} else {
+		o.p.m.commitAborts.Inc()
+	}
+	o.p.emit(Event{Kind: EvCommitDecision, Piece: -1, Site: o.site, Name: txid, Aux: aux})
+}
+
+// --- tee helpers -------------------------------------------------------
+
+// TeeTxnObserver fans execution events out to every non-nil observer.
+// It returns nil when none are non-nil, preserving the engines' nil
+// fast paths, and the single observer unchanged when only one is.
+func TeeTxnObserver(list ...txn.Observer) txn.Observer {
+	var live []txn.Observer
+	for _, o := range list {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeTxn(live)
+}
+
+type teeTxn []txn.Observer
+
+func (t teeTxn) Begin(owner lock.Owner, name string, class txn.Class) {
+	for _, o := range t {
+		o.Begin(owner, name, class)
+	}
+}
+
+func (t teeTxn) Read(owner lock.Owner, key storage.Key, value metric.Value) {
+	for _, o := range t {
+		o.Read(owner, key, value)
+	}
+}
+
+func (t teeTxn) Write(owner lock.Owner, key storage.Key, old, new metric.Value, commutative bool) {
+	for _, o := range t {
+		o.Write(owner, key, old, new, commutative)
+	}
+}
+
+func (t teeTxn) Commit(owner lock.Owner) {
+	for _, o := range t {
+		o.Commit(owner)
+	}
+}
+
+func (t teeTxn) Abort(owner lock.Owner, reason error) {
+	for _, o := range t {
+		o.Abort(owner, reason)
+	}
+}
+
+// TeeWaitObserver fans wait transitions out to every non-nil observer,
+// with the same nil-collapsing behavior as TeeTxnObserver.
+func TeeWaitObserver(list ...lock.WaitObserver) lock.WaitObserver {
+	var live []lock.WaitObserver
+	for _, o := range list {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeWait(live)
+}
+
+type teeWait []lock.WaitObserver
+
+func (t teeWait) Blocked(owner lock.Owner, key storage.Key) {
+	for _, o := range t {
+		o.Blocked(owner, key)
+	}
+}
+
+func (t teeWait) Woken(owner lock.Owner) {
+	for _, o := range t {
+		o.Woken(owner)
+	}
+}
+
+func (t teeWait) Resumed(owner lock.Owner) {
+	for _, o := range t {
+		o.Resumed(owner)
+	}
+}
+
+// TeeDCObserver fans dc arbitration events out to every non-nil
+// callback, collapsing to nil / the single callback like the other
+// tees.
+func TeeDCObserver(list ...func(dc.Event)) func(dc.Event) {
+	var live []func(dc.Event)
+	for _, fn := range list {
+		if fn != nil {
+			live = append(live, fn)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev dc.Event) {
+		for _, fn := range live {
+			fn(ev)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package obs is the observability plane of the chopped-transaction
+// pipeline: a seed-deterministic structured trace subsystem, an
+// ε-provenance ledger that accounts every fuzziness debit back to its
+// source conflict, and a lightweight metrics registry with Prometheus
+// text exposition.
+//
+// The package sits ABOVE the engine packages in the import graph: it
+// implements their observer seams (txn.StepHook, txn.Observer,
+// lock.WaitObserver, the dc observer callback, queue.Observer,
+// commit.Observer) but none of them import obs — when no Plane is
+// configured, the engines keep their nil-observer fast paths and the
+// whole subsystem costs nothing (proved by AllocsPerRun pins).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names a trace event. The split into "logical" and
+// "timing-dependent" kinds is what makes the canonical export
+// deterministic: logical events (what the run did) are a function of
+// the seed; timing events (when and how it waited) are not, and only
+// appear in the wall-clock export.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	// EvTxnBegin marks a transaction instance submission. Group, Name.
+	EvTxnBegin Kind = iota + 1
+	// EvTxnEnd marks instance settlement. Group; Aux=1 when committed.
+	EvTxnEnd
+	// EvPieceBegin marks one piece execution attempt starting. Owner,
+	// Group, Piece, Site, Name, Arg=class.
+	EvPieceBegin
+	// EvPieceCommit marks the attempt committing. Owner.
+	EvPieceCommit
+	// EvPieceAbort marks the attempt aborting. Owner, Arg=reason. The
+	// canonical export drops the aborted attempt's whole span.
+	EvPieceAbort
+	// EvLockAcquire marks an operation admitted (its lock granted or its
+	// admission validated). Owner, Key; Aux=1 for writes.
+	EvLockAcquire
+	// EvLockBlocked marks a lock wait starting (wall-clock only). Owner, Key.
+	EvLockBlocked
+	// EvLockResumed marks a lock wait ending (wall-clock only). Owner.
+	EvLockResumed
+	// EvDCDebit marks an absorbed read-write conflict charging fuzziness.
+	// Owner=requester, Key, Aux=total cost (wall-clock only: whether a
+	// conflict window opened is timing-dependent).
+	EvDCDebit
+	// EvDCRefuse marks a refused conflict falling back to blocking
+	// (wall-clock only). Owner=requester, Key.
+	EvDCRefuse
+	// EvDCAccount marks a piece's fuzziness account settling at
+	// unregister. Owner; Aux=imported, Aux2=exported.
+	EvDCAccount
+	// EvQueueSend marks a message committed to the durable outbox.
+	// Site=sender, Arg=destination site, Name=queue, Key=msg ID, Aux=seq.
+	EvQueueSend
+	// EvQueueFlush marks a batch flush (wall-clock only). Site, Arg=dest,
+	// Aux=messages, Aux2=acks.
+	EvQueueFlush
+	// EvQueueRetransmit marks a retransmission (wall-clock only). Site,
+	// Arg=dest, Aux=messages.
+	EvQueueRetransmit
+	// EvQueueDeliver marks first delivery (post-dedup) at the receiver.
+	// Site=receiver, Arg=sender, Name=queue, Key=msg ID, Aux=seq.
+	EvQueueDeliver
+	// EvActivationBegin marks a site worker starting a queued piece
+	// activation. Group, Piece, Site.
+	EvActivationBegin
+	// EvActivationEnd marks the activation processed. Group, Piece, Site.
+	EvActivationEnd
+	// EvCommitRound marks one 2PC round completing (wall-clock only).
+	// Site, Name=txid, Arg="vote"|"ack", Aux=attempt, Dur set.
+	EvCommitRound
+	// EvCommitDecision marks a logged 2PC decision (wall-clock only).
+	// Site, Name=txid; Aux=1 for commit.
+	EvCommitDecision
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case EvTxnBegin:
+		return "txn.begin"
+	case EvTxnEnd:
+		return "txn.end"
+	case EvPieceBegin:
+		return "piece.begin"
+	case EvPieceCommit:
+		return "piece.commit"
+	case EvPieceAbort:
+		return "piece.abort"
+	case EvLockAcquire:
+		return "lock.acquire"
+	case EvLockBlocked:
+		return "lock.blocked"
+	case EvLockResumed:
+		return "lock.resumed"
+	case EvDCDebit:
+		return "dc.debit"
+	case EvDCRefuse:
+		return "dc.refuse"
+	case EvDCAccount:
+		return "dc.account"
+	case EvQueueSend:
+		return "queue.send"
+	case EvQueueFlush:
+		return "queue.flush"
+	case EvQueueRetransmit:
+		return "queue.retransmit"
+	case EvQueueDeliver:
+		return "queue.deliver"
+	case EvActivationBegin:
+		return "site.activation.begin"
+	case EvActivationEnd:
+		return "site.activation.end"
+	case EvCommitRound:
+		return "2pc.round"
+	case EvCommitDecision:
+		return "2pc.decision"
+	default:
+		return "unknown"
+	}
+}
+
+// logical reports whether the kind is seed-deterministic (a function of
+// what the run did, not of when it waited). Only logical kinds enter
+// the canonical export.
+func (k Kind) logical() bool {
+	switch k {
+	case EvTxnBegin, EvTxnEnd, EvPieceBegin, EvPieceCommit, EvPieceAbort,
+		EvLockAcquire, EvDCAccount, EvQueueSend, EvQueueDeliver,
+		EvActivationBegin, EvActivationEnd:
+		return true
+	}
+	return false
+}
+
+// Event is one trace record, passed by value (no per-event allocation
+// beyond the tracer's buffer growth).
+type Event struct {
+	// Seq is the arrival order (1-based).
+	Seq uint64
+	// TS is nanoseconds since the tracer started.
+	TS int64
+	// Dur is a span duration in nanoseconds (0 for instants).
+	Dur int64
+	// Kind is the event kind.
+	Kind Kind
+	// Owner is the executing piece attempt (lock owner), 0 if n/a.
+	Owner int64
+	// Group is the transaction instance (history group / dist inst).
+	Group uint64
+	// Piece is the piece index within the instance (-1 if n/a).
+	Piece int32
+	// Site is the simulated site, "" for single-site runs.
+	Site string
+	// Key is the storage key or message ID involved.
+	Key string
+	// Name is the program / queue / txid name.
+	Name string
+	// Arg is auxiliary text (destination site, class, reason, round).
+	Arg string
+	// Aux and Aux2 are auxiliary numbers (cost, seq, batch size, flag).
+	Aux  int64
+	Aux2 int64
+}
+
+// DefaultTraceLimit bounds the tracer's in-memory event buffer; beyond
+// it events are counted as dropped instead of stored.
+const DefaultTraceLimit = 1 << 21
+
+// Tracer collects trace events. A nil *Tracer is the disabled state:
+// Emit on nil is an immediate return, and the engine seams are only
+// installed when a tracer (or ledger/metrics consumer) exists at all,
+// so the disabled pipeline keeps its zero-alloc fast paths.
+type Tracer struct {
+	start   time.Time
+	limit   int
+	dropped atomic.Uint64
+	seq     atomic.Uint64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an enabled tracer (limit < 1 selects
+// DefaultTraceLimit).
+func NewTracer(limit int) *Tracer {
+	if limit < 1 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{start: time.Now(), limit: limit}
+}
+
+// Emit records one event. Nil-safe: a nil tracer is a no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	ev.TS = int64(time.Since(t.start))
+	ev.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the collected events in arrival order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of stored events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded over the limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}

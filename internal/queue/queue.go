@@ -190,8 +190,33 @@ func (s *seenSet) add(seq uint64) {
 	s.sparse[seq] = true
 }
 
+// Observer receives transport events from a Manager. Implementations
+// must be fast and must not call back into the manager: Sent and
+// Delivered run with the manager mutex held. A nil observer (the
+// default) costs one nil check per event site.
+type Observer interface {
+	// Sent fires when a message commits into the durable outbox (its
+	// sequence number and ID are final).
+	Sent(to simnet.SiteID, msg Msg)
+	// Flushed fires once per destination per batch flush, with the
+	// number of coalesced messages and piggybacked acks.
+	Flushed(to simnet.SiteID, msgs, acks int)
+	// Retransmitted fires once per destination per retransmission round
+	// with the number of re-sent messages.
+	Retransmitted(to simnet.SiteID, msgs int)
+	// Delivered fires on first (post-dedup) delivery of a message at
+	// the receiving endpoint.
+	Delivered(msg Msg)
+}
+
 // Option tunes a Manager.
 type Option func(*Manager)
+
+// WithObserver installs a transport observer (see Observer). Nil, the
+// default, disables it.
+func WithObserver(o Observer) Option {
+	return func(m *Manager) { m.obs = o }
+}
 
 // WithMaxBatch caps the number of messages coalesced into one
 // queue.enq.batch frame (default 64).
@@ -253,6 +278,7 @@ type Manager struct {
 	maxBackoff time.Duration
 	legacy     bool
 	flushCrash func() bool
+	obs        Observer
 
 	mu      sync.Mutex
 	closed  bool
@@ -398,7 +424,13 @@ func (m *Manager) retransmitDue() {
 		delete(m.pendingAcks, to)
 		frames = append(frames, m.framesForLocked(to, msgs, acks)...)
 	}
+	obs := m.obs
 	m.mu.Unlock()
+	if obs != nil {
+		for to, msgs := range byDest {
+			obs.Retransmitted(to, len(msgs))
+		}
+	}
 	for _, f := range frames {
 		_ = m.net.Send(f)
 	}
@@ -450,6 +482,9 @@ func (m *Manager) CommitSend(b *TxBuffer) {
 		om.msg.From = m.site
 		o := &outMsg{msg: om.msg, to: om.to, nextSend: now.Add(m.interval), backoff: m.interval}
 		m.outbox[o.msg.ID] = o
+		if m.obs != nil {
+			m.obs.Sent(om.to, o.msg)
+		}
 		if m.legacy {
 			continue
 		}
@@ -509,6 +544,11 @@ func (m *Manager) flush() {
 		return
 	}
 	var frames []simnet.Message
+	type flushed struct {
+		to         simnet.SiteID
+		msgs, acks int
+	}
+	var report []flushed
 	for to, ids := range m.pendingOut {
 		msgs := make([]Msg, 0, len(ids))
 		for _, id := range ids {
@@ -520,14 +560,26 @@ func (m *Manager) flush() {
 		acks := m.pendingAcks[to]
 		delete(m.pendingAcks, to)
 		frames = append(frames, m.framesForLocked(to, msgs, acks)...)
+		if m.obs != nil {
+			report = append(report, flushed{to: to, msgs: len(msgs), acks: len(acks)})
+		}
 	}
 	for to, acks := range m.pendingAcks {
 		delete(m.pendingAcks, to)
 		frames = append(frames, simnet.Message{
 			From: m.site, To: to, Kind: KindAckBatch, Payload: AckFrame{IDs: acks},
 		})
+		if m.obs != nil {
+			report = append(report, flushed{to: to, msgs: 0, acks: len(acks)})
+		}
 	}
+	obs := m.obs
 	m.mu.Unlock()
+	if obs != nil {
+		for _, f := range report {
+			obs.Flushed(f.to, f.msgs, f.acks)
+		}
+	}
 	for _, f := range frames {
 		// Errors are expected while partitioned/down; retransmit retries.
 		_ = m.net.Send(f)
@@ -562,6 +614,9 @@ func (m *Manager) admitLocked(qm Msg) {
 	}
 	ss.add(seq)
 	m.queues[qm.Queue] = append(m.queues[qm.Queue], qm)
+	if m.obs != nil {
+		m.obs.Delivered(qm)
+	}
 	m.wakeLocked(qm.Queue)
 }
 

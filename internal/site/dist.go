@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"asynctp/internal/fault"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
 	"asynctp/internal/txn"
@@ -39,6 +41,7 @@ type subTxn struct {
 	Spec  metric.Spec // site share of the ε-spec (split evenly)
 	Name  string
 	Inst  uint64 // distributed transaction identity (history group)
+	Piece int    // stable per-site ordinal (trace piece index)
 }
 
 // subResult is the 2PC prepare result.
@@ -330,6 +333,16 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 		Import: dp.program.Spec.Import.Div(len(bySite)),
 		Export: dp.program.Spec.Export.Div(len(bySite)),
 	}
+	// Stable per-site piece ordinals for trace identity.
+	siteIDs := make([]simnet.SiteID, 0, len(bySite))
+	for siteID := range bySite {
+		siteIDs = append(siteIDs, siteID)
+	}
+	sort.Slice(siteIDs, func(a, b int) bool { return siteIDs[a] < siteIDs[b] })
+	ordinal := make(map[simnet.SiteID]int, len(siteIDs))
+	for i, siteID := range siteIDs {
+		ordinal[siteID] = i
+	}
 	payloads := make(map[simnet.SiteID]any, len(bySite))
 	for siteID, ops := range bySite {
 		payloads[siteID] = subTxn{
@@ -337,6 +350,7 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 			Class: dp.program.Class(),
 			Spec:  spec,
 			Name:  dp.program.Name,
+			Piece: ordinal[siteID],
 		}
 	}
 	inst := c.nextInstID()
@@ -347,6 +361,9 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 	}
 	origin := c.sites[c.placement(dp.program.Ops[0].Key)]
 	txid := fmt.Sprintf("%s-%d", dp.program.Name, inst)
+	c.obs.TxnBegin(int64(inst), dp.program.Name)
+	c.obs.BindBudget(int64(inst), dp.program.Name, dp.program.Class().String(),
+		c.Strategy.String(), dp.program.Spec.Import)
 
 	for {
 		results, err := origin.node.Execute(ctx, txid, payloads)
@@ -360,9 +377,11 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 					res.Reads = append(res.Reads, sr.Reads...)
 				}
 			}
+			c.obs.TxnEnd(int64(inst), true)
 			return res, nil
 		case errors.Is(err, commit.ErrAborted):
 			res.RolledBack = true
+			c.obs.TxnEnd(int64(inst), false)
 			return res, nil
 		case errors.Is(err, commit.ErrSystemAbort) && ctx.Err() == nil:
 			// Distributed deadlock or divergence refusal: retry with a
@@ -370,6 +389,7 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 			txid = fmt.Sprintf("%s-%d", dp.program.Name, c.nextInstID())
 			continue
 		default:
+			c.obs.TxnEnd(int64(inst), false)
 			return res, err
 		}
 	}
@@ -394,7 +414,13 @@ func (s *Site) prepare2PC(ctx context.Context, txid string, payload any) (any, e
 	defer cancel()
 	owner := s.cluster.gen.Next()
 	s.cluster.recordGroup(owner, st.Inst)
-	rec := s.cluster.rec
+	var recObs txn.Observer
+	if s.cluster.rec != nil {
+		recObs = s.cluster.rec
+	}
+	rec := obs.TeeTxnObserver(recObs, s.cluster.obs.ExecObserver())
+	s.cluster.obs.PieceBegin(int64(owner), int64(st.Inst), st.Piece,
+		string(s.ID), st.Name+"@"+string(s.ID), st.Class)
 	if rec != nil {
 		rec.Begin(owner, st.Name+"@"+string(s.ID), st.Class)
 	}
@@ -483,11 +509,16 @@ func (s *Site) commit2PC(txid string) {
 	// The writes are already in place; journal them as committed.
 	_ = s.Store.Apply(pt.batch)
 	locks.ReleaseAll(pt.owner)
+	var imported, exported metric.Fuzz
 	if ctl != nil {
-		ctl.Unregister(pt.owner)
+		imported, exported = ctl.Unregister(pt.owner)
 	}
+	s.cluster.obs.PieceSettle(int64(pt.owner), imported, exported)
 	if s.cluster.rec != nil {
 		s.cluster.rec.Commit(pt.owner)
+	}
+	if eo := s.cluster.obs.ExecObserver(); eo != nil {
+		eo.Commit(pt.owner)
 	}
 }
 
@@ -506,11 +537,16 @@ func (s *Site) abort2PC(txid string) {
 		s.Store.Set(k, v)
 	}
 	locks.ReleaseAll(pt.owner)
+	var imported, exported metric.Fuzz
 	if ctl != nil {
-		ctl.Unregister(pt.owner)
+		imported, exported = ctl.Unregister(pt.owner)
 	}
+	s.cluster.obs.PieceSettle(int64(pt.owner), imported, exported)
 	if s.cluster.rec != nil {
 		s.cluster.rec.Abort(pt.owner, commit.ErrAborted)
+	}
+	if eo := s.cluster.obs.ExecObserver(); eo != nil {
+		eo.Abort(pt.owner, commit.ErrAborted)
 	}
 }
 
@@ -524,6 +560,9 @@ func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*
 	start := time.Now()
 	inst := c.nextInstID()
 	origin := c.sites[dp.pieceSite[0]]
+	c.obs.TxnBegin(int64(inst), dp.program.Name)
+	c.obs.BindBudget(int64(inst), dp.program.Name, dp.program.Class().String(),
+		c.Strategy.String(), dp.program.Spec.Import)
 	tr := newTracker(dp.chopped.NumPieces())
 	c.dist.mu.Lock()
 	c.dist.trackers[inst] = tr
@@ -538,6 +577,7 @@ func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*
 		Inst: inst, Origin: origin.ID, TxType: ti, Piece: 0,
 	}, dp)
 	if err != nil {
+		c.obs.TxnEnd(int64(inst), false)
 		if errors.Is(err, txn.ErrRollback) {
 			return &Result{
 				RolledBack: true,
@@ -553,6 +593,7 @@ func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*
 	select {
 	case <-tr.done:
 	case <-ctx.Done():
+		c.obs.TxnEnd(int64(inst), false)
 		return nil, ctx.Err()
 	}
 	c.dist.mu.Lock()
@@ -566,6 +607,7 @@ func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*
 		Imported:    tr.imported,
 	}
 	c.dist.mu.Unlock()
+	c.obs.TxnEnd(int64(inst), res.Committed)
 	return res, nil
 }
 
@@ -641,6 +683,8 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 		s.mu.Unlock()
 		owner := s.cluster.gen.Next()
 		s.cluster.recordGroup(owner, act.Inst)
+		s.cluster.obs.PieceBegin(int64(owner), int64(act.Inst), act.Piece,
+			string(s.ID), prog.Name, class)
 		if ctl != nil {
 			if err := ctl.Register(owner, dc.Info{
 				Class:   class,
@@ -656,6 +700,7 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 		if ctl != nil {
 			imported, exported = ctl.Unregister(owner)
 		}
+		s.cluster.obs.PieceSettle(int64(owner), imported, exported)
 		if err == nil {
 			s.applied.record(key)
 			// Injection point: the piece has committed (marker and all)
@@ -851,6 +896,8 @@ func (s *Site) processActivation(ctx context.Context, act activation, reports ma
 		s.stageRollback(act, dp, reports)
 		return actDone
 	}
+	endAct := s.cluster.obs.ActivationBegin(int64(act.Inst), act.Piece, string(s.ID))
+	defer endAct()
 	done, err := s.runPiece(ctx, act, dp)
 	if err == nil {
 		reports[act.Origin] = append(reports[act.Origin], done)

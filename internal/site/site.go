@@ -30,6 +30,7 @@ import (
 	"asynctp/internal/history"
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
@@ -214,6 +215,11 @@ type Config struct {
 	// points (see fault.Point); a true answer fail-stops the site right
 	// there — e.g. between a piece's commit and its queue ack.
 	FaultHook fault.Hook
+	// Obs, when non-nil, attaches the observability plane: every site's
+	// executor, lock manager, divergence controller, queue endpoint, and
+	// 2PC node report spans/ledger pages/metrics through it. Nil keeps
+	// all the nil-observer fast paths.
+	Obs *obs.Plane
 }
 
 // Cluster is a set of sites plus the network.
@@ -225,6 +231,7 @@ type Cluster struct {
 	placement  func(storage.Key) simnet.SiteID
 	compensate bool
 	faultHook  fault.Hook
+	obs        *obs.Plane
 	sites      map[simnet.SiteID]*Site
 	dist       *distState
 	rec        *history.Recorder
@@ -268,6 +275,7 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 		placement:  cfg.Placement,
 		compensate: cfg.AllowCompensation,
 		faultHook:  cfg.FaultHook,
+		obs:        cfg.Obs,
 		sites:      make(map[simnet.SiteID]*Site, len(cfg.Initial)),
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
@@ -291,17 +299,24 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 			actBatch:    tune.actBatch,
 			prepared:    make(map[string]*preparedTxn),
 		}
+		var lockOpts []lock.Option
+		if wo := cfg.Obs.WaitObserver(); wo != nil {
+			lockOpts = append(lockOpts, lock.WithWaitObserver(wo))
+		}
 		if cfg.UseDC {
 			s.ctl = dc.NewController()
-			s.locks = lock.NewManager(lock.WithArbiter(s.ctl))
+			s.locks = lock.NewManager(append(lockOpts, lock.WithArbiter(s.ctl))...)
+			if dcObs := cfg.Obs.DCObserver(); dcObs != nil {
+				s.ctl.SetObserver(dcObs)
+			}
 		} else {
-			s.locks = lock.NewManager()
+			s.locks = lock.NewManager(lockOpts...)
 		}
-		var obs txn.Observer
+		var recObs txn.Observer
 		if c.rec != nil {
-			obs = c.rec
+			recObs = c.rec
 		}
-		s.exec = txn.NewExec(s.Store, s.locks, obs)
+		s.exec = txn.NewExec(s.Store, s.locks, obs.TeeTxnObserver(recObs, cfg.Obs.ExecObserver()))
 		s.exec.SetOpDelay(cfg.OpDelay)
 		qOpts := append([]queue.Option(nil), tune.queueOpts...)
 		if cfg.FaultHook != nil {
@@ -318,11 +333,18 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 				return true
 			}))
 		}
+		if qObs := cfg.Obs.QueueObserver(id); qObs != nil {
+			qOpts = append(qOpts, queue.WithObserver(qObs))
+		}
 		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery, qOpts...)
+		cfg.Obs.WatchQueue(string(id), s.queues)
 		s.applied = newDedupTable(s.Store)
 		var nodeOpts []commit.Option
 		if cfg.CommitTimeouts.VoteWait > 0 {
 			nodeOpts = append(nodeOpts, commit.WithTimeouts(cfg.CommitTimeouts))
+		}
+		if cObs := cfg.Obs.CommitObserver(id); cObs != nil {
+			nodeOpts = append(nodeOpts, commit.WithObserver(cObs))
 		}
 		s.node = commit.NewNode(id, c.Net, commit.Hooks{
 			Prepare: s.prepare2PC,
@@ -473,17 +495,24 @@ func (s *Site) Recover() {
 	// so redelivered activations stay exactly-once.
 	s.applied.reset(s.Store)
 	// Volatile state: fresh locks (and DC accounts), no prepared txns.
+	var lockOpts []lock.Option
+	if wo := s.cluster.obs.WaitObserver(); wo != nil {
+		lockOpts = append(lockOpts, lock.WithWaitObserver(wo))
+	}
 	if s.ctl != nil {
 		s.ctl = dc.NewController()
-		s.locks = lock.NewManager(lock.WithArbiter(s.ctl))
+		s.locks = lock.NewManager(append(lockOpts, lock.WithArbiter(s.ctl))...)
+		if dcObs := s.cluster.obs.DCObserver(); dcObs != nil {
+			s.ctl.SetObserver(dcObs)
+		}
 	} else {
-		s.locks = lock.NewManager()
+		s.locks = lock.NewManager(lockOpts...)
 	}
-	var obs txn.Observer
+	var recObs txn.Observer
 	if s.cluster.rec != nil {
-		obs = s.cluster.rec
+		recObs = s.cluster.rec
 	}
-	s.exec = txn.NewExec(s.Store, s.locks, obs)
+	s.exec = txn.NewExec(s.Store, s.locks, obs.TeeTxnObserver(recObs, s.cluster.obs.ExecObserver()))
 	s.exec.SetOpDelay(s.opDelay)
 	s.prepared = make(map[string]*preparedTxn)
 	queueSnap := s.queueSnap

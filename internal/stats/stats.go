@@ -6,61 +6,131 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultReservoir is the sample cap beyond which a Recorder switches
+// from exact percentiles to a seeded bounded reservoir (algorithm R).
+// Below the cap every sample is kept, so small-N tests see exact
+// nearest-rank percentiles; above it memory stays O(cap) no matter how
+// long the run is.
+const DefaultReservoir = 8192
+
 // Recorder accumulates duration samples.
+//
+// Aggregates (count, mean, min, max) are exact over every sample ever
+// added. Percentiles are exact while at most the reservoir cap of
+// samples have been added, and computed over a uniform seeded reservoir
+// beyond that. The sorted view backing Percentile is cached and
+// invalidated on Add, so a burst of Percentile calls sorts once instead
+// of copying and sorting the whole sample set per call.
 type Recorder struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	samples []time.Duration // exact set (count <= cap) or reservoir
+	sorted  []time.Duration // cached sorted view of samples
+	dirty   bool            // sorted is stale
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	cap     int
+	rng     *rand.Rand
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder with the default reservoir cap.
 func NewRecorder() *Recorder {
-	return &Recorder{}
+	return NewReservoirRecorder(DefaultReservoir, 1)
+}
+
+// NewReservoirRecorder returns an empty recorder that keeps at most cap
+// samples for percentile estimation (cap < 1 selects DefaultReservoir).
+// The reservoir's replacement choices are driven by seed, so the same
+// sample stream always yields the same percentiles.
+func NewReservoirRecorder(cap int, seed int64) *Recorder {
+	if cap < 1 {
+		cap = DefaultReservoir
+	}
+	return &Recorder{cap: cap, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add records one sample.
 func (r *Recorder) Add(d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.samples = append(r.samples, d)
+	r.count++
+	r.sum += d
+	if r.count == 1 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+		r.dirty = true
+		return
+	}
+	// Reservoir sampling (algorithm R): the i-th sample replaces a
+	// random slot with probability cap/i, keeping the kept set uniform.
+	if j := r.rng.Int63n(r.count); j < int64(r.cap) {
+		r.samples[j] = d
+		r.dirty = true
+	}
 }
 
-// N returns the number of samples.
+// Reset clears the recorder back to empty, keeping its cap and RNG
+// state.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = r.samples[:0]
+	r.sorted = r.sorted[:0]
+	r.dirty = false
+	r.count, r.sum, r.min, r.max = 0, 0, 0, 0
+}
+
+// N returns the number of samples added (exact, not the reservoir size).
 func (r *Recorder) N() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.count)
 }
 
-// Mean returns the mean sample, 0 when empty.
+// Mean returns the mean over all samples, 0 when empty.
 func (r *Recorder) Mean() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range r.samples {
-		total += s
+	return r.sum / time.Duration(r.count)
+}
+
+// sortedLocked returns the cached sorted view, rebuilding it if stale.
+// Callers hold r.mu.
+func (r *Recorder) sortedLocked() []time.Duration {
+	if r.dirty || len(r.sorted) != len(r.samples) {
+		r.sorted = append(r.sorted[:0], r.samples...)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+		r.dirty = false
 	}
-	return total / time.Duration(len(r.samples))
+	return r.sorted
 }
 
 // Percentile returns the q-th percentile (0 < q <= 100) by
-// nearest-rank, 0 when empty.
+// nearest-rank, 0 when empty. Exact while the sample count is within
+// the reservoir cap; a reservoir estimate beyond it.
 func (r *Recorder) Percentile(q float64) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	sorted := r.sortedLocked()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), r.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
@@ -71,33 +141,18 @@ func (r *Recorder) Percentile(q float64) time.Duration {
 	return sorted[rank-1]
 }
 
-// Max returns the largest sample, 0 when empty.
+// Max returns the largest sample ever added, 0 when empty.
 func (r *Recorder) Max() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var max time.Duration
-	for _, s := range r.samples {
-		if s > max {
-			max = s
-		}
-	}
-	return max
+	return r.max
 }
 
-// Min returns the smallest sample, 0 when empty.
+// Min returns the smallest sample ever added, 0 when empty.
 func (r *Recorder) Min() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
-		return 0
-	}
-	min := r.samples[0]
-	for _, s := range r.samples[1:] {
-		if s < min {
-			min = s
-		}
-	}
-	return min
+	return r.min
 }
 
 // Counter is a concurrent counter.
@@ -190,11 +245,4 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
