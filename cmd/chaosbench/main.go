@@ -6,10 +6,18 @@
 // conservation of money, and the worst audit deviation against the
 // in-flight ε bound.
 //
+// With -kill9 it runs E9 instead: child processes executing the chain
+// workload over the disk driver are SIGKILLed at WAL crash points
+// (mid-append, pre-fsync, after a torn write), restarted from their
+// real files, and the surviving image is audited for conservation,
+// exactly-once application, chain completeness, and the ε bound.
+//
 // Usage:
 //
 //	chaosbench [-scenarios baseline,degraded,partition,crash-storm]
 //	           [-chains 16] [-amount 5] [-seed 42] [-stagger 10ms] [-json]
+//	           [-driver mem|disk] [-dir path]
+//	           [-kill9] [-kill9-cycles 3]
 //	           [-trace f] [-tracewall f] [-tracetext f]
 //	           [-metrics addr] [-metricsdump f]
 package main
@@ -28,6 +36,15 @@ import (
 )
 
 func main() {
+	// A kill -9 workload child re-execs this binary with the child
+	// environment set; it must not parse parent flags.
+	if experiments.Kill9IsChild() {
+		if err := experiments.Kill9Child(); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench (kill9 child):", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosbench:", err)
 		os.Exit(1)
@@ -43,6 +60,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "schedule + network seed (same seed, same storm)")
 	stagger := fs.Duration("stagger", 10*time.Millisecond,
 		"pacing between chain submissions")
+	driverName := fs.String("driver", "mem", "storage driver: mem or disk")
+	dir := fs.String("dir", "", "disk-driver root (default: a fresh temp dir)")
+	kill9 := fs.Bool("kill9", false, "run the E9 kill -9 durability harness instead of E7")
+	kill9Cycles := fs.Int("kill9-cycles", 3, "SIGKILL crash/restart cycles before verification")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	prof := profiling.Register(fs)
 	obsFlags := obs.Register(fs)
@@ -67,22 +88,53 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "chaosbench: obs:", oerr)
 		}
 	}()
-	var scenarios []string
-	for _, part := range strings.Split(*scenArg, ",") {
-		if s := strings.TrimSpace(part); s != "" {
-			scenarios = append(scenarios, s)
+
+	root := *dir
+	if root == "" && (*kill9 || *driverName == "disk") {
+		root, err = os.MkdirTemp("", "chaosbench-*")
+		if err != nil {
+			return err
 		}
+		defer os.RemoveAll(root)
 	}
-	rep, err := experiments.Chaos(experiments.ChaosConfig{
-		Scenarios: scenarios,
-		Chains:    *chains,
-		Amount:    metric.Value(*amount),
-		Seed:      *seed,
-		Stagger:   *stagger,
-		Plane:     plane,
-	})
-	if err != nil {
-		return err
+
+	var rep *experiments.Report
+	if *kill9 {
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		rep, err = experiments.RunKill9(experiments.Kill9Config{
+			Bin:    bin,
+			Dir:    root,
+			Seed:   *seed,
+			Chains: *chains,
+			Amount: metric.Value(*amount),
+			Cycles: *kill9Cycles,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		var scenarios []string
+		for _, part := range strings.Split(*scenArg, ",") {
+			if s := strings.TrimSpace(part); s != "" {
+				scenarios = append(scenarios, s)
+			}
+		}
+		rep, err = experiments.Chaos(experiments.ChaosConfig{
+			Scenarios: scenarios,
+			Chains:    *chains,
+			Amount:    metric.Value(*amount),
+			Seed:      *seed,
+			Stagger:   *stagger,
+			Plane:     plane,
+			Driver:    *driverName,
+			Dir:       root,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	if *jsonOut {
 		out, err := rep.JSON()

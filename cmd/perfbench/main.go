@@ -5,9 +5,15 @@
 // committed transaction. Results are written as JSON so CI can compare a
 // fresh run against the committed baseline (BENCH_baseline.json).
 //
+// The wal suite (not in the default set; baseline BENCH_wal.json)
+// benchmarks the disk driver's write-ahead log appender directly:
+// fsync-per-append vs group-commit, plus the group-commit speedup ratio
+// at each worker count — the number that justifies sharing one fsync
+// across a commit cohort.
+//
 // Usage:
 //
-//	perfbench [-suites e1,e5,absorb] [-workers 1,4,8,16] [-quick]
+//	perfbench [-suites e1,e5,absorb,wal] [-workers 1,4,8,16] [-quick]
 //	          [-out BENCH.json] [-opdelay 50us] [-seed N]
 //	          [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //	          [-trace f] [-tracewall f] [-tracetext f]
@@ -37,6 +43,7 @@ import (
 	"asynctp/internal/obs"
 	"asynctp/internal/profiling"
 	"asynctp/internal/stats"
+	"asynctp/internal/storage/wal"
 	"asynctp/internal/workload"
 )
 
@@ -81,7 +88,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
-	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb")
+	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb,wal")
 	workersArg := fs.String("workers", "1,4,8,16", "comma-separated worker counts")
 	quick := fs.Bool("quick", false, "CI mode: smaller stream, workers 1,4 unless -workers given")
 	out := fs.String("out", "", "write JSON report to this file (default stdout)")
@@ -146,6 +153,8 @@ func run(args []string) error {
 				res, err = runE5(w, *quick, *opDelay, *seed, plane)
 			case "absorb":
 				res, err = runAbsorb(w, *quick, plane)
+			case "wal":
+				res, err = runWAL(w, *quick)
 			default:
 				err = fmt.Errorf("unknown suite %q", suite)
 			}
@@ -368,6 +377,129 @@ func runAbsorbOnce(workers, total int, plane *obs.Plane) (Result, error) {
 	res := Result{
 		Suite:   "absorb",
 		Variant: "esr-dc",
+		Workers: workers,
+		Txns:    n,
+		TPS:     float64(n) / elapsed.Seconds(),
+		P50us:   float64(lat.Percentile(0.50).Microseconds()),
+		P99us:   float64(lat.Percentile(0.99).Microseconds()),
+	}
+	if n > 0 {
+		res.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	return res, nil
+}
+
+// runWAL benchmarks the disk driver's WAL appender in its two durability
+// modes on the same record stream: fsync-per-append (SyncEvery <= 0,
+// every commit pays a full fsync) vs group-commit (a 200µs window shares
+// one fsync across the cohort of concurrent appenders). A third
+// dimensionless row reports the speedup ratio group-commit/fsync-each so
+// the compare gate catches a collapse of the batching win itself, not
+// just absolute drift. At workers=1 the ratio is expected to sit below
+// 1 — a lone appender pays the window latency with nobody to share the
+// fsync — which is exactly the tradeoff the row documents.
+func runWAL(workers int, quick bool) ([]Result, error) {
+	total := 2000
+	if quick {
+		total = 800
+	}
+	each, err := runWALBest("fsync-each", 0, workers, total)
+	if err != nil {
+		return nil, err
+	}
+	group, err := runWALBest("group-commit", 200*time.Microsecond, workers, total)
+	if err != nil {
+		return nil, err
+	}
+	ratio := Result{Suite: "wal", Variant: "speedup", Workers: workers, Txns: group.Txns}
+	if each.TPS > 0 {
+		ratio.TPS = group.TPS / each.TPS
+	}
+	return []Result{each, group, ratio}, nil
+}
+
+// walReps mirrors absorbReps: a single WAL pass is fsync-bound and
+// short, so one scheduler hiccup can halve a pass; best-of-N suppresses
+// the dips without hiding a real regression.
+const walReps = 3
+
+func runWALBest(variant string, window time.Duration, workers, total int) (Result, error) {
+	best := Result{}
+	for rep := 0; rep < walReps; rep++ {
+		res, err := runWALOnce(variant, window, workers, total)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.TPS > best.TPS {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runWALOnce appends total batch records (shaped like a settled piece
+// commit: two account deltas, an applied marker, a watermark) from
+// workers concurrent goroutines and reports durable appends per second.
+func runWALOnce(variant string, window time.Duration, workers, total int) (Result, error) {
+	dir, err := os.MkdirTemp("", "perfbench-wal-*")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	opts := []wal.Option{wal.WithSegmentBytes(8 << 20)}
+	if window > 0 {
+		opts = append(opts, wal.WithGroupCommit(window, 256))
+	}
+	w, err := wal.Open(dir, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+
+	lat := stats.NewRecorder()
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	perWorker := total / workers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				lsn := uint64(id*perWorker + j + 1)
+				rec := wal.BatchRecord(lsn, []wal.KV{
+					{Key: "acct/A", Val: int64(j)},
+					{Key: "acct/B", Val: -int64(j)},
+					{Key: "__applied/1/2", Val: 1},
+					{Key: "__wm/NY", Val: int64(lsn)},
+				})
+				t0 := time.Now()
+				err := w.Append(rec)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				lat.Add(d)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	n := perWorker * workers
+	res := Result{
+		Suite:   "wal",
+		Variant: variant,
 		Workers: workers,
 		Txns:    n,
 		TPS:     float64(n) / elapsed.Seconds(),

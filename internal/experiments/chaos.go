@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"asynctp/internal/simnet"
 	"asynctp/internal/site"
 	"asynctp/internal/storage"
+	"asynctp/internal/storage/driver"
 	"asynctp/internal/txn"
 )
 
@@ -58,6 +60,13 @@ type ChaosConfig struct {
 	// metrics, ε-ledger); cmd/chaosbench wires it from -trace/-metrics
 	// and Chaos folds its summary into the report notes.
 	Plane *obs.Plane
+	// Driver selects the storage driver ("mem" default, "disk" persists
+	// every site to a WAL under Dir). The scheduled crash/restart faults
+	// then exercise real file recovery instead of the simulated journal.
+	Driver string
+	// Dir roots the disk driver's files; each scenario × strategy run
+	// gets its own subdirectory so runs never share state.
+	Dir string
 }
 
 // withDefaults fills zero fields.
@@ -77,7 +86,27 @@ func (cfg ChaosConfig) withDefaults() ChaosConfig {
 	if cfg.Stagger <= 0 {
 		cfg.Stagger = 10 * time.Millisecond
 	}
+	if cfg.Driver == "" {
+		cfg.Driver = "mem"
+	}
 	return cfg
+}
+
+// storageDriver builds the configured storage driver for one run; name
+// scopes the disk driver's directory so concurrent runs never collide.
+func (cfg ChaosConfig) storageDriver(name string) (driver.Driver, error) {
+	if cfg.Driver == "mem" {
+		return nil, nil // site default
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		return nil, errors.New("experiments: disk driver needs ChaosConfig.Dir")
+	}
+	return driver.New(cfg.Driver, driver.Params{
+		Dir:       filepath.Join(dir, name),
+		SyncEvery: 200 * time.Microsecond,
+		Obs:       cfg.Plane.StorageObserver(),
+	})
 }
 
 // chaosTotal is the initial money across the three branches.
@@ -128,10 +157,11 @@ var chaosSites = []simnet.SiteID{"NY", "LA", "CHI"}
 // Both strategies get bounded-wait commit timeouts: they are inert for
 // chopped queues and are what lets 2PC presume abort instead of
 // blocking forever when the schedule crashes a participant.
-func chaosCluster(strategy site.Strategy, seed int64, plane *obs.Plane, opts ...site.Option) (*site.Cluster, error) {
+func chaosCluster(strategy site.Strategy, seed int64, plane *obs.Plane, drv driver.Driver, opts ...site.Option) (*site.Cluster, error) {
 	return site.NewCluster(site.Config{
 		Strategy:  strategy,
 		Obs:       plane,
+		Storage:   drv,
 		Latency:   500 * time.Microsecond,
 		Jitter:    0.2,
 		Seed:      seed,
@@ -203,7 +233,11 @@ func RunChaosScenario(strategy site.Strategy, scenario string, cfg ChaosConfig) 
 	if cfg.Workers > 0 {
 		siteOpts = append(siteOpts, site.WithWorkers(cfg.Workers))
 	}
-	c, err := chaosCluster(strategy, cfg.Seed, cfg.Plane, siteOpts...)
+	drv, err := cfg.storageDriver(scenario + "-" + strategy.String())
+	if err != nil {
+		return nil, err
+	}
+	c, err := chaosCluster(strategy, cfg.Seed, cfg.Plane, drv, siteOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,10 @@
 //	E8 — (extension) conformance: the serial-replay ε-oracle over
 //	     deterministic schedules, the mis-budgeted control it must
 //	     catch, and the chopping fuzzer cross-checked vs brute force.
+//	E9 — (extension) kill -9 durability: the chain workload over the
+//	     disk WAL driver, SIGKILLed at storage crash points, restarted
+//	     from its real files, and audited for conservation and
+//	     exactly-once application.
 package experiments
 
 import (

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestKill9ChildHelper is not a test: it is the re-exec entry point for
+// the kill -9 soak. RunKill9 spawns the test binary with -test.run
+// pinned to this helper and the child environment set; the helper then
+// runs the workload until the armed crash point SIGKILLs the process.
+func TestKill9ChildHelper(t *testing.T) {
+	if !Kill9IsChild() {
+		t.Skip("kill9 re-exec helper; only runs as a spawned child")
+	}
+	if err := Kill9Child(); err != nil {
+		t.Fatalf("kill9 child: %v", err)
+	}
+}
+
+// TestKill9Soak runs the full E9 harness: three child processes
+// SIGKILLed at the WAL-append, pre-fsync, and torn-write crash points,
+// then in-process recovery from the surviving files with conservation,
+// exactly-once, completeness, and ε-bound verification.
+func TestKill9Soak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill -9 soak spawns real child processes; skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunKill9(Kill9Config{
+		Bin:    bin,
+		Args:   []string{"-test.run", "^TestKill9ChildHelper$"},
+		Dir:    t.TempDir(),
+		Seed:   42,
+		Chains: 12,
+		Amount: 5,
+		Cycles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("kill -9 claims failed:\n%s", rep)
+	}
+	t.Logf("\n%s", rep)
+}
+
+// TestDriverEquivalenceThroughPipeline is the acceptance check at the
+// experiments level: the same deterministic workload through mem and
+// disk drivers leaves byte-identical site state.
+func TestDriverEquivalenceThroughPipeline(t *testing.T) {
+	if err := RunDriverEquivalence(t.TempDir(), 6, 7, 42); err != nil {
+		t.Fatal(err)
+	}
+}

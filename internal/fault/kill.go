@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"asynctp/internal/simnet"
+)
+
+// This file is the kill -9 grade of fault injection. The Hook/Schedule
+// machinery simulates crashes in-process (volatile state is rebuilt by
+// the same process); a KillSpec instead names a storage-layer crash
+// point at which a child process sends itself SIGKILL — no deferred
+// cleanup, no flushing, no atexit. The parent harness restarts the
+// child from its real on-disk files, which is the only honest test of
+// write-ahead logging.
+
+// Kill points — where in the durable-storage pipeline the process dies.
+const (
+	// KillAppend dies before a committed batch's WAL frame is written:
+	// the record is wholly lost; the sender's retransmission and the
+	// piece dedup must absorb the redelivery.
+	KillAppend = "append"
+	// KillSync dies after WAL frames are written but before fsync: the
+	// records may or may not survive the page cache; replay must accept
+	// either world.
+	KillSync = "sync"
+	// KillTorn dies immediately after a deliberately half-written frame
+	// has been written and synced: replay must truncate the torn tail at
+	// the CRC break and keep everything before it.
+	KillTorn = "torn"
+	// KillSnapshot dies after a checkpoint snapshot's temp file is
+	// written but before the atomic rename: recovery must fall back to
+	// the previous snapshot + WAL.
+	KillSnapshot = "snapshot"
+)
+
+// KillSpec names one self-SIGKILL: the Hit'th time site reaches the
+// named storage crash point, the process dies. The wire form is
+// "point:site:hit", e.g. "append:LA:15".
+type KillSpec struct {
+	Point string
+	Site  simnet.SiteID
+	Hit   int
+}
+
+// ParseKillSpec parses "point:site:hit".
+func ParseKillSpec(s string) (KillSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return KillSpec{}, fmt.Errorf("fault: kill spec %q is not point:site:hit", s)
+	}
+	switch parts[0] {
+	case KillAppend, KillSync, KillTorn, KillSnapshot:
+	default:
+		return KillSpec{}, fmt.Errorf("fault: unknown kill point %q", parts[0])
+	}
+	hit, err := strconv.Atoi(parts[2])
+	if err != nil || hit < 1 {
+		return KillSpec{}, fmt.Errorf("fault: kill spec %q needs a positive hit count", s)
+	}
+	return KillSpec{Point: parts[0], Site: simnet.SiteID(parts[1]), Hit: hit}, nil
+}
+
+// String renders the wire form.
+func (k KillSpec) String() string {
+	return fmt.Sprintf("%s:%s:%d", k.Point, k.Site, k.Hit)
+}
+
+// SelfKill sends the current process SIGKILL: an un-catchable,
+// un-flushable death, the real thing a WAL must survive. It does not
+// return.
+func SelfKill() {
+	_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}

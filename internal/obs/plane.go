@@ -13,6 +13,7 @@ import (
 	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
+	"asynctp/internal/storage/driver"
 	"asynctp/internal/txn"
 )
 
@@ -68,6 +69,15 @@ type planeMetrics struct {
 	commitRoundAck  *Histogram
 	commitCommits   *Counter
 	commitAborts    *Counter
+
+	walFsyncs       *Counter
+	walSyncedRecs   *Counter
+	walCohortSize   *Histogram
+	storRecoveries  *Counter
+	storReplayed    *Counter
+	storTornBytes   *Counter
+	storCheckpoints *Counter
+	storPruned      *Counter
 }
 
 // NewPlane assembles a plane from its (individually optional) parts.
@@ -107,6 +117,15 @@ func NewPlane(tr *Tracer, lg *Ledger, reg *Registry) *Plane {
 			commitRoundAck:  reg.Histogram("asynctp_2pc_round_seconds", "2PC round latencies.", nil, "round", "ack"),
 			commitCommits:   reg.Counter("asynctp_2pc_decisions_total", "Logged 2PC decisions.", "decision", "commit"),
 			commitAborts:    reg.Counter("asynctp_2pc_decisions_total", "Logged 2PC decisions.", "decision", "abort"),
+
+			walFsyncs:       reg.Counter("asynctp_wal_fsyncs_total", "WAL fsync batches (group commits)."),
+			walSyncedRecs:   reg.Counter("asynctp_wal_synced_records_total", "WAL records made durable across all fsyncs."),
+			walCohortSize:   reg.Histogram("asynctp_wal_cohort_size", "Records covered per fsync (group-commit batch size).", batchBuckets),
+			storRecoveries:  reg.Counter("asynctp_storage_recoveries_total", "Site stores rebuilt from the durable image."),
+			storReplayed:    reg.Counter("asynctp_storage_replayed_entries_total", "WAL entries replayed over snapshots during recovery."),
+			storTornBytes:   reg.Counter("asynctp_storage_torn_bytes_total", "Torn-tail bytes discarded during recovery."),
+			storCheckpoints: reg.Counter("asynctp_storage_checkpoints_total", "Snapshot+truncation checkpoint passes."),
+			storPruned:      reg.Counter("asynctp_storage_pruned_segments_total", "WAL segment files deleted by checkpoints."),
 		}
 		if lg != nil {
 			reg.GaugeFunc("asynctp_epsilon_charged_fuzz", "Ledger: total import fuzziness charged across accounts.",
@@ -160,6 +179,16 @@ func (p *Plane) Summary() []string {
 			fmt.Sprintf("2pc: %d commits, %d aborts",
 				m.commitCommits.Value(), m.commitAborts.Value()),
 		)
+		// Durability counters only appear when a disk driver actually ran
+		// (a mem-driver bench would print a row of zeros otherwise).
+		if m.walFsyncs.Value() > 0 || m.storRecoveries.Value() > 0 {
+			out = append(out,
+				fmt.Sprintf("wal: %d fsyncs covering %d records, %d recoveries (%d entries replayed, %d torn bytes), %d checkpoints (%d segments pruned)",
+					m.walFsyncs.Value(), m.walSyncedRecs.Value(),
+					m.storRecoveries.Value(), m.storReplayed.Value(), m.storTornBytes.Value(),
+					m.storCheckpoints.Value(), m.storPruned.Value()),
+			)
+		}
 	}
 	if p.Tracer != nil {
 		out = append(out, fmt.Sprintf("trace: %d events (%d dropped)",
@@ -425,6 +454,39 @@ func (o queueObserver) Delivered(msg queue.Msg) {
 		Kind: EvQueueDeliver, Piece: -1, Site: o.site, Arg: string(msg.From),
 		Name: msg.Queue, Key: msg.ID, Aux: int64(msg.Seq),
 	})
+}
+
+// --- storage driver.Observer shim --------------------------------------
+
+type storageObserver struct{ p *Plane }
+
+// StorageObserver returns the durability observer shim for the storage
+// driver layer: WAL fsync cohorts, recoveries from the durable image,
+// and checkpoint passes. Nil when disabled.
+func (p *Plane) StorageObserver() driver.Observer {
+	if p == nil {
+		return nil
+	}
+	return storageObserver{p: p}
+}
+
+func (o storageObserver) WALSynced(site string, records int) {
+	o.p.m.walFsyncs.Inc()
+	o.p.m.walSyncedRecs.Add(int64(records))
+	if records > 0 {
+		o.p.m.walCohortSize.Observe(float64(records))
+	}
+}
+
+func (o storageObserver) Recovered(site string, entries int, tornBytes int64) {
+	o.p.m.storRecoveries.Inc()
+	o.p.m.storReplayed.Add(int64(entries))
+	o.p.m.storTornBytes.Add(tornBytes)
+}
+
+func (o storageObserver) Checkpointed(site string, prunedSegments int) {
+	o.p.m.storCheckpoints.Inc()
+	o.p.m.storPruned.Add(int64(prunedSegments))
 }
 
 // --- commit.Observer shim ----------------------------------------------

@@ -278,6 +278,7 @@ type Manager struct {
 	maxBackoff time.Duration
 	legacy     bool
 	flushCrash func() bool
+	persist    func(State) error // receive-side durability barrier (WithPersist)
 	obs        Observer
 
 	mu      sync.Mutex
@@ -632,7 +633,17 @@ func (m *Manager) Handle(msg simnet.Message) {
 		}
 		m.mu.Lock()
 		m.admitLocked(qm)
+		var snap State
+		if m.persist != nil {
+			snap = m.snapshotLocked()
+		}
 		m.mu.Unlock()
+		if m.persist != nil {
+			if err := m.persist(snap); err != nil {
+				// Not durable: withhold the ack so the sender retransmits.
+				return
+			}
+		}
 		// Legacy dialect: always ack immediately and individually, even
 		// duplicates — the first ack may have been lost.
 		_ = m.net.Send(simnet.Message{
@@ -650,6 +661,21 @@ func (m *Manager) Handle(msg simnet.Message) {
 		for _, id := range frame.Acks {
 			delete(m.outbox, id)
 		}
+		var snap State
+		if m.persist != nil && len(frame.Msgs) > 0 {
+			snap = m.snapshotLocked()
+		}
+		m.mu.Unlock()
+		if m.persist != nil && len(frame.Msgs) > 0 {
+			// Durability barrier before the ack: the sender deletes its
+			// outbox copy on ack, so the admitted messages must be in the
+			// durable queue image first. On error no ack is staged and the
+			// sender's retransmission redelivers (dedup absorbs it).
+			if err := m.persist(snap); err != nil {
+				return
+			}
+		}
+		m.mu.Lock()
 		// One cumulative ack covers the whole frame — duplicates
 		// included, since the previous ack may have been lost. It rides
 		// the next outgoing batch to msg.From if one is pending, else a
@@ -834,6 +860,14 @@ func (m *Manager) OutboxLen() int {
 	return len(m.outbox)
 }
 
+// InflightLen returns the number of delivered-but-unacknowledged
+// messages (handed to a consumer, neither Acked nor Nacked yet).
+func (m *Manager) InflightLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}
+
 // DedupPrefix returns the contiguous-prefix watermark for sender from:
 // every sequence number at or below it has been delivered and retired
 // from memory.
@@ -863,14 +897,14 @@ func (m *Manager) DedupSparseLen(from simnet.SiteID) int {
 // deliberately absent: recovery marks everything due immediately.
 type State struct {
 	NextSeq  map[simnet.SiteID]uint64
-	Outbox   map[string]outMsgState
+	Outbox   map[string]OutboxMsg
 	Queues   map[string][]Msg
 	Inflight map[string]Msg
 	Seen     map[simnet.SiteID]SeenState
 }
 
-// outMsgState mirrors outMsg for the exported State.
-type outMsgState struct {
+// OutboxMsg mirrors outMsg for the exported State.
+type OutboxMsg struct {
 	Msg Msg
 	To  simnet.SiteID
 }
@@ -888,33 +922,7 @@ type SeenState struct {
 func (m *Manager) Snapshot() State {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := State{
-		NextSeq:  make(map[simnet.SiteID]uint64, len(m.nextSeq)),
-		Outbox:   make(map[string]outMsgState, len(m.outbox)),
-		Queues:   make(map[string][]Msg, len(m.queues)),
-		Inflight: make(map[string]Msg, len(m.inflight)),
-		Seen:     make(map[simnet.SiteID]SeenState, len(m.seen)),
-	}
-	for to, seq := range m.nextSeq {
-		st.NextSeq[to] = seq
-	}
-	for id, om := range m.outbox {
-		st.Outbox[id] = outMsgState{Msg: om.msg, To: om.to}
-	}
-	for q, msgs := range m.queues {
-		st.Queues[q] = append([]Msg(nil), msgs...)
-	}
-	for id, msg := range m.inflight {
-		st.Inflight[id] = msg
-	}
-	for from, ss := range m.seen {
-		snap := SeenState{Prefix: ss.prefix}
-		for seq := range ss.sparse {
-			snap.Sparse = append(snap.Sparse, seq)
-		}
-		st.Seen[from] = snap
-	}
-	return st
+	return m.snapshotLocked()
 }
 
 // Restore reloads a snapshot after a crash. In-flight deliveries whose

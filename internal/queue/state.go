@@ -1,0 +1,83 @@
+package queue
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"asynctp/internal/simnet"
+)
+
+// This file gives State a durable wire form. The mem driver keeps State
+// objects in memory, but the disk driver must serialize the queue image
+// into its write-ahead log; gob carries the nested maps, the sparse
+// dedup sets, and — via RegisterPayloadType — the application payload
+// types inside Msg.
+
+// RegisterPayloadType registers a concrete payload type carried in
+// Msg.Payload so EncodeState/DecodeState can round-trip it. Call it from
+// an init function in the package that owns the payload type; both the
+// encoding and the decoding process must have registered the same types.
+func RegisterPayloadType(v any) { gob.Register(v) }
+
+// Encode serializes the state for a durable store.
+func (st State) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState parses a blob produced by Encode. Nil maps in the result
+// are valid (Restore treats them as empty).
+func DecodeState(data []byte) (State, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// WithPersist installs the receive-side durability barrier: after a
+// frame's messages are admitted, the endpoint snapshots its state and
+// calls persist before staging the frame's acknowledgement. Only a
+// successful persist stages acks — on error the sender keeps the
+// messages in its outbox and retransmits, and the watermark dedup
+// absorbs the redelivery. Without this barrier a group-commit fsync
+// slower than the ack coalescing window could acknowledge a message
+// whose durable queue image never hit disk: kill -9 in that window
+// would lose the message at the receiver after the sender forgot it.
+func WithPersist(persist func(State) error) Option {
+	return func(m *Manager) { m.persist = persist }
+}
+
+// snapshotLocked is Snapshot's body; callers hold m.mu.
+func (m *Manager) snapshotLocked() State {
+	st := State{
+		NextSeq:  make(map[simnet.SiteID]uint64, len(m.nextSeq)),
+		Outbox:   make(map[string]OutboxMsg, len(m.outbox)),
+		Queues:   make(map[string][]Msg, len(m.queues)),
+		Inflight: make(map[string]Msg, len(m.inflight)),
+		Seen:     make(map[simnet.SiteID]SeenState, len(m.seen)),
+	}
+	for to, seq := range m.nextSeq {
+		st.NextSeq[to] = seq
+	}
+	for id, om := range m.outbox {
+		st.Outbox[id] = OutboxMsg{Msg: om.msg, To: om.to}
+	}
+	for q, msgs := range m.queues {
+		st.Queues[q] = append([]Msg(nil), msgs...)
+	}
+	for id, msg := range m.inflight {
+		st.Inflight[id] = msg
+	}
+	for from, ss := range m.seen {
+		snap := SeenState{Prefix: ss.prefix}
+		for seq := range ss.sparse {
+			snap.Sparse = append(snap.Sparse, seq)
+		}
+		st.Seen[from] = snap
+	}
+	return st
+}

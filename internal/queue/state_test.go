@@ -1,0 +1,250 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/simnet"
+)
+
+// statePayload is a concrete payload type for serialization tests.
+type statePayload struct {
+	Inst  uint64
+	Piece int
+}
+
+func init() { RegisterPayloadType(statePayload{}) }
+
+func TestStateEncodeDecodeRoundTrip(t *testing.T) {
+	st := State{
+		NextSeq: map[simnet.SiteID]uint64{"LA": 7, "CHI": 2},
+		Outbox: map[string]OutboxMsg{
+			"NY>LA-7": {Msg: Msg{ID: "NY>LA-7", Seq: 7, From: "NY", Queue: "pieces", Payload: statePayload{Inst: 3, Piece: 1}}, To: "LA"},
+		},
+		Queues: map[string][]Msg{
+			"pieces": {{ID: "LA>NY-4", Seq: 4, From: "LA", Queue: "pieces", Payload: statePayload{Inst: 2, Piece: 2}}},
+		},
+		Inflight: map[string]Msg{
+			"CHI>NY-1": {ID: "CHI>NY-1", Seq: 1, From: "CHI", Queue: "done", Payload: statePayload{Inst: 1}},
+		},
+		Seen: map[simnet.SiteID]SeenState{
+			"LA":  {Prefix: 4, Sparse: []uint64{7, 9}},
+			"CHI": {Prefix: 1},
+		},
+	}
+	blob, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.NextSeq, st.NextSeq) {
+		t.Errorf("NextSeq = %v, want %v", got.NextSeq, st.NextSeq)
+	}
+	if !reflect.DeepEqual(got.Outbox, st.Outbox) {
+		t.Errorf("Outbox = %v, want %v", got.Outbox, st.Outbox)
+	}
+	if !reflect.DeepEqual(got.Queues, st.Queues) {
+		t.Errorf("Queues = %v, want %v", got.Queues, st.Queues)
+	}
+	if !reflect.DeepEqual(got.Inflight, st.Inflight) {
+		t.Errorf("Inflight = %v, want %v", got.Inflight, st.Inflight)
+	}
+	// Sparse sets are unordered (snapshot ranges a map).
+	for from, want := range st.Seen {
+		g := got.Seen[from]
+		sort.Slice(g.Sparse, func(i, j int) bool { return g.Sparse[i] < g.Sparse[j] })
+		if g.Prefix != want.Prefix || !reflect.DeepEqual(g.Sparse, want.Sparse) {
+			t.Errorf("Seen[%s] = %+v, want %+v", from, g, want)
+		}
+	}
+}
+
+func TestStateEncodeDecodeEmptyWatermark(t *testing.T) {
+	// The empty-state edge case: fresh site, nothing seen, no sparse
+	// entries. The decoded image must restore cleanly into a manager.
+	st := State{
+		NextSeq:  map[simnet.SiteID]uint64{},
+		Outbox:   map[string]OutboxMsg{},
+		Queues:   map[string][]Msg{},
+		Inflight: map[string]Msg{},
+		Seen:     map[simnet.SiteID]SeenState{"LA": {Prefix: 0, Sparse: nil}},
+	}
+	blob, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seen["LA"].Prefix != 0 || len(got.Seen["LA"].Sparse) != 0 {
+		t.Errorf("empty watermark round trip = %+v", got.Seen["LA"])
+	}
+
+	// Restoring decoded (possibly nil) maps must not wedge the manager.
+	net := simnet.New()
+	defer net.Close()
+	if _, err := net.AddSite("NY"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager("NY", net, time.Hour)
+	defer m.Close()
+	m.Restore(got)
+	if m.OutboxLen() != 0 || m.DedupPrefix("LA") != 0 {
+		t.Errorf("restore of empty state: outbox=%d prefix=%d", m.OutboxLen(), m.DedupPrefix("LA"))
+	}
+}
+
+func TestStateRoundTripThroughManager(t *testing.T) {
+	// Drive a real manager, snapshot, encode, decode, restore into a
+	// fresh manager: watermark prefix + sparse set must survive exactly.
+	net := simnet.New()
+	defer net.Close()
+	for _, id := range []simnet.SiteID{"NY", "LA"} {
+		if _, err := net.AddSite(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewManager("NY", net, time.Hour, WithFlushDelay(0))
+	defer m.Close()
+
+	// Out-of-order arrivals: 1, 2, then 5 and 9 (gap at 3-4, 6-8).
+	for _, seq := range []uint64{1, 2, 5, 9} {
+		m.Handle(simnet.Message{From: "LA", To: "NY", Kind: KindEnqueueBatch, Payload: BatchFrame{
+			Msgs: []Msg{{ID: "x", Seq: seq, From: "LA", Queue: "pieces", Payload: statePayload{Inst: seq}}},
+		}})
+	}
+	if m.DedupPrefix("LA") != 2 || m.DedupSparseLen("LA") != 2 {
+		t.Fatalf("setup: prefix=%d sparse=%d", m.DedupPrefix("LA"), m.DedupSparseLen("LA"))
+	}
+	blob, err := m.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager("NY", net, time.Hour)
+	defer m2.Close()
+	m2.Restore(st)
+	if m2.DedupPrefix("LA") != 2 || m2.DedupSparseLen("LA") != 2 {
+		t.Errorf("restored: prefix=%d sparse=%d, want 2/2", m2.DedupPrefix("LA"), m2.DedupSparseLen("LA"))
+	}
+	// Redelivering an already-seen sequence must still dedup.
+	before := m2.Depth("pieces")
+	m2.Handle(simnet.Message{From: "LA", To: "NY", Kind: KindEnqueueBatch, Payload: BatchFrame{
+		Msgs: []Msg{{ID: "dup", Seq: 5, From: "LA", Queue: "pieces"}},
+	}})
+	if m2.Depth("pieces") != before {
+		t.Error("restored watermark failed to dedup a replayed sequence")
+	}
+	// And the gap must still admit.
+	m2.Handle(simnet.Message{From: "LA", To: "NY", Kind: KindEnqueueBatch, Payload: BatchFrame{
+		Msgs: []Msg{{ID: "gap", Seq: 3, From: "LA", Queue: "pieces"}},
+	}})
+	if m2.Depth("pieces") != before+1 {
+		t.Error("restored watermark rejected an unseen sequence")
+	}
+}
+
+func TestPersistGatesAcks(t *testing.T) {
+	net := simnet.New()
+	nyInbox, err := net.AddSite("NY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laInbox, err := net.AddSite("LA")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	persistErr := errors.New("disk full")
+	var mu sync.Mutex
+	persisted := 0
+	fail := true
+	m := NewManager("NY", net, 20*time.Millisecond, WithFlushDelay(0),
+		WithPersist(func(st State) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return persistErr
+			}
+			persisted++
+			return nil
+		}))
+	sender := NewManager("LA", net, 20*time.Millisecond, WithFlushDelay(0))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	route := func(inbox <-chan simnet.Message, mgr *Manager) {
+		defer wg.Done()
+		for {
+			select {
+			case msg := <-inbox:
+				mgr.Handle(msg)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go route(nyInbox, m)
+	go route(laInbox, sender)
+	t.Cleanup(func() {
+		m.Close()
+		sender.Close()
+		cancel()
+		wg.Wait()
+		net.Close()
+	})
+
+	buf := sender.Buffer()
+	buf.Enqueue("NY", "pieces", statePayload{Inst: 1})
+	sender.CommitSend(buf)
+
+	// Wait for delivery; the ack must never arrive while persist fails.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Depth("pieces") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("message not admitted: depth=%d", m.Depth("pieces"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // a few retransmit rounds
+	if sender.OutboxLen() != 1 {
+		t.Fatalf("ack escaped a failed persist: outbox=%d", sender.OutboxLen())
+	}
+	if m.Depth("pieces") != 1 {
+		t.Fatalf("retransmissions not deduped: depth=%d", m.Depth("pieces"))
+	}
+
+	// Persist recovers: the next retransmission is persisted and acked,
+	// and the sender's outbox drains.
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	deadline = time.Now().Add(2 * time.Second)
+	for sender.OutboxLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outbox never drained after persist recovered: %d", sender.OutboxLen())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if persisted == 0 {
+		t.Error("persist callback never saw a state after recovery")
+	}
+	if m.Depth("pieces") != 1 {
+		t.Errorf("final depth = %d, want exactly one delivery", m.Depth("pieces"))
+	}
+}

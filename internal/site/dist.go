@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,10 +17,20 @@ import (
 	"asynctp/internal/lock"
 	"asynctp/internal/metric"
 	"asynctp/internal/obs"
+	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
 	"asynctp/internal/txn"
 )
+
+// The chopped-queue payloads must round-trip through the disk driver's
+// serialized queue image (gob), so their concrete types are registered
+// up front.
+func init() {
+	queue.RegisterPayloadType(activation{})
+	queue.RegisterPayloadType(pieceDone{})
+	queue.RegisterPayloadType(doneBatch{})
+}
 
 // Message kinds of the chopped-queue protocol.
 const (
@@ -262,6 +274,14 @@ func (c *Cluster) RegisterPrograms(programs []*txn.Program) error {
 		c.dist.mu.Lock()
 		c.dist.programs = append(c.dist.programs, dp)
 		c.dist.mu.Unlock()
+	}
+	// A process restarted against a durable disk image may hold origin
+	// markers from its previous incarnation; now that the program table
+	// exists, re-stage their successors (no-op on fresh stores).
+	if c.Strategy == ChoppedQueues {
+		for _, s := range c.sites {
+			s.restageOrigins()
+		}
 	}
 	return nil
 }
@@ -640,6 +660,44 @@ func (s *Site) stageChildren(act activation, dp *distProgram) {
 	}
 }
 
+// restageOrigins re-stages the successor activations of every origin
+// (piece 0) commit recorded in the durable store. Non-origin pieces
+// ride recoverable queues, so their lost stagings are resurrected by
+// redelivery; piece 0 runs directly under Submit and has no queue
+// behind it — after a crash (or a process restart against a disk
+// image) the `__applied/<inst>/0` marker is the only witness that its
+// children were owed. The marker value carries the program type, and
+// staging is idempotent: downstream dedup collapses re-activations,
+// and trackers of long-settled instances simply ignore the reports.
+func (s *Site) restageOrigins() {
+	s.cluster.dist.mu.Lock()
+	programs := append([]*distProgram(nil), s.cluster.dist.programs...)
+	s.cluster.dist.mu.Unlock()
+	if len(programs) == 0 {
+		return
+	}
+	for _, key := range s.Store.Keys() {
+		name := string(key)
+		rest, ok := strings.CutPrefix(name, "__applied/")
+		if !ok {
+			continue
+		}
+		instStr, pieceStr, ok := strings.Cut(rest, "/")
+		if !ok || pieceStr != "0" {
+			continue
+		}
+		inst, err := strconv.ParseUint(instStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		ti := int(s.Store.Get(key)) - 1
+		if ti < 0 || ti >= len(programs) {
+			continue
+		}
+		s.stageChildren(activation{Inst: inst, Origin: s.ID, TxType: ti, Piece: 0}, programs[ti])
+	}
+}
+
 // runPiece executes piece act.Piece of dp at site s, retrying system
 // aborts until commit (resubmission of rollback-safe pieces), then
 // stages the dependent activations through the recoverable queue in the
@@ -669,7 +727,10 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 	} else {
 		body = append(body, dp.chopped.PieceOps(act.Piece)...)
 	}
-	ops := append(append([]txn.Op(nil), body...), txn.SetOp(marker, 1))
+	// The marker value encodes the program type (TxType+1, so it is
+	// never zero): recovery can read it back and re-stage an origin
+	// piece's successors without any volatile context.
+	ops := append(append([]txn.Op(nil), body...), txn.SetOp(marker, metric.Value(act.TxType+1)))
 	prog := &txn.Program{
 		Name: name,
 		Ops:  ops,

@@ -34,6 +34,7 @@ import (
 	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
+	"asynctp/internal/storage/driver"
 	"asynctp/internal/txn"
 )
 
@@ -153,9 +154,13 @@ type Site struct {
 	applied *dedupTable
 	// crashed marks the site down; workers idle and messages drop.
 	crashed bool
-	// queueSnap is the durable queue-state image maintained at every
-	// commit point, used to recover after a crash.
-	queueSnap queue.State
+	// backend is the site's storage driver instance: the store it owns,
+	// the durable queue image, and the recovery path. The mem driver
+	// simulates durability; the disk driver earns it with a WAL.
+	backend driver.Backend
+	// recoverErr records a failed backend recovery; the site stays
+	// crashed when it is set.
+	recoverErr error
 
 	stopWorkers chan struct{}
 	workerWG    sync.WaitGroup
@@ -215,6 +220,16 @@ type Config struct {
 	// points (see fault.Point); a true answer fail-stops the site right
 	// there — e.g. between a piece's commit and its queue ack.
 	FaultHook fault.Hook
+	// Storage selects the storage driver (nil means the in-memory "mem"
+	// driver — the simulated-durability default). A disk driver makes
+	// every site's committed state real files: a WAL with group-commit
+	// fsync plus snapshots, surviving even kill -9.
+	Storage driver.Driver
+	// InstanceBase offsets the cluster's instance-ID sequence. A process
+	// restarting against an existing disk image must pick a base above
+	// every instance the previous incarnation could have minted, so new
+	// submissions never collide with recovered piece markers.
+	InstanceBase uint64
 	// Obs, when non-nil, attaches the observability plane: every site's
 	// executor, lock manager, divergence controller, queue endpoint, and
 	// 2PC node report spans/ledger pages/metrics through it. Nil keeps
@@ -281,17 +296,30 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	c.dist = &distState{trackers: make(map[uint64]*tracker)}
 	c.groupOf = make(map[lock.Owner]history.Group)
+	c.instSeq = cfg.InstanceBase
 	if cfg.Record {
 		c.rec = history.NewRecorder()
+	}
+	drv := cfg.Storage
+	if drv == nil {
+		var err error
+		if drv, err = driver.New("mem", driver.Params{}); err != nil {
+			return nil, err
+		}
 	}
 	for id, init := range cfg.Initial {
 		lockTimeout := cfg.LockTimeout
 		if lockTimeout <= 0 {
 			lockTimeout = 500 * time.Millisecond
 		}
+		be, err := drv.Open(string(id), init)
+		if err != nil {
+			return nil, fmt.Errorf("site: opening %s backend for %s: %w", drv.Name(), id, err)
+		}
 		s := &Site{
 			ID:          id,
-			Store:       storage.NewFrom(init),
+			Store:       be.Store(),
+			backend:     be,
 			cluster:     c,
 			opDelay:     cfg.OpDelay,
 			lockTimeout: lockTimeout,
@@ -336,7 +364,18 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 		if qObs := cfg.Obs.QueueObserver(id); qObs != nil {
 			qOpts = append(qOpts, queue.WithObserver(qObs))
 		}
+		// Persist-before-ack: the endpoint's durable image is written (and,
+		// under the disk driver, fsynced) before any received frame is
+		// acknowledged, so an acked message is never lost to kill -9.
+		qOpts = append(qOpts, queue.WithPersist(be.SaveQueues))
 		s.queues = queue.NewManager(id, c.Net, cfg.RetransmitEvery, qOpts...)
+		// A disk backend opened over an existing image (a process restart
+		// after a crash) carries the last fsynced queue state: restore it
+		// so unacked outbox messages retransmit and dedup watermarks
+		// survive the restart. Fresh backends report no image.
+		if qs, ok, qerr := be.LoadQueues(); qerr == nil && ok {
+			s.queues.Restore(qs)
+		}
 		cfg.Obs.WatchQueue(string(id), s.queues)
 		s.applied = newDedupTable(s.Store)
 		var nodeOpts []commit.Option
@@ -372,6 +411,7 @@ func (c *Cluster) Close() {
 	for _, s := range c.sites {
 		s.stopWorkersAndWait()
 		s.queues.Close()
+		_ = s.backend.Close()
 	}
 	c.wg.Wait()
 	c.Net.Close()
@@ -391,13 +431,9 @@ func (c *Cluster) dispatch(s *Site, inbox <-chan simnet.Message) {
 			}
 			switch {
 			case queue.IsQueueKind(msg.Kind):
+				// Enqueue frames persist the durable queue image inside
+				// Handle (WithPersist), before their acks are staged.
 				s.queues.Handle(msg)
-				if queue.IsEnqueueKind(msg.Kind) {
-					// One durable-image refresh per frame: batching
-					// amortizes the snapshot over every message it
-					// carried.
-					s.persistQueues()
-				}
 			case msg.Kind == KindPieceDone:
 				c.handleDone(msg)
 			default:
@@ -423,12 +459,12 @@ func (s *Site) isCrashed() bool {
 	return s.crashed
 }
 
-// persistQueues refreshes the durable queue image.
+// persistQueues refreshes the durable queue image. Errors are not fatal
+// here: the image on disk stays one frame stale, senders retransmit the
+// unacked messages, and the watermark dedup absorbs the redelivery —
+// the same at-least-once argument that covers a crash at this point.
 func (s *Site) persistQueues() {
-	snap := s.queues.Snapshot()
-	s.mu.Lock()
-	s.queueSnap = snap
-	s.mu.Unlock()
+	_ = s.backend.SaveQueues(s.queues.Snapshot())
 }
 
 // Crash simulates a site failure: volatile state (locks, in-flight
@@ -487,9 +523,20 @@ func (s *Site) Recover() {
 		s.mu.Unlock()
 		return
 	}
-	// Durable store: replay the journal, dropping dirty cells.
-	recovered := s.Store.Recover()
-	s.Store.Restore(recovered.Snapshot())
+	// Durable store: the backend rebuilds it from its durable image —
+	// the mem driver replays the simulated journal, the disk driver
+	// loads the snapshot and replays the WAL (truncating torn tails),
+	// exactly as a process restart would. Dirty cells vanish either way.
+	st, err := s.backend.Recover()
+	if err != nil {
+		// The durable image is unreadable; leave the site down rather
+		// than resurrect it with fabricated state.
+		s.recoverErr = err
+		s.mu.Unlock()
+		return
+	}
+	s.Store = st
+	s.recoverErr = nil
 	// The piece-dedup cache is volatile; wipe it. Durable `__applied` /
 	// `__comp` markers in the recovered journal keep answering lookups,
 	// so redelivered activations stay exactly-once.
@@ -515,13 +562,46 @@ func (s *Site) Recover() {
 	s.exec = txn.NewExec(s.Store, s.locks, obs.TeeTxnObserver(recObs, s.cluster.obs.ExecObserver()))
 	s.exec.SetOpDelay(s.opDelay)
 	s.prepared = make(map[string]*preparedTxn)
-	queueSnap := s.queueSnap
 	s.crashed = false
 	s.mu.Unlock()
 
-	s.queues.Restore(queueSnap)
+	// The durable queue image recovered alongside the store: under the
+	// disk driver this is the last fsynced aux record, which — by the
+	// persist-before-ack barrier — covers every message this site ever
+	// acknowledged.
+	queueSnap, _, qerr := s.backend.LoadQueues()
+	if qerr == nil {
+		s.queues.Restore(queueSnap)
+	}
 	s.cluster.Net.SetDown(s.ID, false)
 	s.startWorkers()
+	// Re-stage the successors of locally committed origin pieces: piece 0
+	// never rides a queue, so a crash between its commit and its staging
+	// has no redelivery to resurrect the children — the durable marker is
+	// the only witness. Duplicates collapse downstream.
+	s.restageOrigins()
+}
+
+// RecoverError reports why the last Recover left the site down (nil
+// after a successful recovery).
+func (s *Site) RecoverError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverErr
+}
+
+// Backend exposes the site's storage backend (checkpointing, tests).
+func (s *Site) Backend() driver.Backend { return s.backend }
+
+// QueuesIdle reports whether the site's queue endpoint is fully
+// drained: nothing deliverable, nothing delivered-but-unacked, and
+// nothing committed-but-unacknowledged in the outbox. Quiescence
+// polling uses it to decide a workload has settled.
+func (s *Site) QueuesIdle() bool {
+	return s.queues.OutboxLen() == 0 &&
+		s.queues.InflightLen() == 0 &&
+		s.queues.Depth(pieceQueue) == 0 &&
+		s.queues.Depth(doneQueue) == 0
 }
 
 // Exec returns the site's executor (fresh after recovery).

@@ -1,0 +1,140 @@
+// Package driver is the storage provider layer: one registry of named
+// drivers, each able to open per-site backends. The shape follows the
+// istorage pattern — an application selects a driver by name ("mem",
+// "disk") and gets a uniform Backend regardless of what sits underneath:
+// the striped in-memory store, or the same store shadowed by a segmented
+// write-ahead log with group-commit fsync.
+//
+// A Backend owns the durable image of one site: the committed key/value
+// state (via *storage.Store) and the auxiliary blobs a site needs to
+// survive a crash (the recoverable-queue state). Recover rebuilds the
+// store from the durable image — for the disk driver, from real files.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/queue"
+	"asynctp/internal/storage"
+	"asynctp/internal/storage/wal"
+)
+
+// Observer receives durability events (metrics). Implementations must be
+// cheap; a nil observer disables reporting.
+type Observer interface {
+	// WALSynced fires after each fsync with the number of records the
+	// sync covered (the group-commit batch size).
+	WALSynced(site string, records int)
+	// Recovered fires after a site's store is rebuilt from the durable
+	// image: entries replayed over the snapshot and torn bytes discarded.
+	Recovered(site string, entries int, tornBytes int64)
+	// Checkpointed fires after a snapshot+truncation pass with the
+	// number of WAL segment files pruned.
+	Checkpointed(site string, prunedSegments int)
+}
+
+// Params configures a driver instance. Only the disk driver reads the
+// file-level knobs; every field has a usable zero value except Dir,
+// which the disk driver requires.
+type Params struct {
+	// Dir is the root directory; each site gets Dir/<site>.
+	Dir string
+	// SyncEvery > 0 enables group-commit fsync (cohorts share a sync,
+	// batched by the in-flight fsync's duration); 0 fsyncs every append.
+	SyncEvery time.Duration
+	// SyncBatch caps a sync cohort (default 128).
+	SyncBatch int
+	// SegmentBytes is the WAL rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// CheckpointBytes triggers a background snapshot+truncation when the
+	// log grows past it (0 disables auto-checkpointing).
+	CheckpointBytes int64
+	// Hook is consulted at WAL crash points (fault injection); site
+	// names which endpoint is acting.
+	Hook func(site string, p wal.CrashPoint) wal.Action
+	// Obs receives durability metrics.
+	Obs Observer
+}
+
+// Driver opens per-site backends.
+type Driver interface {
+	// Name returns the registered driver name.
+	Name() string
+	// Open returns the backend for one site, seeding init on first open.
+	// A disk backend that finds an existing durable image recovers from
+	// it and ignores init.
+	Open(site string, init map[storage.Key]metric.Value) (Backend, error)
+}
+
+// Backend is one site's durable storage.
+type Backend interface {
+	// Store returns the live store (attach executors and locks to it).
+	Store() *storage.Store
+	// SaveQueues makes the recoverable-queue image durable. It must not
+	// return until the image would survive a crash.
+	SaveQueues(st queue.State) error
+	// LoadQueues returns the last saved queue image, ok=false when none.
+	LoadQueues() (st queue.State, ok bool, err error)
+	// Recover rebuilds the store from the durable image (for the disk
+	// driver: snapshot + WAL replay from real files) and returns it. The
+	// caller must drop the old Store pointer and use the returned one.
+	Recover() (*storage.Store, error)
+	// Checkpoint folds the durable image: snapshot the current state and
+	// truncate the WAL behind it.
+	Checkpoint() error
+	// Close releases files. The backend must already be quiescent.
+	Close() error
+}
+
+// Factory builds a driver from params.
+type Factory func(p Params) (Driver, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named driver factory; later registrations of the same
+// name win (tests override).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// New builds the named driver. Known names out of the box: "mem", "disk".
+func New(name string, p Params) (Driver, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown driver %q (have %v)", name, Names())
+	}
+	return f(p)
+}
+
+// Names lists the registered drivers, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("mem", func(p Params) (Driver, error) { return &memDriver{}, nil })
+	Register("disk", func(p Params) (Driver, error) {
+		if p.Dir == "" {
+			return nil, fmt.Errorf("driver: disk driver requires Params.Dir")
+		}
+		return &diskDriver{params: p}, nil
+	})
+}

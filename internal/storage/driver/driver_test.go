@@ -1,0 +1,306 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/queue"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/storage/wal"
+)
+
+func init() { queue.RegisterPayloadType(testPayload{}) }
+
+type testPayload struct {
+	N int
+}
+
+func openDisk(t *testing.T, dir string, opts ...func(*Params)) Backend {
+	t.Helper()
+	p := Params{Dir: dir, SyncEvery: 200 * time.Microsecond, SegmentBytes: 4 << 10}
+	for _, o := range opts {
+		o(&p)
+	}
+	d, err := New("disk", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := d.Open("NY", map[storage.Key]metric.Value{"a": 100, "b": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func TestRegistryKnowsBuiltins(t *testing.T) {
+	for _, name := range []string{"mem", "disk"} {
+		d, err := New(name, Params{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Errorf("Name() = %q, want %q", d.Name(), name)
+		}
+	}
+	if _, err := New("bogus", Params{}); err == nil {
+		t.Error("unknown driver did not error")
+	}
+	if _, err := New("disk", Params{}); err == nil {
+		t.Error("disk driver without Dir did not error")
+	}
+}
+
+func TestDiskSeedAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	be := openDisk(t, dir)
+	st := be.Store()
+	if st.Get("a") != 100 || st.Get("b") != 50 {
+		t.Fatalf("seed: a=%d b=%d", st.Get("a"), st.Get("b"))
+	}
+	if err := st.Apply([]storage.Write{{Key: "a", Value: 75}, {Key: "c", Value: 25}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the durable image wins, init is ignored.
+	d, err := New("disk", Params{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be2, err := d.Open("NY", map[storage.Key]metric.Value{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be2.Close()
+	st2 := be2.Store()
+	if st2.Get("a") != 75 || st2.Get("b") != 50 || st2.Get("c") != 25 {
+		t.Errorf("reopened: a=%d b=%d c=%d", st2.Get("a"), st2.Get("b"), st2.Get("c"))
+	}
+	// LSNs must continue, not restart.
+	if err := st2.Apply([]storage.Write{{Key: "d", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st2.LastLSN() != 3 {
+		t.Errorf("LastLSN after reopen+apply = %d, want 3", st2.LastLSN())
+	}
+}
+
+func TestDiskRecoverDropsUnloggedState(t *testing.T) {
+	dir := t.TempDir()
+	be := openDisk(t, dir)
+	st := be.Store()
+	if err := st.Apply([]storage.Write{{Key: "a", Value: 75}}); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty, uncommitted writes (an in-flight transaction's Set calls).
+	st.Set("a", 1)
+	st.Set("ghost", 9)
+
+	rec, err := be.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if rec.Get("a") != 75 || rec.Has("ghost") {
+		t.Errorf("recovered: a=%d ghost=%v", rec.Get("a"), rec.Has("ghost"))
+	}
+	// The recovered store keeps committing to the same log.
+	if err := rec.Apply([]storage.Write{{Key: "post", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := be.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Get("post") != 1 {
+		t.Error("write after recovery did not survive a second recovery")
+	}
+}
+
+func TestDiskQueueStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	be := openDisk(t, dir)
+	qs := queue.State{
+		NextSeq: map[simnet.SiteID]uint64{"LA": 3},
+		Outbox: map[string]queue.OutboxMsg{
+			"NY>LA-3": {Msg: queue.Msg{ID: "NY>LA-3", Seq: 3, From: "NY", Queue: "pieces", Payload: testPayload{N: 7}}, To: "LA"},
+		},
+		Queues:   map[string][]queue.Msg{"pieces": {{ID: "LA>NY-1", Seq: 1, From: "LA", Queue: "pieces", Payload: testPayload{N: 1}}}},
+		Inflight: map[string]queue.Msg{},
+		Seen:     map[simnet.SiteID]queue.SeenState{"LA": {Prefix: 1, Sparse: []uint64{4}}},
+	}
+	if err := be.SaveQueues(qs); err != nil {
+		t.Fatal(err)
+	}
+	be.Close()
+
+	d, _ := New("disk", Params{Dir: dir})
+	be2, err := d.Open("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be2.Close()
+	got, ok, err := be2.LoadQueues()
+	if err != nil || !ok {
+		t.Fatalf("LoadQueues ok=%v err=%v", ok, err)
+	}
+	if got.NextSeq["LA"] != 3 || got.Seen["LA"].Prefix != 1 || len(got.Queues["pieces"]) != 1 {
+		t.Errorf("queue state = %+v", got)
+	}
+	if p, _ := got.Queues["pieces"][0].Payload.(testPayload); p.N != 1 {
+		t.Errorf("payload = %+v", got.Queues["pieces"][0].Payload)
+	}
+}
+
+func TestDiskQueueStateEmptyWatermark(t *testing.T) {
+	dir := t.TempDir()
+	be := openDisk(t, dir)
+	if err := be.SaveQueues(queue.State{}); err != nil {
+		t.Fatal(err)
+	}
+	be.Close()
+	d, _ := New("disk", Params{Dir: dir})
+	be2, err := d.Open("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be2.Close()
+	got, ok, err := be2.LoadQueues()
+	if err != nil || !ok {
+		t.Fatalf("empty state: ok=%v err=%v", ok, err)
+	}
+	if len(got.Outbox) != 0 || len(got.Seen) != 0 {
+		t.Errorf("empty state round trip = %+v", got)
+	}
+}
+
+func TestDiskCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	be := openDisk(t, dir, func(p *Params) { p.SegmentBytes = 512 })
+	st := be.Store()
+	for i := 0; i < 200; i++ {
+		if err := st.Apply([]storage.Write{{Key: "hot-key-with-length", Value: metric.Value(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := be.SaveQueues(queue.State{NextSeq: map[simnet.SiteID]uint64{"LA": 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Snapshot()
+	be.Close()
+
+	d, _ := New("disk", Params{Dir: dir})
+	be2, err := d.Open("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be2.Close()
+	got := be2.Store().Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("post-checkpoint recovery: %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %d, want %d", k, got[k], v)
+		}
+	}
+	qs, ok, err := be2.LoadQueues()
+	if err != nil || !ok || qs.NextSeq["LA"] != 9 {
+		t.Errorf("queue state after checkpoint: ok=%v err=%v st=%+v", ok, err, qs)
+	}
+}
+
+func TestDiskCrashHookTearsRecord(t *testing.T) {
+	dir := t.TempDir()
+	armed, fired := false, false
+	be := openDisk(t, dir, func(p *Params) {
+		p.Hook = func(site string, pt wal.CrashPoint) wal.Action {
+			if armed && pt == wal.PointAppend && !fired {
+				fired = true
+				return wal.ActTorn
+			}
+			return wal.ActContinue
+		}
+	})
+	st := be.Store()
+	armed = true // the seed apply above already passed through the hook
+	err := st.Apply([]storage.Write{{Key: "torn", Value: 1}})
+	if err == nil {
+		t.Fatal("torn append did not error")
+	}
+	be.Close()
+
+	d, _ := New("disk", Params{Dir: dir})
+	be2, err := d.Open("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be2.Close()
+	if be2.Store().Has("torn") {
+		t.Error("torn record resurrected on recovery")
+	}
+}
+
+func TestMemAndDiskProduceIdenticalState(t *testing.T) {
+	// The same deterministic batch sequence through both drivers must
+	// leave identical stores — the acceptance check at the storage layer
+	// (the experiments package repeats it through the full site pipeline).
+	apply := func(be Backend) map[storage.Key]metric.Value {
+		st := be.Store()
+		for i := 0; i < 50; i++ {
+			if err := st.Apply([]storage.Write{
+				{Key: storage.Key("k" + string(rune('a'+i%7))), Value: metric.Value(i * 3)},
+				{Key: "counter", Value: metric.Value(i)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.Snapshot()
+	}
+	md, err := New("mem", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := md.Open("NY", map[storage.Key]metric.Value{"seed": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := New("disk", Params{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dd.Open("NY", map[storage.Key]metric.Value{"seed": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	memSnap := apply(mb)
+	diskSnap := apply(db)
+	if len(memSnap) != len(diskSnap) {
+		t.Fatalf("mem %d keys, disk %d keys", len(memSnap), len(diskSnap))
+	}
+	for k, v := range memSnap {
+		if diskSnap[k] != v {
+			t.Errorf("key %s: mem=%d disk=%d", k, v, diskSnap[k])
+		}
+	}
+	// And the disk one must still match after a full file-level recovery.
+	rec, err := db.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSnap := rec.Snapshot()
+	for k, v := range memSnap {
+		if recSnap[k] != v {
+			t.Errorf("after recovery, key %s: mem=%d disk=%d", k, v, recSnap[k])
+		}
+	}
+}

@@ -77,6 +77,17 @@ const DefaultShards = 16
 // only bounds memory in long soaks. SetJournalLimit(0) disables it.
 const DefaultJournalLimit = 1 << 16
 
+// CommitSink receives every committed batch after it is journaled. A
+// durable driver implements it to write the batch to a write-ahead log;
+// Apply does not return until Commit does, so when the sink fsyncs
+// before returning, "Apply returned" means "batch is durable". A Commit
+// error is fatal for the batch's transaction: Apply propagates it and
+// the executor aborts, but the in-memory journal entry has already been
+// appended, so a store whose sink failed must be treated as crashed.
+type CommitSink interface {
+	Commit(e JournalEntry) error
+}
+
 // Store is a concurrent key-value store over the metric value space.
 type Store struct {
 	shards  []*dataShard
@@ -86,6 +97,7 @@ type Store struct {
 	jcount  atomic.Int64  // total journal entries across shards
 	jlimit  atomic.Int64  // soft cap (0 = unlimited)
 	compact sync.Mutex    // serializes compactions
+	sink    atomic.Value  // CommitSink, set at most once before use
 }
 
 // New returns an empty store.
@@ -187,11 +199,27 @@ func (s *Store) Apply(writes []Write) error {
 	lsn := s.nextLSN.Add(1)
 	js.entries = append(js.entries, JournalEntry{LSN: lsn, Writes: cp})
 	js.mu.Unlock()
+	if sink, ok := s.sink.Load().(CommitSink); ok && sink != nil {
+		if err := sink.Commit(JournalEntry{LSN: lsn, Writes: cp}); err != nil {
+			return err
+		}
+	}
 	if n := s.jcount.Add(1); n > s.jlimit.Load() && s.jlimit.Load() > 0 {
 		s.autoCompact()
 	}
 	return nil
 }
+
+// SetSink installs the commit sink consulted by Apply. Install it before
+// the store sees concurrent traffic; a nil sink disables the hook.
+func (s *Store) SetSink(sink CommitSink) {
+	if sink != nil {
+		s.sink.Store(sink)
+	}
+}
+
+// LastLSN returns the highest LSN assigned so far (0 on a fresh store).
+func (s *Store) LastLSN() uint64 { return s.nextLSN.Load() }
 
 // SetJournalLimit sets the soft cap on journal entries (0 disables
 // auto-compaction). The cap bounds memory, not durability: compaction
@@ -255,8 +283,13 @@ func (s *Store) Snapshot() map[Key]metric.Value {
 	return snap
 }
 
-// Restore replaces the live state with snap, keeping the journal. It is
-// the test hook for "reset to a known state".
+// Restore replaces the live state with snap and resets the journal to a
+// single checkpoint entry mirroring snap. The journal must not survive
+// the restore: entries with LSNs above the restored cut describe writes
+// that the restored state has already forgotten, and a later
+// CompactJournal (or Recover) would fold those future writes back into
+// the old state. The checkpoint's LSN is the current high-water mark so
+// LSNs stay monotonic for writes committed after the restore.
 func (s *Store) Restore(snap map[Key]metric.Value) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -265,6 +298,26 @@ func (s *Store) Restore(snap map[Key]metric.Value) {
 	for k, v := range snap {
 		s.shardFor(k).data[k] = v
 	}
+	s.lockAllJournal()
+	for _, js := range s.jshards {
+		js.entries = nil
+	}
+	if len(snap) > 0 {
+		writes := make([]Write, 0, len(snap))
+		for k, v := range snap {
+			writes = append(writes, Write{Key: k, Value: v})
+		}
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Key < writes[j].Key })
+		cut := s.nextLSN.Load()
+		if cut == 0 {
+			cut = s.nextLSN.Add(1)
+		}
+		s.jshards[0].entries = []JournalEntry{{LSN: cut, Writes: writes, Checkpoint: true}}
+		s.jcount.Store(1)
+	} else {
+		s.jcount.Store(0)
+	}
+	s.unlockAllJournal()
 	for _, sh := range s.shards {
 		sh.mu.Unlock()
 	}
@@ -311,6 +364,50 @@ func (s *Store) Recover() *Store {
 	r.jlimit.Store(s.jlimit.Load())
 	var maxLSN uint64
 	for _, entry := range entries {
+		for _, w := range entry.Writes {
+			r.shardFor(w.Key).data[w.Key] = w.Value
+		}
+		js := r.jshards[r.nextJS.Add(1)%uint64(len(r.jshards))]
+		js.entries = append(js.entries, entry)
+		r.jcount.Add(1)
+		if entry.LSN > maxLSN {
+			maxLSN = entry.LSN
+		}
+	}
+	r.nextLSN.Store(maxLSN)
+	return r
+}
+
+// NewRecovered builds a store from a recovered durable image: base is
+// the latest snapshot (folded state as of baseLSN) and entries are the
+// journaled batches logged after it, in ascending LSN order. The result
+// is exactly the store a crash-surviving site should resume from: data
+// replays base then entries, the journal holds a checkpoint for base
+// plus the entries, and the LSN counter resumes past the highest
+// recovered LSN. Entries at or below baseLSN are skipped — the snapshot
+// already folds them.
+func NewRecovered(base map[Key]metric.Value, baseLSN uint64, entries []JournalEntry) *Store {
+	r := New()
+	maxLSN := baseLSN
+	if len(base) > 0 {
+		writes := make([]Write, 0, len(base))
+		for k, v := range base {
+			r.shardFor(k).data[k] = v
+			writes = append(writes, Write{Key: k, Value: v})
+		}
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Key < writes[j].Key })
+		lsn := baseLSN
+		if lsn == 0 {
+			lsn = 1
+			maxLSN = 1
+		}
+		r.jshards[0].entries = []JournalEntry{{LSN: lsn, Writes: writes, Checkpoint: true}}
+		r.jcount.Add(1)
+	}
+	for _, entry := range entries {
+		if entry.LSN <= baseLSN {
+			continue
+		}
 		for _, w := range entry.Writes {
 			r.shardFor(w.Key).data[w.Key] = w.Value
 		}

