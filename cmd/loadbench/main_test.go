@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets the test binary serve as a loadbench child: runMulti
+// re-execs os.Executable(), which under `go test` is this binary.
+func TestMain(m *testing.M) {
+	if os.Getenv(envChild) == "1" {
+		if err := childMain(os.Stdin, os.Stdout); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func loadFile(t *testing.T, path string) File {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "asynctp/perfbench/v1" {
+		t.Errorf("schema = %q, want perfbench-compatible", f.Schema)
+	}
+	return f
+}
+
+func checkRow(t *testing.T, r Result, wantTxns, wantProcs int) {
+	t.Helper()
+	if !r.Conserved {
+		t.Errorf("%s/%s: not conserved", r.Suite, r.Variant)
+	}
+	if r.Errors != 0 {
+		t.Errorf("%s/%s: %d errors", r.Suite, r.Variant, r.Errors)
+	}
+	if r.TPS <= 0 {
+		t.Errorf("%s/%s: tps = %f", r.Suite, r.Variant, r.TPS)
+	}
+	if r.Txns != wantTxns {
+		t.Errorf("%s/%s: txns = %d, want %d", r.Suite, r.Variant, r.Txns, wantTxns)
+	}
+	if r.Started != r.Committed+r.RolledBack+r.Errors {
+		t.Errorf("%s/%s: started %d != outcomes %d+%d+%d",
+			r.Suite, r.Variant, r.Started, r.Committed, r.RolledBack, r.Errors)
+	}
+	if r.Procs != wantProcs {
+		t.Errorf("%s/%s: procs = %d, want %d", r.Suite, r.Variant, r.Procs, wantProcs)
+	}
+}
+
+// TestRunSmokeSim drives the CLI end to end on the in-process simnet
+// across every scenario.
+func TestRunSmokeSim(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-quick",
+		"-txns", "400",
+		"-rate", "4000",
+		"-types", "24",
+		"-records", "120",
+		"-scenarios", "baseline,degraded,partition,high-load",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := loadFile(t, out)
+	if len(f.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(f.Results))
+	}
+	for _, r := range f.Results {
+		if r.Suite != "load-open" {
+			t.Errorf("suite = %q, want load-open", r.Suite)
+		}
+		checkRow(t, r, 400, 1)
+	}
+}
+
+// TestRunSmokeTCP runs the same pipeline over TCP loopback sockets in
+// closed-loop mode.
+func TestRunSmokeTCP(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-quick",
+		"-txns", "400",
+		"-mode", "closed",
+		"-workers", "16",
+		"-net", "tcp",
+		"-types", "24",
+		"-records", "120",
+		"-scenarios", "baseline",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := loadFile(t, out)
+	if len(f.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(f.Results))
+	}
+	if f.Results[0].Suite != "load-closed" {
+		t.Errorf("suite = %q, want load-closed", f.Results[0].Suite)
+	}
+	checkRow(t, f.Results[0], 400, 1)
+}
+
+// TestRunMulti spawns one OS process per site (this test binary,
+// re-execed via TestMain) wired over real TCP, and checks the merged
+// report: global conservation as the sum of per-process ledgers, and
+// the offered stream fully accounted across children.
+func TestRunMulti(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-multi",
+		"-txns", "600",
+		"-rate", "4000",
+		"-types", "24",
+		"-records", "120",
+		"-scenarios", "baseline",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := loadFile(t, out)
+	if len(f.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(f.Results))
+	}
+	checkRow(t, f.Results[0], 600, 3)
+	if f.Net != "tcp-multi" {
+		t.Errorf("net = %q, want tcp-multi", f.Net)
+	}
+}

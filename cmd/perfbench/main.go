@@ -245,8 +245,8 @@ func measureWorkload(suite, variant string, method core.Method, engine core.Engi
 		Retries: res.Retries,
 	}
 	if res.Latency.N() > 0 {
-		out.P50us = float64(res.Latency.Percentile(0.50).Microseconds())
-		out.P99us = float64(res.Latency.Percentile(0.99).Microseconds())
+		out.P50us = float64(res.Latency.Percentile(50).Microseconds())
+		out.P99us = float64(res.Latency.Percentile(99).Microseconds())
 	}
 	if res.Committed > 0 {
 		out.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(res.Committed)
@@ -380,8 +380,8 @@ func runAbsorbOnce(workers, total int, plane *obs.Plane) (Result, error) {
 		Workers: workers,
 		Txns:    n,
 		TPS:     float64(n) / elapsed.Seconds(),
-		P50us:   float64(lat.Percentile(0.50).Microseconds()),
-		P99us:   float64(lat.Percentile(0.99).Microseconds()),
+		P50us:   float64(lat.Percentile(50).Microseconds()),
+		P99us:   float64(lat.Percentile(99).Microseconds()),
 	}
 	if n > 0 {
 		res.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(n)
@@ -503,8 +503,8 @@ func runWALOnce(variant string, window time.Duration, workers, total int) (Resul
 		Workers: workers,
 		Txns:    n,
 		TPS:     float64(n) / elapsed.Seconds(),
-		P50us:   float64(lat.Percentile(0.50).Microseconds()),
-		P99us:   float64(lat.Percentile(0.99).Microseconds()),
+		P50us:   float64(lat.Percentile(50).Microseconds()),
+		P99us:   float64(lat.Percentile(99).Microseconds()),
 	}
 	if n > 0 {
 		res.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(n)

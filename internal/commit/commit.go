@@ -203,7 +203,7 @@ type inDoubt struct {
 // participate in others'.
 type Node struct {
 	site     simnet.SiteID
-	net      *simnet.Network
+	net      simnet.Sender
 	hooks    Hooks
 	timeouts Timeouts
 	obs      Observer
@@ -226,7 +226,7 @@ type Node struct {
 }
 
 // NewNode builds a 2PC endpoint for site.
-func NewNode(site simnet.SiteID, net *simnet.Network, hooks Hooks, opts ...Option) *Node {
+func NewNode(site simnet.SiteID, net simnet.Sender, hooks Hooks, opts ...Option) *Node {
 	n := &Node{
 		site:      site,
 		net:       net,

@@ -270,7 +270,7 @@ func WithFlushCrash(hook func() bool) Option {
 // Manager is the per-site recoverable-queue endpoint.
 type Manager struct {
 	site simnet.SiteID
-	net  *simnet.Network
+	net  simnet.Sender
 
 	interval   time.Duration // base retransmit interval
 	maxBatch   int
@@ -310,7 +310,7 @@ type Manager struct {
 // NewManager builds the endpoint for site and starts the retransmitter.
 // retransmitEvery is both the tick granularity and the initial
 // per-message retransmission deadline. Close must be called to stop it.
-func NewManager(site simnet.SiteID, net *simnet.Network, retransmitEvery time.Duration, opts ...Option) *Manager {
+func NewManager(site simnet.SiteID, net simnet.Sender, retransmitEvery time.Duration, opts ...Option) *Manager {
 	if retransmitEvery <= 0 {
 		retransmitEvery = 50 * time.Millisecond
 	}

@@ -19,6 +19,16 @@ import (
 // encoding and the decoding process must have registered the same types.
 func RegisterPayloadType(v any) { gob.Register(v) }
 
+// The queue layer's own wire payloads must round-trip through any
+// gob-based transport codec (the TCP transport frames whole
+// simnet.Messages): register them once, here, for every process.
+func init() {
+	gob.Register(Msg{})
+	gob.Register(BatchFrame{})
+	gob.Register(AckFrame{})
+	gob.Register("") // legacy single-message acks carry the Msg ID
+}
+
 // Encode serializes the state for a durable store.
 func (st State) Encode() ([]byte, error) {
 	var buf bytes.Buffer

@@ -1,0 +1,45 @@
+package simnet
+
+import "time"
+
+// Sender is the one-method seam between the pipeline endpoints (the
+// recoverable-queue manager, the 2PC node) and whatever wire carries
+// their messages. The in-process simulated Network implements it; so
+// does the real TCP transport (internal/transport). Everything the
+// batching layer ships — BatchFrame coalescing, cumulative acks,
+// watermark dedup, adaptive retransmit — was already expressed against
+// Send alone, which is what makes the transports swappable twins.
+type Sender interface {
+	// Send queues msg for asynchronous delivery. An error means the
+	// message was NOT handed to the wire (unknown or unreachable
+	// destination); reliable layers above retransmit. A nil return is
+	// not a delivery guarantee — frames may still be lost in flight.
+	Send(msg Message) error
+}
+
+// Net is the cluster-facing wire: message delivery plus the failure
+// primitives a fault.Schedule drives. The simulated Network implements
+// it natively; the TCP transport maps each primitive onto real-socket
+// behavior (down sites and cut links drop frames and kill connections;
+// latency becomes an artificial delivery delay for WAN emulation on
+// loopback).
+type Net interface {
+	Sender
+	// AddSite registers a (local) site and returns its inbox.
+	AddSite(id SiteID) (<-chan Message, error)
+	// SetDown marks a site crashed (true) or recovered (false).
+	SetDown(id SiteID, down bool)
+	// SetPartitioned cuts (true) or heals (false) the undirected link.
+	SetPartitioned(a, b SiteID, cut bool)
+	// SetLossRate sets the silent in-flight frame-loss fraction [0,1].
+	SetLossRate(rate float64)
+	// SetLatency sets the base one-way latency and jitter fraction.
+	SetLatency(base time.Duration, jitter float64)
+	// Stats snapshots the frame/payload counters.
+	Stats() Stats
+	// Close stops the wire and waits for in-flight deliveries.
+	Close()
+}
+
+// compile-time check: the simulated network satisfies the seam.
+var _ Net = (*Network)(nil)

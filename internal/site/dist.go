@@ -380,6 +380,10 @@ func (c *Cluster) submit2PC(ctx context.Context, dp *distProgram) (*Result, erro
 		payloads[siteID] = st
 	}
 	origin := c.sites[c.placement(dp.program.Ops[0].Key)]
+	if origin == nil {
+		return nil, fmt.Errorf("site: program %q originates at remote site %s",
+			dp.program.Name, c.placement(dp.program.Ops[0].Key))
+	}
 	txid := fmt.Sprintf("%s-%d", dp.program.Name, inst)
 	c.obs.TxnBegin(int64(inst), dp.program.Name)
 	c.obs.BindBudget(int64(inst), dp.program.Name, dp.program.Class().String(),
@@ -578,8 +582,15 @@ func (s *Site) abort2PC(txid string) {
 // through recoverable queues, and waits for settlement.
 func (c *Cluster) submitChopped(ctx context.Context, ti int, dp *distProgram) (*Result, error) {
 	start := time.Now()
-	inst := c.nextInstID()
 	origin := c.sites[dp.pieceSite[0]]
+	if origin == nil {
+		// Multi-process deployments submit each transaction at the process
+		// owning its first piece; remote-origin programs are someone
+		// else's to initiate.
+		return nil, fmt.Errorf("site: program %q originates at remote site %s",
+			dp.program.Name, dp.pieceSite[0])
+	}
+	inst := c.nextInstID()
 	c.obs.TxnBegin(int64(inst), dp.program.Name)
 	c.obs.BindBudget(int64(inst), dp.program.Name, dp.program.Class().String(),
 		c.Strategy.String(), dp.program.Spec.Import)

@@ -179,10 +179,19 @@ type Config struct {
 	Strategy Strategy
 	// UseDC runs each site's lock manager under divergence control.
 	UseDC bool
-	// Placement maps each key to its owning site.
+	// Placement maps each key to its owning site. It may name sites that
+	// are not in Initial: those are remote peers (other OS processes)
+	// reached through cfg.Net — activations and settlement reports ride
+	// the recoverable queues to them exactly as to local sites.
 	Placement func(storage.Key) simnet.SiteID
-	// Initial seeds each site's store.
+	// Initial seeds each LOCAL site's store; only these sites get
+	// stores, workers, and inboxes in this process.
 	Initial map[simnet.SiteID]map[storage.Key]metric.Value
+	// Net supplies the wire. Nil builds the in-process simulated network
+	// from Latency/Jitter/LossRate/Seed below. A transport.Net takes the
+	// identical pipeline onto real TCP sockets (loopback or cross-
+	// process); the two are conformance-tested twins.
+	Net simnet.Net
 	// Latency and Jitter configure the network (one-way).
 	Latency time.Duration
 	Jitter  float64
@@ -239,7 +248,7 @@ type Config struct {
 
 // Cluster is a set of sites plus the network.
 type Cluster struct {
-	Net      *simnet.Network
+	Net      simnet.Net
 	Strategy Strategy
 	UseDC    bool
 
@@ -276,15 +285,26 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 	if cfg.Strategy == 0 {
 		cfg.Strategy = TwoPhaseCommit
 	}
-	netOpts := []simnet.Option{simnet.WithLatency(cfg.Latency), simnet.WithJitter(cfg.Jitter)}
-	if cfg.Seed != 0 {
-		netOpts = append(netOpts, simnet.WithSeed(cfg.Seed))
-	}
-	if cfg.LossRate > 0 {
-		netOpts = append(netOpts, simnet.WithLossRate(cfg.LossRate))
+	netw := cfg.Net
+	if netw == nil {
+		netOpts := []simnet.Option{simnet.WithLatency(cfg.Latency), simnet.WithJitter(cfg.Jitter)}
+		if cfg.Seed != 0 {
+			netOpts = append(netOpts, simnet.WithSeed(cfg.Seed))
+		}
+		if cfg.LossRate > 0 {
+			netOpts = append(netOpts, simnet.WithLossRate(cfg.LossRate))
+		}
+		netw = simnet.New(netOpts...)
+	} else if cfg.Strategy == TwoPhaseCommit {
+		if _, sim := netw.(*simnet.Network); !sim {
+			// 2PC prepare payloads carry txn.Op closures, which no byte
+			// codec can frame; the strategy exists for the in-process A/B
+			// comparison and stays on the simulated wire.
+			return nil, errors.New("site: the 2PC strategy requires the in-process simnet (its payloads are not wire-serializable)")
+		}
 	}
 	c := &Cluster{
-		Net:        simnet.New(netOpts...),
+		Net:        netw,
 		Strategy:   cfg.Strategy,
 		UseDC:      cfg.UseDC,
 		placement:  cfg.Placement,

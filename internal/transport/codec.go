@@ -1,0 +1,163 @@
+// Package transport carries the chopped-transaction pipeline over real
+// TCP sockets. It implements the simnet.Net seam — the same Frame /
+// BatchFrame discipline the batching layer (internal/queue) already
+// speaks — so a cluster runs unchanged over the in-process simulated
+// WAN or over the wire, and the two stay conformance-tested twins.
+//
+// The wire format reuses the WAL's framing discipline
+// (internal/storage/wal): every frame is
+//
+//	[len u32 LE][crc32(payload) u32 LE][payload]
+//
+// with the payload a gob-encoded simnet.Message. A frame is the unit of
+// loss: a torn or corrupt frame kills the connection (the reader can no
+// longer trust its offset) and the reliable layers above — recoverable-
+// queue retransmission and watermark dedup — recover, exactly as they
+// do for a dropped simnet frame. Payload types inside Message ride gob
+// and must be registered via queue.RegisterPayloadType in every
+// process, which the queue and site packages already do for the whole
+// chopped-queue protocol.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"asynctp/internal/simnet"
+)
+
+// frameHeader is [len u32][crc u32].
+const frameHeader = 8
+
+// MaxFrame bounds a frame payload. The deepest legitimate frame is one
+// BatchFrame of maxBatch coalesced queue messages; 16 MiB (the WAL's
+// bound) leaves orders of magnitude of headroom while keeping a
+// corrupt length field from asking the decoder for gigabytes.
+const MaxFrame = 16 << 20
+
+// Codec errors. Decoding distinguishes "frame not yet complete"
+// (io.ErrUnexpectedEOF from a stream read) from structural corruption;
+// both kill a TCP connection, but tests and the fuzzer assert the
+// decoder never panics or over-allocates on either.
+var (
+	// ErrFrameTooLarge reports a length field beyond MaxFrame: either
+	// corruption or an incompatible peer. The connection is unusable.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size bound")
+	// ErrFrameCorrupt reports a CRC mismatch or a zero-length frame.
+	ErrFrameCorrupt = errors.New("transport: frame failed checksum")
+	// ErrBadPayload reports a frame whose bytes do not decode to a
+	// simnet.Message (unregistered payload type, truncated gob stream).
+	ErrBadPayload = errors.New("transport: frame payload does not decode")
+)
+
+// EncodeMessage gob-encodes msg into a frame payload. Every concrete
+// Payload type must be gob-registered (queue.RegisterPayloadType).
+func EncodeMessage(msg simnet.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// AppendFrame appends the framed payload to dst and returns the
+// extended slice. This is the encode hot path: with sufficient
+// capacity in dst it performs zero allocations (AllocsPerRun-pinned),
+// so the per-peer writer reuses one buffer across a whole coalescing
+// window.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// EncodeFrame frames msg for the wire: gob payload wrapped in the
+// length/CRC header.
+func EncodeFrame(msg simnet.Message) ([]byte, error) {
+	payload, err := EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	return AppendFrame(make([]byte, 0, frameHeader+len(payload)), payload), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// message and the number of bytes consumed. Errors:
+//
+//   - io.ErrUnexpectedEOF: b ends mid-frame (torn tail). consumed is 0.
+//   - ErrFrameTooLarge / ErrFrameCorrupt: structural corruption; the
+//     byte stream is unusable from here on.
+//   - ErrBadPayload: framing intact but the gob payload is bad.
+//
+// The decoder validates the length field BEFORE allocating or slicing,
+// so corrupt input can never make it over-allocate.
+func DecodeFrame(b []byte) (msg simnet.Message, consumed int, err error) {
+	if len(b) < frameHeader {
+		return simnet.Message{}, 0, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length == 0 {
+		return simnet.Message{}, 0, ErrFrameCorrupt
+	}
+	if length > MaxFrame {
+		return simnet.Message{}, 0, ErrFrameTooLarge
+	}
+	total := frameHeader + int(length)
+	if len(b) < total {
+		return simnet.Message{}, 0, io.ErrUnexpectedEOF
+	}
+	payload := b[frameHeader:total]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:8]) {
+		return simnet.Message{}, 0, ErrFrameCorrupt
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return simnet.Message{}, 0, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return msg, total, nil
+}
+
+// ReadFrame reads one frame from a stream. The length field is
+// validated before any payload allocation: a corrupt 4 GiB length
+// costs nothing but the 8 header bytes already read. io.EOF is
+// returned only at a clean frame boundary; a connection dying
+// mid-frame surfaces io.ErrUnexpectedEOF (the TCP analog of the WAL's
+// torn tail).
+func ReadFrame(r *bufio.Reader) (simnet.Message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return simnet.Message{}, io.EOF // clean close between frames
+		}
+		return simnet.Message{}, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return simnet.Message{}, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length == 0 {
+		return simnet.Message{}, ErrFrameCorrupt
+	}
+	if length > MaxFrame {
+		return simnet.Message{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return simnet.Message{}, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return simnet.Message{}, ErrFrameCorrupt
+	}
+	var msg simnet.Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return simnet.Message{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return msg, nil
+}

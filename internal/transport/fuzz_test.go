@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to both frame decoders. The
+// invariants under attack: never panic, never report consuming more
+// bytes than exist, and never allocate anywhere near a corrupt length
+// field's claim — a frame header promising 4 GiB must cost 8 bytes of
+// header read, not 4 GiB of make(). Run via CI smoke (seconds) and the
+// nightly long fuzz, like FuzzWALDecode.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	if frame, err := EncodeFrame(testMsg()); err == nil {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // torn tail
+		flipped := append([]byte(nil), frame...)
+		flipped[len(flipped)-1] ^= 0x01 // CRC mismatch
+		f.Add(flipped)
+		f.Add(append(append([]byte(nil), frame...), frame...)) // two frames
+	}
+	var huge [frameHeader]byte
+	binary.LittleEndian.PutUint32(huge[0:4], 0xFFFFFFFF) // 4 GiB length claim
+	f.Add(huge[:])
+	f.Add(AppendFrame(nil, []byte("valid framing, garbage gob payload")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		msg, consumed, err := DecodeFrame(data)
+		runtime.ReadMemStats(&after)
+		// The slice decoder sees the whole input up front, so its
+		// allocation is O(input): the payload view plus gob overhead,
+		// never a corrupt length field's claim. 1 MiB of slack over 4x
+		// input covers gob's buffers.
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > uint64(4*len(data))+1<<20 {
+			t.Fatalf("slice-decoding %d bytes allocated %d bytes", len(data), grew)
+		}
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if err == nil {
+			// A frame that decoded must re-frame to an equal prefix
+			// modulo gob's nondeterministic map ordering — cheap sanity:
+			// the re-encoded frame must itself decode.
+			re, eerr := EncodeFrame(msg)
+			if eerr != nil {
+				t.Fatalf("decoded message does not re-encode: %v", eerr)
+			}
+			if _, _, derr := DecodeFrame(re); derr != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", derr)
+			}
+		} else if consumed != 0 {
+			t.Fatalf("error %v yet consumed %d bytes", err, consumed)
+		}
+
+		// The stream decoder must agree with the slice decoder on
+		// whether the first frame is sound (not necessarily on the
+		// specific error: a slice sees torn framing where a stream sees
+		// a short read). Unlike the slice decoder it cannot see the
+		// input's true size, so it may allocate an in-range length
+		// claim before the short read surfaces — but never more than
+		// the MaxFrame bound.
+		runtime.ReadMemStats(&before)
+		_, serr := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		runtime.ReadMemStats(&after)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: slice err=%v, stream err=%v", err, serr)
+		}
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > MaxFrame+uint64(4*len(data))+1<<20 {
+			t.Fatalf("stream-decoding %d bytes allocated %d bytes", len(data), grew)
+		}
+	})
+}

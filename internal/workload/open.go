@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/site"
+	"asynctp/internal/stats"
+)
+
+// Submitter is the slice of site.Cluster the arrival runner needs; any
+// settlement-reporting submit endpoint (in-process cluster, one process
+// of a multi-process run) satisfies it.
+type Submitter interface {
+	Submit(ctx context.Context, ti int) (*site.Result, error)
+}
+
+// ArrivalMode selects the arrival process.
+type ArrivalMode int
+
+const (
+	// ClosedLoop keeps Workers instances permanently in flight — the
+	// classic benchmark loop, which self-throttles under overload and
+	// so understates latency collapse.
+	ClosedLoop ArrivalMode = iota
+	// OpenLoop draws Poisson interarrivals at Rate regardless of
+	// completions — the honest model of independent clients, where an
+	// overloaded system grows a queue instead of slowing the offered
+	// load. Beyond MaxInFlight, arrivals are shed (counted, not
+	// submitted), bounding memory while keeping the overload visible.
+	OpenLoop
+)
+
+// ArrivalConfig drives one load-generation run.
+type ArrivalConfig struct {
+	Mode ArrivalMode
+	// Rate is the open-loop offered load in arrivals/sec.
+	Rate float64
+	// Total is the number of arrivals to offer.
+	Total int
+	// Workers is the closed-loop concurrency (ignored by OpenLoop).
+	Workers int
+	// MaxInFlight bounds open-loop concurrency; arrivals beyond it are
+	// shed. 0 means 4096.
+	MaxInFlight int
+	// Programs are the table indices to draw from, uniformly (key skew
+	// is baked into the table itself). Empty is an error — a
+	// multi-process run must pass its local-origin subset explicitly.
+	Programs []int
+	// Seed drives interarrival and type draws.
+	Seed int64
+}
+
+// ArrivalResult summarizes one run.
+type ArrivalResult struct {
+	// Offered counts arrivals; Started counts submitted instances;
+	// Shed = Offered − Started (open loop only).
+	Offered, Started, Shed int
+	// Committed/RolledBack/Compensated count settlement outcomes;
+	// Errors counts submissions that failed outright.
+	Committed, RolledBack, Compensated, Errors int
+	// Elapsed spans first arrival to last settlement.
+	Elapsed time.Duration
+	// ThroughputTPS is committed instances per second.
+	ThroughputTPS float64
+	// Initiation and Settlement record the two latencies the paper
+	// separates: when the caller may proceed vs when every piece has
+	// committed.
+	Initiation, Settlement *stats.Recorder
+	// MaxImported is the largest per-instance imported fuzziness.
+	MaxImported metric.Fuzz
+}
+
+// RunArrivals offers cfg.Total arrivals to sub under the configured
+// arrival process and gathers settlement measurements. It returns when
+// every started instance has settled (or ctx ends).
+func RunArrivals(ctx context.Context, sub Submitter, cfg ArrivalConfig) (*ArrivalResult, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("workload: arrivals need a non-empty program set")
+	}
+	if cfg.Total < 1 {
+		return nil, fmt.Errorf("workload: arrivals need Total >= 1")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight < 1 {
+		maxInFlight = 4096
+	}
+	res := &ArrivalResult{Initiation: stats.NewRecorder(), Settlement: stats.NewRecorder()}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	submit := func(ti int) {
+		defer wg.Done()
+		out, err := sub.Submit(ctx, ti)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			res.Errors++
+			return
+		}
+		res.Initiation.Add(out.Initiation)
+		res.Settlement.Add(out.Settlement)
+		switch {
+		case out.Committed:
+			res.Committed++
+		case out.RolledBack:
+			res.RolledBack++
+		}
+		if out.Compensated {
+			res.Compensated++
+		}
+		if out.Imported > res.MaxImported {
+			res.MaxImported = out.Imported
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	switch cfg.Mode {
+	case OpenLoop:
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("workload: open loop needs Rate > 0")
+		}
+		// inFlight is guarded by mu (shared with the result fields);
+		// the arrival loop never blocks on service completion — that
+		// is the whole point of an open loop.
+		inFlight := 0
+		done := func() {
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		}
+		next := start
+	arrivals:
+		for i := 0; i < cfg.Total; i++ {
+			next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break arrivals
+				}
+			}
+			ti := cfg.Programs[rng.Intn(len(cfg.Programs))]
+			res.Offered++
+			mu.Lock()
+			if inFlight >= maxInFlight {
+				res.Shed++
+				mu.Unlock()
+				continue
+			}
+			inFlight++
+			res.Started++
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer done()
+				submit(ti)
+			}()
+		}
+	default: // ClosedLoop
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		jobs := make(chan int)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range jobs {
+					wg.Add(1)
+					submit(ti)
+				}
+			}()
+		}
+	closed:
+		for i := 0; i < cfg.Total; i++ {
+			ti := cfg.Programs[rng.Intn(len(cfg.Programs))]
+			select {
+			case jobs <- ti:
+				res.Offered++
+				res.Started++
+			case <-ctx.Done():
+				break closed
+			}
+		}
+		close(jobs)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.ThroughputTPS = float64(res.Committed) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}

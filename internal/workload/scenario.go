@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"asynctp/internal/fault"
+	"asynctp/internal/simnet"
+)
+
+// Scenario is a named network-and-load condition for the load rig: the
+// static wire knobs (loss, latency, jitter — applied to either the
+// simnet or the TCP transport's WAN emulation), a rate factor scaling
+// the offered load, and an optional timed fault script.
+type Scenario struct {
+	Name string
+	// LossRate/Latency/Jitter are the static wire conditions.
+	LossRate float64
+	Latency  time.Duration
+	Jitter   float64
+	// RateFactor multiplies the base offered rate (1 = baseline).
+	RateFactor float64
+	// Script builds the timed fault schedule, or nil for none. Sites
+	// is the cluster's site list in declaration order.
+	Script func(seed int64, sites []simnet.SiteID) *fault.Schedule
+}
+
+// Scenarios returns the standard table: baseline (clean wire),
+// degraded (loss + latency, plus a mid-run drop-rate spike), partition
+// (a timed cut between the first two sites, healed before the end),
+// and high-load (clean wire at 4x the base rate — the open-loop
+// overload probe).
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:       "baseline",
+			RateFactor: 1,
+		},
+		{
+			Name:       "degraded",
+			LossRate:   0.02,
+			Latency:    2 * time.Millisecond,
+			Jitter:     0.5,
+			RateFactor: 1,
+			Script: func(seed int64, sites []simnet.SiteID) *fault.Schedule {
+				return fault.NewSchedule(seed).
+					DropRateAt(100*time.Millisecond, 0.10).
+					DropRateAt(300*time.Millisecond, 0.02)
+			},
+		},
+		{
+			Name:       "partition",
+			RateFactor: 1,
+			Script: func(seed int64, sites []simnet.SiteID) *fault.Schedule {
+				if len(sites) < 2 {
+					return fault.NewSchedule(seed)
+				}
+				return fault.NewSchedule(seed).
+					PartitionAt(50*time.Millisecond, sites[0], sites[1]).
+					HealAt(250*time.Millisecond, sites[0], sites[1])
+			},
+		},
+		{
+			Name:       "high-load",
+			RateFactor: 4,
+		},
+	}
+}
+
+// ScenarioByName looks a scenario up in the standard table.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}

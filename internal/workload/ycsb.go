@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/simnet"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// YCSBConfig parameterizes the YCSB-style networked workload: a
+// read/update mix over records spread round-robin across sites, with
+// Zipfian key skew. Unlike the closed-form bank/airline/payroll
+// streams, this one is meant for the open-loop load rig: the declared
+// program table is fixed (the chopping assumption), and the arrival
+// process draws instances from it.
+type YCSBConfig struct {
+	// Records is the total number of records; record j lives at
+	// Sites[j%len(Sites)] under key "<site>:r<j>".
+	Records int
+	// Sites owns the records round-robin.
+	Sites []simnet.SiteID
+	// Theta is the Zipfian skew in [0, 1); 0.99 is the YCSB default.
+	Theta float64
+	// ReadFraction is the fraction of program types that are span
+	// reads; the rest are conserving transfer updates.
+	ReadFraction float64
+	// ProgramTypes is the size of the declared program table.
+	ProgramTypes int
+	// ReadSpan is the number of records per read program.
+	ReadSpan int
+	// TransferAmount bounds each transfer's delta (drawn 1..Amount).
+	TransferAmount metric.Value
+	// InitialBalance seeds every record.
+	InitialBalance metric.Value
+	// Epsilon is the ε-spec for both imports and exports.
+	Epsilon metric.Fuzz
+	// Seed fixes the table: two processes with the same config build
+	// byte-identical program tables, which is what lets a multi-process
+	// run agree on program indices.
+	Seed int64
+}
+
+// ycsbKey names record j.
+func ycsbKey(sites []simnet.SiteID, j int) storage.Key {
+	return storage.Key(fmt.Sprintf("%s:r%d", sites[j%len(sites)], j))
+}
+
+// YCSBPlacement maps a record key back to its owning site (the prefix
+// before ':'). It works for any key minted by ycsbKey regardless of
+// which process minted it, so remote-site keys route correctly.
+func YCSBPlacement(k storage.Key) simnet.SiteID {
+	s := string(k)
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return simnet.SiteID(s[:i])
+	}
+	return simnet.SiteID(s)
+}
+
+// SplitInitial splits a workload's initial state into per-site store
+// seeds using the placement — the site.Config.Initial shape, so a
+// multi-process run can hand each process only its own records.
+func SplitInitial(initial map[storage.Key]metric.Value, placement func(storage.Key) simnet.SiteID) map[simnet.SiteID]map[storage.Key]metric.Value {
+	out := make(map[simnet.SiteID]map[storage.Key]metric.Value)
+	for k, v := range initial {
+		site := placement(k)
+		m := out[site]
+		if m == nil {
+			m = make(map[storage.Key]metric.Value)
+			out[site] = m
+		}
+		m[k] = v
+	}
+	return out
+}
+
+// NewYCSB builds the workload. Update programs are conserving Zipf-
+// drawn transfer pairs (AddOp −d on a hot record, +d on a uniform
+// one), so the global total is invariant and any run can be audited
+// for conservation. Read programs scan ReadSpan consecutive records
+// starting at a Zipf-drawn rank. All writes are commutative deltas,
+// keeping every program compensable under chopped execution.
+func NewYCSB(cfg YCSBConfig) (*Workload, error) {
+	if cfg.Records < 2 {
+		return nil, fmt.Errorf("workload: ycsb needs >=2 records, got %d", cfg.Records)
+	}
+	if len(cfg.Sites) < 1 {
+		return nil, fmt.Errorf("workload: ycsb needs >=1 site")
+	}
+	if cfg.ProgramTypes < 1 {
+		return nil, fmt.Errorf("workload: ycsb needs >=1 program type")
+	}
+	if cfg.ReadSpan < 1 {
+		cfg.ReadSpan = 1
+	}
+	if cfg.ReadSpan > cfg.Records {
+		cfg.ReadSpan = cfg.Records
+	}
+	if cfg.TransferAmount < 1 {
+		cfg.TransferAmount = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := NewZipfian(rng, cfg.Records, cfg.Theta)
+
+	w := &Workload{
+		Name:     "ycsb",
+		Initial:  make(map[storage.Key]metric.Value, cfg.Records),
+		Expected: make(map[int]metric.Value),
+	}
+	for j := 0; j < cfg.Records; j++ {
+		w.Initial[ycsbKey(cfg.Sites, j)] = cfg.InitialBalance
+	}
+
+	updateSpec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	readSpec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero}
+	reads := int(cfg.ReadFraction * float64(cfg.ProgramTypes))
+	for ti := 0; ti < cfg.ProgramTypes; ti++ {
+		if ti < reads {
+			start := zipf.Next()
+			ops := make([]txn.Op, 0, cfg.ReadSpan)
+			for k := 0; k < cfg.ReadSpan; k++ {
+				ops = append(ops, txn.ReadOp(ycsbKey(cfg.Sites, (start+k)%cfg.Records)))
+			}
+			p := txn.MustProgram(fmt.Sprintf("read%d", ti), ops...).WithSpec(readSpec)
+			w.Programs = append(w.Programs, p)
+			w.Counts = append(w.Counts, 1)
+			continue
+		}
+		from := zipf.Next() // skew concentrates on the hot records
+		to := rng.Intn(cfg.Records)
+		for to == from {
+			to = rng.Intn(cfg.Records)
+		}
+		d := 1 + metric.Value(rng.Int63n(int64(cfg.TransferAmount)))
+		p := txn.MustProgram(fmt.Sprintf("xfer%d", ti),
+			txn.AddOp(ycsbKey(cfg.Sites, from), -d),
+			txn.AddOp(ycsbKey(cfg.Sites, to), d),
+		).WithSpec(updateSpec)
+		w.Programs = append(w.Programs, p)
+		w.Counts = append(w.Counts, 1)
+	}
+	return w, nil
+}
+
+// Total sums the workload's initial value — the conserved quantity a
+// post-run audit must find again (transfers net to zero; reads write
+// nothing).
+func (w *Workload) Total() metric.Value {
+	var total metric.Value
+	for _, v := range w.Initial {
+		total += v
+	}
+	return total
+}
+
+// OriginSite reports the site owning program ti's first op — where its
+// piece 0 commits. A multi-process run partitions the program table by
+// origin so each process submits only programs it can initiate locally.
+func (w *Workload) OriginSite(ti int, placement func(storage.Key) simnet.SiteID) simnet.SiteID {
+	return placement(w.Programs[ti].Ops[0].Key)
+}
+
+// LocalPrograms returns the indices of programs whose origin site is
+// local.
+func (w *Workload) LocalPrograms(placement func(storage.Key) simnet.SiteID, local simnet.SiteID) []int {
+	var out []int
+	for ti := range w.Programs {
+		if w.OriginSite(ti, placement) == local {
+			out = append(out, ti)
+		}
+	}
+	return out
+}

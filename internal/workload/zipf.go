@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks 0..n-1 with the YCSB-standard Zipfian skew:
+// rank 0 is the hottest item, and the frequency of rank k falls off as
+// 1/(k+1)^theta. Theta in (0, 1) — 0.99 is the classic YCSB default
+// giving an ~hot-spot distribution; math/rand's built-in Zipf cannot
+// express this range (it requires its exponent s > 1), hence the
+// zeta-based implementation from the YCSB generator (Gray et al.'s
+// "Quickly generating billion-record synthetic databases" recipe).
+//
+// Not safe for concurrent use; give each goroutine its own generator
+// (they are cheap after construction — the zeta sum is precomputed).
+type Zipfian struct {
+	rng   *rand.Rand
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// zeta computes the incomplete zeta sum Σ_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NewZipfian builds a generator over 0..n-1 with skew theta in [0, 1).
+// Theta 0 degenerates to uniform. Construction is O(n) (the zeta sum);
+// Next is O(1).
+func NewZipfian(rng *rand.Rand, n int, theta float64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if theta >= 1 {
+		theta = 0.999 // the YCSB formulas need theta < 1
+	}
+	z := &Zipfian{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// Next draws the next rank.
+func (z *Zipfian) Next() int {
+	if z.n == 1 {
+		return 0
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k < 0 {
+		k = 0
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
