@@ -109,6 +109,8 @@ const (
 	EngineLocking    = core.EngineLocking
 	EngineOptimistic = core.EngineOptimistic
 	EngineTimestamp  = core.EngineTimestamp
+	EngineRepair     = core.EngineRepair
+	EngineRepairSkip = core.EngineRepairSkip
 )
 
 // Methods (Table 1 plus baselines).

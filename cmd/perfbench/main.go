@@ -11,9 +11,18 @@
 // at each worker count — the number that justifies sharing one fsync
 // across a commit cohort.
 //
+// The contention suite (not in the default set; baseline
+// BENCH_contention.json) sweeps Zipfian skew θ ∈ {0.6, 0.9, 0.99} over a
+// hot-key transfer stream and compares abort-retry (optimistic DC)
+// against the repair engine with and without ε-skip. Ratio rows
+// (variant "repair-speedup/theta=…") carry repair ÷ abort-retry
+// throughput so the compare gate — and the -minspeedup assertion —
+// catch a collapse of the repair win itself.
+//
 // Usage:
 //
-//	perfbench [-suites e1,e5,absorb,wal] [-workers 1,4,8,16] [-quick]
+//	perfbench [-suites e1,e5,absorb,wal,contention] [-workers 1,4,8,16]
+//	          [-quick] [-minspeedup X]
 //	          [-out BENCH.json] [-opdelay 50us] [-seed N]
 //	          [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //	          [-trace f] [-tracewall f] [-tracetext f]
@@ -88,12 +97,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
-	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb,wal")
+	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb,wal,contention")
 	workersArg := fs.String("workers", "1,4,8,16", "comma-separated worker counts")
 	quick := fs.Bool("quick", false, "CI mode: smaller stream, workers 1,4 unless -workers given")
 	out := fs.String("out", "", "write JSON report to this file (default stdout)")
 	opDelay := fs.Duration("opdelay", 50*time.Microsecond, "simulated per-operation work for e1/e5")
 	seed := fs.Int64("seed", 42, "workload seed")
+	minSpeedup := fs.Float64("minspeedup", 0,
+		"fail unless every contention repair-speedup/theta=0.99 row is at least this ratio (0 disables)")
 	compare := fs.Bool("compare", false, "compare two report files: perfbench -compare old.json new.json")
 	prof := profiling.Register(fs)
 	obsFlags := obs.Register(fs)
@@ -155,6 +166,8 @@ func run(args []string) error {
 				res, err = runAbsorb(w, *quick, plane)
 			case "wal":
 				res, err = runWAL(w, *quick)
+			case "contention":
+				res, err = runContention(w, *quick, *seed, plane)
 			default:
 				err = fmt.Errorf("unknown suite %q", suite)
 			}
@@ -170,6 +183,11 @@ func run(args []string) error {
 	}
 	if err := stopProfiles(); err != nil {
 		return err
+	}
+	if *minSpeedup > 0 {
+		if err := checkMinSpeedup(file.Results, *minSpeedup); err != nil {
+			return err
+		}
 	}
 	if plane != nil {
 		for _, line := range plane.Summary() {
@@ -290,6 +308,104 @@ func runE5(workers int, quick bool, opDelay time.Duration, seed int64, plane *ob
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// contentionThetas is the Zipfian skew sweep: mild, skewed, and the
+// classic YCSB hot-spot where nearly every transfer hits the same keys.
+var contentionThetas = []float64{0.6, 0.9, 0.99}
+
+// contentionReps mirrors absorbReps: best-of-N suppresses scheduler
+// hiccups on shared runners without hiding real regressions.
+const contentionReps = 3
+
+// contentionOpDelay is the per-op work for the contention suite. Unlike
+// e1/e5 it sits at SimWork's sleep scale on purpose: the suite measures
+// how engines handle overlapping transactions, and ops that model
+// blocking work (I/O, messages — the paper's asynchronous setting) let
+// workers overlap even on a single-core runner, where sub-millisecond
+// spinning work would serialize the stream and hide the contention
+// entirely. It deliberately ignores -opdelay so the committed baseline
+// is reproducible.
+const contentionOpDelay = time.Millisecond
+
+// runContention sweeps Zipfian skew over the hot-key transfer stream and
+// compares abort-retry (optimistic DC) against the repair engine with
+// and without ε-skip. At each θ it adds a dimensionless
+// "repair-speedup/theta=…" row (repair ÷ abort-retry throughput): under
+// heavy skew the abort-retry engine redoes whole transactions per
+// validation failure while repair re-executes only the stale hot ops,
+// and the ratio row is what the -compare gate and -minspeedup hold on to.
+func runContention(workers int, quick bool, seed int64, plane *obs.Plane) ([]Result, error) {
+	transfers, audits := 60, 16
+	if quick {
+		transfers, audits = 25, 8
+	}
+	engines := []core.EngineKind{core.EngineOptimistic, core.EngineRepair, core.EngineRepairSkip}
+	var out []Result
+	for _, theta := range contentionThetas {
+		w, err := workload.NewContention(workload.ContentionConfig{
+			Keys: 8, Theta: theta,
+			TransferTypes: 8, TransferCount: transfers,
+			AuditCount: audits, AuditSpan: 0,
+			Amount: 10, InitialBalance: 1 << 30,
+			Epsilon: 50000, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		byEngine := make(map[core.EngineKind]Result, len(engines))
+		for _, e := range engines {
+			variant := fmt.Sprintf("%s/theta=%.2f", e, theta)
+			best := Result{}
+			for rep := 0; rep < contentionReps; rep++ {
+				r, err := measureWorkload("contention", variant, core.BaselineESRDC, e, w, workers, contentionOpDelay, seed, plane)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", variant, err)
+				}
+				if r.TPS > best.TPS {
+					best = r
+				}
+			}
+			byEngine[e] = best
+			out = append(out, best)
+		}
+		ratio := Result{
+			Suite:   "contention",
+			Variant: fmt.Sprintf("repair-speedup/theta=%.2f", theta),
+			Workers: workers,
+			Txns:    byEngine[core.EngineRepair].Txns,
+		}
+		if abortRetry := byEngine[core.EngineOptimistic].TPS; abortRetry > 0 {
+			ratio.TPS = byEngine[core.EngineRepair].TPS / abortRetry
+		}
+		out = append(out, ratio)
+	}
+	return out, nil
+}
+
+// checkMinSpeedup enforces the ISSUE acceptance bar: at the YCSB
+// hot-spot skew the repair engine must beat abort-retry by the given
+// factor. It fails if no θ=0.99 ratio row was produced (e.g. the
+// contention suite was not in -suites), so the CI gate cannot silently
+// pass by not measuring.
+func checkMinSpeedup(results []Result, min float64) error {
+	checked := 0
+	for _, r := range results {
+		if r.Suite != "contention" || !strings.HasPrefix(r.Variant, "repair-speedup/theta=0.99") {
+			continue
+		}
+		checked++
+		if r.TPS < min {
+			return fmt.Errorf("contention %s workers=%d: repair speedup %.2fx < required %.2fx",
+				r.Variant, r.Workers, r.TPS, min)
+		}
+		fmt.Fprintf(os.Stderr, "minspeedup: %s workers=%d %.2fx >= %.2fx ok\n",
+			r.Variant, r.Workers, r.TPS, min)
+	}
+	if checked == 0 {
+		return fmt.Errorf("-minspeedup set but no contention repair-speedup/theta=0.99 rows were measured")
+	}
+	return nil
 }
 
 // runAbsorb is the divergence-control absorb micro-benchmark: an update

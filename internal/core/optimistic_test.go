@@ -172,7 +172,7 @@ func TestTimestampEngineESRBounded(t *testing.T) {
 }
 
 func TestEngineKindStrings(t *testing.T) {
-	for _, k := range []EngineKind{EngineLocking, EngineOptimistic, EngineTimestamp} {
+	for _, k := range []EngineKind{EngineLocking, EngineOptimistic, EngineTimestamp, EngineRepair, EngineRepairSkip} {
 		if k.String() == "" {
 			t.Errorf("empty name for kind %d", int(k))
 		}

@@ -15,6 +15,7 @@ import (
 	"asynctp/internal/metric"
 	"asynctp/internal/obs"
 	"asynctp/internal/odc"
+	"asynctp/internal/rdc"
 	"asynctp/internal/storage"
 	"asynctp/internal/tdc"
 	"asynctp/internal/txn"
@@ -54,8 +55,9 @@ type Config struct {
 	// Engine: EngineOptimistic.
 	Optimistic bool
 	// Engine selects the on-line engine family explicitly: locking
-	// (default), optimistic (odc), or timestamp ordering (tdc) — the
-	// three DC families of the paper's reference [12].
+	// (default), optimistic (odc), timestamp ordering (tdc) — the three
+	// DC families of the paper's reference [12] — or transaction repair
+	// (rdc, with or without ε-skip), the provenance-based fourth family.
 	Engine EngineKind
 	// StepHook, when non-nil, gates every engine scheduling point (lock
 	// request, operation effect, commit). The conformance explorer uses
@@ -77,6 +79,13 @@ type Config struct {
 	// with StepHook/WaitObserver/Record, so the conformance explorer can
 	// trace its own runs. Nil keeps every engine fast path nil.
 	Obs *obs.Plane
+	// VerifyRepairs is a TEST-ONLY knob for the repair engines: every
+	// non-skip install re-executes the whole program from scratch and
+	// must match the provenance-repaired result exactly (see
+	// rdc.Engine.SetVerify and Runner.RepairVerifyFailure). It must
+	// never be set in production paths — the check serializes work the
+	// repair exists to avoid.
+	VerifyRepairs bool
 	// BudgetScale is a TEST-ONLY knob that multiplies every DC ε budget
 	// by the given factor after the off-line distribution (0 or 1 leaves
 	// budgets intact). The conformance harness uses it to mis-budget a
@@ -96,6 +105,14 @@ const (
 	EngineOptimistic
 	// EngineTimestamp is timestamp ordering (+ ε absorption).
 	EngineTimestamp
+	// EngineRepair is provenance-based transaction repair (rdc): on
+	// validation failure only the stale ops re-execute, instead of
+	// aborting the whole piece.
+	EngineRepair
+	// EngineRepairSkip is EngineRepair with ε-skip: query repairs whose
+	// value delta fits the remaining import budget are charged to the
+	// ledger instead of executed.
+	EngineRepairSkip
 )
 
 // String renders the engine kind.
@@ -107,6 +124,10 @@ func (k EngineKind) String() string {
 		return "optimistic"
 	case EngineTimestamp:
 		return "timestamp"
+	case EngineRepair:
+		return "repair"
+	case EngineRepairSkip:
+		return "repair-skip"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
@@ -156,9 +177,10 @@ type Runner struct {
 	dcSpecs []metric.Spec   // per-type spec used by DC (Method 3 shrinks it)
 	locks   *lock.Manager
 	ctl     *dc.Controller
-	engine  altEngine   // non-nil for optimistic/timestamp engines
+	engine  altEngine   // non-nil for optimistic/timestamp/repair engines
 	odcEng  *odc.Engine // concrete handle for stats
 	tdcEng  *tdc.Engine // concrete handle for stats
+	rdcEng  *rdc.Engine // concrete handle for stats
 	exec    *txn.Exec
 	rec     *history.Recorder
 	gen     txn.IDGen
@@ -314,6 +336,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 	case EngineTimestamp:
 		r.tdcEng = tdc.NewEngine(cfg.Store, txnObs)
 		r.engine = r.tdcEng
+	case EngineRepair, EngineRepairSkip:
+		r.rdcEng = rdc.NewEngine(cfg.Store, txnObs)
+		r.rdcEng.SetSkip(cfg.Engine == EngineRepairSkip)
+		r.rdcEng.SetVerify(cfg.VerifyRepairs)
+		// ε-skips are charged like DC absorptions: through the plane's
+		// DC-event observer into the ledger and metrics.
+		r.rdcEng.SetDCObserver(cfg.Obs.DCObserver())
+		r.engine = r.rdcEng
 	}
 	if r.engine != nil {
 		r.engine.SetOpDelay(cfg.OpDelay)
@@ -327,6 +357,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 		if r.tdcEng != nil {
 			r.tdcEng.SetStepHook(cfg.StepHook)
+		}
+		if r.rdcEng != nil {
+			r.rdcEng.SetStepHook(cfg.StepHook)
 		}
 	}
 	return r, nil
@@ -351,6 +384,24 @@ func (r *Runner) TDCStats() tdc.Stats {
 		return tdc.Stats{}
 	}
 	return r.tdcEng.Stats()
+}
+
+// RDCStats returns the repair engine counters (zero otherwise).
+func (r *Runner) RDCStats() rdc.Stats {
+	if r.rdcEng == nil {
+		return rdc.Stats{}
+	}
+	return r.rdcEng.Stats()
+}
+
+// RepairVerifyFailure returns the repair engine's first self-check
+// mismatch ("" when clean or not a repair engine); see
+// Config.VerifyRepairs.
+func (r *Runner) RepairVerifyFailure() string {
+	if r.rdcEng == nil {
+		return ""
+	}
+	return r.rdcEng.VerifyFailure()
 }
 
 // Set returns the prepared chopping (one instance per program type).
@@ -633,7 +684,7 @@ func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) 
 			}
 			return out, leftover, nil
 		}
-		if (!txn.Retryable(err) && !odc.Retryable(err) && !tdc.Retryable(err)) || ctx.Err() != nil {
+		if (!txn.Retryable(err) && !odc.Retryable(err) && !tdc.Retryable(err) && !rdc.Retryable(err)) || ctx.Err() != nil {
 			return out, budget, err
 		}
 		inst.mu.Lock()

@@ -70,6 +70,10 @@ type sweepRow struct {
 	ledgerOver    int
 	flaggedMissed int
 	uncovered     int
+	// repairMismatch is the first repair self-check failure across the
+	// sweep ("" when clean; repair stacks only — explore.Run verifies
+	// every repaired install against a fresh full re-execution).
+	repairMismatch string
 	// recon is a representative (first violating, else first) run's
 	// per-query budgeted / charged / measured table.
 	recon *obs.Reconciliation
@@ -104,6 +108,9 @@ func sweepScenario(sc explore.Scenario, cfg ConformanceConfig) (*sweepRow, error
 		}
 		if !r.Report.Exhaustive {
 			row.allExhaustive = false
+		}
+		if r.RepairMismatch != "" && row.repairMismatch == "" {
+			row.repairMismatch = r.RepairMismatch
 		}
 		if rec := r.Reconciliation; rec != nil {
 			if len(rec.OverBudget) > 0 {
@@ -148,22 +155,26 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 		method core.Method
 		engine core.EngineKind
 	}
-	stacks := make([]stack, 0, len(core.Methods())+2)
+	stacks := make([]stack, 0, len(core.Methods())+4)
 	for _, m := range core.Methods() {
 		stacks = append(stacks, stack{m, core.EngineLocking})
 	}
 	stacks = append(stacks,
 		stack{core.BaselineESRDC, core.EngineOptimistic},
 		stack{core.BaselineESRDC, core.EngineTimestamp},
+		stack{core.BaselineESRDC, core.EngineRepair},
+		stack{core.BaselineESRDC, core.EngineRepairSkip},
 	)
 
 	cleanUncovered := 0
 	for _, st := range stacks {
 		sc := explore.BankScenario(st.method, st.engine, core.Static, conformanceEps)
-		// The ε-provenance ledger rides the locking stacks (the alt
-		// engines absorb inside their own validation layer, which the
-		// lock-arbiter ledger does not see).
-		sc.Ledger = st.engine == core.EngineLocking
+		// The ε-provenance ledger rides the locking stacks and the repair
+		// stacks: the lock arbiter and the rdc ε-skip both debit through
+		// the plane's DC observer. The odc/tdc engines absorb inside
+		// their own validation layer, which the ledger does not see.
+		sc.Ledger = st.engine == core.EngineLocking ||
+			st.engine == core.EngineRepair || st.engine == core.EngineRepairSkip
 		row, err := sweepScenario(sc, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", sc.Name, err)
@@ -187,9 +198,16 @@ func Conformance(cfg ConformanceConfig) (*Report, error) {
 		if sc.Ledger {
 			cleanUncovered += row.uncovered
 		}
+		if st.engine == core.EngineRepair || st.engine == core.EngineRepairSkip {
+			msg := sc.Name + ": every repaired install matches a fresh full re-execution"
+			if row.repairMismatch != "" {
+				msg += ": " + row.repairMismatch
+			}
+			rep.Notes = append(rep.Notes, check(row.repairMismatch == "", msg))
+		}
 	}
 	rep.Notes = append(rep.Notes, check(cleanUncovered == 0,
-		"ε-ledger: charged fuzz covers the oracle's measured divergence on every conforming locking-stack query"))
+		"ε-ledger: charged fuzz covers the oracle's measured divergence on every conforming locking- and repair-stack query"))
 
 	// Determinism: the first scenario re-swept must reproduce its
 	// fingerprint exactly — one seed, one interleaving, one verdict.

@@ -68,6 +68,11 @@ type Result struct {
 	// Reconciliation is the ledger-vs-oracle per-query view (nil unless
 	// Scenario.Ledger).
 	Reconciliation *obs.Reconciliation
+	// RepairMismatch is the repair engine's first self-check failure:
+	// every explored run executes with core.Config.VerifyRepairs, so a
+	// repaired outcome that differs from a fresh full re-execution is
+	// reported here ("" when clean or not a repair engine).
+	RepairMismatch string
 	// fingerprint material
 	hash uint64
 }
@@ -128,6 +133,7 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 		BudgetScale:      sc.BudgetScale,
 		LockStripes:      sc.LockStripes,
 		Obs:              plane,
+		VerifyRepairs:    true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("explore: %s: %w", sc.Name, err)
@@ -181,6 +187,7 @@ func Run(sc Scenario, seed int64, strategy Strategy, ocfg oracle.Config) (*Resul
 	if plane != nil {
 		res.Reconciliation = plane.Ledger.Reconcile(rep)
 	}
+	res.RepairMismatch = runner.RepairVerifyFailure()
 	res.hash = historyHash(ops)
 	return res, nil
 }

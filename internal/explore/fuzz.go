@@ -182,8 +182,11 @@ func randomScenario(rng *rand.Rand, name string) Scenario {
 	}
 	method := fuzzMethods[rng.Intn(len(fuzzMethods))]
 	engine := core.EngineLocking
-	if !method.UsesChopping() && rng.Intn(4) == 0 {
-		engine = []core.EngineKind{core.EngineOptimistic, core.EngineTimestamp}[rng.Intn(2)]
+	if !method.UsesChopping() && rng.Intn(3) == 0 {
+		engine = []core.EngineKind{
+			core.EngineOptimistic, core.EngineTimestamp,
+			core.EngineRepair, core.EngineRepairSkip,
+		}[rng.Intn(4)]
 	}
 	dist := core.Static
 	if method.UsesDC() && rng.Intn(2) == 0 {
@@ -230,6 +233,11 @@ func FuzzRuns(seed int64, n int, st *FuzzStats) {
 		if !res.Grouped.Serializable && sc.Method == core.BaselineSRCC {
 			st.Failures = append(st.Failures,
 				fmt.Sprintf("run %d: SRCC produced non-serializable grouped history", i))
+		}
+		if res.RepairMismatch != "" {
+			st.Failures = append(st.Failures,
+				fmt.Sprintf("run %d (%s/%s seed %d): repair verify: %s",
+					i, sc.Method, sc.Engine, runSeed, res.RepairMismatch))
 		}
 	}
 }

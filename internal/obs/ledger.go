@@ -198,10 +198,17 @@ func (l *Ledger) Debit(key string, pairs []DebitPair) {
 	defer l.mu.Unlock()
 	for _, p := range pairs {
 		q, u := l.resolve(p.Query), l.resolve(p.Update)
-		l.pending[p.Query] = append(l.pending[p.Query],
-			pendingCharge{dir: DirImport, key: key, cost: p.Cost, peer: u})
-		l.pending[p.Update] = append(l.pending[p.Update],
-			pendingCharge{dir: DirExport, key: key, cost: p.Cost, peer: q})
+		// Only bound owners accumulate receipts: the repair engine's
+		// ε-skips name a writer that already settled, and pending entries
+		// for retired owners would never be folded or voided.
+		if _, ok := l.binds[p.Query]; ok {
+			l.pending[p.Query] = append(l.pending[p.Query],
+				pendingCharge{dir: DirImport, key: key, cost: p.Cost, peer: u})
+		}
+		if _, ok := l.binds[p.Update]; ok {
+			l.pending[p.Update] = append(l.pending[p.Update],
+				pendingCharge{dir: DirExport, key: key, cost: p.Cost, peer: q})
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +64,15 @@ type writeInfo struct {
 	commutative bool
 }
 
+// idxEntry is one committed write in a key's version chain (the per-key
+// validation index). Entries are appended in commit order, so each
+// chain is sorted by seq.
+type idxEntry struct {
+	seq int64
+	wi  writeInfo
+	rec *committed
+}
+
 // Stats counts engine events.
 type Stats struct {
 	Commits    uint64
@@ -82,13 +92,23 @@ type Engine struct {
 	mu     sync.Mutex
 	seq    int64
 	recent []*committed
+	// index maps each key to its committed writes still in the window,
+	// sorted by seq: validation probes the transaction's own read and
+	// write sets instead of scanning every window record, so its cost is
+	// O(readSet + writeSet), not O(window × writes).
+	index  map[storage.Key][]idxEntry
 	active map[lock.Owner]int64 // owner → start seq (for GC)
 	stats  Stats
 }
 
 // NewEngine builds an engine over store; obs may be nil.
 func NewEngine(store *storage.Store, obs txn.Observer) *Engine {
-	return &Engine{store: store, obs: obs, active: make(map[lock.Owner]int64)}
+	return &Engine{
+		store:  store,
+		obs:    obs,
+		index:  make(map[storage.Key][]idxEntry),
+		active: make(map[lock.Owner]int64),
+	}
 }
 
 // SetOpDelay makes every operation take d of simulated work during the
@@ -215,7 +235,9 @@ func (e *Engine) begin(owner lock.Owner) int64 {
 	return e.seq
 }
 
-// end unregisters and garbage-collects the validation window.
+// end unregisters and garbage-collects the validation window: records
+// no active transaction can conflict with are dropped, and the per-key
+// index chains are pruned alongside.
 func (e *Engine) end(owner lock.Owner) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -226,13 +248,39 @@ func (e *Engine) end(owner lock.Owner) {
 			min = s
 		}
 	}
+	// recent is sorted by seq: when even the oldest record is still
+	// needed, skip the rebuild so a pinned window costs O(1) per end.
+	if len(e.recent) == 0 || e.recent[0].seq > min {
+		return
+	}
 	keep := e.recent[:0]
 	for _, c := range e.recent {
 		if c.seq > min {
 			keep = append(keep, c)
+			continue
+		}
+		for key := range c.writes {
+			ent := e.index[key]
+			n := 0
+			for n < len(ent) && ent[n].seq <= min {
+				n++
+			}
+			switch {
+			case n == len(ent):
+				delete(e.index, key)
+			case n > 0:
+				e.index[key] = append(ent[:0:0], ent[n:]...)
+			}
 		}
 	}
 	e.recent = keep
+}
+
+// conflictsAfter returns key's committed writes with seq > start.
+func (e *Engine) conflictsAfter(key storage.Key, start int64) []idxEntry {
+	ent := e.index[key]
+	i := sort.Search(len(ent), func(i int) bool { return ent[i].seq > start })
+	return ent[i:]
 }
 
 // validateAndInstall is the critical section: backward validation with
@@ -250,33 +298,42 @@ func (e *Engine) validateAndInstall(
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	// Phase 1: price the conflicts without mutating any account.
+	// Phase 1: price the conflicts without mutating any account. The
+	// per-key index is probed once per read key and once per written
+	// key, so validation cost is independent of the window depth.
 	var imported metric.Fuzz
 	type charge struct {
 		c    *committed
 		cost metric.Fuzz
 	}
 	var charges []charge
-	for _, c := range e.recent {
-		if c.seq <= start {
+	for key := range readSet {
+		for _, ent := range e.conflictsAfter(key, start) {
+			// Read-write conflict with a later committer.
+			if class != txn.Query || ent.rec.class != txn.Update {
+				e.stats.Aborts++
+				return 0, fmt.Errorf("odc: r/w conflict on %q: %w", key, ErrValidation)
+			}
+			if ent.wi.bound.IsInfinite() {
+				e.stats.Aborts++
+				return 0, fmt.Errorf("odc: unbounded conflict on %q: %w", key, ErrValidation)
+			}
+			cost := ent.wi.bound.Bound()
+			imported = imported.Add(cost)
+			charges = append(charges, charge{c: ent.rec, cost: cost})
+		}
+	}
+	checkedWW := make(map[storage.Key]bool, len(writes))
+	for _, w := range writes {
+		key := w.op.Key
+		// A key both read and written takes the r/w branch above, as the
+		// record-scan formulation did.
+		if readSet[key] || checkedWW[key] {
 			continue
 		}
-		for key, wi := range c.writes {
-			switch {
-			case readSet[key]:
-				// Read-write conflict with a later committer.
-				if class != txn.Query || c.class != txn.Update {
-					e.stats.Aborts++
-					return 0, fmt.Errorf("odc: r/w conflict on %q: %w", key, ErrValidation)
-				}
-				if wi.bound.IsInfinite() {
-					e.stats.Aborts++
-					return 0, fmt.Errorf("odc: unbounded conflict on %q: %w", key, ErrValidation)
-				}
-				cost := wi.bound.Bound()
-				imported = imported.Add(cost)
-				charges = append(charges, charge{c: c, cost: cost})
-			case writtenNonCommutative(writes, key, wi):
+		checkedWW[key] = true
+		for _, ent := range e.conflictsAfter(key, start) {
+			if writtenNonCommutative(writes, key, ent.wi) {
 				// Write-write conflict not covered by commutativity.
 				e.stats.Aborts++
 				return 0, fmt.Errorf("odc: w/w conflict on %q: %w", key, ErrValidation)
@@ -339,6 +396,9 @@ func (e *Engine) validateAndInstall(
 	rec.seq = e.seq
 	if len(rec.writes) > 0 {
 		e.recent = append(e.recent, rec)
+		for key, wi := range rec.writes {
+			e.index[key] = append(e.index[key], idxEntry{seq: rec.seq, wi: wi, rec: rec})
+		}
 	}
 	out.Writes = batch
 	e.stats.Commits++

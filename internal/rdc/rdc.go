@@ -1,0 +1,667 @@
+// Package rdc implements repair-based divergence control — the fourth
+// on-line engine family, after the lock-arbiter (dc), backward-
+// validation OCC (odc), and timestamp ordering (tdc). It follows the
+// transaction-repair idea (Veldhuizen, "Transaction Repair: Full
+// Serializability Without Locks"): instead of aborting on a validation
+// failure and redoing the whole piece, re-execute only the operations
+// whose inputs changed.
+//
+// Execution is optimistic with fine-grained provenance:
+//
+//   - Read phase: every operation records where its input value came
+//     from — a committed version of its key (tracked by a per-key
+//     last-committed-version counter) or an earlier operation of the
+//     same program (reads of own buffered writes thread through the
+//     local workspace). Writes are buffered; reads never block.
+//   - Validation (critical section): an op is stale when its committed
+//     input's version moved, and dirtiness propagates down the local
+//     dependency chain. No stale ops → install as-is. A short dirty
+//     suffix is *repaired* inside the critical section: only the dirty
+//     ops re-execute against the now-frozen committed state, rollback
+//     predicates are re-evaluated on the fresh inputs (a flipped
+//     decision surfaces as txn.ErrRollback, exactly as a fresh run
+//     would decide), and the result is installed — full
+//     serializability, no work thrown away. A long dirty suffix is
+//     re-executed outside the lock and re-validated, a bounded number
+//     of rounds, before falling back to a retryable abort.
+//   - ε-skip (the ESR twist, queries only): when every stale op is a
+//     plain read, the repair's value delta — the exact distance between
+//     the stale value and the committed one — can be priced against the
+//     query's remaining import budget. If it fits (and the last
+//     writer's export account can carry it), the repair is skipped: the
+//     stale values commit as-is and the delta is charged through the
+//     DC-event observer into the ε-provenance ledger.
+//
+// Observer events (reads, writes) are emitted inside the install
+// critical section with the final post-repair values, so the recorded
+// history — and hence the serial-replay oracle — judges what actually
+// committed, not the read-phase snapshots.
+package rdc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asynctp/internal/dc"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// ErrValidation is the retryable abort returned when a repair exceeds
+// its round budget; the caller re-runs the piece from scratch.
+var ErrValidation = errors.New("rdc: repair fallback")
+
+// Default repair bounds: at most defaultInline dirty ops re-execute
+// inside the critical section (each paying the simulated op cost while
+// every other commit waits); larger repairs run outside the lock for at
+// most defaultRounds rounds before falling back to a full re-run.
+//
+// "Short" is a wall-clock judgment, not just an op count:
+// inlineWorkBudget caps the simulated work a repair may perform while
+// holding e.mu. With per-op delays at I/O scale even a one-op repair
+// would convoy every other committer behind the lock, so such repairs
+// take the out-of-lock rounds path instead.
+const (
+	defaultInline    = 4
+	defaultRounds    = 3
+	inlineWorkBudget = 100 * time.Microsecond
+)
+
+// opRec is one operation's provenance record: where its input came
+// from and the values the execution computed from it.
+type opRec struct {
+	op txn.Op
+	// local is the index of the program op whose buffered write produced
+	// this op's input (reads of own writes), or -1 when the input came
+	// from the committed store.
+	local int
+	// ver is the committed version of op.Key observed at read time
+	// (local < 0 only). Version 0 means "never written by this engine".
+	ver int64
+	// in and out are the input value used and the value produced (the
+	// written value, or the input itself for reads).
+	in, out metric.Value
+}
+
+// commitRec is one committed transaction's validation-window record; the
+// per-key index points into it for ε-skip export accounting.
+type commitRec struct {
+	seq         int64
+	owner       lock.Owner
+	keys        []storage.Key
+	exported    metric.Fuzz
+	exportLimit metric.Limit
+}
+
+// verEntry is one committed write in a key's version chain.
+type verEntry struct {
+	seq int64
+	rec *commitRec
+}
+
+// Stats counts engine events.
+type Stats struct {
+	Commits uint64
+	// Aborts counts repair fallbacks returned as retryable aborts.
+	Aborts uint64
+	// Repairs counts commits that re-executed at least one op instead of
+	// aborting; RepairedOps counts the ops re-executed.
+	Repairs     uint64
+	RepairedOps uint64
+	// RepairRounds counts out-of-lock repair rounds (dirty suffix too
+	// long for the critical section).
+	RepairRounds uint64
+	// Skips counts ε-skip commits (stale reads committed and charged);
+	// SkippedFuzz is the total fuzziness those skips imported.
+	Skips       uint64
+	SkippedFuzz metric.Fuzz
+	// ReApplied counts stale commutative increments refreshed at install
+	// instead of repaired (the odc engine's re-application, kept for
+	// engine parity: a pure unobserved increment's effect is independent
+	// of its input, so staleness needs no repair round).
+	ReApplied uint64
+	// VerifyFailures counts self-check mismatches (verify mode only):
+	// repaired outcomes that differ from a fresh full re-execution.
+	VerifyFailures uint64
+	// GCRetained is the current validation-window size.
+	GCRetained int
+}
+
+// Engine is the repair-based divergence-control executor for one store.
+type Engine struct {
+	store   *storage.Store
+	obs     txn.Observer
+	opDelay time.Duration
+	step    txn.StepHook
+	dcObs   func(dc.Event)
+	skip    bool
+	verify  bool
+	inline  int
+	rounds  int
+
+	// vers maps each key to the seq of its last committed write. Read
+	// lock-free during the read phase: the version is loaded BEFORE the
+	// value, and installs bump it AFTER writing the value, so a racing
+	// read can only look stale (and get repaired to the same value),
+	// never silently clean.
+	vers sync.Map // storage.Key → int64
+
+	mu        sync.Mutex
+	seq       int64
+	index     map[storage.Key][]verEntry
+	window    []*commitRec
+	active    map[lock.Owner]int64 // owner → start seq (for GC)
+	stats     Stats
+	verifyMsg string
+}
+
+// NewEngine builds an engine over store; obs may be nil.
+func NewEngine(store *storage.Store, obs txn.Observer) *Engine {
+	return &Engine{
+		store:  store,
+		obs:    obs,
+		inline: defaultInline,
+		rounds: defaultRounds,
+		index:  make(map[storage.Key][]verEntry),
+		active: make(map[lock.Owner]int64),
+	}
+}
+
+// SetOpDelay makes every operation take d of simulated work — during
+// the read phase, and again for every op a repair re-executes (repaired
+// work is not free; that is the point of repairing less of it).
+func (e *Engine) SetOpDelay(d time.Duration) { e.opDelay = d }
+
+// SetStepHook installs a step hook consulted before every read-phase
+// operation and before the validate-and-install critical section.
+func (e *Engine) SetStepHook(h txn.StepHook) { e.step = h }
+
+// SetSkip enables ε-skip: repairs whose value delta fits the query's
+// remaining import budget are charged to the ledger instead of executed.
+func (e *Engine) SetSkip(enabled bool) { e.skip = enabled }
+
+// SetDCObserver installs the divergence-control event observer; ε-skips
+// emit one absorbed dc.Event per skipped read so the obs plane's ledger
+// and metrics see the charge.
+func (e *Engine) SetDCObserver(f func(dc.Event)) { e.dcObs = f }
+
+// SetVerify enables the repair self-check (TEST-ONLY): before every
+// non-skip install, the whole program is re-executed from scratch
+// against the current committed state and the result must match the
+// provenance-repaired records exactly. Mismatches count in
+// Stats.VerifyFailures and the first is kept for VerifyFailure.
+func (e *Engine) SetVerify(enabled bool) { e.verify = enabled }
+
+// SetRepairLimits overrides the repair bounds: inline is the largest
+// dirty-op count repaired inside the critical section, rounds the
+// number of out-of-lock repair rounds before the fallback abort.
+// Values < 0 leave the corresponding bound unchanged.
+func (e *Engine) SetRepairLimits(inline, rounds int) {
+	if inline >= 0 {
+		e.inline = inline
+	}
+	if rounds >= 0 {
+		e.rounds = rounds
+	}
+}
+
+// VerifyFailure returns the first self-check mismatch ("" when clean).
+func (e *Engine) VerifyFailure() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.verifyMsg
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.GCRetained = len(e.window)
+	return st
+}
+
+// verOf returns key's last committed version (0 if never written here).
+func (e *Engine) verOf(k storage.Key) int64 {
+	if v, ok := e.vers.Load(k); ok {
+		return v.(int64)
+	}
+	return 0
+}
+
+// Run executes p once under the given ε-spec and class, returning the
+// outcome plus the fuzziness imported (ε-skips only; repaired commits
+// are fully serializable and import nothing). ErrValidation aborts are
+// retryable; rollback statements return txn.ErrRollback.
+func (e *Engine) Run(
+	ctx context.Context,
+	owner lock.Owner,
+	p *txn.Program,
+	spec metric.Spec,
+	class txn.Class,
+) (*txn.Outcome, metric.Fuzz, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if e.obs != nil {
+		e.obs.Begin(owner, p.Name, class)
+	}
+	e.begin(owner)
+	defer e.end(owner)
+
+	out := &txn.Outcome{Owner: owner}
+	recs := make([]opRec, len(p.Ops))
+	// producer maps keys to the op index that last buffered a write, so
+	// reads of own writes record a local dependency, not a version.
+	producer := make(map[storage.Key]int)
+	for i, op := range p.Ops {
+		if e.step != nil {
+			e.step.OnStep(txn.Step{
+				Owner: owner, Program: p.Name, Op: i, Kind: txn.StepApply,
+				Key: op.Key, Write: op.Kind == txn.OpWrite,
+			})
+		}
+		if e.opDelay > 0 {
+			txn.SimWork(e.opDelay)
+		}
+		rec := opRec{op: op, local: -1}
+		if j, ok := producer[op.Key]; ok {
+			rec.local = j
+			rec.in = recs[j].out
+		} else {
+			rec.ver = e.verOf(op.Key) // version first, value second
+			rec.in = e.store.Get(op.Key)
+		}
+		if op.AbortIf != nil && op.AbortIf(rec.in) {
+			if e.obs != nil {
+				e.obs.Abort(owner, txn.ErrRollback)
+			}
+			return out, 0, fmt.Errorf("op on %q: %w", op.Key, txn.ErrRollback)
+		}
+		rec.out = rec.in
+		if op.Kind == txn.OpWrite {
+			rec.out = op.Update(rec.in)
+			producer[op.Key] = i
+		}
+		recs[i] = rec
+	}
+
+	if e.step != nil {
+		e.step.OnStep(txn.Step{Owner: owner, Program: p.Name, Op: -1, Kind: txn.StepCommit})
+	}
+	imported, err := e.commit(owner, spec, class, recs, out)
+	if err != nil {
+		if e.obs != nil {
+			e.obs.Abort(owner, err)
+		}
+		return out, 0, err
+	}
+	out.Committed = true
+	if e.obs != nil {
+		e.obs.Commit(owner)
+	}
+	return out, imported, nil
+}
+
+// begin registers an active transaction for window GC.
+func (e *Engine) begin(owner lock.Owner) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active[owner] = e.seq
+}
+
+// end unregisters and garbage-collects the validation window: committed
+// records no active transaction can conflict with are dropped, and the
+// per-key version chains are pruned alongside. The version counters
+// (vers) are never pruned — staleness checks need them forever.
+func (e *Engine) end(owner lock.Owner) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.active, owner)
+	min := e.seq
+	for _, s := range e.active {
+		if s < min {
+			min = s
+		}
+	}
+	// window is sorted by seq: when even the oldest record is still
+	// needed, skip the rebuild so a pinned window costs O(1) per end.
+	if len(e.window) == 0 || e.window[0].seq > min {
+		return
+	}
+	keep := e.window[:0]
+	for _, c := range e.window {
+		if c.seq > min {
+			keep = append(keep, c)
+			continue
+		}
+		for _, k := range c.keys {
+			ent := e.index[k]
+			n := 0
+			for n < len(ent) && ent[n].seq <= min {
+				n++
+			}
+			switch {
+			case n == len(ent):
+				delete(e.index, k)
+			case n > 0:
+				e.index[k] = append(ent[:0:0], ent[n:]...)
+			}
+		}
+	}
+	e.window = keep
+}
+
+// commit validates, repairs or ε-skips as needed, and installs.
+func (e *Engine) commit(
+	owner lock.Owner,
+	spec metric.Spec,
+	class txn.Class,
+	recs []opRec,
+	out *txn.Outcome,
+) (metric.Fuzz, error) {
+	dirty := make([]bool, len(recs))
+	var repairedOps uint64
+	for round := 0; ; round++ {
+		e.mu.Lock()
+		nDirty := 0
+		for i := range recs {
+			rec := &recs[i]
+			if rec.local >= 0 {
+				// A repaired producer changes its output, so consumers of
+				// the local workspace inherit its dirtiness.
+				dirty[i] = dirty[rec.local]
+			} else {
+				dirty[i] = e.verOf(rec.op.Key) != rec.ver && !reappliable(recs, i)
+			}
+			if dirty[i] {
+				nDirty++
+			}
+		}
+		if nDirty == 0 {
+			err := e.installLocked(owner, spec, recs, out, repairedOps, false)
+			e.mu.Unlock()
+			return 0, err
+		}
+		if e.skip && class == txn.Query {
+			if imported, ok := e.trySkipLocked(owner, spec, recs, dirty); ok {
+				// Commit the stale values as-is; the delta is charged.
+				err := e.installLocked(owner, spec, recs, out, repairedOps, true)
+				e.mu.Unlock()
+				return imported, err
+			}
+		}
+		if nDirty <= e.inline && time.Duration(nDirty)*e.opDelay <= inlineWorkBudget {
+			// Short repair inside the critical section: the committed
+			// state is frozen by e.mu, so one pass settles it.
+			n, err := e.repairPass(recs, dirty)
+			repairedOps += n
+			if err != nil {
+				e.stats.RepairedOps += repairedOps
+				e.mu.Unlock()
+				return 0, err
+			}
+			err = e.installLocked(owner, spec, recs, out, repairedOps, false)
+			e.mu.Unlock()
+			return 0, err
+		}
+		if round >= e.rounds {
+			e.stats.RepairedOps += repairedOps
+			e.stats.Aborts++
+			e.mu.Unlock()
+			return 0, fmt.Errorf("rdc: %d-op repair exceeded %d rounds: %w", nDirty, e.rounds, ErrValidation)
+		}
+		e.stats.RepairRounds++
+		e.mu.Unlock()
+		// Long repair outside the lock: re-execute the dirty ops against
+		// a racing store, then loop to re-validate what we produced.
+		n, err := e.repairPass(recs, dirty)
+		repairedOps += n
+		if err != nil {
+			e.mu.Lock()
+			e.stats.RepairedOps += repairedOps
+			e.mu.Unlock()
+			return 0, err
+		}
+	}
+}
+
+// reappliable reports whether recs[i] can take install-time
+// re-application instead of repair: a committed-input commutative write
+// with no rollback predicate whose workspace value no later op consumes.
+// Its effect (the increment) is independent of its input, so the install
+// refreshes it against the current value — the odc engine's commutative
+// re-application, costing no repair round and no simulated work.
+func reappliable(recs []opRec, i int) bool {
+	rec := &recs[i]
+	if rec.local >= 0 || rec.op.Kind != txn.OpWrite || !rec.op.Commutative || rec.op.AbortIf != nil {
+		return false
+	}
+	for j := i + 1; j < len(recs); j++ {
+		if recs[j].local == i {
+			return false
+		}
+	}
+	return true
+}
+
+// repairPass re-executes every dirty op in program order: committed
+// inputs are re-read (version before value, as in the read phase),
+// local inputs come from the already-repaired producer, and rollback
+// predicates are re-evaluated on the fresh input — a flipped decision
+// returns txn.ErrRollback. Each re-executed op pays the simulated op
+// cost. Returns the number of ops repaired.
+func (e *Engine) repairPass(recs []opRec, dirty []bool) (uint64, error) {
+	var n uint64
+	for i := range recs {
+		if !dirty[i] {
+			continue
+		}
+		rec := &recs[i]
+		if rec.local >= 0 {
+			rec.in = recs[rec.local].out
+		} else {
+			rec.ver = e.verOf(rec.op.Key)
+			rec.in = e.store.Get(rec.op.Key)
+		}
+		if e.opDelay > 0 {
+			txn.SimWork(e.opDelay)
+		}
+		n++
+		if rec.op.AbortIf != nil && rec.op.AbortIf(rec.in) {
+			return n, fmt.Errorf("repair of op on %q: %w", rec.op.Key, txn.ErrRollback)
+		}
+		rec.out = rec.in
+		if rec.op.Kind == txn.OpWrite {
+			rec.out = rec.op.Update(rec.in)
+		}
+	}
+	return n, nil
+}
+
+// trySkipLocked prices committing the stale values as-is. Skippable
+// only when every dirty op is a plain committed read (no write derives
+// from a stale input, no rollback predicate decided on one): then the
+// exact per-read delta is charged against the query's import budget and
+// the last writer's export account. Caller holds e.mu.
+func (e *Engine) trySkipLocked(
+	owner lock.Owner,
+	spec metric.Spec,
+	recs []opRec,
+	dirty []bool,
+) (metric.Fuzz, bool) {
+	type skipCharge struct {
+		key    storage.Key
+		writer *commitRec
+		cost   metric.Fuzz
+	}
+	var (
+		charges []skipCharge
+		total   metric.Fuzz
+	)
+	tentative := make(map[*commitRec]metric.Fuzz)
+	for i := range recs {
+		if !dirty[i] {
+			continue
+		}
+		rec := &recs[i]
+		if rec.op.Kind != txn.OpRead || rec.op.AbortIf != nil || rec.local >= 0 {
+			return 0, false
+		}
+		entries := e.index[rec.op.Key]
+		if len(entries) == 0 {
+			// The writer outran the window — cannot attribute the export.
+			return 0, false
+		}
+		w := entries[len(entries)-1].rec
+		cost := metric.Distance(e.store.Get(rec.op.Key), rec.in)
+		next := tentative[w].Add(cost)
+		if !w.exportLimit.Allows(w.exported.Add(next)) {
+			return 0, false
+		}
+		tentative[w] = next
+		total = total.Add(cost)
+		charges = append(charges, skipCharge{key: rec.op.Key, writer: w, cost: cost})
+	}
+	if !spec.Import.Allows(total) {
+		return 0, false
+	}
+	for _, ch := range charges {
+		ch.writer.exported = ch.writer.exported.Add(ch.cost)
+	}
+	e.stats.Skips++
+	e.stats.SkippedFuzz = e.stats.SkippedFuzz.Add(total)
+	if e.dcObs != nil {
+		for _, ch := range charges {
+			e.dcObs(dc.Event{
+				Key:       ch.key,
+				Requester: owner,
+				Absorbed:  true,
+				Cost:      ch.cost,
+				Pairs:     []dc.Pair{{Query: owner, Update: ch.writer.owner, Cost: ch.cost}},
+			})
+		}
+	}
+	return total, true
+}
+
+// installLocked emits the observer events with the final values,
+// applies the buffered writes, and records the commit in the version
+// index and validation window. Caller holds e.mu.
+func (e *Engine) installLocked(
+	owner lock.Owner,
+	spec metric.Spec,
+	recs []opRec,
+	out *txn.Outcome,
+	repairedOps uint64,
+	skipped bool,
+) error {
+	for i := range recs {
+		rec := &recs[i]
+		if e.verOf(rec.op.Key) != rec.ver && reappliable(recs, i) {
+			rec.ver = e.verOf(rec.op.Key)
+			rec.in = e.store.Get(rec.op.Key)
+			rec.out = rec.op.Update(rec.in)
+			e.stats.ReApplied++
+		}
+	}
+	if e.verify && !skipped {
+		if msg := e.verifyLocked(recs); msg != "" {
+			e.stats.VerifyFailures++
+			if e.verifyMsg == "" {
+				e.verifyMsg = msg
+			}
+		}
+	}
+	finals := make(map[storage.Key]metric.Value)
+	var keys []storage.Key
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.op.Kind {
+		case txn.OpRead:
+			out.Reads = append(out.Reads, txn.ReadRec{Key: rec.op.Key, Value: rec.out})
+			if e.obs != nil {
+				e.obs.Read(owner, rec.op.Key, rec.out)
+			}
+		case txn.OpWrite:
+			if _, ok := finals[rec.op.Key]; !ok {
+				keys = append(keys, rec.op.Key)
+			}
+			finals[rec.op.Key] = rec.out
+			if e.obs != nil {
+				// No write has been installed yet, so Get still returns
+				// the pre-transaction committed value.
+				e.obs.Write(owner, rec.op.Key, e.store.Get(rec.op.Key), rec.out, rec.op.Commutative)
+			}
+		}
+	}
+	batch := make([]storage.Write, 0, len(keys))
+	for _, k := range keys {
+		batch = append(batch, storage.Write{Key: k, Value: finals[k]})
+		e.store.Set(k, finals[k])
+	}
+	if err := e.store.Apply(batch); err != nil {
+		return err
+	}
+	out.Writes = batch
+	e.seq++
+	if len(keys) > 0 {
+		rec := &commitRec{seq: e.seq, owner: owner, keys: keys, exportLimit: spec.Export}
+		for _, k := range keys {
+			// Value first (Set above), version second: see vers.
+			e.vers.Store(k, e.seq)
+			e.index[k] = append(e.index[k], verEntry{seq: e.seq, rec: rec})
+		}
+		e.window = append(e.window, rec)
+	}
+	e.stats.Commits++
+	e.stats.RepairedOps += repairedOps
+	if repairedOps > 0 {
+		e.stats.Repairs++
+	}
+	return nil
+}
+
+// verifyLocked re-executes the whole program from scratch against the
+// current committed state and demands the result match the provenance-
+// repaired records exactly — "byte-identical to a fresh full
+// re-execution". Caller holds e.mu.
+func (e *Engine) verifyLocked(recs []opRec) string {
+	local := make(map[storage.Key]metric.Value)
+	for i := range recs {
+		rec := &recs[i]
+		in, ok := local[rec.op.Key]
+		if !ok {
+			in = e.store.Get(rec.op.Key)
+		}
+		if in != rec.in {
+			return fmt.Sprintf("op %d on %q: committed input %d, fresh run reads %d",
+				i, rec.op.Key, rec.in, in)
+		}
+		if rec.op.AbortIf != nil && rec.op.AbortIf(in) {
+			return fmt.Sprintf("op %d on %q: fresh run rolls back, repaired run committed",
+				i, rec.op.Key)
+		}
+		out := in
+		if rec.op.Kind == txn.OpWrite {
+			out = rec.op.Update(in)
+			local[rec.op.Key] = out
+		}
+		if out != rec.out {
+			return fmt.Sprintf("op %d on %q: committed output %d, fresh run computes %d",
+				i, rec.op.Key, rec.out, out)
+		}
+	}
+	return ""
+}
+
+// Retryable reports whether err is a repair fallback worth retrying.
+func Retryable(err error) bool { return errors.Is(err, ErrValidation) }

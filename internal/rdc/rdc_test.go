@@ -1,0 +1,691 @@
+package rdc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"asynctp/internal/dc"
+	"asynctp/internal/lock"
+	"asynctp/internal/metric"
+	"asynctp/internal/obs"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+func newEngineT(init map[storage.Key]metric.Value) *Engine {
+	return NewEngine(storage.NewFrom(init), nil)
+}
+
+// pauseRead builds a read op on key that parks once at read time until
+// release closes. Safe under repair: the started signal fires exactly
+// once and a closed release never blocks re-evaluation.
+func pauseRead(key storage.Key, started, release chan struct{}) txn.Op {
+	var once sync.Once
+	return txn.Op{Kind: txn.OpRead, Key: key, AbortIf: func(metric.Value) bool {
+		once.Do(func() { close(started) })
+		<-release
+		return false
+	}}
+}
+
+func TestCommitSimpleTransfer(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 1000, "y": 0})
+	p := txn.MustProgram("xfer", txn.AddOp("x", -100), txn.AddOp("y", 100))
+	out, imported, err := e.Run(context.Background(), 1, p, metric.Strict, txn.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed || imported != 0 {
+		t.Errorf("out=%+v imported=%d", out, imported)
+	}
+	if e.store.Get("x") != 900 || e.store.Get("y") != 100 {
+		t.Errorf("state: x=%d y=%d", e.store.Get("x"), e.store.Get("y"))
+	}
+	if st := e.Stats(); st.Commits != 1 || st.Aborts != 0 || st.Repairs != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReadsOwnWrites(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 10})
+	p := txn.MustProgram("t", txn.AddOp("x", 5), txn.ReadOp("x"))
+	out, _, err := e.Run(context.Background(), 1, p, metric.Strict, txn.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out.ReadValue("x"); !ok || v != 15 {
+		t.Errorf("read own write = %d", v)
+	}
+}
+
+func TestRollbackLeavesNoEffect(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 50})
+	p := txn.MustProgram("w",
+		txn.AddOp("staging", 1),
+		txn.WithAbortIf(txn.AddOp("x", -100), func(v metric.Value) bool { return v < 100 }),
+	)
+	_, _, err := e.Run(context.Background(), 1, p, metric.Strict, txn.Update)
+	if !errors.Is(err, txn.ErrRollback) {
+		t.Fatalf("err = %v", err)
+	}
+	if e.store.Has("staging") {
+		t.Error("buffered write leaked to store")
+	}
+}
+
+// TestRepairInsteadOfAbort is the core repair scenario: a write-write
+// conflict that would abort the odc engine is repaired in place — the
+// stale op re-executes against the committed value and the transaction
+// commits on its first attempt. The stale write is non-commutative
+// (a transform), so it genuinely needs re-execution rather than the
+// install-time re-application commutative increments get.
+func TestRepairInsteadOfAbort(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 10})
+	e.SetVerify(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := txn.MustProgram("slow",
+		txn.TransformOp("x", func(v metric.Value) metric.Value { return v + 3 }, metric.LimitOf(3)),
+		pauseRead("y", started, release),
+	)
+
+	type res struct {
+		out *txn.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		ch <- res{out, err}
+	}()
+	<-started
+	// A concurrent increment moves x from 10 to 15 while slow holds a
+	// buffered x=13 computed over the stale base.
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("fast", txn.AddOp("x", 5)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("slow: %v (want repaired commit, not abort)", r.err)
+	}
+	if got := e.store.Get("x"); got != 18 {
+		t.Errorf("x = %d, want 18 (both increments)", got)
+	}
+	st := e.Stats()
+	if st.Repairs != 1 || st.Aborts != 0 {
+		t.Errorf("stats = %+v, want exactly one repair and no aborts", st)
+	}
+	if st.RepairedOps == 0 {
+		t.Error("RepairedOps = 0 after a repair")
+	}
+	if msg := e.VerifyFailure(); msg != "" {
+		t.Errorf("verify: %s", msg)
+	}
+}
+
+// TestRepairFlipsRollbackDecision repairs a read feeding an AbortIf
+// predicate: the predicate was false on the stale input but the fresh
+// committed value makes it true, so the repaired transaction must roll
+// back — committing on the stale decision would overdraw the account.
+func TestRepairFlipsRollbackDecision(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 150})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slow := txn.MustProgram("withdraw",
+		txn.Op{
+			Kind: txn.OpWrite, Key: "x",
+			Update: func(v metric.Value) metric.Value { return v - 100 },
+			Bound:  metric.LimitOf(100),
+			AbortIf: func(v metric.Value) bool {
+				once.Do(func() { close(started) })
+				<-release
+				return v < 100
+			},
+		},
+	)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		errCh <- err
+	}()
+	<-started
+	// Drain the account below the predicate threshold while slow is
+	// parked: its read-time decision (150 ≥ 100, proceed) must flip.
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("drain", txn.AddOp("x", -100)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-errCh; !errors.Is(err, txn.ErrRollback) {
+		t.Fatalf("err = %v, want rollback (fresh value 50 < 100)", err)
+	}
+	if got := e.store.Get("x"); got != 50 {
+		t.Errorf("x = %d, want 50 (only the drain applied)", got)
+	}
+	if st := e.Stats(); st.Commits != 1 {
+		t.Errorf("Commits = %d, want 1 (the drain only)", st.Commits)
+	}
+}
+
+// TestRepairKeepsCommitWhenDecisionHolds is the non-flipping direction:
+// the guarded input changes but the predicate still passes, so the
+// repair recomputes the write on the fresh value and commits.
+func TestRepairKeepsCommitWhenDecisionHolds(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 500})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slow := txn.MustProgram("withdraw",
+		txn.Op{
+			Kind: txn.OpWrite, Key: "x",
+			Update: func(v metric.Value) metric.Value { return v - 100 },
+			Bound:  metric.LimitOf(100),
+			AbortIf: func(v metric.Value) bool {
+				once.Do(func() { close(started) })
+				<-release
+				return v < 100
+			},
+		},
+	)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		errCh <- err
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("drain", txn.AddOp("x", -200)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("err = %v, want repaired commit (300 ≥ 100)", err)
+	}
+	if got := e.store.Get("x"); got != 200 {
+		t.Errorf("x = %d, want 200 (500 - 200 - 100)", got)
+	}
+}
+
+// TestRepairedCommutativeIncrementChain exercises a chain of buffered
+// increments with a read of own writes threaded through: the repair
+// must re-execute the whole local dependency chain, not just the first
+// stale op, so no increment is lost and the read observes the fresh base.
+func TestRepairedCommutativeIncrementChain(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 100})
+	e.SetVerify(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := txn.MustProgram("chain",
+		txn.AddOp("x", 1),
+		txn.AddOp("x", 2),
+		txn.ReadOp("x"),
+		pauseRead("y", started, release),
+	)
+	type res struct {
+		out *txn.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		ch <- res{out, err}
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("bump", txn.AddOp("x", 1000)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if got := e.store.Get("x"); got != 1103 {
+		t.Errorf("x = %d, want 1103 (100+1000+1+2)", got)
+	}
+	// The repaired read of own writes observes the fresh base.
+	if v, _ := r.out.ReadValue("x"); v != 1103 {
+		t.Errorf("read = %d, want 1103", v)
+	}
+	if msg := e.VerifyFailure(); msg != "" {
+		t.Errorf("verify: %s", msg)
+	}
+}
+
+// TestConcurrentIncrementsNeverAbort is the repair answer to odc's
+// commutative-write absorption: under a pure increment storm the engine
+// repairs every conflict and no transaction ever retries.
+func TestConcurrentIncrementsNeverAbort(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 0})
+	e.SetVerify(true)
+	p := txn.MustProgram("inc", txn.AddOp("x", 1))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				owner := lock.Owner(i*1000 + j)
+				if _, _, err := e.Run(context.Background(), owner, p, metric.Strict, txn.Update); err != nil {
+					t.Errorf("inc: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := e.store.Get("x"); got != 800 {
+		t.Errorf("x = %d, want 800 (no lost increments)", got)
+	}
+	st := e.Stats()
+	if st.Aborts != 0 {
+		t.Errorf("Aborts = %d, want 0 (every conflict repaired)", st.Aborts)
+	}
+	if msg := e.VerifyFailure(); msg != "" {
+		t.Errorf("verify: %s", msg)
+	}
+}
+
+// TestStaleIncrementReappliedNotRepaired pins the commutative fast
+// path: a pure unconsumed increment whose base moved underneath it is
+// refreshed at install (the odc engine's re-application) — no repair
+// round, no abort, and no lost update.
+func TestStaleIncrementReappliedNotRepaired(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 10})
+	e.SetVerify(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := txn.MustProgram("slow",
+		txn.AddOp("x", 3),
+		pauseRead("y", started, release),
+	)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		errCh <- err
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("fast", txn.AddOp("x", 5)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("slow: %v (want re-applied commit)", err)
+	}
+	if got := e.store.Get("x"); got != 18 {
+		t.Errorf("x = %d, want 18 (both increments)", got)
+	}
+	st := e.Stats()
+	if st.ReApplied != 1 || st.Repairs != 0 || st.RepairRounds != 0 || st.Aborts != 0 {
+		t.Errorf("stats = %+v, want one re-application and no repairs", st)
+	}
+	if msg := e.VerifyFailure(); msg != "" {
+		t.Errorf("verify: %s", msg)
+	}
+}
+
+// TestFallbackAfterRoundBudget forces the retry-then-fallback path:
+// with both repair bounds at zero, any staleness exceeds the budget and
+// surfaces as a retryable validation abort.
+func TestFallbackAfterRoundBudget(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 10})
+	e.SetRepairLimits(0, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := txn.MustProgram("slow",
+		txn.TransformOp("x", func(v metric.Value) metric.Value { return v + 3 }, metric.LimitOf(3)),
+		pauseRead("y", started, release),
+	)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(context.Background(), 1, slow, metric.Strict, txn.Update)
+		errCh <- err
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 2,
+		txn.MustProgram("fast", txn.AddOp("x", 5)), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	err := <-errCh
+	if !Retryable(err) {
+		t.Fatalf("err = %v, want retryable fallback", err)
+	}
+	if st := e.Stats(); st.Aborts != 1 {
+		t.Errorf("Aborts = %d, want 1", st.Aborts)
+	}
+	// The retry succeeds cleanly.
+	if _, _, err := e.Run(context.Background(), 3,
+		txn.MustProgram("slow", txn.AddOp("x", 3), txn.ReadOp("y")), metric.Strict, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.store.Get("x"); got != 18 {
+		t.Errorf("x = %d, want 18", got)
+	}
+}
+
+// TestEpsilonSkipCommitsStaleRead: a query whose only stale op is a
+// plain read commits the stale value as-is, imports exactly the value
+// delta, and emits one absorbed dc.Event charging the writer.
+func TestEpsilonSkipCommitsStaleRead(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 1000})
+	e.SetSkip(true)
+	var events []dc.Event
+	var evMu sync.Mutex
+	e.SetDCObserver(func(ev dc.Event) {
+		evMu.Lock()
+		events = append(events, ev)
+		evMu.Unlock()
+	})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	audit := txn.MustProgram("audit",
+		txn.ReadOp("x"),
+		pauseRead("y", started, release),
+	)
+	type res struct {
+		out      *txn.Outcome
+		imported metric.Fuzz
+		err      error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, imported, err := e.Run(context.Background(), 10, audit,
+			metric.Spec{Import: metric.LimitOf(200), Export: metric.Zero}, txn.Query)
+		ch <- res{out, imported, err}
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 11,
+		txn.MustProgram("upd", txn.AddOp("x", -100)),
+		metric.Spec{Import: metric.Zero, Export: metric.LimitOf(1000)}, txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.imported != 100 {
+		t.Errorf("imported = %d, want 100 (the skipped delta)", r.imported)
+	}
+	// The stale value committed as-is: ε-skip trades this exact
+	// divergence for not re-running the read.
+	if v, _ := r.out.ReadValue("x"); v != 1000 {
+		t.Errorf("read = %d, want stale 1000", v)
+	}
+	st := e.Stats()
+	if st.Skips != 1 || st.SkippedFuzz != 100 {
+		t.Errorf("stats = %+v, want one skip of fuzz 100", st)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.Absorbed || ev.Cost != 100 || ev.Key != "x" || len(ev.Pairs) != 1 ||
+		ev.Pairs[0].Query != 10 || ev.Pairs[0].Update != 11 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+// TestEpsilonSkipRespectsBudgets: skip is refused when the import
+// budget or the writer's export budget cannot carry the delta; the
+// repair path takes over and the fresh value commits.
+func TestEpsilonSkipRespectsBudgets(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		importL, exportL metric.Limit
+	}{
+		{"import too small", metric.LimitOf(50), metric.LimitOf(1000)},
+		{"export exhausted", metric.LimitOf(200), metric.Zero},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEngineT(map[storage.Key]metric.Value{"x": 1000})
+			e.SetSkip(true)
+			started := make(chan struct{})
+			release := make(chan struct{})
+			audit := txn.MustProgram("audit",
+				txn.ReadOp("x"),
+				pauseRead("y", started, release),
+			)
+			type res struct {
+				out *txn.Outcome
+				err error
+			}
+			ch := make(chan res, 1)
+			go func() {
+				out, _, err := e.Run(context.Background(), 10, audit,
+					metric.Spec{Import: tc.importL, Export: metric.Zero}, txn.Query)
+				ch <- res{out, err}
+			}()
+			<-started
+			if _, _, err := e.Run(context.Background(), 11,
+				txn.MustProgram("upd", txn.AddOp("x", -100)),
+				metric.Spec{Import: metric.Zero, Export: tc.exportL}, txn.Update); err != nil {
+				t.Fatal(err)
+			}
+			close(release)
+			r := <-ch
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			// Not skipped: the read was repaired to the fresh value.
+			if v, _ := r.out.ReadValue("x"); v != 900 {
+				t.Errorf("read = %d, want repaired 900", v)
+			}
+			if st := e.Stats(); st.Skips != 0 || st.Repairs != 1 {
+				t.Errorf("stats = %+v, want repair instead of skip", st)
+			}
+		})
+	}
+}
+
+// TestEpsilonSkipNeverForUpdates: an update-class transaction with a
+// stale read is always repaired, never skipped, regardless of budgets.
+func TestEpsilonSkipNeverForUpdates(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 1000})
+	e.SetSkip(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p := txn.MustProgram("upd",
+		txn.ReadOp("x"),
+		pauseRead("y", started, release),
+		txn.AddOp("z", 1),
+	)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(context.Background(), 10, p,
+			metric.Spec{Import: metric.LimitOf(10000), Export: metric.LimitOf(10000)}, txn.Update)
+		errCh <- err
+	}()
+	<-started
+	if _, _, err := e.Run(context.Background(), 11,
+		txn.MustProgram("w", txn.AddOp("x", -100)),
+		metric.SpecOf(10000), txn.Update); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Skips != 0 {
+		t.Errorf("Skips = %d, want 0 for update class", st.Skips)
+	}
+}
+
+// TestEpsilonSkipChargedOnceInLedger drives the engine through the obs
+// plane the way core.Runner does and asserts the retry discipline: a
+// first attempt that falls back (debits voided), then a successful
+// ε-skip — the ledger must end up charged exactly once.
+func TestEpsilonSkipChargedOnceInLedger(t *testing.T) {
+	plane := obs.NewPlane(nil, obs.NewLedger(), nil)
+	e := NewEngine(storage.NewFrom(map[storage.Key]metric.Value{"x": 1000}),
+		plane.ExecObserver())
+	e.SetSkip(true)
+	e.SetDCObserver(plane.DCObserver())
+
+	const auditOwner, auditGroup = 10, 100
+	plane.Ledger.BindGroup(auditGroup, "audit", "query", "rdc", metric.LimitOf(200))
+
+	runAudit := func(attempt int, rounds int) (metric.Fuzz, error) {
+		e.SetRepairLimits(0, rounds) // rounds=0 forces the fallback path
+		owner := int64(auditOwner + attempt)
+		plane.PieceBegin(owner, auditGroup, 0, "local", "audit", txn.Query)
+		started := make(chan struct{})
+		release := make(chan struct{})
+		audit := txn.MustProgram("audit",
+			txn.ReadOp("x"),
+			pauseRead("y", started, release),
+		)
+		type res struct {
+			imported metric.Fuzz
+			err      error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			_, imported, err := e.Run(context.Background(), lock.Owner(owner), audit,
+				metric.Spec{Import: metric.LimitOf(200), Export: metric.Zero}, txn.Query)
+			ch <- res{imported, err}
+		}()
+		<-started
+		if _, _, err := e.Run(context.Background(), lock.Owner(owner)+1000,
+			txn.MustProgram("upd", txn.AddOp("x", -50)),
+			metric.Spec{Import: metric.Zero, Export: metric.LimitOf(1000)}, txn.Update); err != nil {
+			t.Fatal(err)
+		}
+		close(release)
+		r := <-ch
+		if r.err == nil {
+			plane.PieceSettle(owner, r.imported, 0)
+		}
+		return r.imported, r.err
+	}
+
+	// Attempt 1: with skip disabled and a zero repair budget the stale
+	// read falls back to a retryable abort; any pending debits are
+	// voided by the exec observer.
+	e.SetSkip(false)
+	if _, err := runAudit(0, 0); !Retryable(err) {
+		t.Fatalf("attempt 1: err = %v, want fallback", err)
+	}
+	e.SetSkip(true)
+	imported, err := runAudit(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 50 {
+		t.Fatalf("imported = %d, want 50", imported)
+	}
+
+	for _, acct := range plane.Ledger.Accounts() {
+		if acct.Group != auditGroup {
+			continue
+		}
+		if acct.Charged != 50 {
+			t.Errorf("ledger charged = %d, want exactly 50 (no double charge)", acct.Charged)
+		}
+		return
+	}
+	t.Fatal("audit group missing from ledger")
+}
+
+func TestValidationWindowGC(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 0})
+	p := txn.MustProgram("inc", txn.AddOp("x", 1))
+	for i := 0; i < 100; i++ {
+		if _, _, err := e.Run(context.Background(), lock.Owner(i+1), p, metric.Strict, txn.Update); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().GCRetained; got != 0 {
+		t.Errorf("validation window = %d entries after quiescence", got)
+	}
+	e.mu.Lock()
+	idx := len(e.index)
+	e.mu.Unlock()
+	if idx != 0 {
+		t.Errorf("version index holds %d keys after quiescence", idx)
+	}
+	// Versions survive GC: a fresh read still validates against them.
+	if e.verOf("x") == 0 {
+		t.Error("version counter pruned with the window")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e := newEngineT(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := txn.MustProgram("t", txn.ReadOp("x"))
+	if _, _, err := e.Run(ctx, 1, p, metric.Strict, txn.Query); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestInvalidProgramRejected(t *testing.T) {
+	e := newEngineT(nil)
+	if _, _, err := e.Run(context.Background(), 1, &txn.Program{Name: "bad"}, metric.Strict, txn.Query); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestStressMixedWorkloadConservedAndVerified(t *testing.T) {
+	e := newEngineT(map[storage.Key]metric.Value{"x": 100000, "y": 100000})
+	e.SetVerify(true)
+	e.SetSkip(true)
+	xfer := txn.MustProgram("xfer", txn.AddOp("x", -100), txn.AddOp("y", 100))
+	audit := txn.MustProgram("audit", txn.ReadOp("x"), txn.ReadOp("y"))
+	spec := metric.SpecOf(10000)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			owner := lock.Owner(i * 100000)
+			for n := 0; n < 200 && time.Now().Before(deadline); n++ {
+				owner++
+				p, class := xfer, txn.Update
+				if i%2 == 0 {
+					p, class = audit, txn.Query
+				}
+				for {
+					out, imported, err := e.Run(context.Background(), owner, p, spec, class)
+					if err == nil {
+						if class == txn.Query {
+							dev := metric.Distance(out.SumReads(), 200000)
+							if dev > 10000 {
+								t.Errorf("deviation %d > ε", dev)
+							}
+							if dev > imported {
+								t.Errorf("deviation %d > imported %d", dev, imported)
+							}
+						}
+						break
+					}
+					if !Retryable(err) {
+						t.Errorf("run: %v", err)
+						return
+					}
+					owner++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := e.store.Get("x") + e.store.Get("y"); got != 200000 {
+		t.Errorf("total = %d, want 200000", got)
+	}
+	if msg := e.VerifyFailure(); msg != "" {
+		t.Errorf("verify: %s", msg)
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// ContentionConfig parameterizes the hot-key contention workload used by
+// the perfbench contention suite: a Zipfian-skewed transfer stream built
+// to separate the abort-retry engines from the repair engine. Each
+// transfer does a few ops of private per-type bookkeeping (reads and a
+// commutative counter that never conflict across types) and then one
+// guarded withdrawal plus one deposit on Zipfian-hot shared accounts.
+// The AbortIf guard observes the withdrawal's input, so under optimistic
+// DC any committed write to that account between read and validation
+// forces a whole-transaction redo — while the repair engine re-executes
+// only the one or two stale hot ops and keeps the cold prefix.
+type ContentionConfig struct {
+	// Keys is the size of the shared hot-account pool.
+	Keys int
+	// Theta is the Zipfian skew over that pool (0 uniform, 0.99 the
+	// classic YCSB hot-spot).
+	Theta float64
+	// TransferTypes is the number of distinct transfer programs (each
+	// with its own private bookkeeping keys and its own Zipfian-drawn
+	// source/destination pair); TransferCount is the instance count per
+	// program.
+	TransferTypes, TransferCount int
+	// AuditCount is the instance count of the audit query (0 disables
+	// it). AuditSpan is how many hot accounts the audit reads, hottest
+	// first; when it covers the whole pool the audit's serializable
+	// answer is the conserved total and the driver checks deviation.
+	AuditCount, AuditSpan int
+	// Amount is the fixed transfer size.
+	Amount metric.Value
+	// InitialBalance seeds every hot account. Keep it comfortably above
+	// Amount × TransferCount × TransferTypes so the withdrawal guard
+	// never actually fires: the guard exists to make the read observed,
+	// not to roll transfers back.
+	InitialBalance metric.Value
+	// Epsilon is the ε-spec: transfers export up to it, audits import up
+	// to it (this is what the repair-skip engine spends).
+	Epsilon metric.Fuzz
+	// Seed drives the Zipfian source/destination draws.
+	Seed int64
+}
+
+// hotKey names hot account k.
+func hotKey(k int) storage.Key {
+	return storage.Key(fmt.Sprintf("h%d", k))
+}
+
+// NewContention builds the contention workload described on
+// ContentionConfig.
+func NewContention(cfg ContentionConfig) (*Workload, error) {
+	if cfg.Keys < 2 {
+		return nil, fmt.Errorf("workload: contention needs >=2 hot keys, got %d", cfg.Keys)
+	}
+	if cfg.TransferTypes < 1 || cfg.TransferCount < 1 {
+		return nil, fmt.Errorf("workload: contention needs transfers")
+	}
+	if cfg.Amount <= 0 {
+		return nil, fmt.Errorf("workload: contention needs a positive amount")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := NewZipfian(rng, cfg.Keys, cfg.Theta)
+	w := &Workload{
+		Name:     "contention",
+		Initial:  make(map[storage.Key]metric.Value),
+		Expected: make(map[int]metric.Value),
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		w.Initial[hotKey(k)] = cfg.InitialBalance
+	}
+	amt := cfg.Amount
+	spec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	for ti := 0; ti < cfg.TransferTypes; ti++ {
+		cfgKey := storage.Key(fmt.Sprintf("cfg:t%d", ti))
+		rateKey := storage.Key(fmt.Sprintf("rate:t%d", ti))
+		feeKey := storage.Key(fmt.Sprintf("fee:t%d", ti))
+		limitKey := storage.Key(fmt.Sprintf("limit:t%d", ti))
+		logKey := storage.Key(fmt.Sprintf("log:t%d", ti))
+		w.Initial[cfgKey] = 1
+		w.Initial[rateKey] = 1
+		w.Initial[feeKey] = 1
+		w.Initial[limitKey] = 1 << 40
+		w.Initial[logKey] = 0
+		src := zipf.Next()
+		dst := zipf.Next()
+		for dst == src {
+			dst = rng.Intn(cfg.Keys)
+		}
+		p := txn.MustProgram(fmt.Sprintf("xfer%d", ti),
+			// Cold prefix: private per-type keys, never contended. Under
+			// abort-retry this work is redone on every validation failure;
+			// under repair it stays clean and is kept.
+			txn.ReadOp(cfgKey),
+			txn.ReadOp(rateKey),
+			txn.ReadOp(feeKey),
+			txn.ReadOp(limitKey),
+			txn.AddOp(logKey, 1),
+			// Hot pair: the guard observes the withdrawal input, so the
+			// source read is validated (not absorbed) by every engine.
+			txn.WithAbortIf(
+				txn.AddOp(hotKey(src), -amt),
+				func(v metric.Value) bool { return v < amt }, // insufficient funds
+			),
+			txn.AddOp(hotKey(dst), amt),
+		).WithSpec(spec)
+		w.Programs = append(w.Programs, p)
+		w.Counts = append(w.Counts, cfg.TransferCount)
+	}
+	if cfg.AuditCount > 0 {
+		span := cfg.AuditSpan
+		if span <= 0 || span > cfg.Keys {
+			span = cfg.Keys
+		}
+		ops := make([]txn.Op, 0, span)
+		for k := 0; k < span; k++ {
+			ops = append(ops, txn.ReadOp(hotKey(k)))
+		}
+		audit := txn.MustProgram("audit", ops...).
+			WithSpec(metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero})
+		if span == cfg.Keys {
+			// Transfers only shuffle value inside the pool, so a full-pool
+			// audit has an invariant serializable answer.
+			w.Expected[len(w.Programs)] = cfg.InitialBalance * metric.Value(cfg.Keys)
+		}
+		w.Programs = append(w.Programs, audit)
+		w.Counts = append(w.Counts, cfg.AuditCount)
+	}
+	return w, nil
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"asynctp/internal/core"
+	"asynctp/internal/storage"
+)
+
+func TestNewContentionShape(t *testing.T) {
+	w, err := NewContention(ContentionConfig{
+		Keys: 8, Theta: 0.99,
+		TransferTypes: 4, TransferCount: 5,
+		AuditCount: 2, AuditSpan: 0,
+		Amount: 10, InitialBalance: 10000, Epsilon: 500, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 hot keys + 5 private keys per transfer type.
+	if len(w.Initial) != 8+5*4 {
+		t.Errorf("initial keys = %d, want %d", len(w.Initial), 8+5*4)
+	}
+	if len(w.Programs) != 5 || len(w.Counts) != 5 {
+		t.Fatalf("programs = %d counts = %d", len(w.Programs), len(w.Counts))
+	}
+	// A zero/oversized span covers the pool, so the audit is checkable.
+	qi := len(w.Programs) - 1
+	if got := len(w.Programs[qi].ReadSet()); got != 8 {
+		t.Errorf("audit reads %d keys, want 8", got)
+	}
+	if w.Expected[qi] != 8*10000 {
+		t.Errorf("expected = %d, want 80000", w.Expected[qi])
+	}
+	// Each transfer writes its log key plus two distinct hot accounts.
+	for ti := 0; ti < 4; ti++ {
+		ws := w.Programs[ti].WriteSet()
+		if len(ws) != 3 {
+			t.Errorf("transfer %d writes %d keys, want 3: %v", ti, len(ws), ws)
+		}
+	}
+}
+
+func TestNewContentionDeterministic(t *testing.T) {
+	mk := func() string {
+		w, err := NewContention(ContentionConfig{
+			Keys: 16, Theta: 0.9,
+			TransferTypes: 6, TransferCount: 2,
+			Amount: 5, InitialBalance: 1000, Epsilon: 100, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sig string
+		for _, p := range w.Programs {
+			sig += fmt.Sprint(p.WriteSet(), p.ReadSet(), ";")
+		}
+		return sig
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("same seed produced different workloads:\n%s\n%s", a, b)
+	}
+}
+
+func TestNewContentionValidation(t *testing.T) {
+	if _, err := NewContention(ContentionConfig{Keys: 1, TransferTypes: 1, TransferCount: 1, Amount: 1}); err == nil {
+		t.Error("single hot key accepted")
+	}
+	if _, err := NewContention(ContentionConfig{Keys: 4, Amount: 1}); err == nil {
+		t.Error("no transfers accepted")
+	}
+	if _, err := NewContention(ContentionConfig{Keys: 4, TransferTypes: 1, TransferCount: 1}); err == nil {
+		t.Error("zero amount accepted")
+	}
+}
+
+// TestContentionConserves runs the stream under the abort-retry and
+// repair engines and checks the invariant the audit is priced against:
+// hot-pool value is conserved, nothing rolls back (the guard exists to
+// observe the read, not to fire), and the repair engine's self-check
+// stays clean.
+func TestContentionConserves(t *testing.T) {
+	for _, kind := range []core.EngineKind{
+		core.EngineOptimistic, core.EngineRepair, core.EngineRepairSkip,
+	} {
+		t.Run(kind.String(), func(t *testing.T) {
+			w, err := NewContention(ContentionConfig{
+				Keys: 8, Theta: 0.99,
+				TransferTypes: 6, TransferCount: 8,
+				AuditCount: 10, AuditSpan: 0,
+				Amount: 10, InitialBalance: 1 << 20, Epsilon: 2000, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ConfigFor(w, core.BaselineESRDC, core.Static, false)
+			cfg.Engine = kind
+			cfg.VerifyRepairs = true
+			store := cfg.Store
+			r, err := core.NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), r, w, 8, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RolledBack != 0 {
+				t.Errorf("%d transfers rolled back; the guard should never fire", res.RolledBack)
+			}
+			wantCommits := w.TotalInstances()
+			if res.Committed != wantCommits {
+				t.Errorf("committed = %d, want %d", res.Committed, wantCommits)
+			}
+			var total int64
+			for k := 0; k < 8; k++ {
+				total += int64(store.Get(storage.Key(fmt.Sprintf("h%d", k))))
+			}
+			if total != 8*(1<<20) {
+				t.Errorf("hot pool total = %d, want %d", total, 8*(1<<20))
+			}
+			if res.MaxDeviation > 2000 {
+				t.Errorf("audit deviation %d exceeds ε 2000", res.MaxDeviation)
+			}
+			if msg := r.RepairVerifyFailure(); msg != "" {
+				t.Errorf("repair self-check: %s", msg)
+			}
+			// Each log key counts its type's committed transfers exactly once,
+			// even across repairs and retries.
+			for ti := 0; ti < 6; ti++ {
+				if got := store.Get(storage.Key(fmt.Sprintf("log:t%d", ti))); got != 8 {
+					t.Errorf("log:t%d = %d, want 8", ti, got)
+				}
+			}
+		})
+	}
+}
