@@ -136,6 +136,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// Fold the observability plane's headline counters (and, when a
+	// tenant serving layer ran, its per-tenant breakdown) into the
+	// stderr report alongside the chaos claims.
+	for _, line := range plane.Summary() {
+		fmt.Fprintln(os.Stderr, "obs:", line)
+	}
 	if *jsonOut {
 		out, err := rep.JSON()
 		if err != nil {

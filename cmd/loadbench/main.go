@@ -10,6 +10,14 @@
 // timed fault schedule. Every run ends with a settlement audit: queues
 // quiesce, the cluster-wide record total must equal the seeded total.
 //
+// With -tenants N the rig instead stands up the multi-tenant serving
+// layer (internal/tenant) in one process: N key-disjoint tenants over
+// partition-parallel runners, tenant-selection skew set by -skew, and
+// per-tenant admission budgets (-tenantrate, -tenanteps) deciding how
+// much hot-tenant overflow is served degraded (spending ε on stale
+// reads) before shedding. The stderr report folds in the observability
+// plane's per-tenant admitted/degraded/shed/ε breakdown.
+//
 // The JSON report uses the perfbench schema, so CI gates it with
 // `perfbench -compare BENCH_net.json new.json`.
 //
@@ -18,6 +26,8 @@
 //	loadbench -quick -out load.json                # in-process simnet
 //	loadbench -net tcp -scenarios baseline         # in-process TCP loopback
 //	loadbench -multi -txns 1000000 -mode closed    # one OS process per site
+//	loadbench -tenants 16 -skew 0.99 -rate 800 \
+//	          -tenantrate 30 -tenanteps 100000     # serving-layer mode
 //	perfbench -compare BENCH_net.json load.json
 package main
 
@@ -38,6 +48,7 @@ import (
 
 	"asynctp/internal/fault"
 	"asynctp/internal/metric"
+	"asynctp/internal/obs"
 	"asynctp/internal/simnet"
 	"asynctp/internal/site"
 	"asynctp/internal/storage"
@@ -123,9 +134,13 @@ type Result struct {
 	RolledBack  int     `json:"rolledback"`
 	Errors      int     `json:"errors"`
 	Procs       int     `json:"procs"`
-	Net         string  `json:"net"` // sim | tcp | tcp-multi
+	Net         string  `json:"net"` // sim | tcp | tcp-multi | local
 	OfferedRate float64 `json:"offered_rate"`
 	Conserved   bool    `json:"conserved"`
+	// Degraded/EpsCharged carry the -tenants mode's ε-spend shedding
+	// accounting (zero elsewhere).
+	Degraded   int   `json:"degraded,omitempty"`
+	EpsCharged int64 `json:"eps_charged,omitempty"`
 }
 
 // File is the serialized report (perfbench-compatible superset).
@@ -177,6 +192,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "table + arrival RNG seed")
 	quick := fs.Bool("quick", false, "CI mode: smaller stream")
 	out := fs.String("out", "", "write JSON report to this file (default stdout)")
+	nTenants := fs.Int("tenants", 0, "run the multi-tenant serving layer with this many tenants instead of the cluster rig")
+	parts := fs.Int("parts", 8, "partitions for -tenants mode (capped at the tenant count)")
+	skew := fs.Float64("skew", 0.99, "tenant-selection Zipfian skew for -tenants mode")
+	tenantRate := fs.Float64("tenantrate", 0, "per-tenant admitted txn/s budget for -tenants mode (0 = unlimited)")
+	tenantEps := fs.Float64("tenanteps", 0, "per-tenant ε/s degrade allowance for -tenants mode (0 = unlimited)")
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,6 +252,18 @@ func run(args []string) error {
 	if *multi {
 		wire = "tcp-multi"
 	}
+	plane, stopObs, err := obsFlags.Build()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(os.Stderr, "loadbench: obs:", oerr)
+		}
+	}()
+	if *nTenants > 0 {
+		wire = "local"
+	}
 	file := &File{
 		Schema: "asynctp/perfbench/v1",
 		Date:   time.Now().UTC(),
@@ -240,6 +273,39 @@ func run(args []string) error {
 		Quick:  *quick,
 		Mode:   *mode,
 		Net:    wire,
+	}
+	if *nTenants > 0 {
+		// Multi-tenant serving-layer mode: the per-tenant breakdown in
+		// plane.Summary() is part of the report, so a plane is always
+		// built even when no -trace/-metrics destination was requested.
+		if plane == nil {
+			plane = obs.NewPlane(nil, nil, obs.NewRegistry())
+		}
+		row, err := runTenantsMode(tenantsConfig{
+			Tenants:     *nTenants,
+			Partitions:  *parts,
+			Skew:        *skew,
+			Epsilon:     metric.Fuzz(*epsilon),
+			Rate:        *tenantRate,
+			EpsRate:     *tenantEps,
+			Mode:        *mode,
+			OfferedRate: *rate,
+			Txns:        nTxns,
+			Workers:     *workers,
+			MaxInFlight: *maxInFlight,
+			Seed:        *seed,
+		}, plane)
+		if err != nil {
+			return err
+		}
+		if !row.Conserved {
+			return fmt.Errorf("tenants mode: value not conserved — measurement void")
+		}
+		file.Results = append(file.Results, row)
+		fmt.Fprintf(os.Stderr, "%-12s %-10s procs=%d %9.0f txn/s  p50=%7.0fµs p99=%7.0fµs  offered=%d degraded=%d shed=%d ε=%d\n",
+			row.Suite, row.Variant, row.Procs, row.TPS, row.P50us, row.P99us, row.Txns, row.Degraded, row.Shed, row.EpsCharged)
+		reportSummary(plane)
+		return writeReport(file, *out)
 	}
 	for _, name := range strings.Split(*scenariosArg, ",") {
 		sc, err := workload.ScenarioByName(strings.TrimSpace(name))
@@ -251,7 +317,7 @@ func run(args []string) error {
 		if *multi {
 			row, err = runMulti(shared, sc)
 		} else {
-			row, err = runLocal(shared, sc, *netKind)
+			row, err = runLocal(shared, sc, *netKind, plane)
 		}
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -263,23 +329,37 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "%-12s %-10s procs=%d %9.0f txn/s  settle p50=%7.0fµs p99=%7.0fµs  offered=%d shed=%d\n",
 			row.Suite, row.Variant, row.Procs, row.TPS, row.P50us, row.P99us, row.Txns, row.Shed)
 	}
+	reportSummary(plane)
+	return writeReport(file, *out)
+}
+
+// reportSummary folds the observability plane's headline counters —
+// including the per-tenant admitted/degraded/shed/ε breakdown when the
+// serving layer ran — into the stderr report. Nil-safe.
+func reportSummary(plane *obs.Plane) {
+	for _, line := range plane.Summary() {
+		fmt.Fprintln(os.Stderr, "obs:", line)
+	}
+}
+
+func writeReport(file *File, out string) error {
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return os.WriteFile(out, data, 0o644)
 }
 
 // ---------------------------------------------------------------------
 // Single-process runs (simnet or TCP loopback)
 // ---------------------------------------------------------------------
 
-func runLocal(shared sharedConfig, sc workload.Scenario, netKind string) (Result, error) {
+func runLocal(shared sharedConfig, sc workload.Scenario, netKind string, plane *obs.Plane) (Result, error) {
 	w, err := shared.workload()
 	if err != nil {
 		return Result{}, err
@@ -294,6 +374,7 @@ func runLocal(shared sharedConfig, sc workload.Scenario, netKind string) (Result
 		Latency:           sc.Latency,
 		Jitter:            sc.Jitter,
 		LossRate:          sc.LossRate,
+		Obs:               plane,
 	}
 	if netKind == "tcp" {
 		listen := make(map[simnet.SiteID]string, len(shared.Sites))

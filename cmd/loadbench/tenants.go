@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"asynctp/internal/core"
+	"asynctp/internal/metric"
+	"asynctp/internal/obs"
+	"asynctp/internal/tenant"
+	"asynctp/internal/workload"
+)
+
+// tenantsConfig parameterizes loadbench's single-process multi-tenant
+// mode: instead of the chopped-transaction cluster, the rig stands up
+// the internal/tenant serving layer (partition-parallel runners plus
+// admission control) and drives it with the shared arrival knobs. The
+// tenant-selection skew is its own dial — a hot tenant, not a hot key —
+// and the per-tenant request/ε budgets decide how much of the overflow
+// is degraded through stale reads before shedding begins.
+type tenantsConfig struct {
+	Tenants     int
+	Partitions  int
+	Skew        float64 // Zipfian θ over tenants
+	Epsilon     metric.Fuzz
+	Rate        float64 // per-tenant admitted txn/s budget (0 = unlimited)
+	EpsRate     float64 // per-tenant ε/s degrade allowance (0 = unlimited)
+	Mode        string
+	OfferedRate float64
+	Txns        int
+	Workers     int
+	MaxInFlight int
+	Seed        int64
+}
+
+// runTenantsMode builds the mix, serves it, drives it, and audits
+// conservation across the partition stores. The plane (never nil here)
+// collects the per-tenant admitted/degraded/shed/ε breakdown that the
+// caller folds into the stderr report via plane.Summary().
+func runTenantsMode(cfg tenantsConfig, plane *obs.Plane) (Result, error) {
+	ws, err := workload.NewTenantMix(workload.TenantMixConfig{
+		Tenants:        cfg.Tenants,
+		TransferCount:  1,
+		AuditCount:     1,
+		Amount:         5,
+		InitialBalance: 1 << 30,
+		Epsilon:        cfg.Epsilon,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	tenants := make([]tenant.Tenant, len(ws))
+	for i, w := range ws {
+		tenants[i] = tenant.Tenant{
+			Name:     w.Name,
+			Programs: w.Programs,
+			Counts:   w.Counts,
+			Initial:  w.Initial,
+			Rate:     cfg.Rate,
+			Burst:    4,
+			EpsRate:  cfg.EpsRate,
+			EpsBurst: cfg.EpsRate / 2,
+		}
+	}
+	parts := cfg.Partitions
+	if parts > cfg.Tenants {
+		parts = cfg.Tenants
+	}
+	s, err := tenant.New(tenant.Config{
+		Partitions: parts,
+		Pools:      1,
+		Workers:    parts,
+		Method:     core.BaselineESRDC,
+		Engine:     core.EngineLocking,
+		Obs:        plane,
+	}, tenants)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := workload.NewZipfian(rng, cfg.Tenants, cfg.Skew)
+	nprogs := len(ws[0].Programs)
+	pick := func(r *rand.Rand) tenant.Pick {
+		return tenant.Pick{
+			Tenant: fmt.Sprintf("t%d", zipf.Next()),
+			TI:     r.Intn(nprogs),
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	dres := tenant.Drive(ctx, s, tenant.DriveConfig{
+		OpenLoop:    cfg.Mode == "open",
+		Rate:        cfg.OfferedRate,
+		Total:       cfg.Txns,
+		Workers:     cfg.Workers,
+		MaxInFlight: cfg.MaxInFlight,
+		Seed:        cfg.Seed,
+		Pick:        pick,
+	})
+
+	// Conservation: transfers shuffle value inside each tenant's hot
+	// pool (log counters grow by design), so the hot keys must still sum
+	// to the seeded total.
+	var want, got metric.Value
+	for _, w := range ws {
+		for key, v := range w.Initial {
+			if strings.Contains(string(key), ":h") {
+				want += v
+			}
+		}
+	}
+	for k := 0; k < s.Partitions(); k++ {
+		st := s.Store(k)
+		if st == nil {
+			continue
+		}
+		for _, key := range st.Keys() {
+			if strings.Contains(string(key), ":h") {
+				got += st.Get(key)
+			}
+		}
+	}
+
+	row := Result{
+		Suite:       "load-tenants",
+		Variant:     fmt.Sprintf("theta=%.2f", cfg.Skew),
+		Workers:     cfg.Workers,
+		Txns:        dres.Offered,
+		TPS:         dres.CommittedTPS,
+		Started:     dres.Admitted,
+		Shed:        dres.Shed + dres.Dropped,
+		Degraded:    dres.Degraded,
+		EpsCharged:  int64(dres.EpsCharged),
+		Committed:   dres.Committed,
+		RolledBack:  dres.RolledBack,
+		Errors:      dres.Errors,
+		Procs:       1,
+		Net:         "local",
+		OfferedRate: cfg.OfferedRate,
+		Conserved:   got == want,
+	}
+	if dres.NormalLatency.N() > 0 {
+		row.P50us = float64(dres.NormalLatency.Percentile(50).Microseconds())
+		row.P99us = float64(dres.NormalLatency.Percentile(99).Microseconds())
+	}
+	return row, nil
+}

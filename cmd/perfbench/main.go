@@ -19,10 +19,20 @@
 // throughput so the compare gate — and the -minspeedup assertion —
 // catch a collapse of the repair win itself.
 //
+// The tenants suite (not in the default set; baseline
+// BENCH_tenants.json) measures the multi-tenant serving layer
+// (internal/tenant): partition-parallel capacity against the
+// single-runner architecture ("partition-speedup", gated by
+// -minpartspeedup), and ε-spend load shedding under 2× hot-tenant
+// overload ("shed-headroom" = 2× uncontended p99 ÷ overload admitted
+// p99, gated by -minshedheadroom).
+//
 // Usage:
 //
-//	perfbench [-suites e1,e5,absorb,wal,contention] [-workers 1,4,8,16]
+//	perfbench [-suites e1,e5,absorb,wal,contention,tenants]
+//	          [-workers 1,4,8,16]
 //	          [-quick] [-minspeedup X]
+//	          [-minpartspeedup X] [-minshedheadroom X]
 //	          [-out BENCH.json] [-opdelay 50us] [-seed N]
 //	          [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //	          [-trace f] [-tracewall f] [-tracetext f]
@@ -32,7 +42,9 @@
 // Compare mode exits non-zero only on a ≥2× throughput regression; drift
 // beyond ±30% is reported but tolerated (single-run numbers on shared CI
 // machines are noisy — the hard gate is reserved for collapse-sized
-// regressions).
+// regressions). Baseline cells with no counterpart in the new run are
+// warned about per suite — a silently skipped suite must not read as a
+// green gate — but do not fail the comparison.
 package main
 
 import (
@@ -97,7 +109,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
-	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb,wal,contention")
+	suitesArg := fs.String("suites", "e1,e5,absorb", "comma-separated suites: e1,e5,absorb,wal,contention,tenants")
 	workersArg := fs.String("workers", "1,4,8,16", "comma-separated worker counts")
 	quick := fs.Bool("quick", false, "CI mode: smaller stream, workers 1,4 unless -workers given")
 	out := fs.String("out", "", "write JSON report to this file (default stdout)")
@@ -105,6 +117,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	minSpeedup := fs.Float64("minspeedup", 0,
 		"fail unless every contention repair-speedup/theta=0.99 row is at least this ratio (0 disables)")
+	minPartSpeedup := fs.Float64("minpartspeedup", 0,
+		"fail unless every tenants partition-speedup row is at least this ratio (0 disables)")
+	minShedHeadroom := fs.Float64("minshedheadroom", 0,
+		"fail unless every tenants shed-headroom row is at least this ratio (0 disables)")
 	compare := fs.Bool("compare", false, "compare two report files: perfbench -compare old.json new.json")
 	prof := profiling.Register(fs)
 	obsFlags := obs.Register(fs)
@@ -168,6 +184,8 @@ func run(args []string) error {
 				res, err = runWAL(w, *quick)
 			case "contention":
 				res, err = runContention(w, *quick, *seed, plane)
+			case "tenants":
+				res, err = runTenants(w, *quick, *seed, plane)
 			default:
 				err = fmt.Errorf("unknown suite %q", suite)
 			}
@@ -186,6 +204,16 @@ func run(args []string) error {
 	}
 	if *minSpeedup > 0 {
 		if err := checkMinSpeedup(file.Results, *minSpeedup); err != nil {
+			return err
+		}
+	}
+	if *minPartSpeedup > 0 {
+		if err := checkMinRatio(file.Results, "tenants", "partition-speedup", *minPartSpeedup); err != nil {
+			return err
+		}
+	}
+	if *minShedHeadroom > 0 {
+		if err := checkMinRatio(file.Results, "tenants", "shed-headroom", *minShedHeadroom); err != nil {
 			return err
 		}
 	}
@@ -404,6 +432,30 @@ func checkMinSpeedup(results []Result, min float64) error {
 	}
 	if checked == 0 {
 		return fmt.Errorf("-minspeedup set but no contention repair-speedup/theta=0.99 rows were measured")
+	}
+	return nil
+}
+
+// checkMinRatio enforces a floor on a suite's ratio rows (variants with
+// the given prefix carry their ratio in the TPS field). Like
+// checkMinSpeedup it fails when no matching row was measured, so a gate
+// cannot silently pass by not running its suite.
+func checkMinRatio(results []Result, suite, variantPrefix string, min float64) error {
+	checked := 0
+	for _, r := range results {
+		if r.Suite != suite || !strings.HasPrefix(r.Variant, variantPrefix) {
+			continue
+		}
+		checked++
+		if r.TPS < min {
+			return fmt.Errorf("%s %s workers=%d: ratio %.2fx < required %.2fx",
+				suite, r.Variant, r.Workers, r.TPS, min)
+		}
+		fmt.Fprintf(os.Stderr, "min %s: %s workers=%d %.2fx >= %.2fx ok\n",
+			variantPrefix, r.Variant, r.Workers, r.TPS, min)
+	}
+	if checked == 0 {
+		return fmt.Errorf("-min gate set but no %s %s rows were measured", suite, variantPrefix)
 	}
 	return nil
 }
@@ -667,6 +719,24 @@ func compareFiles(oldPath, newPath string) error {
 	oldBy := make(map[string]Result, len(oldF.Results))
 	for _, r := range oldF.Results {
 		oldBy[key(r)] = r
+	}
+	newKeys := make(map[string]bool, len(newF.Results))
+	for _, r := range newF.Results {
+		newKeys[key(r)] = true
+	}
+	// Baseline coverage: a suite present in the baseline but absent from
+	// the run usually means a CI invocation drifted (-suites or -workers
+	// narrowed) and its gate silently stopped measuring. Warn — grouped
+	// per suite, tolerated — so the drift is visible without failing
+	// deliberate partial runs.
+	missingBySuite := make(map[string]int)
+	for _, or := range oldF.Results {
+		if !newKeys[key(or)] {
+			missingBySuite[or.Suite]++
+		}
+	}
+	for suite, n := range missingBySuite {
+		fmt.Printf("WARN    suite %q: %d baseline cell(s) not present in this run (gate not exercised)\n", suite, n)
 	}
 	failures := 0
 	for _, nr := range newF.Results {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckMinRatio(t *testing.T) {
+	rows := []Result{
+		{Suite: "tenants", Variant: "partition-speedup/parts=8", Workers: 8, TPS: 4.5},
+		{Suite: "tenants", Variant: "shed-headroom", Workers: 8, TPS: 1.7},
+		{Suite: "tenants", Variant: "uncontended", Workers: 8, TPS: 400},
+	}
+	if err := checkMinRatio(rows, "tenants", "partition-speedup", 3); err != nil {
+		t.Errorf("4.5x vs floor 3: %v", err)
+	}
+	if err := checkMinRatio(rows, "tenants", "shed-headroom", 1); err != nil {
+		t.Errorf("1.7 vs floor 1: %v", err)
+	}
+	if err := checkMinRatio(rows, "tenants", "partition-speedup", 5); err == nil {
+		t.Error("4.5x vs floor 5 must fail")
+	}
+	// A gate whose rows were never measured must fail loudly, not pass.
+	if err := checkMinRatio(rows, "tenants", "no-such-variant", 1); err == nil {
+		t.Error("gate with zero matching rows must fail")
+	}
+	if err := checkMinRatio(nil, "tenants", "partition-speedup", 1); err == nil {
+		t.Error("gate over an empty result set must fail")
+	}
+}
+
+func writeBenchFile(t *testing.T, path string, results []Result) {
+	t.Helper()
+	data, err := json.Marshal(File{Schema: "asynctp/perfbench/v1", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	ferr := fn()
+	os.Stdout = saved
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return sb.String(), ferr
+}
+
+func TestCompareWarnsOnMissingSuite(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, []Result{
+		{Suite: "e1", Variant: "base", Workers: 8, TPS: 1000},
+		{Suite: "tenants", Variant: "partition-speedup/parts=8", Workers: 8, TPS: 4.5},
+		{Suite: "tenants", Variant: "shed-headroom", Workers: 8, TPS: 1.5},
+	})
+	writeBenchFile(t, newPath, []Result{
+		{Suite: "e1", Variant: "base", Workers: 8, TPS: 980},
+	})
+	out, err := captureStdout(t, func() error { return compareFiles(oldPath, newPath) })
+	if err != nil {
+		t.Fatalf("missing suite must warn, not fail: %v", err)
+	}
+	if !strings.Contains(out, `WARN    suite "tenants": 2 baseline cell(s)`) {
+		t.Errorf("want grouped tenants WARN line, got:\n%s", out)
+	}
+	if strings.Contains(out, `suite "e1"`) && strings.Contains(out, "WARN    suite \"e1\"") {
+		t.Errorf("covered suite must not be warned about:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnCollapse(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, []Result{{Suite: "e1", Variant: "base", Workers: 8, TPS: 1000}})
+	writeBenchFile(t, newPath, []Result{{Suite: "e1", Variant: "base", Workers: 8, TPS: 400}})
+	if _, err := captureStdout(t, func() error { return compareFiles(oldPath, newPath) }); err == nil {
+		t.Error("a >2x collapse must fail the comparison")
+	}
+}

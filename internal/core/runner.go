@@ -73,6 +73,13 @@ type Config struct {
 	// pieces concurrently. Budget distribution (Figure 2) is unchanged.
 	// The conformance explorer sets it so the worker set stays static.
 	SequentialPieces bool
+	// IDBase offsets every owner and group ID the runner mints (they
+	// start at IDBase+1). A process hosting many runners that share one
+	// observability plane — the tenant partition layer — gives each
+	// runner a disjoint base (like site.Config.InstanceBase) so ledger
+	// accounts and trace spans never collide across runners. Zero keeps
+	// the dense 1,2,3,… sequence.
+	IDBase int64
 	// Obs, when non-nil, attaches the observability plane: trace spans,
 	// ε-provenance ledger pages, and metrics for every transaction,
 	// piece, lock wait, and DC debit the runner executes. The shims tee
@@ -213,6 +220,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, fmt.Errorf("core: %d counts for %d programs", len(cfg.Counts), len(cfg.Programs))
 	}
 	r := &Runner{cfg: cfg, groupOf: make(map[lock.Owner]history.Group)}
+	if cfg.IDBase != 0 {
+		r.gen.SetBase(cfg.IDBase)
+		r.nextGroup.Store(cfg.IDBase)
+	}
 
 	stream := make(chop.Stream, len(cfg.Programs))
 	for i, p := range cfg.Programs {

@@ -29,6 +29,46 @@ func TestNilPlaneSpanHooksZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestNilPlaneTenantHooksZeroAlloc(t *testing.T) {
+	var p *Plane
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.TenantAdmit("t1")
+		p.TenantDegrade("t1", 500)
+		p.TenantShed("t1")
+		p.WatchPartition("0", nil, nil)
+		p.WatchPool("0", nil)
+	})
+	if allocs > 0 {
+		t.Errorf("nil-plane tenant hooks: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilVecHandlesZeroAlloc(t *testing.T) {
+	var cv *CounterVec
+	var gv *GaugeVec
+	allocs := testing.AllocsPerRun(1000, func() {
+		cv.With("t").Inc()
+		gv.With("t").Set(1)
+	})
+	if allocs > 0 {
+		t.Errorf("nil vec handles: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Enabled-vec steady state: a cached handle lookup is a read-locked map
+// hit — no per-observation allocation once the series exists.
+func TestEnabledVecSteadyStateZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("asynctp_test_total", "help", "tenant")
+	vec.With("t").Inc() // register the series
+	allocs := testing.AllocsPerRun(1000, func() {
+		vec.With("t").Inc()
+	})
+	if allocs > 0 {
+		t.Errorf("enabled vec steady-state With+Inc: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestNilPlaneObserverConstructorsCollapse(t *testing.T) {
 	var p *Plane
 	if p.ExecObserver() != nil || p.WaitObserver() != nil || p.DCObserver() != nil ||

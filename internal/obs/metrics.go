@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -226,6 +227,116 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	}).(*Histogram)
 }
 
+// CounterVec is a one-label family of counters: the label value is
+// chosen per observation (per tenant, per partition) instead of at
+// registration. With caches handles so a steady-state observation is a
+// read-locked map hit plus one atomic add — no per-tenant registry
+// plumbing at the call sites. Nil-safe end to end: a nil vec hands out
+// nil counters whose methods no-op.
+type CounterVec struct {
+	reg   *Registry
+	name  string
+	help  string
+	label string
+
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// CounterVec registers (or fetches the registration surface of) a
+// one-label counter family. Nil-safe.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{reg: r, name: name, help: help, label: label, series: make(map[string]*Counter)}
+}
+
+// With returns the counter for one label value, registering it on first
+// use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.series[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	c = v.reg.Counter(v.name, v.help, v.label, value)
+	v.mu.Lock()
+	v.series[value] = c
+	v.mu.Unlock()
+	return c
+}
+
+// Snapshot returns the current value per label. Nil-safe (nil map).
+func (v *CounterVec) Snapshot() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.series))
+	for lv, c := range v.series {
+		out[lv] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is the gauge analogue of CounterVec.
+type GaugeVec struct {
+	reg   *Registry
+	name  string
+	help  string
+	label string
+
+	mu     sync.RWMutex
+	series map[string]*Gauge
+}
+
+// GaugeVec registers a one-label gauge family. Nil-safe.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{reg: r, name: name, help: help, label: label, series: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for one label value, registering it on first
+// use. Nil-safe.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.series[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	g = v.reg.Gauge(v.name, v.help, v.label, value)
+	v.mu.Lock()
+	v.series[value] = g
+	v.mu.Unlock()
+	return g
+}
+
+// Snapshot returns the current value per label. Nil-safe (nil map).
+func (v *GaugeVec) Snapshot() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.series))
+	for lv, g := range v.series {
+		out[lv] = g.Value()
+	}
+	return out
+}
+
 // formatFloat renders a sample value without scientific notation noise.
 func formatFloat(v float64) string {
 	s := fmt.Sprintf("%g", v)
@@ -308,7 +419,10 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 }
 
 // Serve starts an HTTP listener exposing the registry at /metrics (and
-// at /). It returns the bound address and a shutdown function.
+// at /), plus the runtime pprof handlers under /debug/pprof/ — one mux,
+// so a saturated run can be profiled through the same listener the
+// metrics already use. It returns the bound address and a shutdown
+// function.
 func (r *Registry) Serve(addr string) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -316,6 +430,11 @@ func (r *Registry) Serve(addr string) (string, func() error, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/", r)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

@@ -3,6 +3,7 @@ package obs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,6 +79,11 @@ type planeMetrics struct {
 	storTornBytes   *Counter
 	storCheckpoints *Counter
 	storPruned      *Counter
+
+	tenantAdmitted *CounterVec
+	tenantDegraded *CounterVec
+	tenantShed     *CounterVec
+	tenantEps      *CounterVec
 }
 
 // NewPlane assembles a plane from its (individually optional) parts.
@@ -126,6 +132,11 @@ func NewPlane(tr *Tracer, lg *Ledger, reg *Registry) *Plane {
 			storTornBytes:   reg.Counter("asynctp_storage_torn_bytes_total", "Torn-tail bytes discarded during recovery."),
 			storCheckpoints: reg.Counter("asynctp_storage_checkpoints_total", "Snapshot+truncation checkpoint passes."),
 			storPruned:      reg.Counter("asynctp_storage_pruned_segments_total", "WAL segment files deleted by checkpoints."),
+
+			tenantAdmitted: reg.CounterVec("asynctp_tenant_admitted_total", "Requests admitted to a tenant's partition queue.", "tenant"),
+			tenantDegraded: reg.CounterVec("asynctp_tenant_degraded_total", "Queries served via the ε-spending stale-read fast path.", "tenant"),
+			tenantShed:     reg.CounterVec("asynctp_tenant_shed_total", "Requests shed after the degrade path was exhausted.", "tenant"),
+			tenantEps:      reg.CounterVec("asynctp_tenant_epsilon_spent_fuzz_total", "Fuzziness charged for degraded (stale-read) serves.", "tenant"),
 		}
 		if lg != nil {
 			reg.GaugeFunc("asynctp_epsilon_charged_fuzz", "Ledger: total import fuzziness charged across accounts.",
@@ -188,6 +199,33 @@ func (p *Plane) Summary() []string {
 					m.storRecoveries.Value(), m.storReplayed.Value(), m.storTornBytes.Value(),
 					m.storCheckpoints.Value(), m.storPruned.Value()),
 			)
+		}
+		// Per-tenant breakdown, present only when the tenant serving
+		// layer ran (a single-workload bench stays at the headline lines).
+		admitted := m.tenantAdmitted.Snapshot()
+		degraded := m.tenantDegraded.Snapshot()
+		shed := m.tenantShed.Snapshot()
+		eps := m.tenantEps.Snapshot()
+		if len(admitted) > 0 || len(degraded) > 0 || len(shed) > 0 {
+			names := make(map[string]bool)
+			for t := range admitted {
+				names[t] = true
+			}
+			for t := range degraded {
+				names[t] = true
+			}
+			for t := range shed {
+				names[t] = true
+			}
+			sorted := make([]string, 0, len(names))
+			for t := range names {
+				sorted = append(sorted, t)
+			}
+			sort.Strings(sorted)
+			for _, t := range sorted {
+				out = append(out, fmt.Sprintf("tenant %s: %d admitted, %d degraded, %d shed, %d ε charged",
+					t, admitted[t], degraded[t], shed[t], eps[t]))
+			}
 		}
 	}
 	if p.Tracer != nil {
@@ -284,6 +322,65 @@ func (p *Plane) ActivationBegin(group int64, piece int, site string) func() {
 		p.m.activationDur.ObserveDuration(time.Since(start))
 		p.emit(Event{Kind: EvActivationEnd, Group: uint64(group), Piece: int32(piece), Site: site})
 	}
+}
+
+// TenantAdmit marks one request admitted to a tenant's partition
+// mailbox on the normal (engine) path. Nil-safe, zero-alloc when
+// disabled.
+func (p *Plane) TenantAdmit(tenant string) {
+	if p == nil {
+		return
+	}
+	p.m.tenantAdmitted.With(tenant).Inc()
+}
+
+// TenantDegrade marks one query served via the ε-spending stale-read
+// fast path, with the fuzziness charged for it. Nil-safe.
+func (p *Plane) TenantDegrade(tenant string, charged metric.Fuzz) {
+	if p == nil {
+		return
+	}
+	p.m.tenantDegraded.With(tenant).Inc()
+	p.m.tenantEps.With(tenant).Add(int64(charged))
+	p.emit(Event{Kind: EvDCDebit, Piece: -1, Name: tenant, Arg: "degrade", Aux: int64(charged)})
+}
+
+// TenantShed marks one request shed after the degrade path was
+// exhausted (rate limit and mailbox full, or ε budget empty). Nil-safe.
+func (p *Plane) TenantShed(tenant string) {
+	if p == nil {
+		return
+	}
+	p.m.tenantShed.With(tenant).Inc()
+}
+
+// WatchPartition registers exposition-time gauges over one serving
+// partition: instantaneous mailbox depth and total served count. The
+// tenant layer calls it once per partition at construction. No-op
+// without a registry.
+func (p *Plane) WatchPartition(partition string, depth, served func() float64) {
+	if p == nil || p.Metrics == nil {
+		return
+	}
+	if depth != nil {
+		p.Metrics.GaugeFunc("asynctp_partition_queue_depth", "Queued requests in the partition mailbox.",
+			depth, "partition", partition)
+	}
+	if served != nil {
+		p.Metrics.GaugeFunc("asynctp_partition_served_total", "Requests executed by the partition runner.",
+			served, "partition", partition)
+	}
+}
+
+// WatchPool registers an exposition-time saturation gauge over one
+// shared worker pool: the fraction of its workers currently busy.
+// No-op without a registry.
+func (p *Plane) WatchPool(pool string, saturation func() float64) {
+	if p == nil || p.Metrics == nil || saturation == nil {
+		return
+	}
+	p.Metrics.GaugeFunc("asynctp_pool_saturation", "Fraction of pool workers busy executing.",
+		saturation, "pool", pool)
 }
 
 // WatchQueue registers exposition-time gauges over a queue endpoint

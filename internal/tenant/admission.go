@@ -1,0 +1,66 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket with an injectable clock. Both admission
+// limits are instances of it: the request bucket meters admitted
+// submissions per second, and the ε bucket meters fuzziness spent per
+// second on the degraded read path — the paper's divergence bound
+// recast as a refillable budget.
+//
+// rate <= 0 means unlimited: take always succeeds.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	if rate <= 0 {
+		return nil // unlimited: nil receiver, take is a no-op success
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take refills from the clock and consumes n tokens if available.
+// A nil bucket is the unlimited bucket. n == 0 always succeeds (a free
+// degraded read does not draw down the ε budget).
+func (b *bucket) take(now time.Time, n float64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d := now.Sub(b.last); d > 0 {
+		b.tokens += d.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// refund returns tokens taken for work that was not performed (the
+// enqueue lost a race for the last mailbox slot). Capped at burst so a
+// refund can never mint capacity.
+func (b *bucket) refund(n float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

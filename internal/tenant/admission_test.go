@@ -1,0 +1,126 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property: whatever the interleaving of takes, refunds, and clock
+// advances, a bucket never grants more than rate·elapsed + burst net
+// tokens, at every prefix of the sequence. This is the admission
+// guarantee the perf gates lean on, so it is pinned as a randomized
+// invariant, not a couple of examples.
+func TestBucketNeverExceedsRatePlusBurst(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rate := 1 + rng.Float64()*999 // tokens/sec
+		burst := 1 + rng.Float64()*49
+		start := time.Unix(0, 0)
+		b := newBucket(rate, burst, start)
+
+		now := start
+		var granted, refunded float64
+		for step := 0; step < 2000; step++ {
+			switch rng.Intn(4) {
+			case 0: // advance the clock a little
+				now = now.Add(time.Duration(rng.Intn(5000)) * time.Microsecond)
+			case 1: // refund a fraction of what was really taken
+				if out := granted - refunded; out > 0 {
+					n := out * rng.Float64()
+					b.refund(n)
+					refunded += n
+				}
+			default:
+				n := rng.Float64() * 3
+				if b.take(now, n) {
+					granted += n
+				}
+			}
+			elapsed := now.Sub(start).Seconds()
+			// +1e-6 absorbs float accumulation across 2000 steps.
+			if max := rate*elapsed + burst + 1e-6; granted-refunded > max {
+				t.Fatalf("seed %d step %d: net granted %.3f > rate·t+burst %.3f",
+					seed, step, granted-refunded, max)
+			}
+		}
+	}
+}
+
+func TestBucketRefundNeverMintsCapacity(t *testing.T) {
+	start := time.Unix(0, 0)
+	b := newBucket(10, 5, start)
+	if !b.take(start, 5) {
+		t.Fatal("burst take failed")
+	}
+	b.refund(100) // way more than was taken: must cap at burst
+	if !b.take(start, 5) {
+		t.Error("refunded tokens up to burst must be takeable")
+	}
+	if b.take(start, 0.1) {
+		t.Error("refund minted capacity beyond burst")
+	}
+}
+
+func TestBucketUnlimitedAndZeroCharge(t *testing.T) {
+	if b := newBucket(0, 10, time.Unix(0, 0)); b != nil {
+		t.Fatal("rate 0 must yield the nil (unlimited) bucket")
+	}
+	var b *bucket
+	for i := 0; i < 100; i++ {
+		if !b.take(time.Unix(0, 0), 1e9) {
+			t.Fatal("nil bucket must always grant")
+		}
+	}
+	b.refund(1) // must not panic
+	// A zero-cost take (a free degraded read under an infinite import
+	// bound) succeeds even on an empty metered bucket.
+	m := newBucket(1, 1, time.Unix(0, 0))
+	m.take(time.Unix(0, 0), 1)
+	if !m.take(time.Unix(0, 0), 0) {
+		t.Error("zero-cost take on an empty bucket must succeed")
+	}
+}
+
+// Serving-layer view of the same property: over any submission burst
+// against a frozen clock, admitted count never exceeds the burst, and
+// refills track the clock, not the attempt count.
+func TestServeAdmissionBoundedByBucket(t *testing.T) {
+	tc := testTenant("t0", 0)
+	tc.Rate, tc.Burst = 100, 3
+	now, advance := frozenClock()
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }, Now: now}, []Tenant{tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	admitted := func(tries int) int {
+		n := 0
+		for i := 0; i < tries; i++ {
+			_, err := s.Submit(ctx, "t0", 0) // update: admit or shed, never degrade
+			switch {
+			case err == nil:
+				n++
+			case errors.Is(err, ErrShed):
+			default:
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		return n
+	}
+	if n := admitted(20); n != 3 {
+		t.Errorf("frozen clock: admitted %d of 20, want exactly the burst (3)", n)
+	}
+	advance(20 * time.Millisecond) // 100/s × 20ms = 2 tokens (< burst cap)
+	if n := admitted(20); n != 2 {
+		t.Errorf("after 20ms refill: admitted %d of 20, want 2", n)
+	}
+	advance(10 * time.Second) // refill far beyond burst: capped
+	if n := admitted(20); n != 3 {
+		t.Errorf("after long idle: admitted %d of 20, want burst cap (3)", n)
+	}
+}

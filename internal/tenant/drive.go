@@ -1,0 +1,173 @@
+package tenant
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/stats"
+)
+
+// Drive is the load generator for the serving layer — the tenant-aware
+// counterpart of workload.RunArrivals. Closed loop keeps Workers
+// submissions permanently in flight (capacity measurement); open loop
+// draws Poisson interarrivals at Rate regardless of completions
+// (overload measurement), so admission control — not the generator —
+// decides what happens when the system falls behind.
+
+// Pick is one generated arrival.
+type Pick struct {
+	Tenant string
+	TI     int
+}
+
+// DriveConfig configures one run.
+type DriveConfig struct {
+	// OpenLoop selects Poisson arrivals at Rate/sec; otherwise a closed
+	// loop with Workers in flight.
+	OpenLoop bool
+	Rate     float64
+	// Total is the number of arrivals to offer.
+	Total int
+	// Workers is the closed-loop concurrency (default 1).
+	Workers int
+	// MaxInFlight bounds open-loop goroutines; arrivals beyond it are
+	// dropped at the generator (counted in Dropped, never submitted).
+	// 0 means 4096.
+	MaxInFlight int
+	// Seed drives interarrivals and Pick's rng.
+	Seed int64
+	// Pick draws the next arrival (tenant + program index); it is
+	// called from the arrival loop only, so it may use the rng freely.
+	Pick func(*rand.Rand) Pick
+}
+
+// DriveResult summarizes one run. Admission outcomes are split so the
+// latency gates stay honest: NormalLatency records only normally
+// admitted committed requests (the µs-scale degraded path would drown
+// an overload p99), DegradedLatency records the stale-read path.
+type DriveResult struct {
+	Offered, Dropped                 int
+	Admitted, Degraded, Shed, Errors int
+	Committed, RolledBack            int
+	Retries                          int
+	EpsCharged                       metric.Fuzz
+	Elapsed                          time.Duration
+	CommittedTPS                     float64
+	NormalLatency, DegradedLatency   *stats.Recorder
+}
+
+// Drive offers cfg.Total arrivals to s and waits for every submitted
+// request to settle (or ctx to end).
+func Drive(ctx context.Context, s *Serve, cfg DriveConfig) *DriveResult {
+	res := &DriveResult{
+		NormalLatency:   stats.NewRecorder(),
+		DegradedLatency: stats.NewRecorder(),
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	submit := func(p Pick) {
+		defer wg.Done()
+		out, err := s.Submit(ctx, p.Tenant, p.TI)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == ErrShed:
+			res.Shed++
+		case err != nil:
+			res.Errors++
+		case out.Degraded:
+			res.Degraded++
+			res.Committed++
+			res.EpsCharged += out.Charged
+			res.DegradedLatency.Add(out.Latency)
+		default:
+			res.Admitted++
+			if out.Inner.Committed {
+				res.Committed++
+				res.NormalLatency.Add(out.Latency)
+			} else {
+				res.RolledBack++
+			}
+			res.Retries += out.Inner.Retries
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	if cfg.OpenLoop {
+		maxInFlight := cfg.MaxInFlight
+		if maxInFlight < 1 {
+			maxInFlight = 4096
+		}
+		inFlight := 0
+		done := func() {
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		}
+		next := start
+	arrivals:
+		for i := 0; i < cfg.Total; i++ {
+			next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break arrivals
+				}
+			}
+			p := cfg.Pick(rng)
+			res.Offered++
+			mu.Lock()
+			if inFlight >= maxInFlight {
+				res.Dropped++
+				mu.Unlock()
+				continue
+			}
+			inFlight++
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer done()
+				submit(p)
+			}()
+		}
+	} else {
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		jobs := make(chan Pick)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range jobs {
+					wg.Add(1)
+					submit(p)
+				}
+			}()
+		}
+	loop:
+		for i := 0; i < cfg.Total; i++ {
+			select {
+			case jobs <- cfg.Pick(rng):
+				res.Offered++
+			case <-ctx.Done():
+				break loop
+			}
+		}
+		close(jobs)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.CommittedTPS = float64(res.Committed) / res.Elapsed.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package tenant
+
+import "sort"
+
+// Hot-partition rebalancing. The load signal per partition is what the
+// metrics plane already exports — instantaneous mailbox depth plus the
+// served-count delta since the last pass — smoothed with an EWMA so one
+// bursty interval does not thrash assignments. Placement is greedy LPT:
+// partitions sorted by descending load, each assigned to the currently
+// lightest pool. Ties break deterministically (partition id asc, pool
+// id asc), which reproduces the initial k % Pools layout on uniform
+// load so an idle system never migrates anything.
+
+const ewmaAlpha = 0.5
+
+// Rebalance recomputes the partition→pool assignment from current load
+// and returns how many partitions moved. Safe to call concurrently
+// with Submit: a moved partition simply lands on its new pool's run
+// queue at its next schedule; the scheduled flag still guarantees
+// serial execution across the move.
+func (s *Serve) Rebalance() int {
+	if len(s.pools) < 2 {
+		return 0
+	}
+	s.rbMu.Lock()
+	defer s.rbMu.Unlock()
+
+	type cand struct {
+		p    *partition
+		load float64
+	}
+	cands := make([]cand, 0, len(s.parts))
+	for _, p := range s.parts {
+		served := p.served.Load()
+		delta := float64(served - p.lastServed)
+		p.lastServed = served
+		inst := 4*float64(len(p.mailbox)) + delta
+		p.loadEWMA = ewmaAlpha*inst + (1-ewmaAlpha)*p.loadEWMA
+		cands = append(cands, cand{p, p.loadEWMA})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].load > cands[j].load })
+	if len(cands) == 0 || cands[0].load == 0 {
+		return 0 // idle system: zero loads would all argmin to pool 0
+	}
+
+	loads := make([]float64, len(s.pools))
+	moved := 0
+	for _, c := range cands {
+		best := 0
+		for i := 1; i < len(loads); i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		loads[best] += c.load
+		if int(c.p.pool.Swap(int32(best))) != best {
+			moved++
+		}
+	}
+	s.rebalances.Add(1)
+	s.moves.Add(int64(moved))
+	return moved
+}

@@ -1,0 +1,118 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestRebalanceIsolatesHotPartition(t *testing.T) {
+	// Four partitions over two pools, initially striped k % 2. Tenant
+	// t0's partition gets ~20× the traffic; after a rebalance it must
+	// own a pool by itself, with the three cool partitions sharing the
+	// other — the greedy LPT outcome for one dominant load.
+	var tenants []Tenant
+	for i := 0; i < 4; i++ {
+		tenants = append(tenants, testTenant(fmt.Sprintf("t%d", i), 0))
+	}
+	s, err := New(Config{Partitions: 4, Pools: 2, Workers: 2, Assign: modAssign(4)}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		if _, err := s.Submit(ctx, "t0", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if _, err := s.Submit(ctx, fmt.Sprintf("t%d", i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	moved := s.Rebalance()
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing despite a 20× hot partition")
+	}
+	hot := s.PoolOf(0)
+	for k := 1; k < 4; k++ {
+		if s.PoolOf(k) == hot {
+			t.Errorf("cool partition %d shares pool %d with the hot partition", k, hot)
+		}
+	}
+	st := s.Stats()
+	if st.Rebalances != 1 || st.Moves != int64(moved) {
+		t.Errorf("stats rebalances=%d moves=%d, want 1/%d", st.Rebalances, st.Moves, moved)
+	}
+
+	// Traffic still flows to every tenant after the moves.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if res, err := s.Submit(ctx, name, 0); err != nil || !res.Committed() {
+			t.Fatalf("%s after rebalance: res=%+v err=%v", name, res, err)
+		}
+	}
+}
+
+func TestRebalanceNoopCases(t *testing.T) {
+	// Single pool: nothing to balance across.
+	s1, err := New(Config{Partitions: 4, Pools: 1, Assign: modAssign(4)}, []Tenant{testTenant("t0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if moved := s1.Rebalance(); moved != 0 {
+		t.Errorf("single-pool rebalance moved %d", moved)
+	}
+
+	// Idle system: zero load everywhere must not collapse every
+	// partition onto pool 0.
+	s2, err := New(Config{Partitions: 4, Pools: 2, Assign: modAssign(4)}, []Tenant{testTenant("t0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if moved := s2.Rebalance(); moved != 0 {
+		t.Errorf("idle rebalance moved %d", moved)
+	}
+	for k := 0; k < 4; k++ {
+		if got := s2.PoolOf(k); got != k%2 {
+			t.Errorf("idle rebalance moved partition %d to pool %d", k, got)
+		}
+	}
+}
+
+func TestUniformLoadKeepsStripedAssignment(t *testing.T) {
+	// Equal per-partition load reproduces the k % Pools striping, so a
+	// balanced system never migrates partitions back and forth.
+	var tenants []Tenant
+	for i := 0; i < 4; i++ {
+		tenants = append(tenants, testTenant(fmt.Sprintf("t%d", i), 0))
+	}
+	s, err := New(Config{Partitions: 4, Pools: 2, Workers: 2, Assign: modAssign(4)}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := s.Submit(ctx, fmt.Sprintf("t%d", i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if moved := s.Rebalance(); moved != 0 {
+		t.Errorf("uniform load moved %d partitions", moved)
+	}
+	for k := 0; k < 4; k++ {
+		if got := s.PoolOf(k); got != k%2 {
+			t.Errorf("uniform rebalance moved partition %d to pool %d", k, got)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// testTenant builds a two-account tenant: program 0 transfers one unit
+// a→b (update), program 1 audits a+b with an ε-import allowance of eps
+// (query). Keys are tenant-prefixed so co-located tenants stay disjoint.
+func testTenant(name string, eps metric.Fuzz) Tenant {
+	a := storage.Key(name + ":a")
+	b := storage.Key(name + ":b")
+	xfer := txn.MustProgram(name+"/xfer",
+		txn.AddOp(a, -1),
+		txn.AddOp(b, 1),
+	)
+	audit := txn.MustProgram(name+"/audit",
+		txn.ReadOp(a),
+		txn.ReadOp(b),
+	).WithSpec(metric.Spec{Import: metric.LimitOf(eps), Export: metric.Zero})
+	return Tenant{
+		Name:     name,
+		Programs: []*txn.Program{xfer, audit},
+		Initial:  map[storage.Key]metric.Value{a: 100, b: 100},
+	}
+}
+
+// modAssign routes "t<i>" to partition i % parts, deterministically.
+func modAssign(parts int) func(string) int {
+	return func(name string) int {
+		var i int
+		fmt.Sscanf(name, "t%d", &i)
+		return i % parts
+	}
+}
+
+func TestServeCommitsAndConserves(t *testing.T) {
+	tenants := []Tenant{testTenant("t0", 0), testTenant("t1", 0), testTenant("t2", 0), testTenant("t3", 0)}
+	s, err := New(Config{Partitions: 4, Pools: 2, Workers: 4, Assign: modAssign(4)}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	for round := 0; round < 10; round++ {
+		for _, tc := range tenants {
+			res, err := s.Submit(ctx, tc.Name, 0)
+			if err != nil {
+				t.Fatalf("%s xfer: %v", tc.Name, err)
+			}
+			if !res.Committed() || res.Degraded {
+				t.Fatalf("%s xfer: want normal commit, got %+v", tc.Name, res)
+			}
+		}
+	}
+	// Conservation: every tenant's pair still sums to 200, via the
+	// partition stores the audits read.
+	for _, tc := range tenants {
+		res, err := s.Submit(ctx, tc.Name, 1)
+		if err != nil {
+			t.Fatalf("%s audit: %v", tc.Name, err)
+		}
+		if got := res.SumReads(); got != 200 {
+			t.Errorf("%s audit read %d, want 200", tc.Name, got)
+		}
+	}
+	// And globally across all partition stores.
+	var total metric.Value
+	for k := 0; k < s.Partitions(); k++ {
+		st := s.Store(k)
+		if st == nil {
+			continue
+		}
+		for _, key := range st.Keys() {
+			total += st.Get(key)
+		}
+	}
+	if total != 800 {
+		t.Errorf("global sum %d, want 800", total)
+	}
+	for _, tc := range tenants {
+		st := s.TenantStats(tc.Name)
+		if st.Admitted != 11 || st.Degraded != 0 || st.Shed != 0 {
+			t.Errorf("%s stats = %+v, want 11 admitted only", tc.Name, st)
+		}
+	}
+}
+
+func TestRoutingAndAccessors(t *testing.T) {
+	s, err := New(Config{Partitions: 4, Assign: modAssign(4)}, []Tenant{testTenant("t1", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Partition("t1"); got != 1 {
+		t.Errorf("Partition(t1) = %d, want 1", got)
+	}
+	if got := s.Partition("nobody"); got != -1 {
+		t.Errorf("Partition(nobody) = %d, want -1", got)
+	}
+	if s.Store(1) == nil || s.Runner(1) == nil {
+		t.Error("populated partition must expose store and runner")
+	}
+	if s.Store(0) != nil || s.Runner(0) != nil {
+		t.Error("unpopulated partition must expose nils")
+	}
+	if s.Store(99) != nil || s.Runner(-1) != nil || s.PoolOf(99) != -1 {
+		t.Error("out-of-range accessors must return nil / -1")
+	}
+	if _, err := s.Submit(context.Background(), "nobody", 0); err == nil {
+		t.Error("unknown tenant must error")
+	}
+	if _, err := s.Submit(context.Background(), "t1", 7); err == nil {
+		t.Error("out-of-range program index must error")
+	}
+}
+
+func TestDefaultRouterCoversAllTenants(t *testing.T) {
+	var tenants []Tenant
+	for i := 0; i < 16; i++ {
+		tenants = append(tenants, testTenant(fmt.Sprintf("t%d", i), 0))
+	}
+	s, err := New(Config{Partitions: 4}, tenants) // default FNV router
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for _, tc := range tenants {
+		k := s.Partition(tc.Name)
+		if k < 0 || k >= 4 {
+			t.Fatalf("%s routed to %d", tc.Name, k)
+		}
+		if res, err := s.Submit(ctx, tc.Name, 0); err != nil || !res.Committed() {
+			t.Fatalf("%s on default route: res=%+v err=%v", tc.Name, res, err)
+		}
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	good := testTenant("t0", 0)
+	cases := []struct {
+		name    string
+		cfg     Config
+		tenants []Tenant
+	}{
+		{"no tenants", Config{}, nil},
+		{"unnamed", Config{}, []Tenant{{Programs: good.Programs}}},
+		{"duplicate name", Config{}, []Tenant{good, good}},
+		{"no programs", Config{}, []Tenant{{Name: "x"}}},
+		{"counts mismatch", Config{}, []Tenant{{Name: "x", Programs: good.Programs, Counts: []int{1}}}},
+		{"assign out of range", Config{Assign: func(string) int { return 99 }}, []Tenant{good}},
+		{"key collision", Config{Assign: func(string) int { return 0 }}, []Tenant{
+			{Name: "a", Programs: good.Programs, Initial: map[storage.Key]metric.Value{"k": 1}},
+			{Name: "b", Programs: testTenant("b", 0).Programs, Initial: map[storage.Key]metric.Value{"k": 2}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, tc.tenants); err == nil {
+			t.Errorf("%s: New succeeded, want error", tc.name)
+		}
+	}
+}
+
+// frozenClock returns a Config.Now frozen at start plus a function to
+// advance it. Buckets never refill unless the test says so.
+func frozenClock() (func() time.Time, func(time.Duration)) {
+	now := time.Unix(1000, 0)
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestOverloadDegradesQueriesBeforeShedding(t *testing.T) {
+	tc := testTenant("t0", 50)
+	tc.Rate, tc.Burst = 1000, 2 // two tokens, frozen clock: no refill
+	now, _ := frozenClock()
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }, Now: now}, []Tenant{tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	// Two admitted on the burst.
+	for i := 0; i < 2; i++ {
+		if res, err := s.Submit(ctx, "t0", 0); err != nil || res.Degraded {
+			t.Fatalf("submit %d: res=%+v err=%v, want normal admit", i, res, err)
+		}
+	}
+	// Over rate: the query degrades — served stale, charged its bound.
+	res, err := s.Submit(ctx, "t0", 1)
+	if err != nil {
+		t.Fatalf("over-rate query: %v, want degraded serve", err)
+	}
+	if !res.Degraded || res.Charged != 50 {
+		t.Fatalf("over-rate query: %+v, want degraded with 50 charged", res)
+	}
+	if res.SumReads() != 200 {
+		t.Errorf("degraded read %d, want 200 (current store image)", res.SumReads())
+	}
+	// Over rate: the update has no degrade path — shed.
+	if _, err := s.Submit(ctx, "t0", 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-rate update: err=%v, want ErrShed", err)
+	}
+	st := s.TenantStats("t0")
+	if st.Admitted != 2 || st.Degraded != 1 || st.Shed != 1 || st.EpsCharged != 50 {
+		t.Errorf("stats = %+v, want 2/1/1, ε=50", st)
+	}
+}
+
+func TestEpsBudgetExhaustionSheds(t *testing.T) {
+	tc := testTenant("t0", 50)
+	tc.Rate, tc.Burst = 1000, 1
+	tc.EpsRate, tc.EpsBurst = 1000, 100 // room for exactly two degraded serves
+	now, advance := frozenClock()
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }, Now: now}, []Tenant{tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, "t0", 0); err != nil { // burn the burst token
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := s.Submit(ctx, "t0", 1)
+		if err != nil || !res.Degraded {
+			t.Fatalf("degrade %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	// ε bucket dry: even the query sheds now.
+	if _, err := s.Submit(ctx, "t0", 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("ε-exhausted query: err=%v, want ErrShed", err)
+	}
+	if st := s.TenantStats("t0"); st.EpsCharged != 100 {
+		t.Errorf("EpsCharged = %d, want 100", st.EpsCharged)
+	}
+	// Refill both buckets: service resumes on the normal path.
+	advance(time.Second)
+	if res, err := s.Submit(ctx, "t0", 1); err != nil || res.Degraded {
+		t.Fatalf("after refill: res=%+v err=%v, want normal admit", res, err)
+	}
+}
+
+func TestStrictQueryIsNeverDegraded(t *testing.T) {
+	a := storage.Key("t0:a")
+	strict := txn.MustProgram("t0/strict", txn.ReadOp(a)).WithSpec(metric.Strict)
+	tc := Tenant{
+		Name:     "t0",
+		Programs: []*txn.Program{strict},
+		Initial:  map[storage.Key]metric.Value{a: 1},
+		Rate:     1000, Burst: 1,
+	}
+	now, _ := frozenClock()
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }, Now: now}, []Tenant{tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if res, err := s.Submit(ctx, "t0", 0); err != nil || res.Degraded {
+		t.Fatalf("first strict query: res=%+v err=%v", res, err)
+	}
+	// Over rate: a strict query tolerates zero divergence, so the stale
+	// path is not an option — it must shed, never silently degrade.
+	if _, err := s.Submit(ctx, "t0", 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-rate strict query: err=%v, want ErrShed", err)
+	}
+}
+
+func TestUnmeteredTenantNeverSheds(t *testing.T) {
+	tc := testTenant("t0", 50) // Rate 0: no request limit; EpsRate 0: unmetered ε
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }}, []Tenant{tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Submit(ctx, "t0", i%2); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if st := s.TenantStats("t0"); st.Shed != 0 {
+		t.Errorf("unmetered tenant shed %d requests", st.Shed)
+	}
+}
+
+func TestSubmitAfterCloseAndDoubleClose(t *testing.T) {
+	s, err := New(Config{Partitions: 1, Assign: func(string) int { return 0 }}, []Tenant{testTenant("t0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), "t0", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(context.Background(), "t0", 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err=%v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentTenantsStayConsistent(t *testing.T) {
+	const parts, perTenant = 4, 25
+	var tenants []Tenant
+	for i := 0; i < 8; i++ {
+		tenants = append(tenants, testTenant(fmt.Sprintf("t%d", i), 0))
+	}
+	s, err := New(Config{Partitions: parts, Pools: 2, Workers: 4, Assign: modAssign(parts)}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	errc := make(chan error, len(tenants))
+	for _, tc := range tenants {
+		go func(name string) {
+			for i := 0; i < perTenant; i++ {
+				if _, err := s.Submit(ctx, name, i%2); err != nil {
+					errc <- fmt.Errorf("%s: %w", name, err)
+					return
+				}
+			}
+			errc <- nil
+		}(tc.Name)
+	}
+	for range tenants {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range tenants {
+		res, err := s.Submit(ctx, tc.Name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.SumReads(); got != 200 {
+			t.Errorf("%s pair sums to %d, want 200", tc.Name, got)
+		}
+	}
+}

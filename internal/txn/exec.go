@@ -27,6 +27,14 @@ func (g *IDGen) Next() lock.Owner {
 	return lock.Owner(g.next.Add(1))
 }
 
+// SetBase makes subsequent IDs mint from base+1 upward. A process
+// hosting several generators that feed one shared consumer (ledger,
+// trace, dedup table) gives each a disjoint base so their IDs never
+// collide. Call before the generator is first used.
+func (g *IDGen) SetBase(base int64) {
+	g.next.Store(base)
+}
+
 // ReadRec is one read observed by a transaction, in execution order.
 type ReadRec struct {
 	Key   storage.Key

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/storage"
+	"asynctp/internal/txn"
+)
+
+// TenantMixConfig parameterizes the multi-tenant serving workload: N
+// structurally identical tenants, each a self-contained mini-bank with
+// its own key prefix, hot account pool, transfer programs, and an
+// ε-tolerant audit. The tenants are key-disjoint by construction, so a
+// partitioned serving layer runs them conflict-free — while a merged
+// single runner interleaves their instances and pays intra-tenant
+// conflict costs whenever two instances of the same tenant overlap.
+type TenantMixConfig struct {
+	// Tenants is the number of tenants to generate.
+	Tenants int
+	// HotKeys is each tenant's hot account pool size (default 2). Every
+	// transfer type of a tenant works the same pool, so a tenant's own
+	// concurrent instances always conflict — the contention a partition
+	// serializes away.
+	HotKeys int
+	// TransferTypes is the number of distinct transfer programs per
+	// tenant (default 2); TransferCount the instance count per program.
+	TransferTypes, TransferCount int
+	// AuditCount is the instance count of each tenant's audit query.
+	AuditCount int
+	// Amount is the fixed transfer size; InitialBalance seeds each hot
+	// account (keep it >> Amount × instances so the withdrawal guard
+	// never fires).
+	Amount         metric.Value
+	InitialBalance metric.Value
+	// Epsilon is the ε-spec: transfers export up to it, audits import
+	// up to it. A positive Epsilon is what makes the audits eligible
+	// for the serving layer's degraded stale-read path.
+	Epsilon metric.Fuzz
+}
+
+// tkey names tenant t's key k.
+func tkey(t int, k string) storage.Key {
+	return storage.Key(fmt.Sprintf("t%d:%s", t, k))
+}
+
+// NewTenantMix builds one Workload per tenant, named "t0" … "tN-1".
+// Each is complete on its own (initial image, programs, invariant
+// audit answer), so callers can hand them to the serving layer as
+// tenants or merge them into a single runner as the pre-partitioning
+// baseline.
+func NewTenantMix(cfg TenantMixConfig) ([]*Workload, error) {
+	if cfg.Tenants < 1 {
+		return nil, fmt.Errorf("workload: tenant mix needs >=1 tenant")
+	}
+	if cfg.HotKeys == 0 {
+		cfg.HotKeys = 2
+	}
+	if cfg.HotKeys < 2 {
+		return nil, fmt.Errorf("workload: tenant mix needs >=2 hot keys per tenant")
+	}
+	if cfg.TransferTypes == 0 {
+		cfg.TransferTypes = 2
+	}
+	if cfg.TransferTypes < 1 || cfg.TransferCount < 1 {
+		return nil, fmt.Errorf("workload: tenant mix needs transfers")
+	}
+	if cfg.Amount <= 0 {
+		return nil, fmt.Errorf("workload: tenant mix needs a positive amount")
+	}
+	spec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.LimitOf(cfg.Epsilon)}
+	auditSpec := metric.Spec{Import: metric.LimitOf(cfg.Epsilon), Export: metric.Zero}
+	out := make([]*Workload, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		w := &Workload{
+			Name:     fmt.Sprintf("t%d", t),
+			Initial:  make(map[storage.Key]metric.Value),
+			Expected: make(map[int]metric.Value),
+		}
+		for k := 0; k < cfg.HotKeys; k++ {
+			w.Initial[tkey(t, fmt.Sprintf("h%d", k))] = cfg.InitialBalance
+		}
+		for ti := 0; ti < cfg.TransferTypes; ti++ {
+			cfgKey := tkey(t, fmt.Sprintf("cfg%d", ti))
+			rateKey := tkey(t, fmt.Sprintf("rate%d", ti))
+			logKey := tkey(t, fmt.Sprintf("log%d", ti))
+			w.Initial[cfgKey] = 1
+			w.Initial[rateKey] = 1
+			w.Initial[logKey] = 0
+			src := ti % cfg.HotKeys
+			dst := (ti + 1) % cfg.HotKeys
+			amt := cfg.Amount
+			p := txn.MustProgram(fmt.Sprintf("t%d/xfer%d", t, ti),
+				// Cold per-type prefix: private reads plus a commutative
+				// log append — work an abort-retry engine redoes in full
+				// on every same-tenant conflict.
+				txn.ReadOp(cfgKey),
+				txn.ReadOp(rateKey),
+				txn.AddOp(logKey, 1),
+				// Hot pair inside the tenant's own pool; the guard makes
+				// the withdrawal read validated, not absorbed.
+				txn.WithAbortIf(
+					txn.AddOp(tkey(t, fmt.Sprintf("h%d", src)), -amt),
+					func(v metric.Value) bool { return v < amt },
+				),
+				txn.AddOp(tkey(t, fmt.Sprintf("h%d", dst)), amt),
+			).WithSpec(spec)
+			w.Programs = append(w.Programs, p)
+			w.Counts = append(w.Counts, cfg.TransferCount)
+		}
+		if cfg.AuditCount > 0 {
+			ops := make([]txn.Op, 0, cfg.HotKeys)
+			for k := 0; k < cfg.HotKeys; k++ {
+				ops = append(ops, txn.ReadOp(tkey(t, fmt.Sprintf("h%d", k))))
+			}
+			audit := txn.MustProgram(fmt.Sprintf("t%d/audit", t), ops...).WithSpec(auditSpec)
+			// Transfers shuffle value inside the tenant's hot pool, so
+			// the audit's serializable answer is invariant.
+			w.Expected[len(w.Programs)] = cfg.InitialBalance * metric.Value(cfg.HotKeys)
+			w.Programs = append(w.Programs, audit)
+			w.Counts = append(w.Counts, cfg.AuditCount)
+		}
+		out[t] = w
+	}
+	return out, nil
+}
+
+// MergeWorkloads flattens several key-disjoint workloads into one — the
+// pre-partitioning baseline: a single runner serving every tenant's
+// stream through one engine. Program indices are concatenated in input
+// order; Expected entries are re-based accordingly.
+func MergeWorkloads(name string, ws []*Workload) (*Workload, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("workload: nothing to merge")
+	}
+	m := &Workload{
+		Name:     name,
+		Initial:  make(map[storage.Key]metric.Value),
+		Expected: make(map[int]metric.Value),
+	}
+	for _, w := range ws {
+		base := len(m.Programs)
+		for key, v := range w.Initial {
+			if _, dup := m.Initial[key]; dup {
+				return nil, fmt.Errorf("workload: merge key collision on %q", key)
+			}
+			m.Initial[key] = v
+		}
+		m.Programs = append(m.Programs, w.Programs...)
+		counts := w.Counts
+		if len(counts) == 0 {
+			counts = make([]int, len(w.Programs))
+			for i := range counts {
+				counts[i] = 1
+			}
+		}
+		m.Counts = append(m.Counts, counts...)
+		for ti, exp := range w.Expected {
+			m.Expected[base+ti] = exp
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"asynctp/internal/metric"
+	"asynctp/internal/txn"
+)
+
+func mixCfg() TenantMixConfig {
+	return TenantMixConfig{
+		Tenants:        4,
+		HotKeys:        2,
+		TransferTypes:  2,
+		TransferCount:  3,
+		AuditCount:     1,
+		Amount:         5,
+		InitialBalance: 1000,
+		Epsilon:        50,
+	}
+}
+
+func TestTenantMixShape(t *testing.T) {
+	ws, err := NewTenantMix(mixCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads, want 4", len(ws))
+	}
+	for i, w := range ws {
+		if w.Name != "t"+string(rune('0'+i)) {
+			t.Errorf("workload %d named %q", i, w.Name)
+		}
+		if len(w.Programs) != 3 { // 2 transfers + 1 audit
+			t.Fatalf("%s: %d programs, want 3", w.Name, len(w.Programs))
+		}
+		for _, p := range w.Programs {
+			if !strings.HasPrefix(p.Name, w.Name+"/") {
+				t.Errorf("%s program named %q, want tenant prefix", w.Name, p.Name)
+			}
+			for _, op := range p.Ops {
+				if !strings.HasPrefix(string(op.Key), w.Name+":") {
+					t.Errorf("%s program %s touches foreign key %q", w.Name, p.Name, op.Key)
+				}
+			}
+		}
+		audit := w.Programs[2]
+		if audit.Class() != txn.Query {
+			t.Errorf("%s audit class = %v, want query", w.Name, audit.Class())
+		}
+		if audit.Spec.Import.Bound() != 50 {
+			t.Errorf("%s audit import bound = %v, want 50", w.Name, audit.Spec.Import)
+		}
+		if exp := w.Expected[2]; exp != 2000 {
+			t.Errorf("%s audit expected = %d, want 2000", w.Name, exp)
+		}
+	}
+}
+
+func TestTenantMixKeyDisjointAndMerge(t *testing.T) {
+	ws, err := NewTenantMix(mixCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeWorkloads("merged", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perTenantKeys int
+	for _, w := range ws {
+		perTenantKeys += len(w.Initial)
+	}
+	if len(m.Initial) != perTenantKeys {
+		t.Errorf("merged initial has %d keys, want %d (disjoint union)", len(m.Initial), perTenantKeys)
+	}
+	if len(m.Programs) != 12 || len(m.Counts) != 12 {
+		t.Errorf("merged has %d programs / %d counts, want 12 / 12", len(m.Programs), len(m.Counts))
+	}
+	// Expected entries re-based: audits sit at indices 2, 5, 8, 11.
+	for _, ti := range []int{2, 5, 8, 11} {
+		if m.Expected[ti] != 2000 {
+			t.Errorf("merged Expected[%d] = %d, want 2000", ti, m.Expected[ti])
+		}
+	}
+	var total metric.Value
+	for _, v := range m.Initial {
+		total += v
+	}
+	var perTotal metric.Value
+	for _, w := range ws {
+		for _, v := range w.Initial {
+			perTotal += v
+		}
+	}
+	if total != perTotal {
+		t.Errorf("merge changed the initial sum: %d vs %d", total, perTotal)
+	}
+
+	// Colliding key spaces must be rejected.
+	if _, err := MergeWorkloads("bad", []*Workload{ws[0], ws[0]}); err == nil {
+		t.Error("merging self-overlapping workloads must error")
+	}
+	if _, err := MergeWorkloads("empty", nil); err == nil {
+		t.Error("merging nothing must error")
+	}
+}
+
+func TestTenantMixValidation(t *testing.T) {
+	bad := []TenantMixConfig{
+		{},
+		{Tenants: 1, HotKeys: 1, TransferTypes: 1, TransferCount: 1, Amount: 1},
+		{Tenants: 1, TransferCount: 0},
+		{Tenants: 1, TransferCount: 1, Amount: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTenantMix(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
