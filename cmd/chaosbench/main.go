@@ -152,6 +152,11 @@ func run(args []string) error {
 	}
 	fmt.Println(rep)
 	if !rep.Passed() {
+		// An invariant violation is exactly what the flight recorder is
+		// armed for: dump the recent span tail before failing.
+		if plane.TriggerFlight("chaosbench: chaos claim failed") {
+			fmt.Fprintln(os.Stderr, "chaosbench: flight recorder dumped recent spans")
+		}
 		return fmt.Errorf("one or more chaos claims failed")
 	}
 	return nil

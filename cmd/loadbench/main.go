@@ -87,6 +87,16 @@ type sharedConfig struct {
 	Workers     int     `json:"workers"`
 	MaxInFlight int     `json:"max_in_flight"`
 	Scenario    string  `json:"scenario"`
+
+	// Spans turns on the child's span store (proc = site ID); the dump
+	// ships back over the SPANS barrier for the parent to merge.
+	// MetricsDump, when set, makes each child write one Prometheus
+	// snapshot to MetricsDump+"."+site before the EXIT barrier.
+	// StallAfterNS arms the child's chain-stall flight recorder.
+	Spans        bool   `json:"spans,omitempty"`
+	SpanLimit    int    `json:"span_limit,omitempty"`
+	MetricsDump  string `json:"metrics_dump,omitempty"`
+	StallAfterNS int64  `json:"stall_after_ns,omitempty"`
 }
 
 func (sc sharedConfig) siteIDs() []simnet.SiteID {
@@ -197,6 +207,7 @@ func run(args []string) error {
 	skew := fs.Float64("skew", 0.99, "tenant-selection Zipfian skew for -tenants mode")
 	tenantRate := fs.Float64("tenantrate", 0, "per-tenant admitted txn/s budget for -tenants mode (0 = unlimited)")
 	tenantEps := fs.Float64("tenanteps", 0, "per-tenant ε/s degrade allowance for -tenants mode (0 = unlimited)")
+	spanGate := fs.Float64("spangate", 0, "fail unless at least this fraction of span trees merge fully connected (0 disables)")
 	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -251,6 +262,21 @@ func run(args []string) error {
 	wire := *netKind
 	if *multi {
 		wire = "tcp-multi"
+	}
+	// In multi mode span recording happens in the children (one store
+	// per OS process); the parent merges their dumps over the SPANS
+	// barrier and writes the exports itself. Strip the span and
+	// metricsdump destinations from the parent's plane so stopObs does
+	// not overwrite them with an empty single-process merge.
+	spanOut := *obsFlags
+	if *multi {
+		shared.Spans = obsFlags.SpansEnabled()
+		shared.SpanLimit = obsFlags.SpanLimit
+		shared.MetricsDump = obsFlags.MetricsDump
+		shared.StallAfterNS = int64(obsFlags.StallAfter)
+		obsFlags.Spans, obsFlags.SpansWall, obsFlags.CritPath = "", "", 0
+		obsFlags.FlightDump, obsFlags.StallAfter = "", 0
+		obsFlags.MetricsDump = ""
 	}
 	plane, stopObs, err := obsFlags.Build()
 	if err != nil {
@@ -307,6 +333,7 @@ func run(args []string) error {
 		reportSummary(plane)
 		return writeReport(file, *out)
 	}
+	var spanDumps []obs.ProcSpans
 	for _, name := range strings.Split(*scenariosArg, ",") {
 		sc, err := workload.ScenarioByName(strings.TrimSpace(name))
 		if err != nil {
@@ -315,7 +342,14 @@ func run(args []string) error {
 		shared.Scenario = sc.Name
 		var row Result
 		if *multi {
-			row, err = runMulti(shared, sc)
+			var dumps []obs.ProcSpans
+			row, dumps, err = runMulti(shared, sc)
+			if dumps != nil {
+				// With several scenarios the instance sequences restart
+				// per run, so only one scenario's dumps can merge; the
+				// last wins (CI runs a single scenario).
+				spanDumps = dumps
+			}
 		} else {
 			row, err = runLocal(shared, sc, *netKind, plane)
 		}
@@ -329,8 +363,65 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "%-12s %-10s procs=%d %9.0f txn/s  settle p50=%7.0fµs p99=%7.0fµs  offered=%d shed=%d\n",
 			row.Suite, row.Variant, row.Procs, row.TPS, row.P50us, row.P99us, row.Txns, row.Shed)
 	}
+	if *multi && shared.Spans {
+		if err := exportMergedSpans(spanOut, spanDumps, *spanGate); err != nil {
+			return err
+		}
+	} else if *spanGate > 0 && plane.SpansOn() {
+		m := obs.MergeSpans([]obs.ProcSpans{plane.Spans.Dump()})
+		if err := checkSpanGate(m, *spanGate); err != nil {
+			return err
+		}
+	}
 	reportSummary(plane)
 	return writeReport(file, *out)
+}
+
+// exportMergedSpans merges the child span dumps into the canonical
+// cross-process trace, writes the requested exports, reports the
+// connectivity/orphan accounting on stderr, and applies the -spangate
+// connectivity floor.
+func exportMergedSpans(spanOut obs.Flags, dumps []obs.ProcSpans, gate float64) error {
+	m := obs.MergeSpans(dumps)
+	write := func(path string, export func(io.Writer, *obs.Merged) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(spanOut.Spans, obs.ExportCanonicalSpans); err != nil {
+		return err
+	}
+	if err := write(spanOut.SpansWall, obs.ExportWallSpans); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spans: %d merged from %d procs, %d traces, %.2f%% connected, %d orphaned, %d evicted\n",
+		m.Spans, len(m.Procs), len(m.Traces), 100*m.ConnectedFraction(), m.Orphans, m.Evicted)
+	if spanOut.CritPath > 0 {
+		obs.AnalyzeCriticalPath(m, spanOut.CritPath).WriteText(os.Stderr)
+	}
+	return checkSpanGate(m, gate)
+}
+
+// checkSpanGate fails the run when the fully-connected span-tree
+// fraction is below the gate (a CI floor on trace propagation).
+func checkSpanGate(m *obs.Merged, gate float64) error {
+	if gate <= 0 {
+		return nil
+	}
+	if frac := m.ConnectedFraction(); frac < gate {
+		return fmt.Errorf("spangate: %.4f of %d span trees fully connected, need %.4f (%d orphans, %d evicted)",
+			frac, len(m.Traces), gate, m.Orphans, m.Evicted)
+	}
+	return nil
 }
 
 // reportSummary folds the observability plane's headline counters —
@@ -551,6 +642,55 @@ func (cp *childProc) send(line string) error {
 	return err
 }
 
+// readLine returns the next raw stdout line (the SPANS block's span
+// payload, which has no fixed prefix to expect()).
+func (cp *childProc) readLine(timeout time.Duration) (string, error) {
+	select {
+	case line, ok := <-cp.lines:
+		if !ok {
+			return "", fmt.Errorf("%s: child exited mid-block", cp.site)
+		}
+		return line, nil
+	case err := <-cp.errs:
+		return "", fmt.Errorf("%s: %w", cp.site, err)
+	case <-time.After(timeout):
+		return "", fmt.Errorf("%s: timed out reading span block", cp.site)
+	}
+}
+
+// readSpanDump consumes one child's SPANS barrier block:
+//
+//	SPANS <proc> <total> <evicted> <n>
+//	<span JSON> × n
+//	ENDSPANS
+func (cp *childProc) readSpanDump() (obs.ProcSpans, error) {
+	header, err := cp.expect("SPANS ", 2*time.Minute)
+	if err != nil {
+		return obs.ProcSpans{}, err
+	}
+	var ps obs.ProcSpans
+	var n int
+	if _, err := fmt.Sscanf(header, "SPANS %s %d %d %d", &ps.Proc, &ps.Total, &ps.Evicted, &n); err != nil {
+		return obs.ProcSpans{}, fmt.Errorf("%s: bad SPANS header %q: %w", cp.site, header, err)
+	}
+	ps.Spans = make([]obs.Span, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := cp.readLine(time.Minute)
+		if err != nil {
+			return obs.ProcSpans{}, err
+		}
+		var sp obs.Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			return obs.ProcSpans{}, fmt.Errorf("%s: bad span line %d: %w", cp.site, i, err)
+		}
+		ps.Spans = append(ps.Spans, sp)
+	}
+	if _, err := cp.expect("ENDSPANS", time.Minute); err != nil {
+		return obs.ProcSpans{}, err
+	}
+	return ps, nil
+}
+
 // allocPorts reserves one loopback port per site by binding and
 // immediately closing a listener. The tiny window between close and the
 // child's re-bind is the standard pre-allocation race; SO_REUSE
@@ -568,14 +708,14 @@ func allocPorts(sites []string) (map[string]string, error) {
 	return addrs, nil
 }
 
-func runMulti(shared sharedConfig, sc workload.Scenario) (Result, error) {
+func runMulti(shared sharedConfig, sc workload.Scenario) (Result, []obs.ProcSpans, error) {
 	bin, err := os.Executable()
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	addrs, err := allocPorts(shared.Sites)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	var addrParts []string
 	for s, a := range addrs {
@@ -611,7 +751,7 @@ func runMulti(shared sharedConfig, sc workload.Scenario) (Result, error) {
 		per.Workers = perWorkers
 		perJSON, err := json.Marshal(per)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		cmd := exec.Command(bin)
 		cmd.Env = append(os.Environ(),
@@ -623,14 +763,14 @@ func runMulti(shared sharedConfig, sc workload.Scenario) (Result, error) {
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		if err := cmd.Start(); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		cp := &childProc{
 			site:  simnet.SiteID(s),
@@ -655,45 +795,55 @@ func runMulti(shared sharedConfig, sc workload.Scenario) (Result, error) {
 
 	for _, cp := range children {
 		if _, err := cp.expect("READY", 60*time.Second); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	start := time.Now()
 	for _, cp := range children {
 		if err := cp.send("GO"); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	for _, cp := range children {
 		if _, err := cp.expect("DONE", 30*time.Minute); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	for _, cp := range children {
 		if err := cp.send("AUDIT"); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	reports := make([]childReport, 0, len(children))
 	for _, cp := range children {
 		line, err := cp.expect("RESULT ", 2*time.Minute)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		var rep childReport
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "RESULT ")), &rep); err != nil {
-			return Result{}, fmt.Errorf("%s: bad RESULT: %w", cp.site, err)
+			return Result{}, nil, fmt.Errorf("%s: bad RESULT: %w", cp.site, err)
 		}
 		reports = append(reports, rep)
 	}
+	var dumps []obs.ProcSpans
+	if shared.Spans {
+		for _, cp := range children {
+			ps, err := cp.readSpanDump()
+			if err != nil {
+				return Result{}, nil, err
+			}
+			dumps = append(dumps, ps)
+		}
+	}
 	for _, cp := range children {
 		if err := cp.send("EXIT"); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	for _, cp := range children {
 		if err := cp.cmd.Wait(); err != nil {
-			return Result{}, fmt.Errorf("%s: %w", cp.site, err)
+			return Result{}, nil, fmt.Errorf("%s: %w", cp.site, err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -740,14 +890,14 @@ func runMulti(shared sharedConfig, sc workload.Scenario) (Result, error) {
 	row.TPS = float64(row.Committed) / maxElapsed.Seconds()
 	w, err := shared.workload()
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	row.Conserved = metric.Value(localSum) == w.Total()
 	if !row.Conserved {
 		fmt.Fprintf(os.Stderr, "conservation: sum of local ledgers %d, want %d (drift %d)\n",
 			localSum, int64(w.Total()), localSum-int64(w.Total()))
 	}
-	return row, nil
+	return row, dumps, nil
 }
 
 // ---------------------------------------------------------------------
@@ -806,6 +956,27 @@ func childMain(stdin io.Reader, stdout io.Writer) error {
 			instBase = uint64(i+1) << 40
 		}
 	}
+	// The child's own observability plane: a span store named after the
+	// site (the merge key), a metrics registry when the parent asked for
+	// per-child dumps, and the chain-stall flight recorder (dumping to
+	// stderr, which the parent forwards).
+	var plane *obs.Plane
+	var reg *obs.Registry
+	stopWatch := func() {}
+	if shared.Spans || shared.MetricsDump != "" {
+		if shared.MetricsDump != "" {
+			reg = obs.NewRegistry()
+		}
+		plane = obs.NewPlane(nil, nil, reg)
+		if shared.Spans {
+			plane.EnableSpans(string(self), shared.SpanLimit)
+			if shared.StallAfterNS > 0 {
+				plane.EnableFlightRecorder("", 256)
+				stopWatch = plane.StartStallWatch(time.Duration(shared.StallAfterNS), 0)
+			}
+		}
+	}
+	defer stopWatch()
 	split := workload.SplitInitial(w.Initial, workload.YCSBPlacement)
 	c, err := site.NewCluster(site.Config{
 		Strategy:          site.ChoppedQueues,
@@ -816,6 +987,7 @@ func childMain(stdin io.Reader, stdout io.Writer) error {
 		AllowCompensation: true,
 		Seed:              shared.Seed,
 		InstanceBase:      instBase,
+		Obs:               plane,
 	})
 	if err != nil {
 		return err
@@ -881,5 +1053,46 @@ func childMain(stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout, "RESULT "+string(data))
+	if shared.Spans {
+		if err := writeSpanDump(stdout, plane.Spans.Dump()); err != nil {
+			return err
+		}
+	}
+	// Flush the metrics snapshot BEFORE the EXIT barrier: once EXIT is
+	// acknowledged the parent may reap the process at any point, and a
+	// dump racing SIGKILL is how children used to lose their metrics.
+	if shared.MetricsDump != "" {
+		path := shared.MetricsDump + "." + string(self)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return expect("EXIT")
+}
+
+// writeSpanDump streams this process's span-store dump to the parent
+// over the stdout barrier: a sized header, one span JSON per line, and
+// a terminator. Line-oriented so the parent's scanner handles it with a
+// bounded buffer regardless of how many spans the ring holds.
+func writeSpanDump(stdout io.Writer, ps obs.ProcSpans) error {
+	bw := bufio.NewWriterSize(stdout, 1<<16)
+	fmt.Fprintf(bw, "SPANS %s %d %d %d\n", ps.Proc, ps.Total, ps.Evicted, len(ps.Spans))
+	for _, sp := range ps.Spans {
+		line, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, "ENDSPANS")
+	return bw.Flush()
 }

@@ -354,6 +354,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 		// ε-skips are charged like DC absorptions: through the plane's
 		// DC-event observer into the ledger and metrics.
 		r.rdcEng.SetDCObserver(cfg.Obs.DCObserver())
+		if cfg.Obs.SpansOn() {
+			r.rdcEng.SetRepairObserver(func(owner lock.Owner, d time.Duration) {
+				cfg.Obs.SpanRepair(int64(owner), d)
+			})
+		}
 		r.engine = r.rdcEng
 	}
 	if r.engine != nil {
@@ -450,6 +455,18 @@ func (r *Runner) GroupOf() map[lock.Owner]history.Group {
 	return out
 }
 
+// enqueueKey carries an upstream admission timestamp through ctx so
+// the tracer can attribute pre-runner queueing (tenant mailbox wait)
+// to the admit phase of the instance it becomes.
+type enqueueKey struct{}
+
+// WithEnqueueTime annotates ctx with the instant the request entered
+// an upstream queue; Submit turns the gap until pickup into an admit
+// span on the instance's trace.
+func WithEnqueueTime(ctx context.Context, t time.Time) context.Context {
+	return context.WithValue(ctx, enqueueKey{}, t)
+}
+
 // Submit executes one instance of program ti (index into
 // Config.Programs) and blocks until every piece finishes. Instances may
 // be submitted concurrently from many goroutines.
@@ -475,6 +492,9 @@ func (r *Runner) Submit(ctx context.Context, ti int) (*InstanceResult, error) {
 		// exactly what reconciliation must expose.
 		r.cfg.Obs.BindBudget(int64(group), orig.Name, orig.Class().String(),
 			r.cfg.Distribution.String(), orig.Spec.Import)
+		if enq, ok := ctx.Value(enqueueKey{}).(time.Time); ok {
+			r.cfg.Obs.SpanAdmit(uint64(group), enq.UnixNano(), time.Now().UnixNano())
+		}
 	}
 	if err := inst.run(ctx); err != nil {
 		r.cfg.Obs.TxnEnd(int64(group), false)
@@ -634,7 +654,9 @@ func (inst *instance) runPiece(ctx context.Context, pi int, budget metric.Spec) 
 	for {
 		owner := r.gen.Next()
 		if r.cfg.Obs != nil {
-			r.cfg.Obs.PieceBegin(int64(owner), int64(inst.group), pi, "", prog.Name, class)
+			// Single-process pieces hang directly off the root span.
+			r.cfg.Obs.PieceBegin(int64(owner), int64(inst.group), pi, "", prog.Name, class,
+				obs.PieceSpanID(uint64(inst.group), pi, false), obs.RootSpanID(uint64(inst.group)), "")
 		}
 		if r.rec != nil {
 			// The owner→group map exists only for grouped history checks;

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Attribution decomposes one settled transaction's end-to-end latency
+// (its root span interval) into the fixed phase vocabulary. The
+// decomposition is exhaustive by construction — the analyzer sweeps
+// the root interval and charges every segment to exactly one phase —
+// so Sum() equals Total up to clamping of skewed child intervals; the
+// property test pins the tolerance.
+type Attribution struct {
+	Trace     uint64
+	Name      string
+	Committed bool
+	Total     time.Duration
+	Phases    [NumPhases]time.Duration
+}
+
+// Sum returns the total attributed time across phases.
+func (a *Attribution) Sum() time.Duration {
+	var s time.Duration
+	for _, d := range a.Phases {
+		s += d
+	}
+	return s
+}
+
+// AttributeTrace walks one merged trace's span tree and attributes the
+// root interval to phases. Returns false when the trace has no root or
+// a degenerate (non-positive) interval.
+//
+// Algorithm: every instant of [root.Start, root.End] is charged to the
+// deepest span active at that instant (ties broken toward the later-
+// starting, then higher-ID span), with child intervals clamped into
+// the root's. Chains in this system are sequential — piece → wire →
+// mailbox → next piece — so "deepest active" traces exactly the
+// critical path; where siblings overlap (parallel branch pieces) the
+// deeper/later claimant is the one still holding up settlement.
+// Root-claimed time before the first child span is admission wait;
+// root-claimed time after that is the root's residual phase
+// (settlement ack wait, or 2PC decision wait).
+func AttributeTrace(t *MergedTrace) (Attribution, bool) {
+	if t.Root < 0 {
+		return Attribution{}, false
+	}
+	root := t.Spans[t.Root]
+	lo, hi := root.Start, root.End
+	if hi <= lo {
+		return Attribution{}, false
+	}
+	a := Attribution{Trace: t.Trace, Name: root.Name, Committed: root.Committed,
+		Total: time.Duration(hi - lo)}
+
+	// Resolve edges and BFS depths from the root (same edge rule as
+	// the merge; orphans stay unreachable and are not attributed).
+	present := make(map[spanKey]int, len(t.Spans))
+	for i, sp := range t.Spans {
+		present[spanKey{sp.Proc, sp.ID}] = i
+	}
+	children := make(map[int][]int, len(t.Spans))
+	for i, sp := range t.Spans {
+		if i == t.Root || sp.Parent == 0 {
+			continue
+		}
+		pp := sp.ParentProc
+		if pp == "" {
+			pp = sp.Proc
+		}
+		if pi, ok := present[spanKey{pp, sp.Parent}]; ok {
+			children[pi] = append(children[pi], i)
+		}
+	}
+	type active struct {
+		start, end int64
+		depth      int
+		phase      Phase
+		id         uint64
+	}
+	var nodes []active
+	queue := []int{t.Root}
+	depth := map[int]int{t.Root: 0}
+	firstChild := hi
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		sp := t.Spans[i]
+		s, e := sp.Start, sp.End
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if i != t.Root && e > s && s < firstChild {
+			firstChild = s
+		}
+		if e > s {
+			nodes = append(nodes, active{start: s, end: e, depth: depth[i], phase: sp.Phase, id: sp.ID})
+		}
+		for _, c := range children[i] {
+			depth[c] = depth[i] + 1
+			queue = append(queue, c)
+		}
+	}
+
+	// Sweep the root interval over all span boundaries.
+	bounds := make([]int64, 0, 2*len(nodes))
+	for _, n := range nodes {
+		bounds = append(bounds, n.start, n.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	prev := lo
+	for _, b := range append(bounds, hi) {
+		if b <= prev {
+			continue
+		}
+		if b > hi {
+			b = hi
+		}
+		// Claimant for [prev, b): deepest active span.
+		best := -1
+		for i, n := range nodes {
+			if n.start <= prev && b <= n.end {
+				if best < 0 ||
+					n.depth > nodes[best].depth ||
+					(n.depth == nodes[best].depth && (n.start > nodes[best].start ||
+						(n.start == nodes[best].start && n.id > nodes[best].id))) {
+					best = i
+				}
+			}
+		}
+		d := time.Duration(b - prev)
+		switch {
+		case best < 0 || nodes[best].depth == 0:
+			// Root-only time: admission before any child ran,
+			// residual (ack / 2PC decision wait) after.
+			if b <= firstChild {
+				a.Phases[PhaseAdmit] += d
+			} else {
+				a.Phases[root.Phase] += d
+			}
+		default:
+			a.Phases[nodes[best].phase] += d
+		}
+		prev = b
+		if prev >= hi {
+			break
+		}
+	}
+	// Any tail uncovered by boundaries (all children before hi).
+	if prev < hi {
+		a.Phases[root.Phase] += time.Duration(hi - prev)
+	}
+	return a, true
+}
+
+// CritReport aggregates the critical-path analysis over a merged
+// trace set.
+type CritReport struct {
+	// Traces / Attributed / Connected count the population.
+	Traces     int
+	Attributed int
+	Connected  int
+	// PhaseTotals accumulates attributed time per phase across all
+	// attributed traces.
+	PhaseTotals [NumPhases]time.Duration
+	// TotalLatency is the summed end-to-end latency of attributed
+	// traces; MaxSumErr is the worst |Sum-Total|/Total observed — the
+	// attribution invariant violation, ~0 by construction.
+	TotalLatency time.Duration
+	MaxSumErr    float64
+	// TopN holds the slowest attributed traces, slowest first. All
+	// holds every attribution (population bounded by the span ring).
+	TopN []Attribution
+	All  []Attribution
+}
+
+// AnalyzeCriticalPath attributes every trace in the merge and returns
+// the aggregate report with the topN slowest transactions broken down.
+func AnalyzeCriticalPath(m *Merged, topN int) *CritReport {
+	r := &CritReport{Traces: len(m.Traces)}
+	var all []Attribution
+	for _, t := range m.Traces {
+		if t.Connected {
+			r.Connected++
+		}
+		a, ok := AttributeTrace(t)
+		if !ok {
+			continue
+		}
+		r.Attributed++
+		r.TotalLatency += a.Total
+		for ph, d := range a.Phases {
+			r.PhaseTotals[ph] += d
+		}
+		if a.Total > 0 {
+			err := float64(a.Sum()-a.Total) / float64(a.Total)
+			if err < 0 {
+				err = -err
+			}
+			if err > r.MaxSumErr {
+				r.MaxSumErr = err
+			}
+		}
+		all = append(all, a)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	r.All = all
+	if topN > len(all) {
+		topN = len(all)
+	}
+	if topN > 0 {
+		r.TopN = append(r.TopN, all[:topN]...)
+	}
+	return r
+}
+
+// FeedMetrics surfaces the per-phase attribution through the metrics
+// registry as one histogram per phase (seconds per transaction).
+func (r *CritReport) FeedMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		h := reg.Histogram("asynctp_phase_seconds",
+			"Critical-path time attributed per settled transaction.", nil,
+			"phase", ph.String())
+		for _, a := range r.All {
+			if a.Phases[ph] > 0 {
+				h.ObserveDuration(a.Phases[ph])
+			}
+		}
+	}
+}
+
+// WriteText renders the human report: aggregate phase shares first,
+// then the top-N slowest transactions with their breakdowns.
+func (r *CritReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "critical path: %d traces, %d connected (%.2f%%), %d attributed, max sum error %.3f%%\n",
+		r.Traces, r.Connected, 100*float64(r.Connected)/float64(max(1, r.Traces)),
+		r.Attributed, 100*r.MaxSumErr)
+	if r.TotalLatency > 0 {
+		fmt.Fprintf(w, "  phase shares of %v total settled latency:\n", r.TotalLatency.Round(time.Millisecond))
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			d := r.PhaseTotals[ph]
+			if d == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "    %-8s %10v  %5.1f%%\n", ph.String(), d.Round(time.Microsecond),
+				100*float64(d)/float64(r.TotalLatency))
+		}
+	}
+	for i, a := range r.TopN {
+		fmt.Fprintf(w, "  #%d trace %d %s total %v:", i+1, a.Trace, a.Name, a.Total.Round(time.Microsecond))
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if a.Phases[ph] > 0 {
+				fmt.Fprintf(w, " %s=%v", ph.String(), a.Phases[ph].Round(time.Microsecond))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -19,13 +19,58 @@ func TestNilPlaneSpanHooksZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		p.TxnBegin(1, "xfer")
 		p.BindBudget(1, "xfer", "update", "static", metric.Infinite)
-		p.PieceBegin(2, 1, 0, "NY", "xfer/p1", txn.Update)
+		p.PieceBegin(2, 1, 0, "NY", "xfer/p1", txn.Update, 0, 0, "")
 		p.PieceSettle(2, 0, 0)
 		p.TxnEnd(1, true)
 		end()
 	})
 	if allocs > 0 {
 		t.Errorf("nil-plane span hooks: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Distributed-span hooks ride the piece hot path (every activation,
+// every settlement report). With tracing disabled — nil plane, or a
+// plane built without EnableSpans — they must stay branch-only.
+func TestDisabledSpanHooksZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		plane *Plane
+	}{
+		{"nil-plane", nil},
+		{"plane-without-spans", NewPlane(nil, nil, nil)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.plane
+			var ctx = p.SpanCtx(1, RootSpanID(1))
+			allocs := testing.AllocsPerRun(1000, func() {
+				_ = p.SpanCtx(1, RootSpanID(1))
+				p.SpanActivationHop(1, 1, false, ctx, 12345)
+				p.SpanReportHop(1, 1, false, ctx, 12345)
+				p.SpanFsync(1, PieceSpanID(1, 0, false), 0, false, 100, 200)
+				p.SpanRepair(2, 5)
+				p.SpanAdmit(1, 100, 200)
+				_ = p.SpansOn()
+				p.TriggerFlight("")
+			})
+			if allocs > 0 {
+				t.Errorf("disabled span hooks: %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestNilSpanStoreZeroAlloc(t *testing.T) {
+	var s *SpanStore
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(Span{Trace: 1})
+		s.Tick()
+		s.Observe(7)
+		_ = s.NextID()
+		_ = s.Ctx(1, 2, 3)
+	})
+	if allocs > 0 {
+		t.Errorf("nil span store: %.1f allocs/op, want 0", allocs)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Flags is the shared -trace/-metrics CLI surface every bench command
@@ -28,6 +29,24 @@ type Flags struct {
 	// Ledger forces the ε-provenance ledger on even when no trace
 	// destination is set (the conformance harness reads it directly).
 	Ledger bool
+	// Spans is the canonical (deterministic) merged span export
+	// destination; SpansWall is the wall-clock Chrome export. Either
+	// enables the distributed span store. CritPath prints the top-N
+	// slowest transactions' phase breakdowns (0 disables the report).
+	Spans     string
+	SpansWall string
+	CritPath  int
+	// SpanProc names this process's span store in the merge (defaults
+	// to "p0"); SpanLimit bounds the ring (0 = DefaultSpanLimit).
+	SpanProc  string
+	SpanLimit int
+	// FlightDump arms the anomaly flight recorder: on the first trigger
+	// (chain stall, invariant violation) the recent span tail is dumped
+	// to this path ("-" = stderr). StallAfter arms the chain-stall
+	// watchdog: any transaction unsettled past this age fires the
+	// recorder. Either implies span recording.
+	FlightDump string
+	StallAfter time.Duration
 }
 
 // Register adds the observability flags to fs and returns the struct
@@ -39,13 +58,25 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceText, "tracetext", "", "write human trace timeline to file")
 	fs.StringVar(&f.Metrics, "metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
 	fs.StringVar(&f.MetricsDump, "metricsdump", "", "write a final Prometheus exposition snapshot to file")
+	fs.StringVar(&f.Spans, "spans", "", "write canonical (deterministic) merged distributed-span export to file")
+	fs.StringVar(&f.SpansWall, "spanswall", "", "write wall-clock merged span Chrome trace-event JSON to file")
+	fs.IntVar(&f.CritPath, "criticalpath", 0, "print phase breakdowns for the N slowest transactions (enables span recording)")
+	fs.IntVar(&f.SpanLimit, "spanlimit", 0, "bound the per-process span ring (0 = default)")
+	fs.StringVar(&f.FlightDump, "flightdump", "", "dump recent spans here on the first anomaly (\"-\" = stderr; enables span recording)")
+	fs.DurationVar(&f.StallAfter, "stallafter", 0, "fire the flight recorder when a transaction is unsettled past this age (enables span recording)")
 	return f
+}
+
+// SpansEnabled reports whether any span consumer was requested.
+func (f *Flags) SpansEnabled() bool {
+	return f.Spans != "" || f.SpansWall != "" || f.CritPath > 0 ||
+		f.FlightDump != "" || f.StallAfter > 0
 }
 
 // enabled reports whether any observability consumer was requested.
 func (f *Flags) enabled() bool {
 	return f.Trace != "" || f.TraceWall != "" || f.TraceText != "" ||
-		f.Metrics != "" || f.MetricsDump != "" || f.Ledger
+		f.Metrics != "" || f.MetricsDump != "" || f.Ledger || f.SpansEnabled()
 }
 
 // Build assembles the requested plane and starts the metrics listener
@@ -79,7 +110,22 @@ func (f *Flags) Build() (*Plane, func() error, error) {
 		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", addr)
 	}
 	p := NewPlane(tr, lg, reg)
+	stopWatch := func() {}
+	if f.SpansEnabled() {
+		proc := f.SpanProc
+		if proc == "" {
+			proc = "p0"
+		}
+		p.EnableSpans(proc, f.SpanLimit)
+		if f.FlightDump != "" || f.StallAfter > 0 {
+			p.EnableFlightRecorder(f.FlightDump, 256)
+			if f.StallAfter > 0 {
+				stopWatch = p.StartStallWatch(f.StallAfter, 0)
+			}
+		}
+	}
 	stop := func() error {
+		stopWatch()
 		var firstErr error
 		writeFile := func(path string, write func(f *os.File) error) {
 			if path == "" {
@@ -101,6 +147,18 @@ func (f *Flags) Build() (*Plane, func() error, error) {
 		writeFile(f.TraceWall, func(out *os.File) error { return ExportWall(out, events) })
 		writeFile(f.TraceText, func(out *os.File) error { return WriteText(out, events) })
 		writeFile(f.MetricsDump, func(out *os.File) error { return reg.WriteProm(out) })
+		if p.Spans != nil {
+			m := MergeSpans([]ProcSpans{p.Spans.Dump()})
+			writeFile(f.Spans, func(out *os.File) error { return ExportCanonicalSpans(out, m) })
+			writeFile(f.SpansWall, func(out *os.File) error { return ExportWallSpans(out, m) })
+			fmt.Fprintf(os.Stderr, "obs: spans: %d in %d traces, %.2f%% connected, %d orphaned, %d evicted\n",
+				m.Spans, len(m.Traces), 100*m.ConnectedFraction(), m.Orphans, m.Evicted)
+			if f.CritPath > 0 {
+				r := AnalyzeCriticalPath(m, f.CritPath)
+				r.FeedMetrics(reg)
+				r.WriteText(os.Stderr)
+			}
+		}
 		if tr != nil && tr.Dropped() > 0 {
 			fmt.Fprintf(os.Stderr, "obs: trace buffer overflow, %d events dropped\n", tr.Dropped())
 		}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorder dumps the tail of the span ring when an anomaly
+// fires: a chain stalled past a threshold (the watchdog below) or a
+// chaosbench invariant violation. It dumps at most once — the first
+// trigger wins, later ones only bump the counter — so a cascade of
+// violations doesn't grind the run writing the same spans repeatedly.
+type FlightRecorder struct {
+	store  *SpanStore
+	path   string
+	recent int
+
+	mu       sync.Mutex
+	fired    bool
+	triggers int
+	reason   string
+}
+
+// NewFlightRecorder arms a recorder over store: on trigger it writes
+// the most recent `recent` spans (0 = all buffered) to path ("-" or
+// "" = stderr).
+func NewFlightRecorder(store *SpanStore, path string, recent int) *FlightRecorder {
+	return &FlightRecorder{store: store, path: path, recent: recent}
+}
+
+// Trigger fires the recorder with a reason. The first call dumps and
+// returns true; subsequent calls only count. Nil-safe.
+func (f *FlightRecorder) Trigger(reason string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	f.triggers++
+	if f.fired {
+		f.mu.Unlock()
+		return false
+	}
+	f.fired = true
+	f.reason = reason
+	f.mu.Unlock()
+
+	spans := f.store.Spans()
+	if f.recent > 0 && len(spans) > f.recent {
+		spans = spans[len(spans)-f.recent:]
+	}
+	var w io.Writer = os.Stderr
+	var c io.Closer
+	if f.path != "" && f.path != "-" {
+		file, err := os.Create(f.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: %v\n", err)
+			return true
+		}
+		w, c = file, file
+	}
+	writeFlightDump(w, f.store.Proc(), reason, spans)
+	if c != nil {
+		_ = c.Close()
+	}
+	return true
+}
+
+// Triggers returns how many anomalies fired (dumped or not). Nil-safe.
+func (f *FlightRecorder) Triggers() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.triggers
+}
+
+// writeFlightDump renders the recent-span tail as text, newest last,
+// grouped so a stalled chain reads as one block.
+func writeFlightDump(w io.Writer, proc, reason string, spans []Span) {
+	fmt.Fprintf(w, "=== flight recorder dump (proc %s): %s ===\n", proc, reason)
+	fmt.Fprintf(w, "%d recent spans:\n", len(spans))
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Trace != spans[j].Trace {
+			return spans[i].Trace < spans[j].Trace
+		}
+		return spans[i].Start < spans[j].Start
+	})
+	for _, sp := range spans {
+		d := time.Duration(sp.End - sp.Start)
+		fmt.Fprintf(w, "  trace=%d %s/%s piece=%d site=%s %v [clock %d]\n",
+			sp.Trace, sp.Kind, sp.Phase.String(), sp.Piece, sp.Site, d.Round(time.Microsecond), sp.Clock)
+	}
+	fmt.Fprintf(w, "=== end flight dump ===\n")
+}
+
+// StartStallWatch runs a watchdog that triggers the plane's flight
+// recorder when any open (unsettled) root span exceeds threshold age.
+// Returns a stop function; no-op (returns an inert stop) when the
+// plane, its span store, or its flight recorder is absent.
+func (p *Plane) StartStallWatch(threshold, every time.Duration) func() {
+	if p == nil || p.Spans == nil || p.flight == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = threshold / 4
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				now := time.Now().UnixNano()
+				p.spanMu.Lock()
+				var stalled uint64
+				var age time.Duration
+				for trace, r := range p.openRoots {
+					if a := time.Duration(now - r.start); a > threshold && a > age {
+						stalled, age = trace, a
+					}
+				}
+				p.spanMu.Unlock()
+				if stalled != 0 {
+					p.flight.Trigger(fmt.Sprintf("chain stall: trace %d unsettled for %v (threshold %v)",
+						stalled, age.Round(time.Millisecond), threshold))
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

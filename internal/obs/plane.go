@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
 	"asynctp/internal/storage/driver"
+	"asynctp/internal/tracectx"
 	"asynctp/internal/txn"
 )
 
@@ -29,11 +32,46 @@ type Plane struct {
 	Ledger  *Ledger
 	Metrics *Registry
 
+	// Spans is the process-local distributed-span store, nil unless
+	// EnableSpans ran. Every span hook below checks it first, so the
+	// disabled path stays branch-only and allocation-free.
+	Spans *SpanStore
+
 	m planeMetrics
 
 	// waitMu/waitAt time lock waits for the wait-duration histogram.
 	waitMu sync.Mutex
 	waitAt map[int64]time.Time
+
+	// spanMu guards the open-interval state the span hooks assemble
+	// spans from: roots open between TxnBegin/TxnEnd, piece attempts
+	// open between PieceBegin and the exec observer's Commit/Abort.
+	spanMu     sync.Mutex
+	openRoots  map[uint64]*openRoot
+	openPieces map[int64]*openPiece
+
+	flight *FlightRecorder
+}
+
+// openRoot is an unsettled transaction's root span under assembly.
+type openRoot struct {
+	start int64
+	name  string
+	mode  string
+}
+
+// openPiece is a piece execution attempt under assembly, keyed by
+// owner (each attempt has a fresh owner, and one goroutine runs it).
+type openPiece struct {
+	span       uint64
+	parent     uint64
+	parentProc string
+	trace      uint64
+	piece      int32
+	comp       bool
+	site       string
+	name       string
+	start      int64
 }
 
 // planeMetrics holds the pre-registered hot-path metric handles. All
@@ -165,6 +203,180 @@ func NewPlane(tr *Tracer, lg *Ledger, reg *Registry) *Plane {
 	return p
 }
 
+// EnableSpans attaches a distributed span store identified as proc
+// (the merge-level process name; must be unique per OS process in a
+// multi-process run) bounded to limit spans (DefaultSpanLimit when
+// <= 0). Returns the store for export. Safe to call once, before the
+// plane is shared.
+func (p *Plane) EnableSpans(proc string, limit int) *SpanStore {
+	if p == nil {
+		return nil
+	}
+	p.Spans = NewSpanStore(proc, limit)
+	p.openRoots = make(map[uint64]*openRoot)
+	p.openPieces = make(map[int64]*openPiece)
+	return p.Spans
+}
+
+// EnableFlightRecorder arms the anomaly dump over the span store: on
+// TriggerFlight (or the stall watchdog) the most recent `recent` spans
+// are written to path ("-"/"" = stderr), once. Requires EnableSpans.
+func (p *Plane) EnableFlightRecorder(path string, recent int) {
+	if p == nil || p.Spans == nil {
+		return
+	}
+	p.flight = NewFlightRecorder(p.Spans, path, recent)
+}
+
+// TriggerFlight fires the flight recorder (e.g. chaosbench calls it on
+// an invariant violation). Returns true when this call produced the
+// dump. Nil-safe.
+func (p *Plane) TriggerFlight(reason string) bool {
+	if p == nil {
+		return false
+	}
+	return p.flight.Trigger(reason)
+}
+
+// Flight returns the recorder (nil when disarmed). Nil-safe.
+func (p *Plane) Flight() *FlightRecorder {
+	if p == nil {
+		return nil
+	}
+	return p.flight
+}
+
+// SpansOn reports whether distributed span recording is enabled
+// (nil-safe), so call sites can gate span-only work like timing the
+// persistence path.
+func (p *Plane) SpansOn() bool { return p != nil && p.Spans != nil }
+
+// SpanCtx mints the trace context to stamp on an outgoing message:
+// trace plus the parent span (a deterministic structural ID recorded
+// by this process). Zero Ctx when spans are off — receivers skip it.
+func (p *Plane) SpanCtx(trace, parentSpan uint64) tracectx.Ctx {
+	if p == nil || p.Spans == nil {
+		return tracectx.Ctx{}
+	}
+	return p.Spans.Ctx(trace, parentSpan, time.Now().UnixNano())
+}
+
+// SpanActivationHop records the receiver-side hop spans for one piece
+// activation: the wire span (sender SentAt → local admission) and the
+// mailbox span (admission → now, the moment a worker picked it up).
+// Call when processing begins. No-op when spans are off or the sender
+// stamped no context.
+func (p *Plane) SpanActivationHop(trace uint64, piece int, comp bool, ctx tracectx.Ctx, arrivedNS int64) {
+	if p == nil || p.Spans == nil || !ctx.Valid() {
+		return
+	}
+	p.Spans.Observe(ctx.Clock)
+	now := time.Now().UnixNano()
+	if arrivedNS == 0 {
+		arrivedNS = now
+	}
+	wire := WireSpanID(trace, piece, comp)
+	if ctx.SentAt > 0 {
+		p.Spans.Add(Span{
+			Trace: trace, ID: wire, Parent: ctx.Span, ParentProc: ctx.Proc,
+			Kind: SpanWire, Phase: PhaseWire, Piece: int32(piece), Comp: comp,
+			Start: ctx.SentAt, End: arrivedNS,
+		})
+	}
+	p.Spans.Add(Span{
+		Trace: trace, ID: MailboxSpanID(trace, piece, comp), Parent: wire,
+		Kind: SpanMailbox, Phase: PhaseMailbox, Piece: int32(piece), Comp: comp,
+		Start: arrivedNS, End: now,
+	})
+}
+
+// SpanReportHop records the origin-side hop spans for one settlement
+// report: the report wire span (reporter SentAt → local admission) and
+// the ack span (admission → now, the tracker settle). Call at
+// recordDone. No-op for local reports (no context) or spans off.
+func (p *Plane) SpanReportHop(trace uint64, piece int, comp bool, ctx tracectx.Ctx, arrivedNS int64) {
+	if p == nil || p.Spans == nil || !ctx.Valid() {
+		return
+	}
+	p.Spans.Observe(ctx.Clock)
+	now := time.Now().UnixNano()
+	if arrivedNS == 0 {
+		arrivedNS = now
+	}
+	rw := ReportWireSpanID(trace, piece, comp)
+	if ctx.SentAt > 0 {
+		p.Spans.Add(Span{
+			Trace: trace, ID: rw, Parent: ctx.Span, ParentProc: ctx.Proc,
+			Kind: SpanReportWire, Phase: PhaseWire, Piece: int32(piece), Comp: comp,
+			Start: ctx.SentAt, End: arrivedNS,
+		})
+	}
+	p.Spans.Add(Span{
+		Trace: trace, ID: AckSpanID(trace, piece, comp), Parent: rw,
+		Kind: SpanAck, Phase: PhaseAck, Piece: int32(piece), Comp: comp,
+		Start: arrivedNS, End: now,
+	})
+}
+
+// SpanFsync records a durability wait (queue-image/WAL persistence on
+// the commit path) as a child of the piece span that paid it. No-op
+// when spans are off or the wait was immeasurable.
+func (p *Plane) SpanFsync(trace uint64, pieceSpan uint64, piece int, comp bool, startNS, endNS int64) {
+	if p == nil || p.Spans == nil || endNS <= startNS {
+		return
+	}
+	p.Spans.Add(Span{
+		Trace: trace, ID: p.Spans.NextID(), Parent: pieceSpan,
+		Kind: SpanFsync, Phase: PhaseFsync, Piece: int32(piece), Comp: comp,
+		Start: startNS, End: endNS,
+	})
+}
+
+// SpanRepair records conflict-repair work inside the owner's open
+// piece attempt (the rdc engine reports the rounds' duration at
+// install time). No-op when spans are off or the owner has no open
+// attempt.
+func (p *Plane) SpanRepair(owner int64, d time.Duration) {
+	if p == nil || p.Spans == nil || d <= 0 {
+		return
+	}
+	p.spanMu.Lock()
+	op := p.openPieces[owner]
+	p.spanMu.Unlock()
+	if op == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	p.Spans.Add(Span{
+		Trace: op.trace, ID: p.Spans.NextID(), Parent: op.span,
+		Kind: SpanRepair, Phase: PhaseRepair, Piece: op.piece, Comp: op.comp,
+		Site: op.site, Start: now - int64(d), End: now,
+	})
+}
+
+// SpanAdmit records admission/mailbox wait ahead of a transaction's
+// first piece (the tenant serving layer measures enqueue → runner
+// pickup). Parented to the root span so sweep attribution lands it in
+// the admit phase. No-op when spans are off.
+func (p *Plane) SpanAdmit(trace uint64, startNS, endNS int64) {
+	if p == nil || p.Spans == nil || endNS <= startNS {
+		return
+	}
+	// The mailbox wait predates TxnBegin (the runner only mints the
+	// instance after pickup), so rewind the open root to cover it —
+	// otherwise the sweep clamps the admit interval away.
+	p.spanMu.Lock()
+	if r, ok := p.openRoots[trace]; ok && startNS < r.start {
+		r.start = startNS
+	}
+	p.spanMu.Unlock()
+	p.Spans.Add(Span{
+		Trace: trace, ID: p.Spans.NextID(), Parent: RootSpanID(trace),
+		Kind: SpanAdmit, Phase: PhaseAdmit, Piece: -1,
+		Start: startNS, End: endNS,
+	})
+}
+
 // Summary renders the plane's headline counters as human lines for
 // folding into bench reports. Nil-safe (nil plane returns nil).
 func (p *Plane) Summary() []string {
@@ -232,6 +444,15 @@ func (p *Plane) Summary() []string {
 		out = append(out, fmt.Sprintf("trace: %d events (%d dropped)",
 			p.Tracer.Len(), p.Tracer.Dropped()))
 	}
+	if p.Spans != nil {
+		out = append(out, fmt.Sprintf("spans: %d recorded, %d buffered, %d evicted (evictions orphan children in the merge)",
+			p.Spans.Total(), p.Spans.Len(), p.Spans.Evicted()))
+		if p.flight != nil {
+			if n := p.flight.Triggers(); n > 0 {
+				out = append(out, fmt.Sprintf("flight recorder: %d anomaly trigger(s), first dump written", n))
+			}
+		}
+	}
 	if p.Ledger != nil {
 		accts := p.Ledger.Accounts()
 		over := p.Ledger.OverBudget()
@@ -249,16 +470,25 @@ func (p *Plane) emit(ev Event) {
 	p.Tracer.Emit(ev)
 }
 
-// TxnBegin marks a transaction instance submission.
+// TxnBegin marks a transaction instance submission and opens the root
+// span when distributed tracing is on.
 func (p *Plane) TxnBegin(group int64, name string) {
 	if p == nil {
 		return
 	}
 	p.m.txnBegun.Inc()
+	if p.Spans != nil {
+		p.spanMu.Lock()
+		p.openRoots[uint64(group)] = &openRoot{start: time.Now().UnixNano(), name: name}
+		p.spanMu.Unlock()
+	}
 	p.emit(Event{Kind: EvTxnBegin, Group: uint64(group), Piece: -1, Name: name})
 }
 
-// TxnEnd marks an instance settlement.
+// TxnEnd marks an instance settlement and closes the root span. The
+// root's phase is its residual bucket in the critical-path sweep:
+// 2PC-wait for commit-protocol transactions, settlement-ack wait
+// otherwise.
 func (p *Plane) TxnEnd(group int64, committed bool) {
 	if p == nil {
 		return
@@ -268,6 +498,23 @@ func (p *Plane) TxnEnd(group int64, committed bool) {
 	} else {
 		p.m.txnAborted.Inc()
 	}
+	if p.Spans != nil {
+		p.spanMu.Lock()
+		r := p.openRoots[uint64(group)]
+		delete(p.openRoots, uint64(group))
+		p.spanMu.Unlock()
+		if r != nil {
+			ph := PhaseAck
+			if r.mode == "2pc" {
+				ph = Phase2PC
+			}
+			p.Spans.Add(Span{
+				Trace: uint64(group), ID: RootSpanID(uint64(group)),
+				Kind: SpanTxn, Phase: ph, Piece: -1, Name: r.name,
+				Start: r.start, End: time.Now().UnixNano(), Committed: committed,
+			})
+		}
+	}
 	aux := int64(0)
 	if committed {
 		aux = 1
@@ -276,19 +523,42 @@ func (p *Plane) TxnEnd(group int64, committed bool) {
 }
 
 // BindBudget declares an instance's identity and ORIGINAL ε budget to
-// the ledger (see Ledger.BindGroup).
+// the ledger (see Ledger.BindGroup), and tags the open root span's
+// mode so the analyzer picks the right residual phase.
 func (p *Plane) BindBudget(group int64, name, class, mode string, budget metric.Limit) {
 	if p == nil {
 		return
+	}
+	if p.Spans != nil {
+		p.spanMu.Lock()
+		if r := p.openRoots[uint64(group)]; r != nil {
+			r.mode = mode
+		}
+		p.spanMu.Unlock()
 	}
 	p.Ledger.BindGroup(group, name, class, mode, budget)
 }
 
 // PieceBegin marks one piece execution attempt starting and binds the
-// attempt's owner to its instance for ledger attribution.
-func (p *Plane) PieceBegin(owner int64, group int64, piece int, site, name string, class txn.Class) {
+// attempt's owner to its instance for ledger attribution. When
+// distributed tracing is on, span names the attempt's structural span
+// ID (PieceSpanID) and parent/parentProc its tree edge — the root span
+// for origin and single-process pieces, the mailbox span for
+// activation-delivered ones; the span is recorded when the attempt
+// commits (aborted attempts leave no span, the retry re-begins).
+func (p *Plane) PieceBegin(owner int64, group int64, piece int, site, name string, class txn.Class,
+	span, parent uint64, parentProc string) {
 	if p == nil {
 		return
+	}
+	if p.Spans != nil && span != 0 {
+		p.spanMu.Lock()
+		p.openPieces[owner] = &openPiece{
+			span: span, parent: parent, parentProc: parentProc,
+			trace: uint64(group), piece: int32(piece), comp: span&(0x80<<8) != 0,
+			site: site, name: name, start: time.Now().UnixNano(),
+		}
+		p.spanMu.Unlock()
 	}
 	p.Ledger.BindPiece(owner, group, int32(piece))
 	p.emit(Event{
@@ -422,10 +692,33 @@ func (o execObserver) Write(owner lock.Owner, key storage.Key, old, new metric.V
 
 func (o execObserver) Commit(owner lock.Owner) {
 	o.p.m.pieceCommits.Inc()
+	if o.p.Spans != nil {
+		o.p.spanMu.Lock()
+		op := o.p.openPieces[int64(owner)]
+		delete(o.p.openPieces, int64(owner))
+		o.p.spanMu.Unlock()
+		if op != nil {
+			o.p.Spans.Add(Span{
+				Trace: op.trace, ID: op.span, Parent: op.parent, ParentProc: op.parentProc,
+				Kind: SpanPiece, Phase: PhaseExec, Piece: op.piece, Comp: op.comp,
+				Site: op.site, Name: op.name,
+				Start: op.start, End: time.Now().UnixNano(), Committed: true,
+			})
+		}
+	}
 	o.p.emit(Event{Kind: EvPieceCommit, Owner: int64(owner), Piece: -1})
 }
 
 func (o execObserver) Abort(owner lock.Owner, reason error) {
+	// An aborted attempt leaves no span: the retry re-begins with a
+	// fresh owner and the committed attempt is the one the merged
+	// trace keeps (abort/retry time shows up as exec-phase residue
+	// inside the committed chain's gaps).
+	if o.p.Spans != nil {
+		o.p.spanMu.Lock()
+		delete(o.p.openPieces, int64(owner))
+		o.p.spanMu.Unlock()
+	}
 	// An aborted attempt's fuzziness never committed: void its pending
 	// ledger receipts so retries don't over-charge the account.
 	o.p.Ledger.Void(int64(owner))
@@ -473,6 +766,19 @@ func (o waitObserver) Resumed(owner lock.Owner) {
 	if ok {
 		d = time.Since(start)
 		o.p.m.lockWaitDur.ObserveDuration(d)
+	}
+	if o.p.Spans != nil && d > 0 {
+		o.p.spanMu.Lock()
+		op := o.p.openPieces[int64(owner)]
+		o.p.spanMu.Unlock()
+		if op != nil {
+			now := time.Now().UnixNano()
+			o.p.Spans.Add(Span{
+				Trace: op.trace, ID: o.p.Spans.NextID(), Parent: op.span,
+				Kind: SpanLock, Phase: PhaseLock, Piece: op.piece, Comp: op.comp,
+				Site: op.site, Start: now - int64(d), End: now,
+			})
+		}
 	}
 	o.p.emit(Event{Kind: EvLockResumed, Owner: int64(owner), Piece: -1, Dur: int64(d)})
 }
@@ -607,6 +913,20 @@ func (o commitObserver) Round(txid, kind string, attempts int, d time.Duration) 
 		o.p.m.commitRoundVote.ObserveDuration(d)
 	} else {
 		o.p.m.commitRoundAck.ObserveDuration(d)
+	}
+	// 2PC round spans hang off the root: txids are "name-inst", so the
+	// trace recovers from the suffix.
+	if o.p.Spans != nil && d > 0 {
+		if i := strings.LastIndexByte(txid, '-'); i >= 0 {
+			if trace, err := strconv.ParseUint(txid[i+1:], 10, 64); err == nil && trace != 0 {
+				now := time.Now().UnixNano()
+				o.p.Spans.Add(Span{
+					Trace: trace, ID: o.p.Spans.NextID(), Parent: RootSpanID(trace),
+					Kind: Span2PC, Phase: Phase2PC, Piece: -1, Site: o.site, Name: kind,
+					Start: now - int64(d), End: now,
+				})
+			}
+		}
 	}
 	o.p.emit(Event{
 		Kind: EvCommitRound, Piece: -1, Site: o.site, Name: txid, Arg: kind,

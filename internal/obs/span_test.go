@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// Span identity is the load-bearing invariant of the cross-process
+// merge: both sides of a hop derive the same deterministic ID without
+// coordination, and no two structural roles collide.
+
+func TestDeterministicSpanIDsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	record := func(id uint64, what string) {
+		if prev, ok := seen[id]; ok {
+			t.Fatalf("span ID collision: %s and %s both map to %#x", prev, what, id)
+		}
+		seen[id] = what
+	}
+	for _, trace := range []uint64{1, 7, (3 << 40) | 12345} {
+		record(RootSpanID(trace), "root")
+		for piece := 0; piece < 4; piece++ {
+			for _, comp := range []bool{false, true} {
+				record(PieceSpanID(trace, piece, comp), "piece")
+				record(WireSpanID(trace, piece, comp), "wire")
+				record(MailboxSpanID(trace, piece, comp), "mailbox")
+				record(ReportWireSpanID(trace, piece, comp), "report-wire")
+				record(AckSpanID(trace, piece, comp), "ack")
+			}
+		}
+	}
+	for id := range seen {
+		if !LogicalSpan(Span{ID: id}) {
+			t.Errorf("structural ID %#x not classified as logical", id)
+		}
+	}
+	st := NewSpanStore("p0", 0)
+	if id := st.NextID(); LogicalSpan(Span{ID: id}) {
+		t.Errorf("counter ID %#x classified as logical", id)
+	}
+}
+
+func TestSpanStoreRingEviction(t *testing.T) {
+	st := NewSpanStore("p0", 4)
+	for i := 1; i <= 10; i++ {
+		st.Add(Span{Trace: uint64(i)})
+	}
+	if got := st.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := st.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := st.Evicted(); got != 6 {
+		t.Errorf("Evicted = %d, want 6", got)
+	}
+	spans := st.Spans()
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.Trace != want {
+			t.Errorf("ring slot %d holds trace %d, want %d (oldest first)", i, sp.Trace, want)
+		}
+	}
+	// Lamport clocks must be strictly increasing in recording order.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Clock <= spans[i-1].Clock {
+			t.Errorf("clock not monotone: %d then %d", spans[i-1].Clock, spans[i].Clock)
+		}
+	}
+}
+
+func TestSpanStoreLamportObserve(t *testing.T) {
+	st := NewSpanStore("p0", 0)
+	st.Tick()
+	st.Observe(100)
+	if c := st.Tick(); c <= 100 {
+		t.Errorf("clock after observing 100 = %d, want > 100", c)
+	}
+}
+
+// twoProcDumps builds a canonical two-process trace: the root and first
+// piece on the origin, the wire/mailbox/piece chain on the sibling, and
+// the settlement report back at the origin.
+func twoProcDumps(trace uint64) []ProcSpans {
+	const (
+		t0 = int64(1000)
+	)
+	origin := []Span{
+		{Trace: trace, ID: RootSpanID(trace), Kind: SpanTxn, Phase: PhaseAck,
+			Name: "xfer", Start: t0, End: t0 + 100, Committed: true},
+		{Trace: trace, ID: PieceSpanID(trace, 0, false), Parent: RootSpanID(trace),
+			Kind: SpanPiece, Phase: PhaseExec, Site: "NY", Start: t0 + 5, End: t0 + 20},
+		{Trace: trace, ID: ReportWireSpanID(trace, 1, false), Parent: PieceSpanID(trace, 1, false),
+			ParentProc: "LA", Kind: SpanReportWire, Phase: PhaseWire, Piece: 1,
+			Start: t0 + 70, End: t0 + 85},
+		{Trace: trace, ID: AckSpanID(trace, 1, false), Parent: ReportWireSpanID(trace, 1, false),
+			Kind: SpanAck, Phase: PhaseAck, Piece: 1, Start: t0 + 85, End: t0 + 90},
+	}
+	sibling := []Span{
+		{Trace: trace, ID: WireSpanID(trace, 1, false), Parent: PieceSpanID(trace, 0, false),
+			ParentProc: "NY", Kind: SpanWire, Phase: PhaseWire, Piece: 1,
+			Start: t0 + 20, End: t0 + 40},
+		{Trace: trace, ID: MailboxSpanID(trace, 1, false), Parent: WireSpanID(trace, 1, false),
+			Kind: SpanMailbox, Phase: PhaseMailbox, Piece: 1, Start: t0 + 40, End: t0 + 50},
+		{Trace: trace, ID: PieceSpanID(trace, 1, false), Parent: MailboxSpanID(trace, 1, false),
+			Kind: SpanPiece, Phase: PhaseExec, Site: "LA", Piece: 1, Start: t0 + 50, End: t0 + 70},
+	}
+	return []ProcSpans{
+		{Proc: "NY", Spans: origin, Total: uint64(len(origin))},
+		{Proc: "LA", Spans: sibling, Total: uint64(len(sibling))},
+	}
+}
+
+func TestMergeSpansConnectsAcrossProcesses(t *testing.T) {
+	m := MergeSpans(twoProcDumps(42))
+	if len(m.Traces) != 1 {
+		t.Fatalf("merged %d traces, want 1", len(m.Traces))
+	}
+	mt := m.Traces[0]
+	if !mt.Connected {
+		t.Errorf("cross-process trace not connected (%d orphans, root %d)", mt.Orphans, mt.Root)
+	}
+	if mt.Orphans != 0 || m.Orphans != 0 {
+		t.Errorf("orphans = %d, want 0", mt.Orphans)
+	}
+	if len(mt.Spans) != 7 {
+		t.Errorf("merged %d spans, want 7", len(mt.Spans))
+	}
+	if f := m.ConnectedFraction(); f != 1.0 {
+		t.Errorf("ConnectedFraction = %v, want 1.0", f)
+	}
+}
+
+func TestMergeSpansCountsOrphans(t *testing.T) {
+	dumps := twoProcDumps(42)
+	// Evict the origin's piece-0 span: the sibling's wire span now has a
+	// dangling cross-process parent edge.
+	dumps[0].Spans = append(dumps[0].Spans[:1:1], dumps[0].Spans[2:]...)
+	dumps[0].Evicted = 1
+	m := MergeSpans(dumps)
+	mt := m.Traces[0]
+	if mt.Connected {
+		t.Error("trace with a dangling edge reported connected")
+	}
+	if mt.Orphans != 1 {
+		t.Errorf("orphans = %d, want 1", mt.Orphans)
+	}
+	if m.Evicted != 1 {
+		t.Errorf("merged eviction count = %d, want 1", m.Evicted)
+	}
+	if f := m.ConnectedFraction(); f != 0 {
+		t.Errorf("ConnectedFraction = %v, want 0", f)
+	}
+}
+
+func TestMergeSpansDedupsRedeliveredSpans(t *testing.T) {
+	dumps := twoProcDumps(42)
+	// A crash-redelivered activation re-records the same deterministic
+	// hop span; the merge must collapse it.
+	dumps[1].Spans = append(dumps[1].Spans, dumps[1].Spans[0])
+	m := MergeSpans(dumps)
+	if n := len(m.Traces[0].Spans); n != 7 {
+		t.Errorf("deduped merge has %d spans, want 7", n)
+	}
+	if !m.Traces[0].Connected {
+		t.Error("deduped trace not connected")
+	}
+}
+
+func TestCanonicalSpanExportOrderIndependent(t *testing.T) {
+	a := twoProcDumps(42)
+	b := []ProcSpans{a[1], a[0]} // dump order reversed
+	// Reverse span order inside one dump too.
+	rev := make([]Span, len(a[0].Spans))
+	for i, sp := range a[0].Spans {
+		rev[len(rev)-1-i] = sp
+	}
+	b[1] = ProcSpans{Proc: a[0].Proc, Spans: rev, Total: a[0].Total}
+	var bufA, bufB bytes.Buffer
+	if err := ExportCanonicalSpans(&bufA, MergeSpans(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportCanonicalSpans(&bufB, MergeSpans(b)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Errorf("canonical export depends on dump order:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+func TestAttributeTraceExactSweep(t *testing.T) {
+	m := MergeSpans(twoProcDumps(42))
+	a, ok := AttributeTrace(m.Traces[0])
+	if !ok {
+		t.Fatal("trace not attributable")
+	}
+	if a.Total != 100 {
+		t.Fatalf("total = %v, want 100ns", a.Total)
+	}
+	if a.Sum() != a.Total {
+		t.Errorf("phase sum %v != total %v", a.Sum(), a.Total)
+	}
+	want := map[Phase]time.Duration{
+		PhaseAdmit:   5,  // root time before piece 0 starts
+		PhaseExec:    35, // piece 0 (15) + piece 1 (20)
+		PhaseWire:    35, // activation wire (20) + report wire (15)
+		PhaseMailbox: 10,
+		PhaseAck:     15, // ack span (5) + root residual (10)
+	}
+	for ph, d := range want {
+		if a.Phases[ph] != d {
+			t.Errorf("phase %s = %v, want %v", ph, a.Phases[ph], d)
+		}
+	}
+	if !a.Committed {
+		t.Error("committed flag not carried")
+	}
+}
+
+func TestAttributeTraceClampsSkewedChildren(t *testing.T) {
+	trace := uint64(9)
+	spans := []Span{
+		{Trace: trace, ID: RootSpanID(trace), Kind: SpanTxn, Phase: PhaseAck,
+			Start: 1000, End: 1100},
+		// A child whose clock-skewed interval spills past the root on
+		// both sides must be clamped, not inflate the attribution.
+		{Trace: trace, ID: PieceSpanID(trace, 0, false), Parent: RootSpanID(trace),
+			Kind: SpanPiece, Phase: PhaseExec, Start: 900, End: 1300},
+	}
+	m := MergeSpans([]ProcSpans{{Proc: "p0", Spans: spans}})
+	a, ok := AttributeTrace(m.Traces[0])
+	if !ok {
+		t.Fatal("trace not attributable")
+	}
+	if a.Sum() != a.Total {
+		t.Errorf("clamped sum %v != total %v", a.Sum(), a.Total)
+	}
+	if a.Phases[PhaseExec] != 100 {
+		t.Errorf("exec = %v, want full clamped interval 100", a.Phases[PhaseExec])
+	}
+}
+
+func TestAnalyzeCriticalPathAggregates(t *testing.T) {
+	dumps := append(twoProcDumps(42), twoProcDumps(43)...)
+	m := MergeSpans(dumps)
+	r := AnalyzeCriticalPath(m, 1)
+	if r.Traces != 2 || r.Attributed != 2 || r.Connected != 2 {
+		t.Errorf("report population = %d/%d/%d, want 2/2/2", r.Traces, r.Attributed, r.Connected)
+	}
+	if r.MaxSumErr != 0 {
+		t.Errorf("MaxSumErr = %v, want 0 on synthetic exact trees", r.MaxSumErr)
+	}
+	if len(r.TopN) != 1 || len(r.All) != 2 {
+		t.Errorf("TopN/All = %d/%d, want 1/2", len(r.TopN), len(r.All))
+	}
+	var sum time.Duration
+	for _, d := range r.PhaseTotals {
+		sum += d
+	}
+	if sum != r.TotalLatency {
+		t.Errorf("phase totals %v != total latency %v", sum, r.TotalLatency)
+	}
+}
+
+func TestFlightRecorderFiresOnce(t *testing.T) {
+	st := NewSpanStore("p0", 0)
+	st.Add(Span{Trace: 1, Kind: SpanTxn})
+	path := t.TempDir() + "/flight.txt"
+	f := NewFlightRecorder(st, path, 8)
+	if !f.Trigger("first anomaly") {
+		t.Fatal("first trigger did not dump")
+	}
+	if f.Trigger("second anomaly") {
+		t.Error("second trigger dumped again")
+	}
+	if f.Triggers() != 2 {
+		t.Errorf("trigger count = %d, want 2", f.Triggers())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("first anomaly")) {
+		t.Errorf("dump missing reason: %s", data)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"asynctp/internal/simnet"
+	"asynctp/internal/tracectx"
 )
 
 // Msg is one queued message.
@@ -58,6 +59,17 @@ type Msg struct {
 	Queue string
 	// Payload is the application content.
 	Payload any
+	// Ctx is the distributed trace context stamped by the sender at
+	// stage time (zero when tracing is off). It rides the wire inside
+	// BatchFrame/legacy frames like any other Msg field, which is what
+	// lets span trees survive the TCP hop.
+	Ctx tracectx.Ctx
+	// ArrivedAt is the receiver's wall clock (UnixNano) at first
+	// admission, stamped locally on delivery — never by the sender.
+	// With Ctx.SentAt it bounds the wire+queue time of the hop. It is
+	// volatile receiver state: retransmitted copies of an admitted
+	// message never overwrite it (dedup drops them first).
+	ArrivedAt int64
 }
 
 // Message kinds on the wire.
@@ -147,6 +159,12 @@ type TxBuffer struct {
 // visible until the owning transaction commits the buffer.
 func (b *TxBuffer) Enqueue(to simnet.SiteID, queueName string, payload any) {
 	b.staged = append(b.staged, outMsg{to: to, msg: Msg{Queue: queueName, Payload: payload}})
+}
+
+// EnqueueCtx stages payload with a distributed trace context attached.
+// A zero ctx is identical to Enqueue.
+func (b *TxBuffer) EnqueueCtx(to simnet.SiteID, queueName string, payload any, ctx tracectx.Ctx) {
+	b.staged = append(b.staged, outMsg{to: to, msg: Msg{Queue: queueName, Payload: payload, Ctx: ctx}})
 }
 
 // Len returns the number of staged messages.
@@ -614,6 +632,7 @@ func (m *Manager) admitLocked(qm Msg) {
 		return
 	}
 	ss.add(seq)
+	qm.ArrivedAt = time.Now().UnixNano()
 	m.queues[qm.Queue] = append(m.queues[qm.Queue], qm)
 	if m.obs != nil {
 		m.obs.Delivered(qm)

@@ -1,0 +1,76 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"asynctp/internal/tracectx"
+)
+
+// The trace context must survive the full queue round trip — staged in
+// a TxBuffer, committed, shipped, and admitted — and the receiver must
+// stamp its own arrival time (sender wall clocks never ride as arrival).
+func TestEnqueueCtxRoundTrip(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	want := tracectx.Ctx{Trace: 42, Span: 0x2a0003, Proc: "NY", Clock: 7, SentAt: time.Now().UnixNano()}
+	buf.EnqueueCtx("LA", "credits", 100, want)
+	p.ny.CommitSend(buf)
+
+	d, err := p.la.Dequeue(ctxT(t), "credits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Ack()
+	if d.Msg.Ctx != want {
+		t.Errorf("ctx = %+v, want %+v", d.Msg.Ctx, want)
+	}
+	if d.Msg.ArrivedAt < want.SentAt {
+		t.Errorf("ArrivedAt %d precedes SentAt %d (receiver did not stamp arrival)",
+			d.Msg.ArrivedAt, want.SentAt)
+	}
+}
+
+// Plain Enqueue leaves the context zero — receivers must be able to
+// tell "tracing off upstream" from a real context.
+func TestEnqueueWithoutCtxStaysInvalid(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	buf.Enqueue("LA", "credits", 1)
+	p.ny.CommitSend(buf)
+	d, err := p.la.Dequeue(ctxT(t), "credits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Ack()
+	if d.Msg.Ctx.Valid() {
+		t.Errorf("untraced message carries a valid ctx: %+v", d.Msg.Ctx)
+	}
+	if d.Msg.ArrivedAt == 0 {
+		t.Error("arrival not stamped on untraced message")
+	}
+}
+
+// A redelivered (nacked) message keeps its context: repair and crash
+// recovery must not orphan the retried piece's spans.
+func TestNackPreservesCtx(t *testing.T) {
+	p := newPair(t)
+	buf := p.ny.Buffer()
+	want := tracectx.Ctx{Trace: 9, Span: 0x90004, Proc: "NY", Clock: 3, SentAt: 1}
+	buf.EnqueueCtx("LA", "credits", 5, want)
+	p.ny.CommitSend(buf)
+
+	d, err := p.la.Dequeue(ctxT(t), "credits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Nack()
+	d2, err := p.la.Dequeue(ctxT(t), "credits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Ack()
+	if d2.Msg.Ctx != want {
+		t.Errorf("redelivered ctx = %+v, want %+v", d2.Msg.Ctx, want)
+	}
+}

@@ -139,6 +139,7 @@ type Engine struct {
 	opDelay time.Duration
 	step    txn.StepHook
 	dcObs   func(dc.Event)
+	repObs  func(owner lock.Owner, d time.Duration)
 	skip    bool
 	verify  bool
 	inline  int
@@ -189,6 +190,11 @@ func (e *Engine) SetSkip(enabled bool) { e.skip = enabled }
 // emit one absorbed dc.Event per skipped read so the obs plane's ledger
 // and metrics see the charge.
 func (e *Engine) SetDCObserver(f func(dc.Event)) { e.dcObs = f }
+
+// SetRepairObserver installs a callback timing each repair pass (both
+// inline and out-of-lock rounds); the obs plane turns these into
+// repair spans on the owning transaction's critical path.
+func (e *Engine) SetRepairObserver(f func(owner lock.Owner, d time.Duration)) { e.repObs = f }
 
 // SetVerify enables the repair self-check (TEST-ONLY): before every
 // non-skip install, the whole program is re-executed from scratch
@@ -402,7 +408,7 @@ func (e *Engine) commit(
 		if nDirty <= e.inline && time.Duration(nDirty)*e.opDelay <= inlineWorkBudget {
 			// Short repair inside the critical section: the committed
 			// state is frozen by e.mu, so one pass settles it.
-			n, err := e.repairPass(recs, dirty)
+			n, err := e.timedRepairPass(owner, recs, dirty)
 			repairedOps += n
 			if err != nil {
 				e.stats.RepairedOps += repairedOps
@@ -423,7 +429,7 @@ func (e *Engine) commit(
 		e.mu.Unlock()
 		// Long repair outside the lock: re-execute the dirty ops against
 		// a racing store, then loop to re-validate what we produced.
-		n, err := e.repairPass(recs, dirty)
+		n, err := e.timedRepairPass(owner, recs, dirty)
 		repairedOps += n
 		if err != nil {
 			e.mu.Lock()
@@ -459,6 +465,20 @@ func reappliable(recs []opRec, i int) bool {
 // predicates are re-evaluated on the fresh input — a flipped decision
 // returns txn.ErrRollback. Each re-executed op pays the simulated op
 // cost. Returns the number of ops repaired.
+// timedRepairPass wraps repairPass with the repair observer so the
+// tracing plane can attribute repair work to the owning transaction.
+// The timer is only armed when an observer is installed, keeping the
+// untraced path free of clock reads.
+func (e *Engine) timedRepairPass(owner lock.Owner, recs []opRec, dirty []bool) (uint64, error) {
+	if e.repObs == nil {
+		return e.repairPass(recs, dirty)
+	}
+	t0 := time.Now()
+	n, err := e.repairPass(recs, dirty)
+	e.repObs(owner, time.Since(t0))
+	return n, err
+}
+
 func (e *Engine) repairPass(recs []opRec, dirty []bool) (uint64, error) {
 	var n uint64
 	for i := range recs {

@@ -442,7 +442,7 @@ func TestEpsilonSkipCommitsStaleRead(t *testing.T) {
 // repair path takes over and the fresh value commits.
 func TestEpsilonSkipRespectsBudgets(t *testing.T) {
 	for _, tc := range []struct {
-		name           string
+		name             string
 		importL, exportL metric.Limit
 	}{
 		{"import too small", metric.LimitOf(50), metric.LimitOf(1000)},
@@ -539,7 +539,7 @@ func TestEpsilonSkipChargedOnceInLedger(t *testing.T) {
 	runAudit := func(attempt int, rounds int) (metric.Fuzz, error) {
 		e.SetRepairLimits(0, rounds) // rounds=0 forces the fallback path
 		owner := int64(auditOwner + attempt)
-		plane.PieceBegin(owner, auditGroup, 0, "local", "audit", txn.Query)
+		plane.PieceBegin(owner, auditGroup, 0, "local", "audit", txn.Query, 0, 0, "")
 		started := make(chan struct{})
 		release := make(chan struct{})
 		audit := txn.MustProgram("audit",

@@ -20,6 +20,7 @@ import (
 	"asynctp/internal/queue"
 	"asynctp/internal/simnet"
 	"asynctp/internal/storage"
+	"asynctp/internal/tracectx"
 	"asynctp/internal/txn"
 )
 
@@ -89,6 +90,12 @@ type pieceDone struct {
 	Reads    []txn.ReadRec
 	Imported metric.Fuzz
 	Exported metric.Fuzz
+	// Ctx carries the reporter's trace context (parent = the reporting
+	// piece's span) so the origin can record the report-wire and ack
+	// spans of the merged trace. Reports coalesce into doneBatch
+	// messages spanning many instances, so the context rides each
+	// report rather than the queue message. Zero when tracing is off.
+	Ctx tracectx.Ctx
 }
 
 // Result describes one distributed submission.
@@ -444,7 +451,8 @@ func (s *Site) prepare2PC(ctx context.Context, txid string, payload any) (any, e
 	}
 	rec := obs.TeeTxnObserver(recObs, s.cluster.obs.ExecObserver())
 	s.cluster.obs.PieceBegin(int64(owner), int64(st.Inst), st.Piece,
-		string(s.ID), st.Name+"@"+string(s.ID), st.Class)
+		string(s.ID), st.Name+"@"+string(s.ID), st.Class,
+		obs.PieceSpanID(st.Inst, st.Piece, false), obs.RootSpanID(st.Inst), "")
 	if rec != nil {
 		rec.Begin(owner, st.Name+"@"+string(s.ID), st.Class)
 	}
@@ -660,14 +668,28 @@ var errInjectedCrash = errors.New("site: fault-injected crash")
 // (inst, piece) and the origin's tracker dedups reports.
 func (s *Site) stageChildren(act activation, dp *distProgram) {
 	buf := s.queues.Buffer()
+	obsP := s.cluster.obs
 	for _, child := range dp.children[act.Piece] {
-		buf.Enqueue(dp.pieceSite[child], pieceQueue, activation{
+		// The child's trace context names this committed piece's span
+		// as the remote parent (zero ctx when tracing is off).
+		ctx := obsP.SpanCtx(act.Inst, obs.PieceSpanID(act.Inst, act.Piece, false))
+		buf.EnqueueCtx(dp.pieceSite[child], pieceQueue, activation{
 			Inst: act.Inst, Origin: act.Origin, TxType: act.TxType, Piece: child,
-		})
+		}, ctx)
 	}
 	if buf.Len() > 0 {
+		var t0 int64
+		if obsP.SpansOn() {
+			t0 = time.Now().UnixNano()
+		}
 		s.queues.CommitSend(buf)
 		s.persistQueues()
+		if t0 > 0 {
+			// The durable-enqueue wait (queue image persistence — a real
+			// fsync under the disk driver) is the piece's fsync phase.
+			obsP.SpanFsync(act.Inst, obs.PieceSpanID(act.Inst, act.Piece, false),
+				act.Piece, false, t0, time.Now().UnixNano())
+		}
 	}
 }
 
@@ -748,6 +770,15 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 		Spec: dp.pieceSpecs[act.Piece],
 	}
 	class := dp.program.Class()
+	// The piece span's tree edge: origin pieces hang off the root span
+	// (opened in this process by submitChopped); activation-delivered
+	// pieces hang off the mailbox span the worker recorded when it
+	// picked the activation up.
+	pieceSpan := obs.PieceSpanID(act.Inst, act.Piece, act.Compensate)
+	parentSpan := obs.RootSpanID(act.Inst)
+	if act.Piece != 0 || act.Compensate {
+		parentSpan = obs.MailboxSpanID(act.Inst, act.Piece, act.Compensate)
+	}
 	for {
 		s.mu.Lock()
 		exec := s.exec
@@ -756,7 +787,7 @@ func (s *Site) runPiece(ctx context.Context, act activation, dp *distProgram) (p
 		owner := s.cluster.gen.Next()
 		s.cluster.recordGroup(owner, act.Inst)
 		s.cluster.obs.PieceBegin(int64(owner), int64(act.Inst), act.Piece,
-			string(s.ID), prog.Name, class)
+			string(s.ID), prog.Name, class, pieceSpan, parentSpan, "")
 		if ctl != nil {
 			if err := ctl.Register(owner, dc.Info{
 				Class:   class,
@@ -841,15 +872,29 @@ func (s *Site) doneLoop(stop <-chan struct{}) {
 		for _, d := range batch.Deliveries {
 			switch p := d.Msg.Payload.(type) {
 			case pieceDone:
+				s.recordReportHop(p, d.Msg.ArrivedAt)
 				s.cluster.recordDone(p)
 			case doneBatch:
 				for _, done := range p.Reports {
+					s.recordReportHop(done, d.Msg.ArrivedAt)
 					s.cluster.recordDone(done)
 				}
 			}
 		}
 		batch.Ack()
 	}
+}
+
+// recordReportHop records the report-wire and ack spans for one
+// settlement report arriving over the done queue. Rollback reports
+// (RolledAt > 0) key their hop spans on the rolled piece so they never
+// collide with piece 0's own report.
+func (s *Site) recordReportHop(done pieceDone, arrivedNS int64) {
+	piece := done.Piece
+	if done.RolledAt > 0 {
+		piece = done.RolledAt
+	}
+	s.cluster.obs.SpanReportHop(done.Inst, piece, done.Comp, done.Ctx, arrivedNS)
 }
 
 // stopWorkersAndWait signals the workers and waits for them.
@@ -911,6 +956,11 @@ func (s *Site) workerLoop(stop <-chan struct{}) {
 				processed++
 				continue
 			}
+			// Record the hop: wire span (sender commit-send → local
+			// admission) and mailbox span (admission → now). No-op when
+			// tracing is off or the sender stamped no context.
+			s.cluster.obs.SpanActivationHop(act.Inst, act.Piece, act.Compensate,
+				d.Msg.Ctx, d.Msg.ArrivedAt)
 			if status = s.processActivation(ctx, act, reports); status != actDone {
 				break
 			}
@@ -1007,17 +1057,21 @@ func rolledMarker(inst uint64, piece int) storage.Key {
 // duplicate reports.
 func (s *Site) stageRollback(act activation, dp *distProgram, reports map[simnet.SiteID][]pieceDone) {
 	buf := s.queues.Buffer()
+	// Compensations and the rollback report hang off the rolled
+	// activation's mailbox span — the last span this process recorded
+	// for the chain (the rolled piece itself aborted and left none).
+	rbCtx := s.cluster.obs.SpanCtx(act.Inst, obs.MailboxSpanID(act.Inst, act.Piece, false))
 	for pi := 0; pi < act.Piece; pi++ {
-		buf.Enqueue(dp.pieceSite[pi], pieceQueue, activation{
+		buf.EnqueueCtx(dp.pieceSite[pi], pieceQueue, activation{
 			Inst: act.Inst, Origin: act.Origin, TxType: act.TxType,
 			Piece: pi, Compensate: true,
-		})
+		}, rbCtx)
 	}
 	if buf.Len() > 0 {
 		s.queues.CommitSend(buf)
 		s.persistQueues()
 	}
-	reports[act.Origin] = append(reports[act.Origin], pieceDone{Inst: act.Inst, RolledAt: act.Piece})
+	reports[act.Origin] = append(reports[act.Origin], pieceDone{Inst: act.Inst, RolledAt: act.Piece, Ctx: rbCtx})
 }
 
 // flushReports stages the settlement reports a worker accumulated while
@@ -1038,6 +1092,18 @@ func (s *Site) flushReports(reports map[simnet.SiteID][]pieceDone) {
 				s.cluster.recordDone(done)
 			}
 			continue
+		}
+		if s.cluster.obs.SpansOn() {
+			// Stamp each remote report with its trace context so the
+			// origin can record the report-wire hop. Rollback reports
+			// were stamped at the decision point (stageRollback).
+			for i := range list {
+				if list[i].Ctx.Valid() {
+					continue
+				}
+				list[i].Ctx = s.cluster.obs.SpanCtx(list[i].Inst,
+					obs.PieceSpanID(list[i].Inst, list[i].Piece, list[i].Comp))
+			}
 		}
 		if len(list) == 1 {
 			buf.Enqueue(origin, doneQueue, list[0])

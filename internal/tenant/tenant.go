@@ -491,7 +491,9 @@ func (s *Serve) execute(p *partition, req *request) {
 	if err := req.ctx.Err(); err != nil {
 		d.err = err
 	} else {
-		d.res, d.err = p.runner.Submit(req.ctx, req.ti)
+		// Thread the enqueue instant through so the tracer can charge
+		// the mailbox wait to the instance's admit phase.
+		d.res, d.err = p.runner.Submit(core.WithEnqueueTime(req.ctx, req.enq), req.ti)
 	}
 	p.served.Add(1)
 	req.done <- d // buffered; never blocks even if the submitter left

@@ -1,0 +1,41 @@
+// Package tracectx defines the compact trace context that rides every
+// cross-process message so distributed span trees survive transport
+// hops. It sits below every other internal package (it imports nothing)
+// so queue, site, and obs can all share the one wire type without
+// import cycles.
+//
+// A context names the edge between a parent span in the sending
+// process and the spans the receiving process will record for the
+// message: the trace (the distributed transaction instance ID, which
+// is globally unique because every process mints instances above a
+// disjoint InstanceBase), the parent span qualified by the process
+// that recorded it, a Lamport clock for deterministic cross-process
+// ordering, and the wall-clock send instant for wire-time attribution
+// (processes in a loadbench -multi run share one host clock, so
+// UnixNano timestamps are directly comparable across the hop).
+package tracectx
+
+// Ctx is the trace context carried on queue messages and settlement
+// reports. The zero value means "no tracing": senders with spans
+// disabled stamp nothing, and receivers skip span recording for
+// invalid contexts instead of minting orphan fragments.
+type Ctx struct {
+	// Trace is the distributed transaction instance the message
+	// belongs to; zero marks the context invalid.
+	Trace uint64
+	// Span is the parent span ID in the sending process, and Proc is
+	// the span-store identity that recorded it (the receiver cannot
+	// resolve Span without it — span IDs are only unique per store).
+	Span uint64
+	Proc string
+	// Clock is the sender's Lamport clock at send time. Receivers
+	// fold it into their own clock so merged spans order causally
+	// even when wall clocks disagree.
+	Clock uint64
+	// SentAt is the sender's wall clock (UnixNano) at commit-send,
+	// used with the receiver's arrival stamp to measure wire time.
+	SentAt int64
+}
+
+// Valid reports whether the context carries a trace at all.
+func (c Ctx) Valid() bool { return c.Trace != 0 }

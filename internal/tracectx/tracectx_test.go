@@ -1,0 +1,33 @@
+package tracectx
+
+import "testing"
+
+// The zero value is the "tracing off" sentinel: queue receivers use
+// Valid() to decide whether to record spans, so a zero Trace must be
+// invalid no matter what else is set, and any real trace must be valid.
+func TestValidIsTracePresence(t *testing.T) {
+	var zero Ctx
+	if zero.Valid() {
+		t.Error("zero Ctx reports valid")
+	}
+	if (Ctx{Span: 7, Proc: "NY", Clock: 3, SentAt: 99}).Valid() {
+		t.Error("Ctx without a trace reports valid")
+	}
+	if !(Ctx{Trace: 1}).Valid() {
+		t.Error("Ctx with a trace reports invalid")
+	}
+}
+
+// Ctx rides queue.Msg by value and tests compare it with ==; it must
+// stay comparable (no slices/maps/pointers creep in with a refactor).
+func TestCtxComparable(t *testing.T) {
+	a := Ctx{Trace: 42, Span: 0x2a0003, Proc: "NY", Clock: 7, SentAt: 1}
+	b := a
+	if a != b {
+		t.Error("identical contexts compare unequal")
+	}
+	seen := map[Ctx]bool{a: true}
+	if !seen[b] {
+		t.Error("Ctx not usable as a map key")
+	}
+}
